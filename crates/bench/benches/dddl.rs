@@ -1,0 +1,27 @@
+//! Criterion benches for the DDDL pipeline: lexing + parsing + compiling
+//! the receiver scenario (the largest embedded source) and building a DPM
+//! from a compiled scenario — the per-run setup cost every TeamSim sweep
+//! pays 60+ times.
+
+use adpm_core::DpmConfig;
+use adpm_dddl::{compile_source, parse};
+use adpm_scenarios::{receiver_dddl, DEFAULT_GAIN_REQUIREMENT};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn dddl_pipeline(c: &mut Criterion) {
+    let source = receiver_dddl(DEFAULT_GAIN_REQUIREMENT);
+    c.bench_function("dddl/parse_receiver", |b| {
+        b.iter(|| black_box(parse(&source).expect("valid source")))
+    });
+    c.bench_function("dddl/compile_receiver", |b| {
+        b.iter(|| black_box(compile_source(&source).expect("valid source")))
+    });
+    let compiled = compile_source(&source).expect("valid source");
+    c.bench_function("dddl/build_dpm_receiver", |b| {
+        b.iter(|| black_box(compiled.build_dpm(DpmConfig::adpm())))
+    });
+}
+
+criterion_group!(benches, dddl_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benches for the DCM's propagation engine: one fixed-point run
+//! on each paper scenario's network, plus scaling over synthetic chain
+//! networks (the propagation algorithm's worst case is polynomial in the
+//! number of constraints and variables — paper §3.2).
+
+use adpm_constraint::{
+    expr::{cst, var},
+    propagate, ConstraintNetwork, Domain, Property, PropagationConfig, Relation, Value,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn scenario_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagate_scenario");
+    for (name, scenario) in [
+        ("sensing", adpm_scenarios::sensing_system()),
+        ("receiver", adpm_scenarios::wireless_receiver()),
+        ("walkthrough", adpm_scenarios::lna_walkthrough()),
+    ] {
+        // Bind the requirements like a fresh DPM does, then bench one
+        // full fixed-point propagation.
+        let mut base = scenario.network().clone();
+        for (pid, value) in scenario.initial_bindings() {
+            base.bind(*pid, Value::number(*value)).expect("init in range");
+        }
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut net| {
+                    let out = propagate(&mut net, &PropagationConfig::default());
+                    black_box(out.evaluations)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Builds a chain network `x_0 <= x_1 <= ... <= x_{n-1} <= cap` whose
+/// propagation must walk the whole chain.
+fn chain_network(n: usize) -> ConstraintNetwork {
+    let mut net = ConstraintNetwork::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            net.add_property(Property::new(
+                format!("x{i}"),
+                "chain",
+                Domain::interval(0.0, 1000.0),
+            ))
+            .expect("unique names")
+        })
+        .collect();
+    for w in ids.windows(2) {
+        net.add_constraint("ord", var(w[0]), Relation::Le, var(w[1]))
+            .expect("valid");
+    }
+    net.add_constraint("cap", var(ids[n - 1]), Relation::Le, cst(1.0))
+        .expect("valid");
+    net
+}
+
+fn chain_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagate_chain");
+    for n in [8usize, 32, 128] {
+        let base = chain_network(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut net| {
+                    let out = propagate(&mut net, &PropagationConfig::default());
+                    black_box(out.evaluations)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scenario_networks, chain_scaling);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for end-to-end TeamSim runs: one complete simulation
+//! of each design case in each management mode. The interesting output is
+//! the *relative* cost: an ADPM run executes far fewer operations but pays
+//! for propagation on every one of them (the paper's Fig. 9 trade-off, in
+//! wall-clock form).
+
+use adpm_core::ManagementMode;
+use adpm_teamsim::{run_once, SimulationConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_run");
+    group.sample_size(20);
+    for (name, scenario) in [
+        ("sensing", adpm_scenarios::sensing_system()),
+        ("receiver", adpm_scenarios::wireless_receiver()),
+    ] {
+        for mode in [ManagementMode::Adpm, ManagementMode::Conventional] {
+            let label = format!("{name}/{mode:?}");
+            group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, mode| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let stats = run_once(&scenario, SimulationConfig::for_mode(*mode, seed));
+                    black_box(stats.operations)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn walkthrough_run(c: &mut Criterion) {
+    let scenario = adpm_scenarios::lna_walkthrough();
+    c.bench_function("simulation_run/walkthrough_adpm", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let stats = run_once(&scenario, SimulationConfig::adpm(seed));
+            black_box(stats.operations)
+        })
+    });
+}
+
+criterion_group!(benches, full_runs, walkthrough_run);
+criterion_main!(benches);

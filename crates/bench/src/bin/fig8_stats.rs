@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 8**: TeamSim's design-process statistics window —
+//! the dynamically displayed key statistics (number of constraints, number
+//! of violations, number of constraint evaluations, cumulative design
+//! spins) — as periodic snapshots over a receiver-case run in each mode.
+
+use adpm_core::ManagementMode;
+use adpm_teamsim::report::stats_window;
+use adpm_teamsim::{Simulation, SimulationConfig, StepOutcome};
+
+fn main() {
+    let scenario = adpm_scenarios::wireless_receiver();
+    for mode in [ManagementMode::Adpm, ManagementMode::Conventional] {
+        println!("=== Fig. 8 — statistics window over time ({mode:?} run, receiver) ===\n");
+        let mut sim = Simulation::new(&scenario, SimulationConfig::for_mode(mode, 17));
+        println!("snapshot at start:\n{}", stats_window(&sim));
+        let snapshot_every = 10;
+        loop {
+            match sim.step() {
+                StepOutcome::Executed(_) => {
+                    if sim.operations().is_multiple_of(snapshot_every) {
+                        println!(
+                            "snapshot after {} operations:\n{}",
+                            sim.operations(),
+                            stats_window(&sim)
+                        );
+                    }
+                    if sim.operations() >= sim.config().max_operations {
+                        break;
+                    }
+                }
+                StepOutcome::Complete => break,
+                StepOutcome::Stalled => {
+                    println!("run stalled");
+                    break;
+                }
+            }
+        }
+        println!("final snapshot:\n{}", stats_window(&sim));
+    }
+}

@@ -1,0 +1,41 @@
+//! Extension study: how ADPM's advantage scales with team size and
+//! cross-subsystem coupling, on the synthetic `n`-stage pipeline family
+//! (`adpm_scenarios::pipeline`). The paper motivates ADPM with "ever larger
+//! teams, where multiple subsystems are developed in parallel" — this bench
+//! measures that trend directly.
+
+use adpm_bench::run_both;
+use adpm_scenarios::pipeline;
+
+const SEEDS: u64 = 15;
+
+fn main() {
+    println!("=== Scaling — operations vs number of concurrent subsystems ({SEEDS} seeds) ===\n");
+    println!(
+        "{:>7} {:>10} {:>12} {:>10} {:>10} {:>12} {:>12}",
+        "stages", "designers", "conv ops", "adpm ops", "ratio", "conv spins", "adpm spins"
+    );
+    let mut ratios = Vec::new();
+    for n in [2usize, 3, 4, 5, 6] {
+        let scenario = pipeline(n);
+        let (conventional, adpm) = run_both(&scenario, SEEDS);
+        let ratio = conventional.operations().mean / adpm.operations().mean;
+        println!(
+            "{n:>7} {:>10} {:>12.1} {:>10.1} {:>9.2}x {:>12.1} {:>12.1}",
+            n + 1,
+            conventional.operations().mean,
+            adpm.operations().mean,
+            ratio,
+            conventional.mean_spins(),
+            adpm.mean_spins()
+        );
+        ratios.push(ratio);
+    }
+    println!(
+        "\nADPM's operation advantage at 6 stages vs 2 stages: {:.2}x vs {:.2}x \
+         (advantage grows with team size: {})",
+        ratios[ratios.len() - 1],
+        ratios[0],
+        ratios[ratios.len() - 1] > ratios[0]
+    );
+}

@@ -1,0 +1,52 @@
+//! # adpm-bench
+//!
+//! Benchmark harness regenerating every evaluation figure of *Application
+//! of Constraint-Based Heuristics in Collaborative Design* (DAC 2001).
+//!
+//! One binary per figure (run with `cargo run --release -p adpm-bench
+//! --bin <name>`):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig7_profile` | Fig. 7 (a)/(b): violations and evaluations per operation |
+//! | `fig8_stats` | Fig. 8: design-process statistics window over time |
+//! | `fig9_operations` | Fig. 9 (a): operations to complete, mean ± std, spins |
+//! | `fig9_evaluations` | Fig. 9 (b): constraint evaluations, total and per-op |
+//! | `fig10_tightness` | Fig. 10: operations vs gain-requirement tightness |
+//! | `ablation_heuristics` | ablation of the §2.3 heuristics (design-choice study) |
+//!
+//! Criterion benches (`cargo bench -p adpm-bench`) measure the propagation
+//! engine and end-to-end simulation throughput.
+
+#![warn(missing_docs)]
+
+use adpm_core::ManagementMode;
+use adpm_dddl::CompiledScenario;
+use adpm_teamsim::{run_once, Batch, SimulationConfig};
+
+/// Number of seeded runs per configuration, matching the paper's
+/// "over 60 simulations were executed varying the value of the random seed".
+pub const SEEDS: u64 = 60;
+
+/// Runs `seeds` simulations of `scenario` in `mode` and collects a batch.
+pub fn run_batch(scenario: &CompiledScenario, mode: ManagementMode, seeds: u64) -> Batch {
+    let mut batch = Batch::new();
+    for seed in 0..seeds {
+        batch.push(run_once(scenario, SimulationConfig::for_mode(mode, seed)));
+    }
+    batch
+}
+
+/// Runs both modes over the same seeds.
+pub fn run_both(scenario: &CompiledScenario, seeds: u64) -> (Batch, Batch) {
+    (
+        run_batch(scenario, ManagementMode::Conventional, seeds),
+        run_batch(scenario, ManagementMode::Adpm, seeds),
+    )
+}
+
+/// Formats a simple horizontal ASCII bar.
+pub fn bar(value: f64, scale: f64, ch: char) -> String {
+    let n = ((value * scale).round() as usize).min(60);
+    std::iter::repeat_n(ch, n).collect()
+}

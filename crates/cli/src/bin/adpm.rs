@@ -1,0 +1,20 @@
+//! The `adpm` binary: a thin shell around [`adpm_cli::dispatch`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match adpm_cli::dispatch(&args) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("adpm: {error}");
+            if matches!(error, adpm_cli::CliError::Usage(_)) {
+                eprintln!("\n{}", adpm_cli::USAGE);
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

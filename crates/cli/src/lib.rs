@@ -1,0 +1,641 @@
+//! # adpm-cli
+//!
+//! The `adpm` command-line tool: author a design scenario in DDDL, check
+//! it, simulate it under either management mode, compare the modes, and
+//! explain conflicts — the workflows a team evaluating Active Design
+//! Process Management would run first.
+//!
+//! ```console
+//! $ adpm check my-chip.dddl          # compile + propagate + feasibility report
+//! $ adpm run my-chip.dddl --mode adpm --seed 7
+//! $ adpm compare my-chip.dddl --seeds 30
+//! $ adpm explain my-chip.dddl --bind rx.P-front=150 --bind rx.P-ser=100
+//! $ adpm fmt my-chip.dddl            # normalized pretty-printed DDDL
+//! $ adpm builtin receiver            # print an embedded paper scenario
+//! ```
+//!
+//! Every subcommand is a library function returning the text it would
+//! print, so the whole surface is unit-testable; `src/bin/adpm.rs` is a
+//! thin argument-parsing shell.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use adpm_constraint::{explain_all_violations, propagate, PropagationConfig, Value};
+use adpm_core::{DpmConfig, ManagementMode};
+use adpm_dddl::{compile_source, parse, to_source, CompiledScenario};
+use adpm_teamsim::{run_once, Batch, SimulationConfig};
+use std::fmt::Write as _;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Command-line usage problem (unknown flag, missing argument, ...).
+    Usage(String),
+    /// The scenario file could not be read.
+    Io(std::io::Error),
+    /// The scenario failed to lex/parse/compile.
+    Dddl(adpm_dddl::DddlError),
+    /// A `--bind` value was rejected by the network.
+    Network(adpm_constraint::NetworkError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "cannot read scenario: {e}"),
+            CliError::Dddl(e) => write!(f, "{e}"),
+            CliError::Network(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<adpm_dddl::DddlError> for CliError {
+    fn from(e: adpm_dddl::DddlError) -> Self {
+        CliError::Dddl(e)
+    }
+}
+
+impl From<adpm_constraint::NetworkError> for CliError {
+    fn from(e: adpm_constraint::NetworkError) -> Self {
+        CliError::Network(e)
+    }
+}
+
+/// The usage text printed by `adpm help` (and on usage errors).
+pub const USAGE: &str = "\
+adpm — Active Design Process Management (DAC 2001 reproduction)
+
+USAGE:
+    adpm <command> [options]
+
+COMMANDS:
+    check   <file.dddl>                    compile, propagate, report feasibility
+    run     <file.dddl> [--mode adpm|conventional] [--seed N] [--max-ops N]
+            [--csv]                        simulate one TeamSim run
+                                           (--csv prints the per-operation table)
+    compare <file.dddl> [--seeds N]        both modes over N seeds (default 20)
+    explain <file.dddl> [--bind obj.prop=V ...]
+                                           bind values, propagate, explain conflicts
+    fmt     <file.dddl>                    print normalized DDDL
+    builtin <sensing|receiver|walkthrough> print an embedded paper scenario
+    help                                   this text
+";
+
+/// `adpm check`: compile the scenario, run one propagation over the
+/// initial requirements, and report sizes + per-property feasibility.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unreadable or invalid scenarios.
+pub fn check(source: &str) -> Result<String, CliError> {
+    let scenario = compile_source(source)?;
+    let dpm = scenario.build_dpm(DpmConfig::adpm());
+    let mut net = dpm.network().clone();
+    let outcome = propagate(&mut net, &PropagationConfig::default());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scenario: {} properties, {} constraints, {} problems, {} designers",
+        net.property_count(),
+        net.constraint_count(),
+        dpm.problems().len(),
+        dpm.designers().len()
+    );
+    let cross = net
+        .constraint_ids()
+        .filter(|cid| net.is_cross_object(*cid))
+        .count();
+    let _ = writeln!(out, "cross-subsystem constraints: {cross}");
+    let _ = writeln!(
+        out,
+        "initial propagation: {} evaluations, fixpoint = {}, conflicts = {}",
+        outcome.evaluations,
+        outcome.reached_fixpoint,
+        outcome.conflicts.len()
+    );
+    for cid in &outcome.conflicts {
+        let _ = writeln!(out, "  CONFLICT: {}", net.constraint(*cid));
+    }
+    let _ = writeln!(out, "feasible subspaces after propagation:");
+    for pid in net.property_ids() {
+        let meta = net.property(pid);
+        let marker = if net.feasible(pid).is_empty() {
+            "  EMPTY  "
+        } else if net.is_bound(pid) {
+            "  bound  "
+        } else {
+            "         "
+        };
+        let _ = writeln!(
+            out,
+            "{marker}{:<12}.{:<14} {}",
+            meta.object(),
+            meta.name(),
+            net.feasible(pid)
+        );
+    }
+    if outcome.conflicts.is_empty() && !net.property_ids().any(|p| net.feasible(p).is_empty()) {
+        let _ = writeln!(out, "OK: the scenario is consistent");
+    } else {
+        let _ = writeln!(out, "WARNING: the scenario is over-constrained");
+    }
+    Ok(out)
+}
+
+/// Options for [`run`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Management mode (`λ`).
+    pub mode: ManagementMode,
+    /// Random seed.
+    pub seed: u64,
+    /// Operation cap.
+    pub max_operations: usize,
+    /// Emit the per-operation capture as CSV instead of the summary.
+    pub csv: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            mode: ManagementMode::Adpm,
+            seed: 0,
+            max_operations: 5_000,
+            csv: false,
+        }
+    }
+}
+
+/// `adpm run`: simulate one TeamSim run and report its statistics.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for invalid scenarios.
+pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
+    let scenario = compile_source(source)?;
+    let mut config = SimulationConfig::for_mode(options.mode, options.seed);
+    config.max_operations = options.max_operations;
+    let stats = run_once(&scenario, config);
+    if options.csv {
+        return Ok(adpm_teamsim::report::run_csv(&stats));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mode {:?}, seed {}: completed = {}",
+        options.mode, options.seed, stats.completed
+    );
+    let _ = writeln!(out, "operations:             {}", stats.operations);
+    let _ = writeln!(
+        out,
+        "constraint evaluations: {} ({} during setup)",
+        stats.evaluations, stats.setup_evaluations
+    );
+    let _ = writeln!(out, "design spins:           {}", stats.spins);
+    let _ = writeln!(
+        out,
+        "violations found:       {}",
+        stats.total_violations_found()
+    );
+    let _ = writeln!(out, "operations per designer:");
+    for (designer, ops) in stats.operations_by_designer() {
+        let _ = writeln!(out, "  designer{designer}: {ops}");
+    }
+    Ok(out)
+}
+
+/// `adpm compare`: run both modes over `seeds` seeds and print the Fig. 9
+/// style comparison.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for invalid scenarios.
+pub fn compare(source: &str, seeds: u64) -> Result<String, CliError> {
+    let scenario = compile_source(source)?;
+    let mut conventional = Batch::new();
+    let mut adpm = Batch::new();
+    for seed in 0..seeds {
+        conventional.push(run_once(&scenario, SimulationConfig::conventional(seed)));
+        adpm.push(run_once(&scenario, SimulationConfig::adpm(seed)));
+    }
+    Ok(adpm_teamsim::report::comparison_block(
+        &format!("{seeds}-seed comparison"),
+        &conventional,
+        &adpm,
+    ))
+}
+
+/// `adpm explain`: bind the given `object.property=value` assignments,
+/// propagate, and print an explanation for every violated constraint.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for invalid scenarios, malformed bindings,
+/// unknown properties, or out-of-range values.
+pub fn explain(source: &str, bindings: &[String]) -> Result<String, CliError> {
+    let scenario = compile_source(source)?;
+    let dpm = scenario.build_dpm(DpmConfig::adpm());
+    let mut net = dpm.network().clone();
+    for binding in bindings {
+        let (path, value) = binding.split_once('=').ok_or_else(|| {
+            CliError::Usage(format!("--bind expects obj.prop=value, got `{binding}`"))
+        })?;
+        let (object, property) = path.split_once('.').ok_or_else(|| {
+            CliError::Usage(format!("--bind expects obj.prop=value, got `{binding}`"))
+        })?;
+        let pid = net.property_by_name(object, property).ok_or_else(|| {
+            CliError::Usage(format!("unknown property `{path}`"))
+        })?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| CliError::Usage(format!("`{value}` is not a number")))?;
+        // Re-contextualize network errors with the user's property path —
+        // the network only knows internal ids.
+        net.bind(pid, Value::number(value)).map_err(|e| {
+            CliError::Usage(format!("cannot bind `{path}` to {value}: {e}"))
+        })?;
+    }
+    propagate(&mut net, &PropagationConfig::default());
+    let explanations = explain_all_violations(&net);
+    let mut out = String::new();
+    if explanations.is_empty() {
+        let _ = writeln!(out, "no violations — all constraints hold");
+    } else {
+        for e in explanations {
+            let _ = write!(out, "{e}");
+        }
+    }
+    Ok(out)
+}
+
+/// `adpm fmt`: parse and pretty-print the scenario (normalized DDDL).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unparsable input (the input need not
+/// compile — formatting is purely syntactic).
+pub fn fmt(source: &str) -> Result<String, CliError> {
+    Ok(to_source(&parse(source)?))
+}
+
+/// `adpm builtin`: the embedded source of one of the paper's scenarios.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for an unknown scenario name.
+pub fn builtin(name: &str) -> Result<String, CliError> {
+    match name {
+        "sensing" => Ok(adpm_scenarios::SENSING_DDDL.to_owned()),
+        "receiver" => Ok(adpm_scenarios::receiver_dddl(
+            adpm_scenarios::DEFAULT_GAIN_REQUIREMENT,
+        )),
+        "walkthrough" => Ok(adpm_scenarios::WALKTHROUGH_DDDL.to_owned()),
+        other => Err(CliError::Usage(format!(
+            "unknown builtin `{other}` (expected sensing, receiver, or walkthrough)"
+        ))),
+    }
+}
+
+/// Parses and dispatches a full argument vector (without the program
+/// name). Returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing what went wrong; the binary prints it
+/// to stderr and exits non-zero.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    let command = it.next().map(String::as_str).unwrap_or("help");
+    match command {
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        "builtin" => {
+            let name = it
+                .next()
+                .ok_or_else(|| CliError::Usage("builtin needs a scenario name".into()))?;
+            builtin(name)
+        }
+        "check" | "fmt" | "run" | "compare" | "explain" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("{command} needs a scenario file")))?;
+            let source = std::fs::read_to_string(path)?;
+            let rest: Vec<String> = it.cloned().collect();
+            match command {
+                "check" => check(&source),
+                "fmt" => fmt(&source),
+                "run" => {
+                    let options = parse_run_options(&rest)?;
+                    run(&source, &options)
+                }
+                "compare" => {
+                    let seeds = parse_flag(&rest, "--seeds")?
+                        .map(|s| {
+                            s.parse::<u64>().map_err(|_| {
+                                CliError::Usage(format!("--seeds expects a number, got `{s}`"))
+                            })
+                        })
+                        .transpose()?
+                        .unwrap_or(20);
+                    compare(&source, seeds)
+                }
+                _ => {
+                    let mut bindings = Vec::new();
+                    let mut args = rest.iter();
+                    while let Some(flag) = args.next() {
+                        if flag == "--bind" {
+                            let value = args.next().ok_or_else(|| {
+                                CliError::Usage("--bind needs obj.prop=value".into())
+                            })?;
+                            bindings.push(value.clone());
+                        } else {
+                            return Err(CliError::Usage(format!("unknown flag `{flag}`")));
+                        }
+                    }
+                    explain(&source, &bindings)
+                }
+            }
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}` — try `adpm help`"
+        ))),
+    }
+}
+
+fn parse_flag<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, CliError> {
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == name {
+            out = Some(
+                it.next()
+                    .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))?
+                    .as_str(),
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
+    let mut options = RunOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--mode" => {
+                options.mode = match value(&mut it)?.as_str() {
+                    "adpm" => ManagementMode::Adpm,
+                    "conventional" | "conv" => ManagementMode::Conventional,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--mode expects adpm or conventional, got `{other}`"
+                        )))
+                    }
+                }
+            }
+            "--seed" => {
+                let v = value(&mut it)?;
+                options.seed = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--seed expects a number, got `{v}`")))?;
+            }
+            "--max-ops" => {
+                let v = value(&mut it)?;
+                options.max_operations = v.parse().map_err(|_| {
+                    CliError::Usage(format!("--max-ops expects a number, got `{v}`"))
+                })?;
+            }
+            "--csv" => options.csv = true,
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(options)
+}
+
+/// Compiles a scenario for callers embedding the CLI as a library.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for invalid DDDL.
+pub fn load_scenario(source: &str) -> Result<CompiledScenario, CliError> {
+    Ok(compile_source(source)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+        object rx {
+            property P-front : interval(0, 300);
+            property P-ser : interval(0, 300);
+        }
+        constraint power: rx.P-front + rx.P-ser <= 200;
+        problem top { constraints: power; designer 0; }
+        problem fe under top { outputs: rx.P-front; designer 0; }
+        problem de under top { outputs: rx.P-ser; designer 1; }
+    "#;
+
+    #[test]
+    fn check_reports_sizes_and_consistency() {
+        let out = check(MINI).expect("valid scenario");
+        assert!(out.contains("2 properties"));
+        assert!(out.contains("1 constraints"));
+        assert!(out.contains("OK: the scenario is consistent"));
+    }
+
+    #[test]
+    fn check_flags_overconstrained_scenarios() {
+        let broken = r#"
+            object o { property x : interval(0, 10); }
+            constraint lo: o.x >= 8;
+            constraint hi: o.x <= 2;
+            problem p { outputs: o.x; designer 0; }
+        "#;
+        let out = check(broken).expect("compiles fine");
+        assert!(out.contains("WARNING: the scenario is over-constrained"), "{out}");
+    }
+
+    #[test]
+    fn run_completes_the_mini_scenario_in_both_modes() {
+        for mode in [ManagementMode::Adpm, ManagementMode::Conventional] {
+            let out = run(
+                MINI,
+                &RunOptions {
+                    mode,
+                    seed: 1,
+                    max_operations: 500,
+                    csv: false,
+                },
+            )
+            .expect("valid scenario");
+            assert!(out.contains("completed = true"), "{mode:?}: {out}");
+            assert!(out.contains("operations per designer:"));
+        }
+    }
+
+    #[test]
+    fn run_csv_emits_per_operation_rows() {
+        let out = run(
+            MINI,
+            &RunOptions {
+                csv: true,
+                seed: 1,
+                ..RunOptions::default()
+            },
+        )
+        .expect("valid scenario");
+        assert!(out.starts_with("op,kind,"));
+        assert!(out.lines().count() > 1);
+    }
+
+    #[test]
+    fn compare_prints_ratio_lines() {
+        let out = compare(MINI, 4).expect("valid scenario");
+        assert!(out.contains("operations"));
+        assert!(out.contains("ratio"));
+    }
+
+    #[test]
+    fn explain_reports_no_violations_when_consistent() {
+        let out = explain(MINI, &["rx.P-front=100".into()]).expect("valid");
+        assert!(out.contains("no violations"));
+    }
+
+    #[test]
+    fn explain_explains_violations() {
+        let out = explain(
+            MINI,
+            &["rx.P-front=150".into(), "rx.P-ser=100".into()],
+        )
+        .expect("valid");
+        assert!(out.contains("power is violated"), "{out}");
+        assert!(out.contains("required"), "{out}");
+    }
+
+    #[test]
+    fn explain_rejects_malformed_bindings() {
+        assert!(matches!(
+            explain(MINI, &["nonsense".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            explain(MINI, &["rx.ghost=1".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            explain(MINI, &["rx.P-front=banana".into()]),
+            Err(CliError::Usage(_))
+        ));
+        // Out-of-range values are re-contextualized with the property path.
+        let err = explain(MINI, &["rx.P-front=9999".into()]).unwrap_err();
+        assert!(
+            err.to_string().contains("cannot bind `rx.P-front`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fmt_normalizes_and_reparses() {
+        let out = fmt(MINI).expect("valid");
+        assert!(out.contains("object rx {"));
+        assert!(adpm_dddl::parse(&out).is_ok());
+    }
+
+    #[test]
+    fn builtin_exposes_the_paper_scenarios() {
+        for name in ["sensing", "receiver", "walkthrough"] {
+            let source = builtin(name).expect("known builtin");
+            assert!(adpm_dddl::compile_source(&source).is_ok(), "{name}");
+        }
+        assert!(matches!(builtin("nope"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn dispatch_help_and_unknowns() {
+        let out = dispatch(&["help".into()]).expect("help works");
+        assert!(out.contains("USAGE"));
+        assert!(dispatch(&[]).expect("defaults to help").contains("USAGE"));
+        assert!(matches!(
+            dispatch(&["frobnicate".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&["check".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&["check".into(), "/no/such/file.dddl".into()]),
+            Err(CliError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn dispatch_runs_against_a_real_file() {
+        let dir = std::env::temp_dir().join("adpm-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("mini.dddl");
+        std::fs::write(&path, MINI).expect("write scenario");
+        let path = path.to_string_lossy().to_string();
+        let out = dispatch(&["check".into(), path.clone()]).expect("check works");
+        assert!(out.contains("OK"));
+        let out = dispatch(&[
+            "run".into(),
+            path.clone(),
+            "--mode".into(),
+            "conventional".into(),
+            "--seed".into(),
+            "3".into(),
+        ])
+        .expect("run works");
+        assert!(out.contains("completed = true"));
+        let out = dispatch(&["compare".into(), path.clone(), "--seeds".into(), "3".into()])
+            .expect("compare works");
+        assert!(out.contains("ratio"));
+        let out = dispatch(&[
+            "explain".into(),
+            path,
+            "--bind".into(),
+            "rx.P-front=150".into(),
+            "--bind".into(),
+            "rx.P-ser=100".into(),
+        ])
+        .expect("explain works");
+        assert!(out.contains("violated"));
+    }
+
+    #[test]
+    fn run_option_parsing_errors() {
+        assert!(matches!(
+            parse_run_options(&["--mode".into(), "quantum".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_run_options(&["--seed".into(), "NaN!".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_run_options(&["--wat".into()]),
+            Err(CliError::Usage(_))
+        ));
+        let options =
+            parse_run_options(&["--seed".into(), "9".into(), "--max-ops".into(), "10".into()])
+                .expect("valid options");
+        assert_eq!(options.seed, 9);
+        assert_eq!(options.max_operations, 10);
+    }
+}

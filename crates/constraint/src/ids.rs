@@ -1,0 +1,128 @@
+//! Typed identifiers for properties and constraints.
+//!
+//! Networks hand out dense, copyable ids so that the rest of the system can
+//! reference design properties and constraints without borrowing the network.
+
+use std::fmt;
+
+/// Identifier of a design property (a variable `a_i` in the paper).
+///
+/// Ids are dense indexes handed out by
+/// [`ConstraintNetwork::add_property`](crate::ConstraintNetwork::add_property)
+/// and are only meaningful for the network that created them.
+///
+/// # Examples
+///
+/// ```
+/// use adpm_constraint::PropertyId;
+/// let p = PropertyId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PropertyId(u32);
+
+impl PropertyId {
+    /// Creates a property id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        PropertyId(index)
+    }
+
+    /// Returns the raw index as a `usize`, suitable for vector indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PropertyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<PropertyId> for usize {
+    fn from(id: PropertyId) -> usize {
+        id.index()
+    }
+}
+
+/// Identifier of a design constraint (`c_i` in the paper).
+///
+/// # Examples
+///
+/// ```
+/// use adpm_constraint::ConstraintId;
+/// let c = ConstraintId::new(7);
+/// assert_eq!(c.index(), 7);
+/// assert_eq!(c.to_string(), "c7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstraintId(u32);
+
+impl ConstraintId {
+    /// Creates a constraint id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        ConstraintId(index)
+    }
+
+    /// Returns the raw index as a `usize`, suitable for vector indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ConstraintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<ConstraintId> for usize {
+    fn from(id: ConstraintId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn property_id_round_trips_index() {
+        for i in [0, 1, 42, u32::MAX] {
+            assert_eq!(PropertyId::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn constraint_id_round_trips_index() {
+        for i in [0, 1, 42, u32::MAX] {
+            assert_eq!(ConstraintId::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(PropertyId::new(1) < PropertyId::new(2));
+        assert!(ConstraintId::new(0) < ConstraintId::new(9));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<PropertyId> = (0..10).map(PropertyId::new).collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(PropertyId::new(0).to_string(), "p0");
+        assert_eq!(ConstraintId::new(12).to_string(), "c12");
+    }
+
+    #[test]
+    fn usize_conversion_matches_index() {
+        assert_eq!(usize::from(PropertyId::new(5)), 5);
+        assert_eq!(usize::from(ConstraintId::new(5)), 5);
+    }
+}

@@ -1,0 +1,814 @@
+//! The network of constraints `C_n` and its properties.
+//!
+//! A [`ConstraintNetwork`] owns the design's properties (with their initial
+//! ranges `E_i`, current assignments, and feasible subspaces `v_F(a_i)`),
+//! the constraints relating them, and the last computed status of every
+//! constraint. It is the data structure the paper's Design Constraint
+//! Manager evaluates and the Design Process Manager labels states with.
+
+use crate::constraint::{Constraint, ConstraintStatus, Relation};
+use crate::domain::Domain;
+use crate::error::NetworkError;
+use crate::expr::Expr;
+use crate::ids::{ConstraintId, PropertyId};
+use crate::interval::Interval;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Static description of a design property.
+///
+/// # Examples
+///
+/// ```
+/// use adpm_constraint::{Property, Domain};
+/// let freq_ind = Property::new("Freq-ind", "LNA+Mixer", Domain::interval(0.0, 0.5))
+///     .with_units("µH")
+///     .with_abstraction_levels(["Transistor", "Geometry"]);
+/// assert_eq!(freq_ind.name(), "Freq-ind");
+/// assert_eq!(freq_ind.units(), Some("µH"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Property {
+    name: String,
+    object: String,
+    units: Option<String>,
+    abstraction_levels: Vec<String>,
+    initial: Domain,
+}
+
+impl Property {
+    /// Creates a property named `name` on design object `object` with the
+    /// initial value range `initial` (the paper's `E_i`).
+    pub fn new(name: impl Into<String>, object: impl Into<String>, initial: Domain) -> Self {
+        Property {
+            name: name.into(),
+            object: object.into(),
+            units: None,
+            abstraction_levels: Vec::new(),
+            initial,
+        }
+    }
+
+    /// Attaches a unit label (for display only; values are unit-free).
+    pub fn with_units(mut self, units: impl Into<String>) -> Self {
+        self.units = Some(units.into());
+        self
+    }
+
+    /// Attaches the abstraction levels shown in the paper's object browser.
+    pub fn with_abstraction_levels<S: Into<String>>(
+        mut self,
+        levels: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.abstraction_levels = levels.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Property name, unique within its design object.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Owning design object, e.g. `LNA+Mixer`.
+    pub fn object(&self) -> &str {
+        &self.object
+    }
+
+    /// Unit label, if any.
+    pub fn units(&self) -> Option<&str> {
+        self.units.as_deref()
+    }
+
+    /// Abstraction levels, if declared.
+    pub fn abstraction_levels(&self) -> &[String] {
+        &self.abstraction_levels
+    }
+
+    /// The initial value range `E_i`.
+    pub fn initial_domain(&self) -> &Domain {
+        &self.initial
+    }
+}
+
+/// Which way to move a property's value to help satisfy a constraint.
+///
+/// This encodes the paper's constraint monotonicity (footnote in §3.1.1):
+/// a constraint is *monotonic in `a_i`* if moving `a_i`'s value in a given
+/// direction helps satisfy the requirement the constraint implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HelpsDirection {
+    /// Increasing the property's value helps satisfy the constraint.
+    Up,
+    /// Decreasing the property's value helps satisfy the constraint.
+    Down,
+}
+
+impl HelpsDirection {
+    /// The opposite direction.
+    pub fn opposite(self) -> HelpsDirection {
+        match self {
+            HelpsDirection::Up => HelpsDirection::Down,
+            HelpsDirection::Down => HelpsDirection::Up,
+        }
+    }
+
+    /// The signed step multiplier (`+1.0` for up, `-1.0` for down).
+    pub fn sign(self) -> f64 {
+        match self {
+            HelpsDirection::Up => 1.0,
+            HelpsDirection::Down => -1.0,
+        }
+    }
+}
+
+impl fmt::Display for HelpsDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HelpsDirection::Up => f.write_str("increasing"),
+            HelpsDirection::Down => f.write_str("decreasing"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PropertyState {
+    meta: Property,
+    assignment: Option<Value>,
+    feasible: Domain,
+}
+
+/// The network of design constraints and properties.
+///
+/// # Examples
+///
+/// ```
+/// use adpm_constraint::{ConstraintNetwork, Property, Domain, Relation, Value,
+///                       expr::{var, cst}};
+/// # fn main() -> Result<(), adpm_constraint::NetworkError> {
+/// let mut net = ConstraintNetwork::new();
+/// let pf = net.add_property(Property::new("P-front", "rx", Domain::interval(0.0, 300.0)))?;
+/// let ps = net.add_property(Property::new("P-ser", "rx", Domain::interval(0.0, 300.0)))?;
+/// net.add_constraint("power", var(pf) + var(ps), Relation::Le, cst(200.0))?;
+/// net.bind(pf, Value::number(150.0))?;
+/// net.evaluate_statuses();
+/// assert_eq!(net.violated_constraints().len(), 0); // P-ser may still be <= 50
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintNetwork {
+    properties: Vec<PropertyState>,
+    constraints: Vec<Constraint>,
+    statuses: Vec<ConstraintStatus>,
+    prop_constraints: Vec<Vec<ConstraintId>>,
+    declared_monotonic: HashMap<(ConstraintId, PropertyId), HelpsDirection>,
+    name_index: HashMap<(String, String), PropertyId>,
+}
+
+impl ConstraintNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of properties.
+    pub fn property_count(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds a property; its feasible subspace starts at the full `E_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::DuplicateProperty`] if a property with the
+    /// same name already exists on the same design object.
+    pub fn add_property(&mut self, meta: Property) -> Result<PropertyId, NetworkError> {
+        let key = (meta.object.clone(), meta.name.clone());
+        if self.name_index.contains_key(&key) {
+            return Err(NetworkError::DuplicateProperty(format!(
+                "{}.{}",
+                meta.object, meta.name
+            )));
+        }
+        let id = PropertyId::new(self.properties.len() as u32);
+        let feasible = meta.initial.clone();
+        self.properties.push(PropertyState {
+            meta,
+            assignment: None,
+            feasible,
+        });
+        self.prop_constraints.push(Vec::new());
+        self.name_index.insert(key, id);
+        Ok(id)
+    }
+
+    /// Adds a constraint `lhs rel rhs` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::DanglingReference`] if an argument id is
+    /// unknown, or [`NetworkError::NonNumericArgument`] if an argument's
+    /// domain is symbolic (text/bool) — such properties cannot appear in
+    /// arithmetic relations.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        lhs: Expr,
+        rel: Relation,
+        rhs: Expr,
+    ) -> Result<ConstraintId, NetworkError> {
+        let id = ConstraintId::new(self.constraints.len() as u32);
+        let constraint = Constraint::new(id, name, lhs, rel, rhs);
+        for arg in constraint.argument_slice() {
+            let state = self
+                .properties
+                .get(arg.index())
+                .ok_or(NetworkError::DanglingReference {
+                    constraint: constraint.name().to_owned(),
+                    property: *arg,
+                })?;
+            if !state.meta.initial.is_numeric() {
+                return Err(NetworkError::NonNumericArgument {
+                    constraint: constraint.name().to_owned(),
+                    property: *arg,
+                });
+            }
+        }
+        for arg in constraint.argument_slice() {
+            self.prop_constraints[arg.index()].push(id);
+        }
+        self.constraints.push(constraint);
+        self.statuses.push(ConstraintStatus::Consistent);
+        Ok(id)
+    }
+
+    /// Declares that constraint `cid` is monotonic in `pid`: moving the
+    /// property's value in `dir` helps satisfy the constraint. Mirrors the
+    /// DDDL `monotonic increasing/decreasing` declaration from the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either id is unknown.
+    pub fn declare_monotonic(
+        &mut self,
+        cid: ConstraintId,
+        pid: PropertyId,
+        dir: HelpsDirection,
+    ) -> Result<(), NetworkError> {
+        if cid.index() >= self.constraints.len() {
+            return Err(NetworkError::UnknownConstraint(cid));
+        }
+        if pid.index() >= self.properties.len() {
+            return Err(NetworkError::UnknownProperty(pid));
+        }
+        self.declared_monotonic.insert((cid, pid), dir);
+        Ok(())
+    }
+
+    /// The declared monotonic direction for `(cid, pid)`, if any.
+    pub fn declared_monotonic(&self, cid: ConstraintId, pid: PropertyId) -> Option<HelpsDirection> {
+        self.declared_monotonic.get(&(cid, pid)).copied()
+    }
+
+    /// Metadata of a property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn property(&self, id: PropertyId) -> &Property {
+        &self.properties[id.index()].meta
+    }
+
+    /// Looks up a property by `(object, name)`.
+    pub fn property_by_name(&self, object: &str, name: &str) -> Option<PropertyId> {
+        self.name_index
+            .get(&(object.to_owned(), name.to_owned()))
+            .copied()
+    }
+
+    /// Iterates over all property ids.
+    pub fn property_ids(&self) -> impl Iterator<Item = PropertyId> + '_ {
+        (0..self.properties.len() as u32).map(PropertyId::new)
+    }
+
+    /// Iterates over all constraint ids.
+    pub fn constraint_ids(&self) -> impl Iterator<Item = ConstraintId> + '_ {
+        (0..self.constraints.len() as u32).map(ConstraintId::new)
+    }
+
+    /// A constraint by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn constraint(&self, id: ConstraintId) -> &Constraint {
+        &self.constraints[id.index()]
+    }
+
+    /// The constraints where property `id` appears (the basis of `β_i`).
+    pub fn constraints_of(&self, id: PropertyId) -> &[ConstraintId] {
+        &self.prop_constraints[id.index()]
+    }
+
+    /// The paper's `β_i`: number of constraints where `id` appears.
+    pub fn beta(&self, id: PropertyId) -> usize {
+        self.prop_constraints[id.index()].len()
+    }
+
+    /// The §2.3.2 extension of `β_i`: the number of constraints related to
+    /// `id` directly **or through intermediate constraints**, up to `depth`
+    /// hops in the property–constraint bipartite graph. `depth == 1` equals
+    /// [`beta`](Self::beta); each further hop adds the constraints sharing
+    /// a property with one already counted. The paper proposes exactly this
+    /// extension: "β_i may also include constraints indirectly related to
+    /// a_i by an intermediate constraint".
+    pub fn beta_extended(&self, id: PropertyId, depth: usize) -> usize {
+        if depth == 0 {
+            return 0;
+        }
+        let mut seen_constraints: std::collections::BTreeSet<ConstraintId> =
+            self.prop_constraints[id.index()].iter().copied().collect();
+        let mut frontier: Vec<ConstraintId> = seen_constraints.iter().copied().collect();
+        for _ in 1..depth {
+            let mut next = Vec::new();
+            for cid in frontier.drain(..) {
+                for arg in self.constraints[cid.index()].argument_slice() {
+                    for dep in &self.prop_constraints[arg.index()] {
+                        if seen_constraints.insert(*dep) {
+                            next.push(*dep);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        seen_constraints.len()
+    }
+
+    /// The paper's `α_i`: number of *violated* constraints where `id`
+    /// appears (Eq. 3). Reflects the statuses from the last
+    /// [`evaluate_statuses`](Self::evaluate_statuses) call.
+    pub fn alpha(&self, id: PropertyId) -> usize {
+        self.prop_constraints[id.index()]
+            .iter()
+            .filter(|cid| self.statuses[cid.index()].is_violated())
+            .count()
+    }
+
+    /// Current assignment of a property, if bound.
+    pub fn assignment(&self, id: PropertyId) -> Option<&Value> {
+        self.properties[id.index()].assignment.as_ref()
+    }
+
+    /// Whether the property is bound to a single value.
+    pub fn is_bound(&self, id: PropertyId) -> bool {
+        self.properties[id.index()].assignment.is_some()
+    }
+
+    /// Binds a property to a value.
+    ///
+    /// The value must lie in the *initial* range `E_i` — a designer may pick
+    /// a value that later turns out infeasible (that is exactly how
+    /// conflicts arise), but not one outside the declared range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::ValueOutsideDomain`] or
+    /// [`NetworkError::KindMismatch`].
+    pub fn bind(&mut self, id: PropertyId, value: Value) -> Result<(), NetworkError> {
+        let state = self
+            .properties
+            .get_mut(id.index())
+            .ok_or(NetworkError::UnknownProperty(id))?;
+        let kind_ok = matches!(
+            (&state.meta.initial, &value),
+            (Domain::Interval(_), Value::Number(_))
+                | (Domain::NumberSet(_), Value::Number(_))
+                | (Domain::TextSet(_), Value::Text(_))
+                | (Domain::Bool { .. }, Value::Bool(_))
+        );
+        if !kind_ok {
+            return Err(NetworkError::KindMismatch {
+                property: id,
+                value_kind: value.kind(),
+            });
+        }
+        if !state.meta.initial.contains(&value) {
+            return Err(NetworkError::ValueOutsideDomain {
+                property: id,
+                value,
+            });
+        }
+        state.assignment = Some(value);
+        Ok(())
+    }
+
+    /// Removes a property's assignment (backtracking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownProperty`] for a foreign id.
+    pub fn unbind(&mut self, id: PropertyId) -> Result<(), NetworkError> {
+        let state = self
+            .properties
+            .get_mut(id.index())
+            .ok_or(NetworkError::UnknownProperty(id))?;
+        state.assignment = None;
+        Ok(())
+    }
+
+    /// The feasible subspace `v_F(a_i)` as last computed by propagation
+    /// (initially the full `E_i`).
+    pub fn feasible(&self, id: PropertyId) -> &Domain {
+        &self.properties[id.index()].feasible
+    }
+
+    /// Overwrites a property's feasible subspace (used by the propagator).
+    pub(crate) fn set_feasible(&mut self, id: PropertyId, domain: Domain) {
+        self.properties[id.index()].feasible = domain;
+    }
+
+    /// Resets every feasible subspace back to the initial `E_i`.
+    /// The propagator calls this before a fresh fixed-point run.
+    pub fn reset_feasible(&mut self) {
+        for state in &mut self.properties {
+            state.feasible = state.meta.initial.clone();
+        }
+    }
+
+    /// The interval a constraint evaluation should use for this property:
+    /// the bound value as a singleton, otherwise the feasible range.
+    ///
+    /// Symbolic properties (never constraint arguments) return
+    /// [`Interval::UNIVERSE`].
+    pub fn effective_interval(&self, id: PropertyId) -> Interval {
+        let state = &self.properties[id.index()];
+        if let Some(Value::Number(x)) = &state.assignment {
+            return Interval::singleton(*x);
+        }
+        state
+            .feasible
+            .enclosing_interval()
+            .unwrap_or(Interval::UNIVERSE)
+    }
+
+    /// Like [`effective_interval`](Self::effective_interval) but using the
+    /// *initial* range for unbound properties — the conventional flow's
+    /// view, where no feasibility information exists.
+    pub fn initial_interval(&self, id: PropertyId) -> Interval {
+        let state = &self.properties[id.index()];
+        if let Some(Value::Number(x)) = &state.assignment {
+            return Interval::singleton(*x);
+        }
+        state
+            .meta
+            .initial
+            .enclosing_interval()
+            .unwrap_or(Interval::UNIVERSE)
+    }
+
+    /// Recomputes the status of every constraint against the effective
+    /// ranges and returns the number of constraint evaluations performed.
+    pub fn evaluate_statuses(&mut self) -> usize {
+        let lookup = |id: PropertyId| self.effective_interval(id);
+        let statuses: Vec<ConstraintStatus> =
+            self.constraints.iter().map(|c| c.status(&lookup)).collect();
+        self.statuses = statuses;
+        self.constraints.len()
+    }
+
+    /// Recomputes the status of a single constraint (counts as one
+    /// evaluation) and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cid` does not belong to this network.
+    pub fn evaluate_constraint(&mut self, cid: ConstraintId) -> ConstraintStatus {
+        let lookup = |id: PropertyId| self.effective_interval(id);
+        let status = self.constraints[cid.index()].status(&lookup);
+        self.statuses[cid.index()] = status;
+        status
+    }
+
+    /// The last computed status of a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cid` does not belong to this network.
+    pub fn status(&self, cid: ConstraintId) -> ConstraintStatus {
+        self.statuses[cid.index()]
+    }
+
+    /// Directly overwrites a stored status (used by the conventional flow,
+    /// which learns statuses only from explicit verification runs).
+    pub fn set_status(&mut self, cid: ConstraintId, status: ConstraintStatus) {
+        self.statuses[cid.index()] = status;
+    }
+
+    /// Ids of all constraints currently recorded as violated.
+    pub fn violated_constraints(&self) -> Vec<ConstraintId> {
+        self.constraint_ids()
+            .filter(|cid| self.statuses[cid.index()].is_violated())
+            .collect()
+    }
+
+    /// Whether every constraint is currently satisfied.
+    pub fn all_satisfied(&self) -> bool {
+        self.statuses.iter().all(|s| s.is_satisfied())
+    }
+
+    /// Whether any constraint is currently violated.
+    pub fn any_violated(&self) -> bool {
+        self.statuses.iter().any(|s| s.is_violated())
+    }
+
+    /// Point-checks a constraint on the current assignments (a verification
+    /// "tool run"). Unbound numeric arguments take their initial-range
+    /// midpoint — verification operators in the paper run only once their
+    /// inputs are bound, so callers should gate on
+    /// [`all_arguments_bound`](Self::all_arguments_bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cid` does not belong to this network.
+    pub fn check_constraint_point(&self, cid: ConstraintId) -> bool {
+        let lookup = |id: PropertyId| {
+            if let Some(Value::Number(x)) = self.assignment(id) {
+                *x
+            } else {
+                let iv = self.initial_interval(id);
+                if iv.is_bounded() {
+                    iv.midpoint()
+                } else {
+                    0.0
+                }
+            }
+        };
+        self.constraints[cid.index()].check_point(&lookup)
+    }
+
+    /// Whether all numeric arguments of `cid` are bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cid` does not belong to this network.
+    pub fn all_arguments_bound(&self, cid: ConstraintId) -> bool {
+        self.constraints[cid.index()]
+            .argument_slice()
+            .iter()
+            .all(|pid| self.is_bound(*pid))
+    }
+
+    /// Whether the arguments of `cid` span more than one design object —
+    /// such constraints are the source of the paper's *design spins*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cid` does not belong to this network.
+    pub fn is_cross_object(&self, cid: ConstraintId) -> bool {
+        let args = self.constraints[cid.index()].argument_slice();
+        let mut first: Option<&str> = None;
+        for pid in args {
+            let obj = self.properties[pid.index()].meta.object.as_str();
+            match first {
+                None => first = Some(obj),
+                Some(f) if f != obj => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{cst, var};
+
+    fn simple_net() -> (ConstraintNetwork, PropertyId, PropertyId, ConstraintId) {
+        let mut net = ConstraintNetwork::new();
+        let a = net
+            .add_property(Property::new("a", "obj1", Domain::interval(0.0, 10.0)))
+            .unwrap();
+        let b = net
+            .add_property(Property::new("b", "obj2", Domain::interval(0.0, 10.0)))
+            .unwrap();
+        let c = net
+            .add_constraint("sum", var(a) + var(b), Relation::Le, cst(12.0))
+            .unwrap();
+        (net, a, b, c)
+    }
+
+    #[test]
+    fn add_property_rejects_duplicates_per_object() {
+        let mut net = ConstraintNetwork::new();
+        net.add_property(Property::new("w", "lna", Domain::interval(0.0, 1.0)))
+            .unwrap();
+        // Same name on another object is fine.
+        net.add_property(Property::new("w", "mixer", Domain::interval(0.0, 1.0)))
+            .unwrap();
+        let err = net
+            .add_property(Property::new("w", "lna", Domain::interval(0.0, 1.0)))
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::DuplicateProperty(_)));
+    }
+
+    #[test]
+    fn add_constraint_rejects_dangling_and_symbolic_references() {
+        let mut net = ConstraintNetwork::new();
+        let a = net
+            .add_property(Property::new("a", "o", Domain::interval(0.0, 1.0)))
+            .unwrap();
+        let ghost = PropertyId::new(99);
+        let err = net
+            .add_constraint("bad", var(a) + var(ghost), Relation::Le, cst(1.0))
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::DanglingReference { .. }));
+
+        let t = net
+            .add_property(Property::new("level", "o", Domain::text_set(["x", "y"])))
+            .unwrap();
+        let err = net
+            .add_constraint("bad2", var(t), Relation::Le, cst(1.0))
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::NonNumericArgument { .. }));
+        // The failed constraints must not have left partial adjacency.
+        assert_eq!(net.beta(a), 0);
+        assert_eq!(net.constraint_count(), 0);
+    }
+
+    #[test]
+    fn bind_validates_kind_and_range() {
+        let (mut net, a, _, _) = simple_net();
+        assert!(net.bind(a, Value::number(5.0)).is_ok());
+        assert_eq!(net.assignment(a), Some(&Value::number(5.0)));
+        let err = net.bind(a, Value::number(11.0)).unwrap_err();
+        assert!(matches!(err, NetworkError::ValueOutsideDomain { .. }));
+        let err = net.bind(a, Value::text("five")).unwrap_err();
+        assert!(matches!(err, NetworkError::KindMismatch { .. }));
+        net.unbind(a).unwrap();
+        assert!(!net.is_bound(a));
+    }
+
+    #[test]
+    fn effective_interval_reflects_binding_and_feasible() {
+        let (mut net, a, b, _) = simple_net();
+        assert_eq!(net.effective_interval(a), Interval::new(0.0, 10.0));
+        net.bind(a, Value::number(3.0)).unwrap();
+        assert_eq!(net.effective_interval(a), Interval::singleton(3.0));
+        net.set_feasible(b, Domain::interval(1.0, 2.0));
+        assert_eq!(net.effective_interval(b), Interval::new(1.0, 2.0));
+        // The conventional view ignores feasible information.
+        assert_eq!(net.initial_interval(b), Interval::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn evaluate_statuses_counts_and_classifies() {
+        let (mut net, a, b, c) = simple_net();
+        let evals = net.evaluate_statuses();
+        assert_eq!(evals, 1);
+        // a + b in [0, 20] vs 12: some combos hold.
+        assert_eq!(net.status(c), ConstraintStatus::Consistent);
+        net.bind(a, Value::number(10.0)).unwrap();
+        net.bind(b, Value::number(10.0)).unwrap();
+        net.evaluate_statuses();
+        assert_eq!(net.status(c), ConstraintStatus::Violated);
+        assert!(net.any_violated());
+        assert_eq!(net.violated_constraints(), vec![c]);
+        net.bind(b, Value::number(1.0)).unwrap();
+        net.evaluate_statuses();
+        assert!(net.all_satisfied());
+    }
+
+    #[test]
+    fn alpha_and_beta_counts() {
+        let mut net = ConstraintNetwork::new();
+        let a = net
+            .add_property(Property::new("a", "o", Domain::interval(0.0, 10.0)))
+            .unwrap();
+        let b = net
+            .add_property(Property::new("b", "o", Domain::interval(0.0, 10.0)))
+            .unwrap();
+        let c1 = net
+            .add_constraint("c1", var(a) + var(b), Relation::Le, cst(5.0))
+            .unwrap();
+        let _c2 = net
+            .add_constraint("c2", var(a), Relation::Ge, cst(1.0))
+            .unwrap();
+        let c3 = net
+            .add_constraint("c3", var(b), Relation::Le, cst(3.0))
+            .unwrap();
+        assert_eq!(net.beta(a), 2);
+        assert_eq!(net.beta(b), 2);
+        net.bind(a, Value::number(4.0)).unwrap();
+        net.bind(b, Value::number(4.0)).unwrap();
+        net.evaluate_statuses();
+        // c1 violated (8 > 5), c2 satisfied, c3 violated (4 > 3).
+        assert_eq!(net.status(c1), ConstraintStatus::Violated);
+        assert_eq!(net.status(c3), ConstraintStatus::Violated);
+        assert_eq!(net.alpha(a), 1);
+        assert_eq!(net.alpha(b), 2);
+    }
+
+    #[test]
+    fn beta_extended_counts_transitive_constraints() {
+        let mut net = ConstraintNetwork::new();
+        let ids: Vec<PropertyId> = (0..4)
+            .map(|i| {
+                net.add_property(Property::new(format!("x{i}"), "o", Domain::interval(0.0, 1.0)))
+                    .unwrap()
+            })
+            .collect();
+        // Chain: c0(x0,x1), c1(x1,x2), c2(x2,x3).
+        for w in ids.windows(2) {
+            net.add_constraint("ord", var(w[0]), Relation::Le, var(w[1]))
+                .unwrap();
+        }
+        assert_eq!(net.beta_extended(ids[0], 0), 0);
+        assert_eq!(net.beta_extended(ids[0], 1), net.beta(ids[0]));
+        assert_eq!(net.beta_extended(ids[0], 1), 1); // c0
+        assert_eq!(net.beta_extended(ids[0], 2), 2); // + c1 via x1
+        assert_eq!(net.beta_extended(ids[0], 3), 3); // + c2 via x2
+        assert_eq!(net.beta_extended(ids[0], 9), 3); // saturates
+        // Middle property reaches everything in two hops.
+        assert_eq!(net.beta_extended(ids[1], 1), 2);
+        assert_eq!(net.beta_extended(ids[1], 2), 3);
+    }
+
+    #[test]
+    fn point_check_and_argument_binding() {
+        let (mut net, a, b, c) = simple_net();
+        assert!(!net.all_arguments_bound(c));
+        net.bind(a, Value::number(10.0)).unwrap();
+        net.bind(b, Value::number(10.0)).unwrap();
+        assert!(net.all_arguments_bound(c));
+        assert!(!net.check_constraint_point(c));
+        net.bind(b, Value::number(1.0)).unwrap();
+        assert!(net.check_constraint_point(c));
+    }
+
+    #[test]
+    fn cross_object_detection() {
+        let (mut net, a, _, c) = simple_net();
+        assert!(net.is_cross_object(c)); // spans obj1 and obj2
+        let c2 = net
+            .add_constraint("local", var(a), Relation::Le, cst(9.0))
+            .unwrap();
+        assert!(!net.is_cross_object(c2));
+    }
+
+    #[test]
+    fn reset_feasible_restores_initial() {
+        let (mut net, a, _, _) = simple_net();
+        net.set_feasible(a, Domain::interval(4.0, 5.0));
+        assert_eq!(net.feasible(a), &Domain::interval(4.0, 5.0));
+        net.reset_feasible();
+        assert_eq!(net.feasible(a), &Domain::interval(0.0, 10.0));
+    }
+
+    #[test]
+    fn declared_monotonicity_round_trips() {
+        let (mut net, a, _, c) = simple_net();
+        net.declare_monotonic(c, a, HelpsDirection::Down).unwrap();
+        assert_eq!(net.declared_monotonic(c, a), Some(HelpsDirection::Down));
+        assert_eq!(net.declared_monotonic(c, PropertyId::new(1)), None);
+        assert!(net
+            .declare_monotonic(ConstraintId::new(9), a, HelpsDirection::Up)
+            .is_err());
+        assert!(net
+            .declare_monotonic(c, PropertyId::new(9), HelpsDirection::Up)
+            .is_err());
+    }
+
+    #[test]
+    fn property_lookup_by_name() {
+        let (net, a, b, _) = simple_net();
+        assert_eq!(net.property_by_name("obj1", "a"), Some(a));
+        assert_eq!(net.property_by_name("obj2", "b"), Some(b));
+        assert_eq!(net.property_by_name("obj1", "b"), None);
+    }
+
+    #[test]
+    fn helps_direction_helpers() {
+        assert_eq!(HelpsDirection::Up.opposite(), HelpsDirection::Down);
+        assert_eq!(HelpsDirection::Up.sign(), 1.0);
+        assert_eq!(HelpsDirection::Down.sign(), -1.0);
+        assert_eq!(HelpsDirection::Up.to_string(), "increasing");
+    }
+
+    #[test]
+    fn set_status_overrides_for_conventional_flow() {
+        let (mut net, _, _, c) = simple_net();
+        net.set_status(c, ConstraintStatus::Violated);
+        assert!(net.status(c).is_violated());
+    }
+}

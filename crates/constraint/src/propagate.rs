@@ -1,0 +1,741 @@
+//! Constraint propagation: the Design Constraint Manager's algorithm.
+//!
+//! ADPM's DCM "runs a constraint propagation algorithm to compute infeasible
+//! property values and the status of all constraints" (paper §2.2). This
+//! module implements that algorithm as HC4-revise (forward interval
+//! evaluation of each constraint's expression tree followed by backward
+//! projection of the relation onto every argument) inside an AC-3-style
+//! worklist that re-queues a constraint whenever one of its arguments
+//! narrows.
+//!
+//! Every HC4 revision of one constraint counts as one **constraint
+//! evaluation** — the unit the paper uses as a proxy for verification-tool
+//! runs — so [`PropagationOutcome::evaluations`] is directly comparable to
+//! the conventional flow's explicit verification counts.
+//!
+//! The worst case is polynomial in the number of constraints and properties
+//! (each queue pass can narrow a domain by at least the configured minimum
+//! fraction), matching the complexity remark in the paper's §3.2.
+
+use crate::constraint::{Constraint, Relation, EQ_TOL};
+use crate::domain::Domain;
+use crate::expr::Expr;
+use crate::ids::{ConstraintId, PropertyId};
+use crate::interval::Interval;
+use crate::network::ConstraintNetwork;
+use std::collections::{HashMap, VecDeque};
+
+/// Tuning knobs for the propagation fixed point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropagationConfig {
+    /// Hard cap on HC4 revisions per run (guards pathological networks).
+    pub max_evaluations: usize,
+    /// Minimum relative width reduction for a narrowing to count (and
+    /// trigger re-queuing of dependent constraints).
+    pub min_relative_narrowing: f64,
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        PropagationConfig {
+            max_evaluations: 10_000,
+            min_relative_narrowing: 1e-6,
+        }
+    }
+}
+
+/// Result of one propagation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PropagationOutcome {
+    /// Number of constraint evaluations performed (HC4 revisions plus the
+    /// final status sweep) — the paper's tool-run proxy.
+    pub evaluations: usize,
+    /// Properties whose feasible subspace was narrowed below its initial
+    /// range. These are exactly the "reduction of a property's feasible
+    /// subspace" events the Notification Manager reports.
+    pub narrowed: Vec<PropertyId>,
+    /// Constraints found unsatisfiable over the current box.
+    pub conflicts: Vec<ConstraintId>,
+    /// False only if `max_evaluations` stopped the run early.
+    pub reached_fixpoint: bool,
+}
+
+/// Result of revising a single constraint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReviseResult {
+    /// Per-argument narrowed intervals (already intersected with the
+    /// argument's input interval).
+    pub narrowed: Vec<(PropertyId, Interval)>,
+    /// The constraint cannot be satisfied anywhere in the current box.
+    pub conflict: bool,
+}
+
+/// Runs constraint propagation to a fixed point, narrowing every unbound
+/// property's feasible subspace and refreshing all constraint statuses.
+///
+/// Feasible subspaces are recomputed from scratch (starting at `E_i`, or at
+/// the bound value for bound properties) so that un-binding or re-binding a
+/// property never leaves stale narrowings behind.
+///
+/// # Examples
+///
+/// ```
+/// use adpm_constraint::{ConstraintNetwork, Property, Domain, Relation,
+///                       propagate, PropagationConfig, expr::{var, cst}};
+/// # fn main() -> Result<(), adpm_constraint::NetworkError> {
+/// let mut net = ConstraintNetwork::new();
+/// let x = net.add_property(Property::new("x", "o", Domain::interval(0.0, 10.0)))?;
+/// net.add_constraint("cap", var(x), Relation::Le, cst(4.0))?;
+/// let outcome = propagate(&mut net, &PropagationConfig::default());
+/// assert!(outcome.reached_fixpoint);
+/// assert_eq!(net.feasible(x), &Domain::interval(0.0, 4.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn propagate(net: &mut ConstraintNetwork, config: &PropagationConfig) -> PropagationOutcome {
+    let mut outcome = PropagationOutcome {
+        reached_fixpoint: true,
+        ..PropagationOutcome::default()
+    };
+
+    // Start from scratch: initial ranges, bound values pinned.
+    net.reset_feasible();
+    let prop_ids: Vec<PropertyId> = net.property_ids().collect();
+    for pid in &prop_ids {
+        if let Some(value) = net.assignment(*pid).cloned() {
+            net.set_feasible(*pid, Domain::singleton(&value));
+        }
+    }
+
+    let mut queue: VecDeque<ConstraintId> = net.constraint_ids().collect();
+    let mut in_queue = vec![true; net.constraint_count()];
+    let mut conflicted = vec![false; net.constraint_count()];
+
+    while let Some(cid) = queue.pop_front() {
+        in_queue[cid.index()] = false;
+        if outcome.evaluations >= config.max_evaluations {
+            outcome.reached_fixpoint = false;
+            break;
+        }
+        outcome.evaluations += 1;
+
+        let revise = {
+            let lookup = |pid: PropertyId| net.effective_interval(pid);
+            hc4_revise(net.constraint(cid), &lookup)
+        };
+        if revise.conflict {
+            if !conflicted[cid.index()] {
+                conflicted[cid.index()] = true;
+                outcome.conflicts.push(cid);
+            }
+            continue;
+        }
+        for (pid, narrowed_iv) in revise.narrowed {
+            if net.is_bound(pid) {
+                continue; // bound properties stay pinned to their value
+            }
+            let old = net.feasible(pid).clone();
+            let new = old.narrow_to_interval(&narrowed_iv);
+            if significant_narrowing(&old, &new, config.min_relative_narrowing) {
+                net.set_feasible(pid, new);
+                for dep in net.constraints_of(pid).to_vec() {
+                    if !in_queue[dep.index()] {
+                        in_queue[dep.index()] = true;
+                        queue.push_back(dep);
+                    }
+                }
+            }
+        }
+    }
+
+    // Final status sweep over the narrowed box.
+    outcome.evaluations += net.evaluate_statuses();
+
+    outcome.narrowed = prop_ids
+        .into_iter()
+        .filter(|pid| {
+            !net.is_bound(*pid)
+                && net.feasible(*pid).relative_size(net.property(*pid).initial_domain()) < 1.0
+        })
+        .collect();
+    outcome
+}
+
+/// Relative tolerance for "near-touch" intersections: when two intervals
+/// miss each other by no more than this (relative) amount, the intersection
+/// snaps to the nearest boundary point instead of reporting a conflict.
+/// Floating-point slop along a projection chain is orders of magnitude
+/// smaller; genuine conflicts are orders of magnitude larger.
+const TOUCH_EPS: f64 = 1e-9;
+
+/// Intersection that forgives floating-point slop: an exact-empty result
+/// whose inputs miss by at most [`TOUCH_EPS`] (relative) becomes the
+/// single touching point.
+fn tolerant_intersect(a: &Interval, b: &Interval) -> Interval {
+    let met = a.intersect(b);
+    if !met.is_empty() || a.is_empty() || b.is_empty() {
+        return met;
+    }
+    let scale = |x: f64, y: f64| TOUCH_EPS * (1.0 + x.abs().max(y.abs()));
+    if b.lo() > a.hi() && b.lo() - a.hi() <= scale(b.lo(), a.hi()) {
+        return Interval::singleton(a.hi());
+    }
+    if a.lo() > b.hi() && a.lo() - b.hi() <= scale(a.lo(), b.hi()) {
+        return Interval::singleton(b.hi());
+    }
+    met
+}
+
+fn significant_narrowing(old: &Domain, new: &Domain, min_relative: f64) -> bool {
+    if new.is_empty() && !old.is_empty() {
+        return true;
+    }
+    let (old_m, new_m) = (old.measure(), new.measure());
+    old_m - new_m > min_relative * (1.0 + old_m)
+}
+
+/// One HC4 revision of a single constraint against the given argument
+/// intervals: forward interval evaluation, then backward projection of the
+/// relation's target interval onto every argument occurrence.
+pub fn hc4_revise<F: Fn(PropertyId) -> Interval>(
+    constraint: &Constraint,
+    lookup: &F,
+) -> ReviseResult {
+    let lhs_node = forward(constraint.lhs(), lookup);
+    let rhs_node = forward(constraint.rhs(), lookup);
+    let (lhs_iv, rhs_iv) = (lhs_node.interval, rhs_node.interval);
+    if lhs_iv.is_empty() || rhs_iv.is_empty() {
+        return ReviseResult {
+            narrowed: Vec::new(),
+            conflict: true,
+        };
+    }
+
+    let gap_target = match constraint.relation() {
+        Relation::Le | Relation::Lt => Interval::NON_POSITIVE,
+        Relation::Ge | Relation::Gt => Interval::NON_NEGATIVE,
+        Relation::Eq => Interval::new(-EQ_TOL, EQ_TOL),
+    };
+    // Treat the relation as the virtual node `lhs - rhs ∈ gap_target`.
+    let gap = lhs_iv - rhs_iv;
+    let gap = tolerant_intersect(&gap, &gap_target);
+    if gap.is_empty() {
+        return ReviseResult {
+            narrowed: Vec::new(),
+            conflict: true,
+        };
+    }
+    let lhs_target = (gap + rhs_iv).intersect(&lhs_iv);
+    let rhs_target = (lhs_iv - gap).intersect(&rhs_iv);
+
+    let mut narrowed: HashMap<PropertyId, Interval> = HashMap::new();
+    let mut conflict = false;
+    backward(
+        constraint.lhs(),
+        &lhs_node,
+        lhs_target,
+        &mut narrowed,
+        &mut conflict,
+    );
+    backward(
+        constraint.rhs(),
+        &rhs_node,
+        rhs_target,
+        &mut narrowed,
+        &mut conflict,
+    );
+
+    let mut narrowed: Vec<(PropertyId, Interval)> = narrowed.into_iter().collect();
+    narrowed.sort_by_key(|(pid, _)| *pid);
+    if narrowed.iter().any(|(_, iv)| iv.is_empty()) {
+        conflict = true;
+    }
+    ReviseResult {
+        narrowed: if conflict { Vec::new() } else { narrowed },
+        conflict,
+    }
+}
+
+/// Forward-annotated expression tree: each node carries the interval of its
+/// subexpression over the input box.
+struct Node {
+    interval: Interval,
+    children: Vec<Node>,
+}
+
+fn forward<F: Fn(PropertyId) -> Interval>(expr: &Expr, lookup: &F) -> Node {
+    match expr {
+        Expr::Const(x) => Node {
+            interval: Interval::singleton(*x),
+            children: Vec::new(),
+        },
+        Expr::Var(id) => Node {
+            interval: lookup(*id),
+            children: Vec::new(),
+        },
+        Expr::Neg(e) | Expr::Abs(e) | Expr::Sqrt(e) | Expr::Exp(e) | Expr::Ln(e) => {
+            let child = forward(e, lookup);
+            let interval = match expr {
+                Expr::Neg(_) => child.interval.neg(),
+                Expr::Abs(_) => child.interval.abs(),
+                Expr::Sqrt(_) => child.interval.sqrt(),
+                Expr::Exp(_) => child.interval.exp(),
+                Expr::Ln(_) => child.interval.ln(),
+                _ => unreachable!(),
+            };
+            Node {
+                interval,
+                children: vec![child],
+            }
+        }
+        Expr::Powi(e, n) => {
+            let child = forward(e, lookup);
+            Node {
+                interval: child.interval.powi(*n),
+                children: vec![child],
+            }
+        }
+        Expr::Add(a, b)
+        | Expr::Sub(a, b)
+        | Expr::Mul(a, b)
+        | Expr::Div(a, b)
+        | Expr::Min(a, b)
+        | Expr::Max(a, b) => {
+            let ca = forward(a, lookup);
+            let cb = forward(b, lookup);
+            let interval = match expr {
+                Expr::Add(_, _) => ca.interval + cb.interval,
+                Expr::Sub(_, _) => ca.interval - cb.interval,
+                Expr::Mul(_, _) => ca.interval * cb.interval,
+                Expr::Div(_, _) => ca.interval / cb.interval,
+                Expr::Min(_, _) => ca.interval.min(&cb.interval),
+                Expr::Max(_, _) => ca.interval.max(&cb.interval),
+                _ => unreachable!(),
+            };
+            Node {
+                interval,
+                children: vec![ca, cb],
+            }
+        }
+    }
+}
+
+/// Backward projection: given that this node's value must lie in `target`,
+/// narrow every variable occurrence underneath it.
+fn backward(
+    expr: &Expr,
+    node: &Node,
+    target: Interval,
+    narrowed: &mut HashMap<PropertyId, Interval>,
+    conflict: &mut bool,
+) {
+    let t = tolerant_intersect(&node.interval, &target);
+    if t.is_empty() {
+        *conflict = true;
+        return;
+    }
+    match expr {
+        Expr::Const(_) => {}
+        Expr::Var(id) => {
+            let entry = narrowed.entry(*id).or_insert(node.interval);
+            *entry = tolerant_intersect(entry, &t);
+            if entry.is_empty() {
+                *conflict = true;
+            }
+        }
+        Expr::Neg(e) => backward(e, &node.children[0], t.neg(), narrowed, conflict),
+        Expr::Abs(e) => {
+            let tt = t.intersect(&Interval::NON_NEGATIVE);
+            if tt.is_empty() {
+                *conflict = true;
+                return;
+            }
+            let child_target = tt.hull(&tt.neg());
+            backward(e, &node.children[0], child_target, narrowed, conflict);
+        }
+        Expr::Sqrt(e) => {
+            let tt = t.intersect(&Interval::NON_NEGATIVE);
+            if tt.is_empty() {
+                *conflict = true;
+                return;
+            }
+            backward(e, &node.children[0], tt.powi(2), narrowed, conflict);
+        }
+        Expr::Exp(e) => {
+            let tt = t.intersect(&Interval::new(0.0, f64::INFINITY));
+            if tt.is_empty() {
+                *conflict = true;
+                return;
+            }
+            backward(e, &node.children[0], tt.ln(), narrowed, conflict);
+        }
+        Expr::Ln(e) => backward(e, &node.children[0], t.exp(), narrowed, conflict),
+        Expr::Powi(e, n) => {
+            if *n == 0 {
+                if !t.contains(1.0) {
+                    *conflict = true;
+                }
+                return;
+            }
+            let child_target = if *n % 2 == 1 {
+                Interval::new(signed_root(t.lo(), *n), signed_root(t.hi(), *n))
+            } else {
+                let tt = t.intersect(&Interval::NON_NEGATIVE);
+                if tt.is_empty() {
+                    *conflict = true;
+                    return;
+                }
+                let r = Interval::new(root_even(tt.lo(), *n), root_even(tt.hi(), *n));
+                r.hull(&r.neg())
+            };
+            backward(e, &node.children[0], child_target, narrowed, conflict);
+        }
+        Expr::Add(a, b) => {
+            let (ia, ib) = (node.children[0].interval, node.children[1].interval);
+            backward(a, &node.children[0], t - ib, narrowed, conflict);
+            backward(b, &node.children[1], t - ia, narrowed, conflict);
+        }
+        Expr::Sub(a, b) => {
+            let (ia, ib) = (node.children[0].interval, node.children[1].interval);
+            backward(a, &node.children[0], t + ib, narrowed, conflict);
+            backward(b, &node.children[1], ia - t, narrowed, conflict);
+        }
+        Expr::Mul(a, b) => {
+            let (ia, ib) = (node.children[0].interval, node.children[1].interval);
+            backward(a, &node.children[0], t / ib, narrowed, conflict);
+            backward(b, &node.children[1], t / ia, narrowed, conflict);
+        }
+        Expr::Div(a, b) => {
+            let (ia, ib) = (node.children[0].interval, node.children[1].interval);
+            backward(a, &node.children[0], t * ib, narrowed, conflict);
+            backward(b, &node.children[1], ia / t, narrowed, conflict);
+        }
+        Expr::Min(a, b) => {
+            let (ia, ib) = (node.children[0].interval, node.children[1].interval);
+            let mut ta = Interval::new(t.lo(), f64::INFINITY);
+            if ib.lo() > t.hi() {
+                // b cannot supply the minimum, so a must.
+                ta = ta.intersect(&Interval::new(f64::NEG_INFINITY, t.hi()));
+            }
+            let mut tb = Interval::new(t.lo(), f64::INFINITY);
+            if ia.lo() > t.hi() {
+                tb = tb.intersect(&Interval::new(f64::NEG_INFINITY, t.hi()));
+            }
+            backward(a, &node.children[0], ta, narrowed, conflict);
+            backward(b, &node.children[1], tb, narrowed, conflict);
+        }
+        Expr::Max(a, b) => {
+            let (ia, ib) = (node.children[0].interval, node.children[1].interval);
+            let mut ta = Interval::new(f64::NEG_INFINITY, t.hi());
+            if ib.hi() < t.lo() {
+                ta = ta.intersect(&Interval::new(t.lo(), f64::INFINITY));
+            }
+            let mut tb = Interval::new(f64::NEG_INFINITY, t.hi());
+            if ia.hi() < t.lo() {
+                tb = tb.intersect(&Interval::new(t.lo(), f64::INFINITY));
+            }
+            backward(a, &node.children[0], ta, narrowed, conflict);
+            backward(b, &node.children[1], tb, narrowed, conflict);
+        }
+    }
+}
+
+fn signed_root(x: f64, n: i32) -> f64 {
+    if x.is_infinite() {
+        return x;
+    }
+    x.signum() * x.abs().powf(1.0 / n as f64)
+}
+
+fn root_even(x: f64, n: i32) -> f64 {
+    if x.is_infinite() {
+        return f64::INFINITY;
+    }
+    x.max(0.0).powf(1.0 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintStatus;
+    use crate::expr::{cst, var};
+    use crate::network::Property;
+    use crate::value::Value;
+
+    fn net_with(
+        domains: &[(f64, f64)],
+    ) -> (ConstraintNetwork, Vec<PropertyId>) {
+        let mut net = ConstraintNetwork::new();
+        let ids = domains
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, hi))| {
+                net.add_property(Property::new(
+                    format!("x{i}"),
+                    "obj",
+                    Domain::interval(*lo, *hi),
+                ))
+                .unwrap()
+            })
+            .collect();
+        (net, ids)
+    }
+
+    #[test]
+    fn upper_bound_constraint_narrows_domain() {
+        let (mut net, ids) = net_with(&[(0.0, 10.0)]);
+        net.add_constraint("cap", var(ids[0]), Relation::Le, cst(4.0))
+            .unwrap();
+        let out = propagate(&mut net, &PropagationConfig::default());
+        assert!(out.reached_fixpoint);
+        assert!(out.conflicts.is_empty());
+        assert_eq!(net.feasible(ids[0]), &Domain::interval(0.0, 4.0));
+        assert_eq!(out.narrowed, vec![ids[0]]);
+        assert!(out.evaluations >= 2); // at least one revise + status sweep
+    }
+
+    #[test]
+    fn sum_constraint_narrows_both_sides() {
+        // x + y <= 5 with x in [0,10], y in [3,10]:
+        // x <= 2, y stays [3,5].
+        let (mut net, ids) = net_with(&[(0.0, 10.0), (3.0, 10.0)]);
+        net.add_constraint("sum", var(ids[0]) + var(ids[1]), Relation::Le, cst(5.0))
+            .unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        assert_eq!(net.feasible(ids[0]), &Domain::interval(0.0, 2.0));
+        assert_eq!(net.feasible(ids[1]), &Domain::interval(3.0, 5.0));
+    }
+
+    #[test]
+    fn binding_pins_value_and_narrows_neighbours() {
+        // The paper's receiver power budget: P_f + P_s <= 200 with
+        // P_f bound to 150 narrows P_s to [0, 50].
+        let (mut net, ids) = net_with(&[(0.0, 300.0), (0.0, 300.0)]);
+        net.add_constraint("power", var(ids[0]) + var(ids[1]), Relation::Le, cst(200.0))
+            .unwrap();
+        net.bind(ids[0], Value::number(150.0)).unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        assert_eq!(net.feasible(ids[0]), &Domain::interval(150.0, 150.0));
+        assert_eq!(net.feasible(ids[1]), &Domain::interval(0.0, 50.0));
+    }
+
+    #[test]
+    fn chained_constraints_reach_fixpoint_across_constraints() {
+        // x <= y, y <= z, z <= 3, all in [0,10]: everything collapses to <= 3.
+        let (mut net, ids) = net_with(&[(0.0, 10.0), (0.0, 10.0), (0.0, 10.0)]);
+        net.add_constraint("xy", var(ids[0]), Relation::Le, var(ids[1]))
+            .unwrap();
+        net.add_constraint("yz", var(ids[1]), Relation::Le, var(ids[2]))
+            .unwrap();
+        net.add_constraint("z3", var(ids[2]), Relation::Le, cst(3.0))
+            .unwrap();
+        let out = propagate(&mut net, &PropagationConfig::default());
+        assert!(out.reached_fixpoint);
+        for pid in &ids {
+            assert_eq!(net.feasible(*pid), &Domain::interval(0.0, 3.0));
+        }
+    }
+
+    #[test]
+    fn ge_constraint_raises_lower_bound() {
+        let (mut net, ids) = net_with(&[(0.0, 100.0)]);
+        net.add_constraint("gain", var(ids[0]), Relation::Ge, cst(48.0))
+            .unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        assert_eq!(net.feasible(ids[0]), &Domain::interval(48.0, 100.0));
+    }
+
+    #[test]
+    fn eq_constraint_pins_to_tolerance_band() {
+        let (mut net, ids) = net_with(&[(0.0, 100.0)]);
+        net.add_constraint("match", var(ids[0]), Relation::Eq, cst(50.0))
+            .unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        let d = net.feasible(ids[0]);
+        let iv = d.enclosing_interval().unwrap();
+        assert!(iv.contains(50.0));
+        assert!(iv.width() <= 2.0 * EQ_TOL + 1e-12);
+    }
+
+    #[test]
+    fn multiplication_projection() {
+        // x * y >= 8 with x in [1,2] forces y >= 4.
+        let (mut net, ids) = net_with(&[(1.0, 2.0), (0.0, 100.0)]);
+        net.add_constraint("prod", var(ids[0]) * var(ids[1]), Relation::Ge, cst(8.0))
+            .unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        let y = net.feasible(ids[1]).enclosing_interval().unwrap();
+        assert!((y.lo() - 4.0).abs() < 1e-9, "y = {y}");
+    }
+
+    #[test]
+    fn division_projection() {
+        // x / y <= 2 with x in [8,10], y in [1,100] forces y >= 4.
+        let (mut net, ids) = net_with(&[(8.0, 10.0), (1.0, 100.0)]);
+        net.add_constraint("ratio", var(ids[0]) / var(ids[1]), Relation::Le, cst(2.0))
+            .unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        let y = net.feasible(ids[1]).enclosing_interval().unwrap();
+        assert!(y.lo() >= 4.0 - 1e-9, "y = {y}");
+    }
+
+    #[test]
+    fn square_projection_keeps_both_branches() {
+        // x^2 <= 4 over [-10, 10] narrows to [-2, 2].
+        let (mut net, ids) = net_with(&[(-10.0, 10.0)]);
+        net.add_constraint("sq", var(ids[0]).powi(2), Relation::Le, cst(4.0))
+            .unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        assert_eq!(net.feasible(ids[0]), &Domain::interval(-2.0, 2.0));
+    }
+
+    #[test]
+    fn sqrt_projection() {
+        // sqrt(x) >= 3 narrows x to [9, 100].
+        let (mut net, ids) = net_with(&[(0.0, 100.0)]);
+        net.add_constraint("s", var(ids[0]).sqrt(), Relation::Ge, cst(3.0))
+            .unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        let x = net.feasible(ids[0]).enclosing_interval().unwrap();
+        assert!((x.lo() - 9.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn conflict_is_reported_not_cascaded() {
+        // x >= 8 and x <= 2 cannot both hold; the run flags a conflict but
+        // leaves the other property untouched.
+        let (mut net, ids) = net_with(&[(0.0, 10.0), (0.0, 10.0)]);
+        net.add_constraint("lo", var(ids[0]), Relation::Ge, cst(8.0))
+            .unwrap();
+        net.add_constraint("hi", var(ids[0]), Relation::Le, cst(2.0))
+            .unwrap();
+        let out = propagate(&mut net, &PropagationConfig::default());
+        assert!(!out.conflicts.is_empty());
+        assert_eq!(net.feasible(ids[1]), &Domain::interval(0.0, 10.0));
+    }
+
+    #[test]
+    fn violated_binding_marks_conflicts_and_status() {
+        let (mut net, ids) = net_with(&[(0.0, 10.0)]);
+        let c = net
+            .add_constraint("cap", var(ids[0]), Relation::Le, cst(4.0))
+            .unwrap();
+        net.bind(ids[0], Value::number(9.0)).unwrap();
+        let out = propagate(&mut net, &PropagationConfig::default());
+        assert_eq!(out.conflicts, vec![c]);
+        assert_eq!(net.status(c), ConstraintStatus::Violated);
+    }
+
+    #[test]
+    fn discrete_number_set_is_filtered() {
+        let mut net = ConstraintNetwork::new();
+        let x = net
+            .add_property(Property::new(
+                "beams",
+                "filter",
+                Domain::number_set([1.0, 2.0, 4.0, 8.0]),
+            ))
+            .unwrap();
+        net.add_constraint("cap", var(x), Relation::Le, cst(5.0))
+            .unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        assert_eq!(net.feasible(x), &Domain::NumberSet(vec![1.0, 2.0, 4.0]));
+    }
+
+    #[test]
+    fn evaluation_cap_stops_early() {
+        let (mut net, ids) = net_with(&[(0.0, 10.0), (0.0, 10.0)]);
+        net.add_constraint("sum", var(ids[0]) + var(ids[1]), Relation::Le, cst(5.0))
+            .unwrap();
+        let out = propagate(
+            &mut net,
+            &PropagationConfig {
+                max_evaluations: 0,
+                ..PropagationConfig::default()
+            },
+        );
+        assert!(!out.reached_fixpoint);
+    }
+
+    #[test]
+    fn repropagation_after_unbind_restores_width() {
+        let (mut net, ids) = net_with(&[(0.0, 300.0), (0.0, 300.0)]);
+        net.add_constraint("power", var(ids[0]) + var(ids[1]), Relation::Le, cst(200.0))
+            .unwrap();
+        net.bind(ids[0], Value::number(150.0)).unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        assert_eq!(net.feasible(ids[1]), &Domain::interval(0.0, 50.0));
+        net.unbind(ids[0]).unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        // With P_f free again, P_s relaxes back to [0, 200].
+        assert_eq!(net.feasible(ids[1]), &Domain::interval(0.0, 200.0));
+    }
+
+    #[test]
+    fn hc4_revise_reports_narrowed_arguments() {
+        let c = Constraint::new(
+            ConstraintId::new(0),
+            "cap",
+            var(PropertyId::new(0)) + var(PropertyId::new(1)),
+            Relation::Le,
+            cst(5.0),
+        );
+        let lookup = |pid: PropertyId| {
+            if pid.index() == 0 {
+                Interval::new(0.0, 10.0)
+            } else {
+                Interval::new(3.0, 10.0)
+            }
+        };
+        let r = hc4_revise(&c, &lookup);
+        assert!(!r.conflict);
+        let x0 = r
+            .narrowed
+            .iter()
+            .find(|(p, _)| p.index() == 0)
+            .map(|(_, iv)| *iv)
+            .unwrap();
+        assert!((x0.hi() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hc4_revise_conflict_on_impossible_relation() {
+        let c = Constraint::new(
+            ConstraintId::new(0),
+            "impossible",
+            var(PropertyId::new(0)),
+            Relation::Ge,
+            cst(100.0),
+        );
+        let r = hc4_revise(&c, &|_| Interval::new(0.0, 1.0));
+        assert!(r.conflict);
+        assert!(r.narrowed.is_empty());
+    }
+
+    #[test]
+    fn min_max_projections() {
+        // max(x, 3) <= 4 forces x <= 4; min(x, 3) >= 2 forces x >= 2.
+        let (mut net, ids) = net_with(&[(0.0, 10.0), (0.0, 10.0)]);
+        net.add_constraint("mx", var(ids[0]).max(cst(3.0)), Relation::Le, cst(4.0))
+            .unwrap();
+        net.add_constraint("mn", var(ids[1]).min(cst(3.0)), Relation::Ge, cst(2.0))
+            .unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        let x = net.feasible(ids[0]).enclosing_interval().unwrap();
+        let y = net.feasible(ids[1]).enclosing_interval().unwrap();
+        assert!(x.hi() <= 4.0 + 1e-9);
+        assert!(y.lo() >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn statuses_after_propagation_use_narrowed_box() {
+        // After narrowing, x <= 4 becomes formally Satisfied (not just
+        // Consistent) because the whole feasible box satisfies it.
+        let (mut net, ids) = net_with(&[(0.0, 10.0)]);
+        let c = net
+            .add_constraint("cap", var(ids[0]), Relation::Le, cst(4.0))
+            .unwrap();
+        propagate(&mut net, &PropagationConfig::default());
+        assert_eq!(net.status(c), ConstraintStatus::Satisfied);
+    }
+}

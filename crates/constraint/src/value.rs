@@ -1,0 +1,190 @@
+//! Design property values.
+//!
+//! The paper allows property values to be "numbers, strings, tuples, or
+//! complex descriptions". This crate supports numeric, textual, and boolean
+//! values; tuples are modelled as several scalar properties on the same
+//! design object, which is how the paper's own examples (beam length,
+//! differential-pair width, ...) are structured.
+
+use std::fmt;
+
+/// Tolerance used when comparing floating-point property values.
+pub const VALUE_EPS: f64 = 1e-9;
+
+/// A single value bound to a design property.
+///
+/// # Examples
+///
+/// ```
+/// use adpm_constraint::Value;
+/// let width = Value::number(2.5);
+/// assert!(width.approx_eq(&Value::number(2.5 + 1e-12)));
+/// assert_eq!(width.to_string(), "2.5");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A real number (dimensioned quantities carry units on the property).
+    Number(f64),
+    /// A textual value, e.g. an abstraction level or technology name.
+    Text(String),
+    /// A boolean flag, e.g. "uses external reference".
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for a numeric value.
+    pub fn number(x: f64) -> Self {
+        Value::Number(x)
+    }
+
+    /// Convenience constructor for a textual value.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Returns the numeric payload, if this is a [`Value::Number`].
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the textual payload, if this is a [`Value::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compares two values, treating numbers within [`VALUE_EPS`] as equal.
+    ///
+    /// Exact equality (`==`) is still available through `PartialEq`, but
+    /// simulation code should prefer this method when checking whether a
+    /// designer re-assigned the same value.
+    pub fn approx_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Number(a), Value::Number(b)) => {
+                (a - b).abs() <= VALUE_EPS * (1.0 + a.abs().max(b.abs()))
+            }
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// A short name for the value's kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Number(_) => "number",
+            Value::Text(_) => "text",
+            Value::Bool(_) => "bool",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Number(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_payload_for_matching_kind() {
+        assert_eq!(Value::number(1.5).as_number(), Some(1.5));
+        assert_eq!(Value::text("geom").as_text(), Some("geom"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn accessors_return_none_for_mismatched_kind() {
+        assert_eq!(Value::text("x").as_number(), None);
+        assert_eq!(Value::number(0.0).as_text(), None);
+        assert_eq!(Value::number(0.0).as_bool(), None);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_tiny_numeric_noise() {
+        let a = Value::number(100.0);
+        let b = Value::number(100.0 + 1e-8);
+        assert!(a.approx_eq(&b));
+        assert!(!a.approx_eq(&Value::number(100.1)));
+    }
+
+    #[test]
+    fn approx_eq_is_exact_for_text_and_bool() {
+        assert!(Value::text("a").approx_eq(&Value::text("a")));
+        assert!(!Value::text("a").approx_eq(&Value::text("b")));
+        assert!(Value::from(false).approx_eq(&Value::from(false)));
+        assert!(!Value::from(false).approx_eq(&Value::from(true)));
+    }
+
+    #[test]
+    fn approx_eq_is_false_across_kinds() {
+        assert!(!Value::number(1.0).approx_eq(&Value::text("1")));
+        assert!(!Value::from(true).approx_eq(&Value::number(1.0)));
+    }
+
+    #[test]
+    fn from_conversions_produce_expected_variants() {
+        assert_eq!(Value::from(2.0), Value::Number(2.0));
+        assert_eq!(Value::from("hi"), Value::Text("hi".into()));
+        assert_eq!(Value::from(String::from("hi")), Value::Text("hi".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn display_formats_payload() {
+        assert_eq!(Value::number(0.5).to_string(), "0.5");
+        assert_eq!(Value::text("Transistor").to_string(), "Transistor");
+        assert_eq!(Value::from(true).to_string(), "true");
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(Value::number(0.0).kind(), "number");
+        assert_eq!(Value::text("").kind(), "text");
+        assert_eq!(Value::from(false).kind(), "bool");
+    }
+}

@@ -1,0 +1,859 @@
+//! The Design Process Manager and ADPM's transition model (paper Fig. 1).
+//!
+//! [`DesignProcessManager::execute`] implements the next-state function
+//! `s_{n+1} = δ(s_n, θ_n)`:
+//!
+//! 1. the requested operator is applied to its problem;
+//! 2. **ADPM mode** (`λ = T`): the Design Constraint Manager runs constraint
+//!    propagation, feasible subspaces and statuses are refreshed, the
+//!    heuristic support data of §2.3 is mined, and the Notification Manager
+//!    routes violation/feasibility events to the affected designers;
+//! 3. **conventional mode** (`λ = F`): no propagation — constraint statuses
+//!    change only through explicit verification operations, and changing a
+//!    value invalidates earlier verification results for the constraints it
+//!    touches (they fall back to *Consistent*, i.e. unknown);
+//! 4. problem statuses are recomputed bottom-up and the operation is
+//!    recorded in the design history together with its evaluation count,
+//!    violation delta, and spin flag.
+//!
+//! A **design spin** is an executed operation that reacts to at least one
+//! violation involving properties from multiple subsystems — the costly
+//! "integration iteration" the paper's evaluation counts.
+
+use crate::events::{Event, Notification, NotificationManager};
+use crate::ids::{DesignerId, ProblemId};
+use crate::operation::{Operation, OperationRecord, Operator};
+use crate::problem::{ProblemSet, ProblemStatus};
+use adpm_constraint::{
+    propagate, ConstraintId, ConstraintNetwork, ConstraintStatus, HeuristicReport, NetworkError,
+    PropagationConfig, PropertyId,
+};
+use std::collections::{BTreeSet, HashMap};
+
+/// The paper's `λ` flag: which transition model the DPM uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ManagementMode {
+    /// Conventional flow: statuses known only through verification runs.
+    Conventional,
+    /// Active Design Process Management: DCM propagation + NM after every
+    /// operation.
+    Adpm,
+}
+
+impl ManagementMode {
+    /// Whether this is [`ManagementMode::Adpm`].
+    pub fn is_adpm(self) -> bool {
+        self == ManagementMode::Adpm
+    }
+}
+
+/// Configuration of the design process manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpmConfig {
+    /// Transition model selector (`λ`).
+    pub mode: ManagementMode,
+    /// Propagation settings used in ADPM mode.
+    pub propagation: PropagationConfig,
+}
+
+impl DpmConfig {
+    /// ADPM-mode configuration with default propagation settings.
+    pub fn adpm() -> Self {
+        DpmConfig {
+            mode: ManagementMode::Adpm,
+            propagation: PropagationConfig::default(),
+        }
+    }
+
+    /// Conventional-mode configuration.
+    pub fn conventional() -> Self {
+        DpmConfig {
+            mode: ManagementMode::Conventional,
+            propagation: PropagationConfig::default(),
+        }
+    }
+}
+
+/// The design process manager: owns the design state (problem hierarchy +
+/// constraint network), executes operations, and maintains the history.
+///
+/// # Examples
+///
+/// ```
+/// use adpm_core::{DesignProcessManager, DpmConfig, Operation, DesignerId};
+/// use adpm_constraint::{ConstraintNetwork, Property, Domain, Relation, Value,
+///                       expr::{var, cst}};
+/// # fn main() -> Result<(), adpm_constraint::NetworkError> {
+/// let mut net = ConstraintNetwork::new();
+/// let x = net.add_property(Property::new("x", "o", Domain::interval(0.0, 10.0)))?;
+/// net.add_constraint("cap", var(x), Relation::Le, cst(4.0))?;
+///
+/// let mut dpm = DesignProcessManager::new(net, DpmConfig::adpm());
+/// let d = dpm.add_designer();
+/// let top = dpm.problems_mut().add_root("top");
+/// *dpm.problems_mut().problem_mut(top) = dpm.problems().problem(top)
+///     .clone().with_outputs([x]).with_assignee(d);
+///
+/// let record = dpm.execute(Operation::assign(d, top, x, Value::number(3.0)))?;
+/// assert_eq!(record.violations_after, 0);
+/// assert!(dpm.design_complete());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignProcessManager {
+    network: ConstraintNetwork,
+    problems: ProblemSet,
+    config: DpmConfig,
+    nm: NotificationManager,
+    designers: Vec<DesignerId>,
+    history: Vec<OperationRecord>,
+    heuristics: Option<HeuristicReport>,
+    pending: HashMap<DesignerId, Vec<Event>>,
+    known_violations: BTreeSet<ConstraintId>,
+    prev_snapshot: BTreeSet<ConstraintId>,
+    event_buffer: Vec<Event>,
+    total_evaluations: usize,
+    spins: usize,
+}
+
+impl DesignProcessManager {
+    /// Creates a DPM over an initial constraint network.
+    pub fn new(network: ConstraintNetwork, config: DpmConfig) -> Self {
+        DesignProcessManager {
+            network,
+            problems: ProblemSet::new(),
+            config,
+            nm: NotificationManager::new(),
+            designers: Vec::new(),
+            history: Vec::new(),
+            heuristics: None,
+            pending: HashMap::new(),
+            known_violations: BTreeSet::new(),
+            prev_snapshot: BTreeSet::new(),
+            event_buffer: Vec::new(),
+            total_evaluations: 0,
+            spins: 0,
+        }
+    }
+
+    /// Registers a new designer and returns their id.
+    pub fn add_designer(&mut self) -> DesignerId {
+        let id = DesignerId::new(self.designers.len() as u32);
+        self.designers.push(id);
+        id
+    }
+
+    /// All registered designers.
+    pub fn designers(&self) -> &[DesignerId] {
+        &self.designers
+    }
+
+    /// The management mode (`λ`).
+    pub fn mode(&self) -> ManagementMode {
+        self.config.mode
+    }
+
+    /// The constraint network (current design state).
+    pub fn network(&self) -> &ConstraintNetwork {
+        &self.network
+    }
+
+    /// The problem hierarchy.
+    pub fn problems(&self) -> &ProblemSet {
+        &self.problems
+    }
+
+    /// Mutable access to the problem hierarchy (scenario setup).
+    pub fn problems_mut(&mut self) -> &mut ProblemSet {
+        &mut self.problems
+    }
+
+    /// The heuristic support data mined after the last ADPM transition.
+    /// `None` in conventional mode — that is precisely the information
+    /// conventional designers do not get.
+    pub fn heuristics(&self) -> Option<&HeuristicReport> {
+        self.heuristics.as_ref()
+    }
+
+    /// The design history so far (one record per executed operation).
+    pub fn history(&self) -> &[OperationRecord] {
+        &self.history
+    }
+
+    /// Total constraint evaluations across the whole history.
+    pub fn total_evaluations(&self) -> usize {
+        self.total_evaluations
+    }
+
+    /// Total spins (operations reacting to cross-subsystem violations).
+    pub fn spins(&self) -> usize {
+        self.spins
+    }
+
+    /// Constraints currently *known* to be violated (by propagation in ADPM
+    /// mode, by the latest verification results conventionally).
+    pub fn known_violations(&self) -> Vec<ConstraintId> {
+        self.known_violations.iter().copied().collect()
+    }
+
+    /// Drains the pending notifications for one designer.
+    pub fn take_notifications(&mut self, designer: DesignerId) -> Vec<Event> {
+        self.pending.remove(&designer).unwrap_or_default()
+    }
+
+    /// Whether the design process has terminated: the top-level problem is
+    /// solved (hence all subproblems are), every problem output has a value,
+    /// and no constraint is violated.
+    pub fn design_complete(&self) -> bool {
+        let Some(root) = self.problems.root() else {
+            return false;
+        };
+        self.problems.problem(root).status() == ProblemStatus::Solved
+            && self.problems.all_solved()
+            && self.known_violations.is_empty()
+    }
+
+    /// Initializes the process before the first operation — the paper's
+    /// "script automatically initializes this scenario" step. In ADPM mode
+    /// the DCM propagates the initial requirements once so designers start
+    /// with feasibility information; conventionally this is a no-op.
+    /// Returns the number of constraint evaluations performed (counted in
+    /// [`total_evaluations`](Self::total_evaluations) but not attributed to
+    /// any operation).
+    ///
+    /// Also call this again after mutating the problem hierarchy directly
+    /// through [`problems_mut`](Self::problems_mut) (e.g. wiring outputs
+    /// onto freshly decomposed subproblems): manual wiring bypasses the
+    /// transition function, so statuses and heuristics need a refresh.
+    pub fn initialize(&mut self) -> usize {
+        if self.config.mode != ManagementMode::Adpm {
+            self.update_problem_statuses();
+            self.event_buffer.clear();
+            return 0;
+        }
+        let outcome = propagate(&mut self.network, &self.config.propagation);
+        self.heuristics = Some(HeuristicReport::mine(&self.network));
+        self.refresh_known_violations_from_network();
+        self.prev_snapshot = self.known_violations.clone();
+        self.update_problem_statuses();
+        self.event_buffer.clear();
+        self.total_evaluations += outcome.evaluations;
+        outcome.evaluations
+    }
+
+    /// Executes one design operation — the paper's `δ(s_n, θ_n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`NetworkError`] if the operator is invalid
+    /// (e.g. a value outside `E_i`); the state is unchanged in that case and
+    /// nothing is recorded.
+    pub fn execute(&mut self, operation: Operation) -> Result<OperationRecord, NetworkError> {
+        // Spin detection is judged against the state *before* the operation:
+        // was the designer reacting to a known cross-subsystem violation?
+        let spin = self.is_spin(&operation);
+
+        let mut evaluations = 0usize;
+        match operation.operator() {
+            Operator::Assign { property, value } => {
+                self.network.bind(*property, value.clone())?;
+                if self.config.mode == ManagementMode::Conventional {
+                    self.invalidate_verifications(*property);
+                }
+            }
+            Operator::Unbind { property } => {
+                self.network.unbind(*property)?;
+                if self.config.mode == ManagementMode::Conventional {
+                    self.invalidate_verifications(*property);
+                }
+            }
+            Operator::Verify { constraints } => {
+                evaluations += self.run_verification(operation.problem(), constraints);
+            }
+            Operator::Decompose { subproblems } => {
+                for name in subproblems {
+                    self.problems.decompose(operation.problem(), name.clone());
+                }
+            }
+        }
+
+        // ADPM: the DCM propagates after every operation and the results are
+        // mined into heuristic support data.
+        if self.config.mode == ManagementMode::Adpm {
+            let before_sizes = self.feasible_sizes();
+            let outcome = propagate(&mut self.network, &self.config.propagation);
+            evaluations += outcome.evaluations;
+            self.heuristics = Some(HeuristicReport::mine(&self.network));
+            self.refresh_known_violations_from_network();
+            self.emit_feasibility_events(&before_sizes);
+        }
+
+        let new_violations = self.violation_delta();
+        self.update_problem_statuses();
+        self.emit_violation_events(&new_violations);
+        self.flush_events();
+
+        self.total_evaluations += evaluations;
+        if spin {
+            self.spins += 1;
+        }
+        let record = OperationRecord {
+            sequence: self.history.len() + 1,
+            operation,
+            evaluations,
+            violations_after: self.known_violations.len(),
+            new_violations,
+            spin,
+        };
+        self.history.push(record.clone());
+        Ok(record)
+    }
+
+    /// Whether `operation` reacts to a known cross-subsystem violation —
+    /// either because the designer tagged it as repair work for one, or
+    /// because its target property sits in one.
+    fn is_spin(&self, operation: &Operation) -> bool {
+        let tagged = operation
+            .repairs()
+            .iter()
+            .any(|cid| self.network.is_cross_object(*cid));
+        if tagged {
+            return true;
+        }
+        let Some(target) = operation.operator().target_property() else {
+            return false;
+        };
+        self.known_violations
+            .iter()
+            .any(|cid| self.network.is_cross_object(*cid) && self.network.constraint(*cid).involves(target))
+    }
+
+    /// Conventional flow: re-binding a property invalidates earlier
+    /// verification results for the constraints it appears in.
+    fn invalidate_verifications(&mut self, property: PropertyId) {
+        for cid in self.network.constraints_of(property).to_vec() {
+            self.network.set_status(cid, ConstraintStatus::Consistent);
+            self.known_violations.remove(&cid);
+        }
+    }
+
+    /// Runs verification "tool runs" for the requested constraints (or all
+    /// of the problem's constraints when unspecified), skipping constraints
+    /// whose arguments are not all bound — verification operators execute
+    /// only when their inputs are bound (paper §3.1.2).
+    fn run_verification(&mut self, problem: ProblemId, constraints: &[ConstraintId]) -> usize {
+        let targets: Vec<ConstraintId> = if constraints.is_empty() {
+            self.problems.problem(problem).constraints().to_vec()
+        } else {
+            constraints.to_vec()
+        };
+        let mut evaluations = 0;
+        for cid in targets {
+            if !self.network.all_arguments_bound(cid) {
+                continue;
+            }
+            evaluations += 1;
+            let ok = self.network.check_constraint_point(cid);
+            let status = if ok {
+                ConstraintStatus::Satisfied
+            } else {
+                ConstraintStatus::Violated
+            };
+            self.network.set_status(cid, status);
+            if ok {
+                self.known_violations.remove(&cid);
+            } else {
+                self.known_violations.insert(cid);
+            }
+        }
+        evaluations
+    }
+
+    fn refresh_known_violations_from_network(&mut self) {
+        self.known_violations = self.network.violated_constraints().into_iter().collect();
+    }
+
+    fn feasible_sizes(&self) -> Vec<f64> {
+        self.network
+            .property_ids()
+            .map(|pid| {
+                self.network
+                    .feasible(pid)
+                    .relative_size(self.network.property(pid).initial_domain())
+            })
+            .collect()
+    }
+
+    fn emit_feasibility_events(&mut self, before: &[f64]) {
+        let after = self.feasible_sizes();
+        let mut events = Vec::new();
+        for (idx, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+            let pid = PropertyId::new(idx as u32);
+            if self.network.is_bound(pid) {
+                continue;
+            }
+            if *a <= 0.0 && *b > 0.0 {
+                events.push(Event::FeasibleEmptied { property: pid });
+            } else if a + 1e-9 < *b {
+                events.push(Event::FeasibleReduced {
+                    property: pid,
+                    relative_size: *a,
+                });
+            }
+        }
+        self.queue_events(events);
+    }
+
+    /// Violations newly present since the last recorded operation.
+    fn violation_delta(&self) -> Vec<ConstraintId> {
+        self.known_violations
+            .iter()
+            .copied()
+            .filter(|cid| !self.prev_snapshot.contains(cid))
+            .collect()
+    }
+
+    fn emit_violation_events(&mut self, new_violations: &[ConstraintId]) {
+        let mut events: Vec<Event> = new_violations
+            .iter()
+            .map(|cid| Event::ViolationDetected {
+                constraint: *cid,
+                properties: self.network.constraint(*cid).arguments(),
+            })
+            .collect();
+        for cid in self.prev_snapshot.clone() {
+            if !self.known_violations.contains(&cid) {
+                events.push(Event::ViolationResolved { constraint: cid });
+            }
+        }
+        self.queue_events(events);
+        self.prev_snapshot = self.known_violations.clone();
+    }
+
+    fn queue_events(&mut self, events: Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        self.event_buffer.extend(events);
+    }
+
+    fn flush_events(&mut self) {
+        if self.event_buffer.is_empty() {
+            return;
+        }
+        let events = std::mem::take(&mut self.event_buffer);
+        let routed = self
+            .nm
+            .route(&events, &self.problems, &self.network, &self.designers);
+        for Notification { designer, events } in routed {
+            self.pending.entry(designer).or_default().extend(events);
+        }
+    }
+
+    /// Recomputes problem statuses bottom-up: a problem is *Solved* when all
+    /// its outputs are bound, none of its constraints is known violated, all
+    /// its constraints are known satisfied, and all its children are solved;
+    /// *Waiting* while children remain unsolved; *Open* otherwise.
+    fn update_problem_statuses(&mut self) {
+        // Children have larger ids than parents (decompose appends), so a
+        // reverse pass is a valid bottom-up order. A second pass settles
+        // the sibling partial order (a predecessor declared earlier is
+        // visited *after* its successors within one pass).
+        for _ in 0..2 {
+            self.update_problem_statuses_pass();
+        }
+    }
+
+    fn update_problem_statuses_pass(&mut self) {
+        let ids: Vec<ProblemId> = self.problems.ids().collect();
+        for pid in ids.into_iter().rev() {
+            let problem = self.problems.problem(pid);
+            let children_solved = problem
+                .children()
+                .iter()
+                .all(|c| self.problems.problem(*c).status() == ProblemStatus::Solved);
+            let predecessors_solved = problem
+                .predecessors()
+                .iter()
+                .all(|p| self.problems.problem(*p).status() == ProblemStatus::Solved);
+            let outputs_bound = problem
+                .outputs()
+                .iter()
+                .all(|p| self.network.is_bound(*p));
+            let constraints_satisfied = problem
+                .constraints()
+                .iter()
+                .all(|c| self.network.status(*c).is_satisfied());
+            let solved = children_solved && outputs_bound && constraints_satisfied;
+            let status = if solved {
+                ProblemStatus::Solved
+            } else if (!problem.children().is_empty() && !children_solved)
+                || !predecessors_solved
+            {
+                // Waiting on subproblems or on the declared partial order;
+                // problem selection (f_p) skips Waiting problems.
+                ProblemStatus::Waiting
+            } else {
+                ProblemStatus::Open
+            };
+            let was = self.problems.problem(pid).status();
+            if status != was {
+                self.problems.problem_mut(pid).set_status(status);
+                if status == ProblemStatus::Solved {
+                    self.event_buffer.push(Event::ProblemSolved { problem: pid });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adpm_constraint::{
+        expr::{cst, var},
+        Domain, Property, Relation, Value,
+    };
+
+    /// Two-subsystem fixture modelled on the paper's receiver power budget:
+    /// `P_f + P_s <= 200`, with the front-end and deserializer designed by
+    /// different designers (so the budget is a cross-object constraint).
+    fn fixture(mode: ManagementMode) -> (
+        DesignProcessManager,
+        DesignerId,
+        DesignerId,
+        ProblemId,
+        ProblemId,
+        ProblemId,
+        PropertyId,
+        PropertyId,
+        ConstraintId,
+    ) {
+        let mut net = ConstraintNetwork::new();
+        let pf = net
+            .add_property(Property::new("P-front", "frontend", Domain::interval(0.0, 300.0)))
+            .unwrap();
+        let ps = net
+            .add_property(Property::new("P-ser", "deser", Domain::interval(0.0, 300.0)))
+            .unwrap();
+        let budget = net
+            .add_constraint("power", var(pf) + var(ps), Relation::Le, cst(200.0))
+            .unwrap();
+        let config = match mode {
+            ManagementMode::Adpm => DpmConfig::adpm(),
+            ManagementMode::Conventional => DpmConfig::conventional(),
+        };
+        let mut dpm = DesignProcessManager::new(net, config);
+        let d0 = dpm.add_designer();
+        let d1 = dpm.add_designer();
+        let top = dpm.problems_mut().add_root("receiver");
+        let front = dpm.problems_mut().decompose(top, "frontend");
+        let deser = dpm.problems_mut().decompose(top, "deser");
+        *dpm.problems_mut().problem_mut(top) = dpm
+            .problems()
+            .problem(top)
+            .clone()
+            .with_constraints([budget]);
+        *dpm.problems_mut().problem_mut(front) = dpm
+            .problems()
+            .problem(front)
+            .clone()
+            .with_outputs([pf])
+            .with_assignee(d0);
+        *dpm.problems_mut().problem_mut(deser) = dpm
+            .problems()
+            .problem(deser)
+            .clone()
+            .with_outputs([ps])
+            .with_assignee(d1);
+        (dpm, d0, d1, top, front, deser, pf, ps, budget)
+    }
+
+    #[test]
+    fn adpm_assign_triggers_propagation_and_narrows_neighbour() {
+        let (mut dpm, d0, _, _, front, _, pf, ps, _) = fixture(ManagementMode::Adpm);
+        let record = dpm
+            .execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        assert!(record.evaluations > 0, "ADPM must run the DCM");
+        let feasible = dpm.network().feasible(ps).enclosing_interval().unwrap();
+        assert!((feasible.hi() - 50.0).abs() < 1e-9);
+        assert!(dpm.heuristics().is_some());
+    }
+
+    #[test]
+    fn conventional_assign_runs_no_evaluations() {
+        let (mut dpm, d0, _, _, front, _, pf, ps, _) = fixture(ManagementMode::Conventional);
+        let record = dpm
+            .execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        assert_eq!(record.evaluations, 0);
+        // No propagation: the neighbour's feasible range is untouched.
+        let feasible = dpm.network().feasible(ps).enclosing_interval().unwrap();
+        assert_eq!(feasible.hi(), 300.0);
+        assert!(dpm.heuristics().is_none());
+    }
+
+    #[test]
+    fn adpm_detects_violation_immediately() {
+        let (mut dpm, d0, d1, _, front, deser, pf, ps, budget) = fixture(ManagementMode::Adpm);
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        let record = dpm
+            .execute(Operation::assign(d1, deser, ps, Value::number(100.0)))
+            .unwrap();
+        assert_eq!(record.new_violations, vec![budget]);
+        assert_eq!(dpm.known_violations(), vec![budget]);
+    }
+
+    #[test]
+    fn conventional_violation_surfaces_only_at_verification() {
+        let (mut dpm, d0, d1, top, front, deser, pf, ps, budget) =
+            fixture(ManagementMode::Conventional);
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        let record = dpm
+            .execute(Operation::assign(d1, deser, ps, Value::number(100.0)))
+            .unwrap();
+        assert!(record.new_violations.is_empty(), "not yet verified");
+        assert!(dpm.known_violations().is_empty());
+        // Integration-time verification of the top-level budget.
+        let record = dpm.execute(Operation::verify(d0, top)).unwrap();
+        assert_eq!(record.evaluations, 1);
+        assert_eq!(record.new_violations, vec![budget]);
+        assert_eq!(dpm.known_violations(), vec![budget]);
+    }
+
+    #[test]
+    fn verification_skips_constraints_with_unbound_arguments() {
+        let (mut dpm, d0, _, top, front, _, pf, _, _) = fixture(ManagementMode::Conventional);
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        let record = dpm.execute(Operation::verify(d0, top)).unwrap();
+        assert_eq!(record.evaluations, 0, "P-ser is still unbound");
+    }
+
+    #[test]
+    fn conventional_rebinding_invalidates_stale_results() {
+        let (mut dpm, d0, d1, top, front, deser, pf, ps, budget) =
+            fixture(ManagementMode::Conventional);
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        dpm.execute(Operation::assign(d1, deser, ps, Value::number(100.0)))
+            .unwrap();
+        dpm.execute(Operation::verify(d0, top)).unwrap();
+        assert_eq!(dpm.known_violations(), vec![budget]);
+        // Repairing the value clears the stale Violated verdict (unknown
+        // again until re-verified) rather than leaving it or assuming Fixed.
+        dpm.execute(Operation::assign(d1, deser, ps, Value::number(40.0)))
+            .unwrap();
+        assert!(dpm.known_violations().is_empty());
+        assert_eq!(
+            dpm.network().status(budget),
+            ConstraintStatus::Consistent
+        );
+    }
+
+    #[test]
+    fn spin_is_counted_for_repair_of_cross_object_violation() {
+        let (mut dpm, d0, d1, top, front, deser, pf, ps, budget) =
+            fixture(ManagementMode::Conventional);
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        dpm.execute(Operation::assign(d1, deser, ps, Value::number(100.0)))
+            .unwrap();
+        dpm.execute(Operation::verify(d0, top)).unwrap();
+        assert_eq!(dpm.spins(), 0);
+        // The repair operation reacts to a known cross-subsystem violation.
+        let record = dpm
+            .execute(
+                Operation::assign(d1, deser, ps, Value::number(40.0)).with_repairs([budget]),
+            )
+            .unwrap();
+        assert!(record.spin);
+        assert_eq!(dpm.spins(), 1);
+    }
+
+    #[test]
+    fn untagged_repair_of_known_cross_violation_is_still_a_spin() {
+        let (mut dpm, d0, d1, _, front, deser, pf, ps, _) = fixture(ManagementMode::Adpm);
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        dpm.execute(Operation::assign(d1, deser, ps, Value::number(100.0)))
+            .unwrap();
+        // ADPM already knows the budget is violated; the next touch of an
+        // involved property is integration-rework by definition.
+        let record = dpm
+            .execute(Operation::assign(d1, deser, ps, Value::number(40.0)))
+            .unwrap();
+        assert!(record.spin);
+    }
+
+    #[test]
+    fn forward_work_is_not_a_spin() {
+        let (mut dpm, d0, _, _, front, _, pf, _, _) = fixture(ManagementMode::Adpm);
+        let record = dpm
+            .execute(Operation::assign(d0, front, pf, Value::number(100.0)))
+            .unwrap();
+        assert!(!record.spin);
+        assert_eq!(dpm.spins(), 0);
+    }
+
+    #[test]
+    fn design_completes_when_everything_bound_and_satisfied() {
+        let (mut dpm, d0, d1, top, front, deser, pf, ps, _) = fixture(ManagementMode::Adpm);
+        assert!(!dpm.design_complete());
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(120.0)))
+            .unwrap();
+        assert!(!dpm.design_complete());
+        dpm.execute(Operation::assign(d1, deser, ps, Value::number(60.0)))
+            .unwrap();
+        assert!(dpm.design_complete());
+        assert_eq!(
+            dpm.problems().problem(top).status(),
+            ProblemStatus::Solved
+        );
+        assert_eq!(
+            dpm.problems().problem(front).status(),
+            ProblemStatus::Solved
+        );
+        assert_eq!(
+            dpm.problems().problem(deser).status(),
+            ProblemStatus::Solved
+        );
+    }
+
+    #[test]
+    fn conventional_needs_verification_to_complete() {
+        let (mut dpm, d0, d1, top, front, deser, pf, ps, _) =
+            fixture(ManagementMode::Conventional);
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(120.0)))
+            .unwrap();
+        dpm.execute(Operation::assign(d1, deser, ps, Value::number(60.0)))
+            .unwrap();
+        assert!(
+            !dpm.design_complete(),
+            "constraint status unknown until verified"
+        );
+        dpm.execute(Operation::verify(d0, top)).unwrap();
+        assert!(dpm.design_complete());
+    }
+
+    #[test]
+    fn notifications_are_routed_and_drained() {
+        let (mut dpm, d0, d1, _, front, _deser, pf, ps, _) = fixture(ManagementMode::Adpm);
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        // The deserializer designer hears that P-ser's feasible range shrank.
+        let events = dpm.take_notifications(d1);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::FeasibleReduced { property, .. } if *property == ps)),
+            "expected FeasibleReduced for P-ser, got {events:?}"
+        );
+        // Draining empties the queue.
+        assert!(dpm.take_notifications(d1).is_empty());
+    }
+
+    #[test]
+    fn violation_notifications_reach_both_designers() {
+        let (mut dpm, d0, d1, _, front, deser, pf, ps, _) = fixture(ManagementMode::Adpm);
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        dpm.execute(Operation::assign(d1, deser, ps, Value::number(100.0)))
+            .unwrap();
+        for d in [d0, d1] {
+            let events = dpm.take_notifications(d);
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, Event::ViolationDetected { .. })),
+                "{d} missed the violation, got {events:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decompose_operation_extends_hierarchy() {
+        let (mut dpm, d0, _, top, _, _, _, _, _) = fixture(ManagementMode::Adpm);
+        let before = dpm.problems().len();
+        dpm.execute(Operation::decompose(d0, top, ["bias network"]))
+            .unwrap();
+        assert_eq!(dpm.problems().len(), before + 1);
+    }
+
+    #[test]
+    fn failed_operation_leaves_no_history_entry() {
+        let (mut dpm, d0, _, _, front, _, pf, _, _) = fixture(ManagementMode::Adpm);
+        let err = dpm.execute(Operation::assign(d0, front, pf, Value::number(999.0)));
+        assert!(err.is_err());
+        assert!(dpm.history().is_empty());
+        assert_eq!(dpm.total_evaluations(), 0);
+    }
+
+    #[test]
+    fn history_records_sequence_and_totals() {
+        let (mut dpm, d0, d1, _, front, deser, pf, ps, _) = fixture(ManagementMode::Adpm);
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(120.0)))
+            .unwrap();
+        dpm.execute(Operation::assign(d1, deser, ps, Value::number(60.0)))
+            .unwrap();
+        assert_eq!(dpm.history().len(), 2);
+        assert_eq!(dpm.history()[0].sequence, 1);
+        assert_eq!(dpm.history()[1].sequence, 2);
+        let sum: usize = dpm.history().iter().map(|r| r.evaluations).sum();
+        assert_eq!(sum, dpm.total_evaluations());
+    }
+
+    #[test]
+    fn unbind_reverses_assignment_and_invalidates_conventionally() {
+        let (mut dpm, d0, _, _top, front, _, pf, _, _) = fixture(ManagementMode::Conventional);
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        assert!(dpm.network().is_bound(pf));
+        // Verify the (single-argument-bound) constraints; none are ready
+        // since P-ser is unbound, so this records nothing — then unbind.
+        dpm.execute(Operation::unbind(d0, front, pf)).unwrap();
+        assert!(!dpm.network().is_bound(pf));
+        assert!(dpm.known_violations().is_empty());
+        assert_eq!(dpm.history().len(), 2);
+    }
+
+    #[test]
+    fn unbind_in_adpm_restores_feasible_space() {
+        let (mut dpm, d0, _, _, front, _, pf, ps, _) = fixture(ManagementMode::Adpm);
+
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        let narrowed = dpm.network().feasible(ps).enclosing_interval().unwrap();
+        assert!((narrowed.hi() - 50.0).abs() < 1e-9);
+        dpm.execute(Operation::unbind(d0, front, pf)).unwrap();
+        let restored = dpm.network().feasible(ps).enclosing_interval().unwrap();
+        assert!((restored.hi() - 200.0).abs() < 1e-9, "restored = {restored}");
+    }
+
+    #[test]
+    fn initialize_gives_adpm_feasibility_before_any_operation() {
+        let (mut dpm, ..) = fixture(ManagementMode::Adpm);
+        let evals = dpm.initialize();
+        assert!(evals > 0);
+        assert!(dpm.heuristics().is_some());
+        assert_eq!(dpm.history().len(), 0);
+        assert_eq!(dpm.total_evaluations(), evals);
+        // Conventional initialize is a no-op evaluation-wise.
+        let (mut conv, ..) = fixture(ManagementMode::Conventional);
+        assert_eq!(conv.initialize(), 0);
+        assert!(conv.heuristics().is_none());
+    }
+
+    #[test]
+    fn mode_accessors() {
+        assert!(ManagementMode::Adpm.is_adpm());
+        assert!(!ManagementMode::Conventional.is_adpm());
+        let (dpm, ..) = fixture(ManagementMode::Adpm);
+        assert_eq!(dpm.mode(), ManagementMode::Adpm);
+        assert_eq!(dpm.designers().len(), 2);
+    }
+}

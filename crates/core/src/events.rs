@@ -1,0 +1,298 @@
+//! Constraint-related events and the Notification Manager.
+//!
+//! ADPM's NM "alerts designers of constraint-related events, including
+//! violations and reductions of a property's feasible subspace. It selects
+//! subsets of `H_{n+1}` relevant to each designer and includes them in
+//! notifications" (paper §2.2). Here the NM routes events to every designer
+//! whose assigned problems touch the affected properties.
+
+use crate::ids::{DesignerId, ProblemId};
+use crate::problem::ProblemSet;
+use adpm_constraint::{ConstraintId, ConstraintNetwork, PropertyId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A constraint-related event worth telling a designer about.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A constraint became violated.
+    ViolationDetected {
+        /// The violated constraint.
+        constraint: ConstraintId,
+        /// Its arguments (so receivers can relate it to their properties).
+        properties: Vec<PropertyId>,
+    },
+    /// A previously violated constraint is no longer violated.
+    ViolationResolved {
+        /// The recovered constraint.
+        constraint: ConstraintId,
+    },
+    /// A property's feasible subspace shrank.
+    FeasibleReduced {
+        /// The affected property.
+        property: PropertyId,
+        /// New size relative to the initial range, in `[0, 1]`.
+        relative_size: f64,
+    },
+    /// A property's feasible subspace became empty — every remaining choice
+    /// conflicts with some constraint.
+    FeasibleEmptied {
+        /// The affected property.
+        property: PropertyId,
+    },
+    /// A problem reached the Solved status.
+    ProblemSolved {
+        /// The solved problem.
+        problem: ProblemId,
+    },
+}
+
+impl Event {
+    /// The properties this event concerns (used for routing).
+    pub fn properties(&self) -> Vec<PropertyId> {
+        match self {
+            Event::ViolationDetected { properties, .. } => properties.clone(),
+            Event::ViolationResolved { .. } | Event::ProblemSolved { .. } => Vec::new(),
+            Event::FeasibleReduced { property, .. } | Event::FeasibleEmptied { property } => {
+                vec![*property]
+            }
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::ViolationDetected { constraint, .. } => {
+                write!(f, "violation detected on {constraint}")
+            }
+            Event::ViolationResolved { constraint } => {
+                write!(f, "violation resolved on {constraint}")
+            }
+            Event::FeasibleReduced {
+                property,
+                relative_size,
+            } => write!(
+                f,
+                "feasible subspace of {property} reduced to {:.1}% of its range",
+                relative_size * 100.0
+            ),
+            Event::FeasibleEmptied { property } => {
+                write!(f, "feasible subspace of {property} is empty")
+            }
+            Event::ProblemSolved { problem } => write!(f, "{problem} solved"),
+        }
+    }
+}
+
+/// A batch of events delivered to one designer after one transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// The receiving designer.
+    pub designer: DesignerId,
+    /// The events relevant to that designer, in emission order.
+    pub events: Vec<Event>,
+}
+
+/// Routes events to the designers they are relevant to.
+///
+/// An event is relevant to designer `d` if it mentions a property that is an
+/// input or output of a problem assigned to `d`, if it mentions one of `d`'s
+/// problems, or if it is a violation on a constraint of one of `d`'s
+/// problems. Violation events with no such link are still broadcast to all
+/// designers — cross-subsystem conflicts concern everyone, which is the
+/// collaborative point of the paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NotificationManager;
+
+impl NotificationManager {
+    /// Creates a notification manager.
+    pub fn new() -> Self {
+        NotificationManager
+    }
+
+    /// Splits `events` into per-designer notifications.
+    pub fn route(
+        &self,
+        events: &[Event],
+        problems: &ProblemSet,
+        network: &ConstraintNetwork,
+        designers: &[DesignerId],
+    ) -> Vec<Notification> {
+        designers
+            .iter()
+            .map(|d| {
+                // Hoist the designer's problem/property sets out of the
+                // per-event relevance check.
+                let my_problems = problems.assigned_to(*d);
+                let my_properties: BTreeSet<PropertyId> = my_problems
+                    .iter()
+                    .flat_map(|pid| {
+                        let p = problems.problem(*pid);
+                        p.inputs().iter().chain(p.outputs().iter()).copied()
+                    })
+                    .collect();
+                Notification {
+                    designer: *d,
+                    events: events
+                        .iter()
+                        .filter(|e| {
+                            self.relevant(e, &my_problems, &my_properties, problems, network)
+                        })
+                        .cloned()
+                        .collect(),
+                }
+            })
+            .filter(|n| !n.events.is_empty())
+            .collect()
+    }
+
+    fn relevant(
+        &self,
+        event: &Event,
+        my_problems: &[crate::ids::ProblemId],
+        my_properties: &BTreeSet<PropertyId>,
+        problems: &ProblemSet,
+        network: &ConstraintNetwork,
+    ) -> bool {
+        match event {
+            Event::ViolationDetected {
+                constraint,
+                properties,
+            } => {
+                properties.iter().any(|p| my_properties.contains(p))
+                    || my_problems
+                        .iter()
+                        .any(|pid| problems.problem(*pid).constraints().contains(constraint))
+                    // Cross-object violations concern the whole team.
+                    || network.is_cross_object(*constraint)
+            }
+            Event::ViolationResolved { constraint } => {
+                network
+                    .constraint(*constraint)
+                    .argument_slice()
+                    .iter()
+                    .any(|p| my_properties.contains(p))
+                    || network.is_cross_object(*constraint)
+            }
+            Event::FeasibleReduced { property, .. } | Event::FeasibleEmptied { property } => {
+                my_properties.contains(property)
+            }
+            Event::ProblemSolved { problem } => {
+                my_problems.contains(problem)
+                    || problems.problem(*problem).parent().map(|pp| my_problems.contains(&pp))
+                        == Some(true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adpm_constraint::{expr::var, Domain, Property, Relation};
+
+    fn setup() -> (ProblemSet, ConstraintNetwork, Vec<PropertyId>, ConstraintId) {
+        let mut net = ConstraintNetwork::new();
+        let a = net
+            .add_property(Property::new("a", "analog", Domain::interval(0.0, 1.0)))
+            .unwrap();
+        let b = net
+            .add_property(Property::new("b", "filter", Domain::interval(0.0, 1.0)))
+            .unwrap();
+        let c = net
+            .add_constraint("cross", var(a), Relation::Le, var(b))
+            .unwrap();
+        let mut problems = ProblemSet::new();
+        let top = problems.add_root("system");
+        let analog = problems.decompose(top, "analog");
+        let filter = problems.decompose(top, "filter");
+        problems.problem_mut(analog).set_assignee(Some(DesignerId::new(0)));
+        problems.problem_mut(filter).set_assignee(Some(DesignerId::new(1)));
+        *problems.problem_mut(analog) = problems
+            .problem(analog)
+            .clone()
+            .with_outputs([a])
+            .with_assignee(DesignerId::new(0));
+        *problems.problem_mut(filter) = problems
+            .problem(filter)
+            .clone()
+            .with_outputs([b])
+            .with_assignee(DesignerId::new(1));
+        (problems, net, vec![a, b], c)
+    }
+
+    #[test]
+    fn feasible_events_go_to_property_owner_only() {
+        let (problems, net, props, _) = setup();
+        let nm = NotificationManager::new();
+        let events = vec![Event::FeasibleReduced {
+            property: props[0],
+            relative_size: 0.5,
+        }];
+        let designers = [DesignerId::new(0), DesignerId::new(1)];
+        let routed = nm.route(&events, &problems, &net, &designers);
+        assert_eq!(routed.len(), 1);
+        assert_eq!(routed[0].designer, DesignerId::new(0));
+    }
+
+    #[test]
+    fn cross_object_violations_reach_everyone() {
+        let (problems, net, props, c) = setup();
+        let nm = NotificationManager::new();
+        let events = vec![Event::ViolationDetected {
+            constraint: c,
+            properties: props.clone(),
+        }];
+        let designers = [DesignerId::new(0), DesignerId::new(1)];
+        let routed = nm.route(&events, &problems, &net, &designers);
+        assert_eq!(routed.len(), 2);
+    }
+
+    #[test]
+    fn empty_notifications_are_dropped() {
+        let (problems, net, _, _) = setup();
+        let nm = NotificationManager::new();
+        let routed = nm.route(&[], &problems, &net, &[DesignerId::new(0)]);
+        assert!(routed.is_empty());
+    }
+
+    #[test]
+    fn problem_solved_goes_to_assignee_and_parent_owner() {
+        let (problems, net, _, _) = setup();
+        let nm = NotificationManager::new();
+        let filter_problem = problems.ids().nth(2).unwrap();
+        let events = vec![Event::ProblemSolved {
+            problem: filter_problem,
+        }];
+        let designers = [DesignerId::new(0), DesignerId::new(1)];
+        let routed = nm.route(&events, &problems, &net, &designers);
+        assert_eq!(routed.len(), 1);
+        assert_eq!(routed[0].designer, DesignerId::new(1));
+    }
+
+    #[test]
+    fn event_properties_for_routing() {
+        let e = Event::FeasibleEmptied {
+            property: PropertyId::new(4),
+        };
+        assert_eq!(e.properties(), vec![PropertyId::new(4)]);
+        let e = Event::ViolationResolved {
+            constraint: ConstraintId::new(0),
+        };
+        assert!(e.properties().is_empty());
+    }
+
+    #[test]
+    fn event_display_is_informative() {
+        let e = Event::FeasibleReduced {
+            property: PropertyId::new(1),
+            relative_size: 0.25,
+        };
+        assert!(e.to_string().contains("25.0%"));
+        let e = Event::FeasibleEmptied {
+            property: PropertyId::new(1),
+        };
+        assert!(e.to_string().contains("empty"));
+    }
+}

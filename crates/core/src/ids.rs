@@ -1,0 +1,83 @@
+//! Typed identifiers for design problems and designers.
+
+use std::fmt;
+
+/// Identifier of a design problem (`p_i` in the paper).
+///
+/// # Examples
+///
+/// ```
+/// use adpm_core::ProblemId;
+/// let p = ProblemId::new(0);
+/// assert_eq!(p.index(), 0);
+/// assert_eq!(p.to_string(), "prob0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProblemId(u32);
+
+impl ProblemId {
+    /// Creates a problem id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        ProblemId(index)
+    }
+
+    /// Returns the raw index, suitable for vector indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProblemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prob{}", self.0)
+    }
+}
+
+/// Identifier of a (human or simulated) designer `d_i`.
+///
+/// # Examples
+///
+/// ```
+/// use adpm_core::DesignerId;
+/// let d = DesignerId::new(2);
+/// assert_eq!(d.to_string(), "designer2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DesignerId(u32);
+
+impl DesignerId {
+    /// Creates a designer id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        DesignerId(index)
+    }
+
+    /// Returns the raw index, suitable for vector indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DesignerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "designer{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_order() {
+        assert_eq!(ProblemId::new(4).index(), 4);
+        assert_eq!(DesignerId::new(4).index(), 4);
+        assert!(ProblemId::new(1) < ProblemId::new(2));
+        assert!(DesignerId::new(1) < DesignerId::new(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProblemId::new(3).to_string(), "prob3");
+        assert_eq!(DesignerId::new(0).to_string(), "designer0");
+    }
+}

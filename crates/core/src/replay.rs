@@ -1,0 +1,195 @@
+//! Design-history replay.
+//!
+//! The paper's design process history `H_n` records every state/operation
+//! pair; because the DPM's transition function `δ` is deterministic, a
+//! recorded operation sequence re-executed on an identically initialized
+//! DPM reproduces the run exactly. Replay is the workhorse for debugging a
+//! simulation tail ("what did the state look like at operation 37?") and
+//! for auditing that the history alone determines the outcome.
+
+use crate::dpm::DesignProcessManager;
+use crate::operation::{Operation, OperationRecord};
+use adpm_constraint::NetworkError;
+
+/// Result of replaying a history on a fresh DPM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// The records produced by the replay, in order.
+    pub records: Vec<OperationRecord>,
+    /// Whether every replayed record matched the original (same
+    /// evaluations, violations, and spin flags).
+    pub faithful: bool,
+}
+
+/// Re-executes `history` on `dpm` (which must be a freshly built, already
+/// [`initialize`](DesignProcessManager::initialize)d DPM of the same
+/// scenario and configuration) and reports whether the replay reproduced
+/// the recorded outcomes.
+///
+/// # Errors
+///
+/// Returns the first [`NetworkError`] hit — which, for a history recorded
+/// against the same scenario, indicates the DPM was *not* equivalently
+/// initialized.
+///
+/// # Examples
+///
+/// ```
+/// use adpm_core::{replay_history, DesignProcessManager, DpmConfig, Operation};
+/// use adpm_constraint::{ConstraintNetwork, Property, Domain, Relation, Value,
+///                       expr::{var, cst}};
+/// # fn main() -> Result<(), adpm_constraint::NetworkError> {
+/// let mut net = ConstraintNetwork::new();
+/// let x = net.add_property(Property::new("x", "o", Domain::interval(0.0, 10.0)))?;
+/// net.add_constraint("cap", var(x), Relation::Le, cst(4.0))?;
+///
+/// let build = |net: &ConstraintNetwork| {
+///     let mut dpm = DesignProcessManager::new(net.clone(), DpmConfig::adpm());
+///     let d = dpm.add_designer();
+///     let top = dpm.problems_mut().add_root("top");
+///     *dpm.problems_mut().problem_mut(top) =
+///         dpm.problems().problem(top).clone().with_outputs([x]).with_assignee(d);
+///     dpm.initialize();
+///     dpm
+/// };
+/// let mut original = build(&net);
+/// let d = original.designers()[0];
+/// let top = original.problems().root().unwrap();
+/// original.execute(Operation::assign(d, top, x, Value::number(3.0)))?;
+///
+/// let mut fresh = build(&net);
+/// let outcome = replay_history(original.history(), &mut fresh)?;
+/// assert!(outcome.faithful);
+/// assert!(fresh.design_complete());
+/// # Ok(())
+/// # }
+/// ```
+pub fn replay_history(
+    history: &[OperationRecord],
+    dpm: &mut DesignProcessManager,
+) -> Result<ReplayOutcome, NetworkError> {
+    let mut records = Vec::with_capacity(history.len());
+    let mut faithful = true;
+    for original in history {
+        let operation: Operation = original.operation.clone();
+        let record = dpm.execute(operation)?;
+        faithful = faithful
+            && record.evaluations == original.evaluations
+            && record.violations_after == original.violations_after
+            && record.new_violations == original.new_violations
+            && record.spin == original.spin;
+        records.push(record);
+    }
+    Ok(ReplayOutcome { records, faithful })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpm::DpmConfig;
+    use crate::ids::DesignerId;
+    use adpm_constraint::{
+        expr::{cst, var},
+        ConstraintNetwork, Domain, Property, Relation, Value,
+    };
+
+    fn build() -> (ConstraintNetwork, adpm_constraint::PropertyId, adpm_constraint::PropertyId) {
+        let mut net = ConstraintNetwork::new();
+        let x = net
+            .add_property(Property::new("x", "a", Domain::interval(0.0, 10.0)))
+            .unwrap();
+        let y = net
+            .add_property(Property::new("y", "b", Domain::interval(0.0, 10.0)))
+            .unwrap();
+        net.add_constraint("sum", var(x) + var(y), Relation::Le, cst(12.0))
+            .unwrap();
+        (net, x, y)
+    }
+
+    fn dpm_for(net: &ConstraintNetwork, config: DpmConfig) -> DesignProcessManager {
+        let (_, x, y) = build(); // ids are stable across identical builds
+        let mut dpm = DesignProcessManager::new(net.clone(), config);
+        let d = dpm.add_designer();
+        let top = dpm.problems_mut().add_root("top");
+        *dpm.problems_mut().problem_mut(top) = dpm
+            .problems()
+            .problem(top)
+            .clone()
+            .with_outputs([x, y])
+            .with_assignee(d);
+        dpm.initialize();
+        dpm
+    }
+
+    #[test]
+    fn replay_reproduces_records_and_final_state() {
+        let (net, x, y) = build();
+        let mut original = dpm_for(&net, DpmConfig::adpm());
+        let d = DesignerId::new(0);
+        let top = original.problems().root().unwrap();
+        original
+            .execute(Operation::assign(d, top, x, Value::number(9.0)))
+            .unwrap();
+        original
+            .execute(Operation::assign(d, top, y, Value::number(5.0)))
+            .unwrap(); // violates sum <= 12
+        original
+            .execute(Operation::assign(d, top, y, Value::number(2.0)))
+            .unwrap();
+        assert!(original.design_complete());
+
+        let mut fresh = dpm_for(&net, DpmConfig::adpm());
+        let outcome = replay_history(original.history(), &mut fresh).unwrap();
+        assert!(outcome.faithful);
+        assert_eq!(outcome.records.len(), 3);
+        assert!(fresh.design_complete());
+        assert_eq!(fresh.total_evaluations(), original.total_evaluations());
+        assert_eq!(fresh.spins(), original.spins());
+    }
+
+    #[test]
+    fn replay_on_a_different_configuration_is_unfaithful_not_wrong() {
+        let (net, x, y) = build();
+        let mut original = dpm_for(&net, DpmConfig::adpm());
+        let d = DesignerId::new(0);
+        let top = original.problems().root().unwrap();
+        original
+            .execute(Operation::assign(d, top, x, Value::number(9.0)))
+            .unwrap();
+        original
+            .execute(Operation::assign(d, top, y, Value::number(5.0)))
+            .unwrap();
+
+        // Replaying an ADPM history on a conventional DPM executes fine but
+        // produces different evaluation counts — reported, not panicking.
+        let mut conventional = dpm_for(&net, DpmConfig::conventional());
+        let outcome = replay_history(original.history(), &mut conventional).unwrap();
+        assert!(!outcome.faithful);
+    }
+
+    #[test]
+    fn replay_surfaces_invalid_operations_as_errors() {
+        let (net, x, _) = build();
+        let mut donor = dpm_for(&net, DpmConfig::adpm());
+        let d = DesignerId::new(0);
+        let top = donor.problems().root().unwrap();
+        donor
+            .execute(Operation::assign(d, top, x, Value::number(9.0)))
+            .unwrap();
+        let mut history = donor.history().to_vec();
+        // Corrupt the history with an out-of-range value.
+        history[0].operation =
+            Operation::assign(d, top, x, Value::number(999.0));
+        let mut fresh = dpm_for(&net, DpmConfig::adpm());
+        assert!(replay_history(&history, &mut fresh).is_err());
+    }
+
+    #[test]
+    fn empty_history_is_trivially_faithful() {
+        let (net, _, _) = build();
+        let mut dpm = dpm_for(&net, DpmConfig::adpm());
+        let outcome = replay_history(&[], &mut dpm).unwrap();
+        assert!(outcome.faithful);
+        assert!(outcome.records.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests of the design-process manager's invariants:
+//! arbitrary (valid and invalid) operation sequences never panic, history
+//! bookkeeping stays consistent, replay is exact, and the termination
+//! predicate never lies.
+
+use adpm_constraint::{
+    expr::{cst, var},
+    ConstraintNetwork, Domain, Property, PropertyId, Relation, Value,
+};
+use adpm_core::{
+    replay_history, DesignProcessManager, DesignerId, DpmConfig, ManagementMode, Operation,
+    ProblemId,
+};
+use proptest::prelude::*;
+
+/// A three-property, two-constraint network with a two-level hierarchy.
+fn build_dpm(mode: ManagementMode) -> DesignProcessManager {
+    let mut net = ConstraintNetwork::new();
+    let x = net
+        .add_property(Property::new("x", "a", Domain::interval(0.0, 10.0)))
+        .expect("unique");
+    let y = net
+        .add_property(Property::new("y", "b", Domain::interval(0.0, 10.0)))
+        .expect("unique");
+    let z = net
+        .add_property(Property::new("z", "b", Domain::interval(0.0, 10.0)))
+        .expect("unique");
+    let c1 = net
+        .add_constraint("sum", var(x) + var(y), Relation::Le, cst(12.0))
+        .expect("valid");
+    let c2 = net
+        .add_constraint("ord", var(y), Relation::Le, var(z))
+        .expect("valid");
+    let config = match mode {
+        ManagementMode::Adpm => DpmConfig::adpm(),
+        ManagementMode::Conventional => DpmConfig::conventional(),
+    };
+    let mut dpm = DesignProcessManager::new(net, config);
+    let d0 = dpm.add_designer();
+    let d1 = dpm.add_designer();
+    let top = dpm.problems_mut().add_root("top");
+    let pa = dpm.problems_mut().decompose(top, "pa");
+    let pb = dpm.problems_mut().decompose(top, "pb");
+    *dpm.problems_mut().problem_mut(top) = dpm
+        .problems()
+        .problem(top)
+        .clone()
+        .with_constraints([c1])
+        .with_assignee(d0);
+    *dpm.problems_mut().problem_mut(pa) = dpm
+        .problems()
+        .problem(pa)
+        .clone()
+        .with_outputs([x])
+        .with_assignee(d0);
+    *dpm.problems_mut().problem_mut(pb) = dpm
+        .problems()
+        .problem(pb)
+        .clone()
+        .with_outputs([y, z])
+        .with_constraints([c2])
+        .with_assignee(d1);
+    dpm.initialize();
+    dpm
+}
+
+/// One step of a random operation script.
+#[derive(Debug, Clone)]
+enum Step {
+    Assign(usize, f64),
+    Unbind(usize),
+    Verify(usize),
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0usize..3, -2.0f64..12.0).prop_map(|(p, v)| Step::Assign(p, v)),
+        (0usize..3).prop_map(Step::Unbind),
+        (0usize..3).prop_map(Step::Verify),
+    ]
+}
+
+fn apply(dpm: &mut DesignProcessManager, s: &Step) -> bool {
+    let problems = [ProblemId::new(0), ProblemId::new(1), ProblemId::new(2)];
+    let designer = DesignerId::new(0);
+    let result = match s {
+        Step::Assign(p, v) => dpm.execute(Operation::assign(
+            designer,
+            problems[(*p % 2) + 1],
+            PropertyId::new(*p as u32),
+            Value::number(*v),
+        )),
+        Step::Unbind(p) => dpm.execute(Operation::unbind(
+            designer,
+            problems[(*p % 2) + 1],
+            PropertyId::new(*p as u32),
+        )),
+        Step::Verify(p) => dpm.execute(Operation::verify(designer, problems[*p])),
+    };
+    result.is_ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No operation sequence (including out-of-range assigns, redundant
+    /// unbinds, and pointless verifications) can panic, corrupt the
+    /// history, or desynchronize the cumulative counters.
+    #[test]
+    fn random_scripts_keep_invariants(
+        steps in proptest::collection::vec(step(), 0..25),
+        adpm in any::<bool>(),
+    ) {
+        let mode = if adpm { ManagementMode::Adpm } else { ManagementMode::Conventional };
+        let mut dpm = build_dpm(mode);
+        let initial_evals = dpm.total_evaluations();
+        let mut accepted = 0usize;
+        for s in &steps {
+            if apply(&mut dpm, s) {
+                accepted += 1;
+            }
+        }
+        // History records exactly the accepted operations, in order.
+        prop_assert_eq!(dpm.history().len(), accepted);
+        for (i, record) in dpm.history().iter().enumerate() {
+            prop_assert_eq!(record.sequence, i + 1);
+        }
+        // Counters equal the sums over the history.
+        let eval_sum: usize = dpm.history().iter().map(|r| r.evaluations).sum();
+        prop_assert_eq!(dpm.total_evaluations(), initial_evals + eval_sum);
+        let spin_sum = dpm.history().iter().filter(|r| r.spin).count();
+        prop_assert_eq!(dpm.spins(), spin_sum);
+    }
+
+    /// The completion predicate never lies: whenever it reports true, every
+    /// constraint point-checks against the bound values.
+    #[test]
+    fn completion_implies_ground_truth(
+        steps in proptest::collection::vec(step(), 0..25),
+        adpm in any::<bool>(),
+    ) {
+        let mode = if adpm { ManagementMode::Adpm } else { ManagementMode::Conventional };
+        let mut dpm = build_dpm(mode);
+        for s in &steps {
+            let _ = apply(&mut dpm, s);
+            if dpm.design_complete() {
+                let net = dpm.network();
+                for cid in net.constraint_ids() {
+                    prop_assert!(net.all_arguments_bound(cid));
+                    prop_assert!(
+                        net.check_constraint_point(cid),
+                        "complete design violates {}",
+                        net.constraint(cid).name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Any accepted history replays exactly on a fresh, identically
+    /// initialized DPM.
+    #[test]
+    fn histories_replay_exactly(
+        steps in proptest::collection::vec(step(), 0..25),
+        adpm in any::<bool>(),
+    ) {
+        let mode = if adpm { ManagementMode::Adpm } else { ManagementMode::Conventional };
+        let mut dpm = build_dpm(mode);
+        for s in &steps {
+            let _ = apply(&mut dpm, s);
+        }
+        let mut fresh = build_dpm(mode);
+        let outcome = replay_history(dpm.history(), &mut fresh)
+            .expect("accepted operations stay valid on replay");
+        prop_assert!(outcome.faithful);
+        prop_assert_eq!(fresh.design_complete(), dpm.design_complete());
+        prop_assert_eq!(fresh.known_violations(), dpm.known_violations());
+    }
+
+    /// Feasible subspaces under ADPM are always sound: the bound value of
+    /// every property satisfying all constraints point-wise is never pruned
+    /// from a *sibling's* feasible subspace... simplified here to: feasible
+    /// subspaces never exceed the initial ranges, and bound properties pin
+    /// to singletons.
+    #[test]
+    fn adpm_feasible_subspaces_stay_inside_initial_ranges(
+        steps in proptest::collection::vec(step(), 0..25),
+    ) {
+        let mut dpm = build_dpm(ManagementMode::Adpm);
+        for s in &steps {
+            let _ = apply(&mut dpm, s);
+            let net = dpm.network();
+            for pid in net.property_ids() {
+                let initial = net.property(pid).initial_domain();
+                let feasible = net.feasible(pid);
+                prop_assert!(feasible.relative_size(initial) <= 1.0 + 1e-12);
+                if let Some(value) = net.assignment(pid) {
+                    prop_assert!(
+                        feasible.is_empty() || feasible.contains(value),
+                        "bound value outside its feasible singleton"
+                    );
+                }
+            }
+        }
+    }
+}

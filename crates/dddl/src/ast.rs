@@ -1,0 +1,203 @@
+//! Abstract syntax tree for DDDL scenario descriptions.
+
+/// A complete scenario description: objects (with properties), constraints,
+/// and the problem hierarchy with designer assignments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioAst {
+    /// Design objects in declaration order.
+    pub objects: Vec<ObjectDecl>,
+    /// Constraints in declaration order.
+    pub constraints: Vec<ConstraintDecl>,
+    /// Problems in declaration order (parents before children).
+    pub problems: Vec<ProblemDecl>,
+}
+
+/// `object <name> { property ...; }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectDecl {
+    /// Design object name, e.g. `LNA+Mixer`.
+    pub name: String,
+    /// The object's properties.
+    pub properties: Vec<PropertyDecl>,
+}
+
+/// `property <name> : <domain> [units "..."] [levels [...]] [init <num>];`
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyDecl {
+    /// Property name, unique within the object.
+    pub name: String,
+    /// The declared value range `E_i`.
+    pub domain: DomainDecl,
+    /// Optional unit label.
+    pub units: Option<String>,
+    /// Optional abstraction levels (paper Fig. 2).
+    pub levels: Vec<String>,
+    /// Optional initial binding (used for top-level requirements).
+    pub init: Option<f64>,
+}
+
+/// A property's declared value range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomainDecl {
+    /// `interval(lo, hi)` — continuous range.
+    Interval(f64, f64),
+    /// `set(v1, v2, ...)` — finite numeric menu.
+    Set(Vec<f64>),
+    /// `choice("a", "b", ...)` — finite symbolic menu.
+    Choice(Vec<String>),
+    /// `bool` — boolean flag.
+    Bool,
+}
+
+/// A reference to `object.property`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PropRef {
+    /// The owning object's name.
+    pub object: String,
+    /// The property's name.
+    pub property: String,
+}
+
+impl std::fmt::Display for PropRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.object, self.property)
+    }
+}
+
+/// Comparison operator in a constraint declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelOp {
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `==`
+    Eq,
+}
+
+/// `constraint <name>: <expr> <rel> <expr> [monotonic ...];`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintDecl {
+    /// Constraint name (referenced from problem declarations).
+    pub name: String,
+    /// Left-hand expression.
+    pub lhs: ExprAst,
+    /// Comparison operator.
+    pub rel: RelOp,
+    /// Right-hand expression.
+    pub rhs: ExprAst,
+    /// Declared monotonicity clauses.
+    pub monotonic: Vec<MonoDecl>,
+}
+
+/// One `increasing in x` / `decreasing in x` clause. Matches the paper's
+/// example: "filter loss constraints are monotonic decreasing in the
+/// resonator length, but are monotonic increasing in the beam width" —
+/// i.e. moving the named property in the stated direction helps satisfy
+/// the constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonoDecl {
+    /// `true` for `increasing` (raising the value helps), `false` for
+    /// `decreasing`.
+    pub increasing: bool,
+    /// The property the clause talks about.
+    pub property: PropRef,
+}
+
+/// Arithmetic expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// Numeric literal.
+    Num(f64),
+    /// Property reference.
+    Ref(PropRef),
+    /// Unary negation.
+    Neg(Box<ExprAst>),
+    /// `sqrt(e)` / `abs(e)` / `exp(e)` / `ln(e)`.
+    Unary(UnaryFn, Box<ExprAst>),
+    /// `min(a, b)` / `max(a, b)`.
+    Binary2(Binary2Fn, Box<ExprAst>, Box<ExprAst>),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<ExprAst>, Box<ExprAst>),
+    /// Integer power `e ^ n`.
+    Pow(Box<ExprAst>, i32),
+}
+
+/// Named unary functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryFn {
+    /// Square root.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Exponential.
+    Exp,
+    /// Natural logarithm.
+    Ln,
+}
+
+/// Named binary functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binary2Fn {
+    /// Pointwise minimum.
+    Min,
+    /// Pointwise maximum.
+    Max,
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// `problem <name> [under <parent>] [after <p> (, <p>)*] { ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemDecl {
+    /// Problem name.
+    pub name: String,
+    /// Parent problem name for decomposition, if any.
+    pub parent: Option<String>,
+    /// Problems that must be solved before this one can be addressed —
+    /// the paper's "partially-ordered subproblem set".
+    pub after: Vec<String>,
+    /// Input property references.
+    pub inputs: Vec<PropRef>,
+    /// Output property references (a solution must bind these).
+    pub outputs: Vec<PropRef>,
+    /// Names of constraints in the problem's set `T_i`.
+    pub constraints: Vec<String>,
+    /// The designer index the problem is assigned to, if any.
+    pub designer: Option<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propref_displays_dotted() {
+        let r = PropRef {
+            object: "Filter".into(),
+            property: "beam-len".into(),
+        };
+        assert_eq!(r.to_string(), "Filter.beam-len");
+    }
+
+    #[test]
+    fn default_scenario_is_empty() {
+        let s = ScenarioAst::default();
+        assert!(s.objects.is_empty() && s.constraints.is_empty() && s.problems.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Errors for DDDL lexing, parsing, and compilation.
+
+use adpm_constraint::NetworkError;
+use std::error::Error;
+use std::fmt;
+
+/// A line/column position in DDDL source text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Errors produced while processing DDDL source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DddlError {
+    /// Lexical error (bad character, unterminated string, ...).
+    Lex {
+        /// Where the problem starts.
+        position: Position,
+        /// What went wrong.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Where the problem starts (or end of input).
+        position: Option<Position>,
+        /// What went wrong.
+        message: String,
+    },
+    /// Semantic error during compilation (unknown names, type problems).
+    Compile {
+        /// What went wrong.
+        message: String,
+    },
+    /// An underlying constraint-network error.
+    Network(NetworkError),
+}
+
+impl fmt::Display for DddlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DddlError::Lex { position, message } => write!(f, "lex error at {position}: {message}"),
+            DddlError::Parse { position, message } => match position {
+                Some(p) => write!(f, "parse error at {p}: {message}"),
+                None => write!(f, "parse error at end of input: {message}"),
+            },
+            DddlError::Compile { message } => write!(f, "compile error: {message}"),
+            DddlError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for DddlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DddlError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetworkError> for DddlError {
+    fn from(e: NetworkError) -> Self {
+        DddlError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_positions() {
+        let e = DddlError::Lex {
+            position: Position { line: 3, column: 7 },
+            message: "bad".into(),
+        };
+        assert_eq!(e.to_string(), "lex error at 3:7: bad");
+        let e = DddlError::Parse {
+            position: None,
+            message: "eof".into(),
+        };
+        assert!(e.to_string().contains("end of input"));
+    }
+
+    #[test]
+    fn network_errors_convert_and_chain() {
+        let inner = NetworkError::UnknownProperty(adpm_constraint::PropertyId::new(0));
+        let e = DddlError::from(inner.clone());
+        assert!(e.to_string().contains("unknown property"));
+        assert!(Error::source(&e).is_some());
+        assert_eq!(e, DddlError::Network(inner));
+    }
+}

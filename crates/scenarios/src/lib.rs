@@ -1,0 +1,42 @@
+//! # adpm-scenarios
+//!
+//! The design cases evaluated in *Application of Constraint-Based
+//! Heuristics in Collaborative Design* (DAC 2001), reconstructed as DDDL
+//! scenarios:
+//!
+//! * [`sensing_system`] — the MEMS pressure-sensing system (26 properties,
+//!   21 constraints, mostly linear/monotonic);
+//! * [`wireless_receiver`] — the MEMS-based wireless receiver front-end
+//!   (32 properties, 30 constraints, mostly non-linear — the "harder"
+//!   case), with the system-gain requirement parameterizable for the
+//!   paper's Fig. 10 tightness sweep
+//!   ([`wireless_receiver_with_gain`]);
+//! * [`lna_walkthrough`] — the §2.4 LNA/filter story behind Figs. 2–4.
+//!
+//! Each function returns a compiled
+//! [`CompiledScenario`](adpm_dddl::CompiledScenario) from which any number
+//! of independent design-process managers can be built (one per simulation
+//! run).
+//!
+//! ```
+//! use adpm_scenarios::sensing_system;
+//! use adpm_core::DpmConfig;
+//! let scenario = sensing_system();
+//! let dpm = scenario.build_dpm(DpmConfig::adpm());
+//! assert_eq!(dpm.designers().len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod pipeline;
+mod receiver;
+mod sensing;
+mod walkthrough;
+
+pub use pipeline::{pipeline, pipeline_dddl, MAX_PIPELINE_STAGES};
+pub use receiver::{
+    receiver_dddl, wireless_receiver, wireless_receiver_with_gain, DEFAULT_GAIN_REQUIREMENT,
+};
+pub use sensing::{sensing_system, SENSING_DDDL};
+pub use walkthrough::{lna_walkthrough, WALKTHROUGH_DDDL};

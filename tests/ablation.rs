@@ -1,0 +1,87 @@
+//! Ablation integration tests: each §2.3 heuristic support, removed on its
+//! own, must not *improve* ADPM; removing the value-selection or
+//! direction-repair supports must measurably hurt it. (The full study is
+//! the `ablation_heuristics` bench binary.)
+
+use adpm_teamsim::{run_once, Batch, HeuristicToggles, SimulationConfig};
+
+const SEEDS: u64 = 12;
+
+fn batch_with(toggles: HeuristicToggles) -> Batch {
+    let scenario = adpm_scenarios::sensing_system();
+    let mut batch = Batch::new();
+    for seed in 0..SEEDS {
+        let mut config = SimulationConfig::adpm(seed);
+        config.heuristics = toggles;
+        batch.push(run_once(&scenario, config));
+    }
+    batch
+}
+
+#[test]
+fn removing_feasible_value_selection_hurts() {
+    let full = batch_with(HeuristicToggles::all());
+    let ablated = batch_with(HeuristicToggles {
+        feasible_values: false,
+        ..HeuristicToggles::all()
+    });
+    assert!(
+        ablated.operations().mean > full.operations().mean * 1.3,
+        "ablated {:.1} vs full {:.1}",
+        ablated.operations().mean,
+        full.operations().mean
+    );
+}
+
+#[test]
+fn removing_direction_repair_hurts() {
+    let full = batch_with(HeuristicToggles::all());
+    let ablated = batch_with(HeuristicToggles {
+        direction_repair: false,
+        ..HeuristicToggles::all()
+    });
+    // Without direction information repairs degenerate to random walks;
+    // either operations explode or runs start getting censored.
+    let worse = ablated.operations().mean > full.operations().mean * 1.5
+        || ablated.completion_rate() < full.completion_rate();
+    assert!(
+        worse,
+        "ablated ops {:.1} (done {:.0}%) vs full {:.1} (done {:.0}%)",
+        ablated.operations().mean,
+        100.0 * ablated.completion_rate(),
+        full.operations().mean,
+        100.0 * full.completion_rate()
+    );
+}
+
+#[test]
+fn single_ablations_never_beat_the_full_configuration_badly() {
+    // No single heuristic removal should make ADPM *better* by a wide
+    // margin — if one did, the heuristic would be harmful and the model
+    // would contradict the paper.
+    let full = batch_with(HeuristicToggles::all());
+    for (name, toggles) in [
+        (
+            "feasible_ordering",
+            HeuristicToggles {
+                feasible_ordering: false,
+                ..HeuristicToggles::all()
+            },
+        ),
+        (
+            "alpha_repair",
+            HeuristicToggles {
+                alpha_repair: false,
+                ..HeuristicToggles::all()
+            },
+        ),
+    ] {
+        let ablated = batch_with(toggles);
+        assert!(
+            ablated.operations().mean > full.operations().mean * 0.7,
+            "removing {name} improved ADPM: {:.1} vs {:.1}",
+            ablated.operations().mean,
+            full.operations().mean
+        );
+    }
+}

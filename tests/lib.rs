@@ -1,0 +1,1 @@
+//! Integration test support (tests live in `it/`).
