@@ -7,7 +7,8 @@
 //! should evaluate other types of problems and heuristics" — so this bench
 //! is an extension, not a paper figure.)
 
-use adpm_teamsim::{run_once, Batch, ForwardOrdering, HeuristicToggles, SimulationConfig};
+use adpm_bench::PhaseRecorder;
+use adpm_teamsim::{run_once_with_sink, Batch, ForwardOrdering, HeuristicToggles, SimulationConfig};
 
 const SEEDS: u64 = 30;
 
@@ -46,6 +47,7 @@ fn main() {
         ("sensing system", adpm_scenarios::sensing_system()),
         ("wireless receiver", adpm_scenarios::wireless_receiver()),
     ] {
+        let mut recorder = PhaseRecorder::new();
         println!("{name}:");
         println!(
             "  {:<40} {:>10} {:>8} {:>9} {:>7}",
@@ -56,8 +58,9 @@ fn main() {
             for seed in 0..SEEDS {
                 let mut config = SimulationConfig::adpm(seed);
                 tweak(&mut config.heuristics);
-                batch.push(run_once(&scenario, config));
+                batch.push(run_once_with_sink(&scenario, config, recorder.sink()));
             }
+            recorder.mark(label);
             println!(
                 "  {label:<40} {:>10.1} {:>8.1} {:>9.1} {:>6.0}%",
                 batch.operations().mean,
@@ -66,6 +69,6 @@ fn main() {
                 100.0 * batch.completion_rate()
             );
         }
-        println!();
+        println!("\n{}", recorder.report());
     }
 }

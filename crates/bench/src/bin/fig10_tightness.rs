@@ -6,7 +6,7 @@
 //! the conventional approach — ADPM is more robust to specification
 //! tightening.
 
-use adpm_bench::{bar, run_both};
+use adpm_bench::{bar, PhaseRecorder};
 use adpm_scenarios::wireless_receiver_with_gain;
 use adpm_teamsim::Summary;
 
@@ -21,11 +21,13 @@ fn main() {
         "{:>9} {:>12} {:>10} {:>12} {:>10} {:>11} {:>11}",
         "req-gain", "conv ops", "± std", "adpm ops", "± std", "conv done%", "adpm done%"
     );
+    let mut recorder = PhaseRecorder::new();
     let mut conv_means = Vec::new();
     let mut adpm_means = Vec::new();
     for gain in gains {
         let scenario = wireless_receiver_with_gain(gain);
-        let (conventional, adpm) = run_both(&scenario, SEEDS);
+        let (conventional, adpm) =
+            recorder.run_both_phases(&format!("gain>={gain:.0}"), &scenario, SEEDS);
         let c = conventional.operations();
         let a = adpm.operations();
         println!(
@@ -69,4 +71,6 @@ fn main() {
         conv_spread / conv_summary.mean.max(1e-9),
         adpm_spread / adpm_summary.mean.max(1e-9)
     );
+
+    println!("\n{}", recorder.report());
 }

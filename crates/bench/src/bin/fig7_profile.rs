@@ -10,9 +10,10 @@
 //! smaller than the per-operation penalty because ADPM executes fewer
 //! operations.
 
+use adpm_bench::PhaseRecorder;
 use adpm_core::ManagementMode;
 use adpm_teamsim::report::{profile_chart, run_csv};
-use adpm_teamsim::{run_once, SimulationConfig};
+use adpm_teamsim::{run_once, run_once_with_sink, SimulationConfig};
 
 fn main() {
     // The paper's Fig. 7 uses "a simplified design case": the pressure
@@ -21,8 +22,12 @@ fn main() {
     // profile is "typical".
     let scenario = adpm_scenarios::sensing_system();
     let seed = typical_seed(&scenario);
-    let conventional = run_once(&scenario, SimulationConfig::conventional(seed));
-    let adpm = run_once(&scenario, SimulationConfig::adpm(seed));
+    let mut recorder = PhaseRecorder::new();
+    let conventional =
+        run_once_with_sink(&scenario, SimulationConfig::conventional(seed), recorder.sink());
+    recorder.mark("conventional");
+    let adpm = run_once_with_sink(&scenario, SimulationConfig::adpm(seed), recorder.sink());
+    recorder.mark("adpm");
 
     println!("=== Fig. 7 — per-operation profile (sensing system, seed {seed}) ===\n");
     println!(
@@ -77,7 +82,9 @@ fn main() {
         (adpm.evaluations as f64 / conventional.evaluations as f64) < (n_e_adpm / n_e_conv)
     );
 
-    println!("\n--- CSV (conventional) ---\n{}", run_csv(&conventional));
+    println!("\n{}", recorder.report());
+
+    println!("--- CSV (conventional) ---\n{}", run_csv(&conventional));
     println!("--- CSV (adpm) ---\n{}", run_csv(&adpm));
 }
 

@@ -3,15 +3,21 @@
 //! of violations, number of constraint evaluations, cumulative design
 //! spins) — as periodic snapshots over a receiver-case run in each mode.
 
+use adpm_bench::PhaseRecorder;
 use adpm_core::ManagementMode;
 use adpm_teamsim::report::stats_window;
 use adpm_teamsim::{Simulation, SimulationConfig, StepOutcome};
 
 fn main() {
     let scenario = adpm_scenarios::wireless_receiver();
+    let mut recorder = PhaseRecorder::new();
     for mode in [ManagementMode::Adpm, ManagementMode::Conventional] {
         println!("=== Fig. 8 — statistics window over time ({mode:?} run, receiver) ===\n");
-        let mut sim = Simulation::new(&scenario, SimulationConfig::for_mode(mode, 17));
+        let mut sim = Simulation::with_sink(
+            &scenario,
+            SimulationConfig::for_mode(mode, 17),
+            recorder.sink(),
+        );
         println!("snapshot at start:\n{}", stats_window(&sim));
         let snapshot_every = 10;
         loop {
@@ -36,5 +42,7 @@ fn main() {
             }
         }
         println!("final snapshot:\n{}", stats_window(&sim));
+        recorder.mark(mode.as_str());
     }
+    println!("{}", recorder.report());
 }

@@ -8,16 +8,17 @@
 //! harder (receiver) problem*; and the per-operation penalty is larger than
 //! the total penalty (consistent with Fig. 7 (b)).
 
-use adpm_bench::{bar, run_both, SEEDS};
+use adpm_bench::{bar, PhaseRecorder, SEEDS};
 
 fn main() {
     println!("=== Fig. 9 (b) — constraint evaluations ({SEEDS} seeds per bar) ===\n");
+    let mut recorder = PhaseRecorder::new();
     let mut rows = Vec::new();
     for (name, scenario) in [
         ("sensing system", adpm_scenarios::sensing_system()),
         ("wireless receiver", adpm_scenarios::wireless_receiver()),
     ] {
-        let (conventional, adpm) = run_both(&scenario, SEEDS);
+        let (conventional, adpm) = recorder.run_both_phases(name, &scenario, SEEDS);
         rows.push((name, conventional, adpm));
     }
 
@@ -82,4 +83,6 @@ fn main() {
         total_penalty[1],
         total_penalty[0]
     );
+
+    println!("\n{}", recorder.report());
 }

@@ -9,17 +9,18 @@
 //! variable; ADPM's spins are a small fraction (~7 %) of the conventional
 //! approach's.
 
-use adpm_bench::{bar, run_both, SEEDS};
+use adpm_bench::{bar, PhaseRecorder, SEEDS};
 use adpm_teamsim::report::comparison_block;
 
 fn main() {
     println!("=== Fig. 9 (a) — operations to complete ({SEEDS} seeds per bar) ===\n");
+    let mut recorder = PhaseRecorder::new();
     let mut rows = Vec::new();
     for (name, scenario) in [
         ("sensing system", adpm_scenarios::sensing_system()),
         ("wireless receiver", adpm_scenarios::wireless_receiver()),
     ] {
-        let (conventional, adpm) = run_both(&scenario, SEEDS);
+        let (conventional, adpm) = recorder.run_both_phases(name, &scenario, SEEDS);
         println!("{}", comparison_block(name, &conventional, &adpm));
         println!(
             "  percentiles   conv p50 {:>6.0} p90 {:>6.0}   adpm p50 {:>6.0} p90 {:>6.0}\n",
@@ -66,4 +67,6 @@ fn main() {
          ({receiver_ratio:.2}x vs {sensing_ratio:.2}x)",
         receiver_ratio > sensing_ratio
     );
+
+    println!("\n{}", recorder.report());
 }

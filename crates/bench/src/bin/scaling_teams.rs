@@ -4,7 +4,7 @@
 //! teams, where multiple subsystems are developed in parallel" — this bench
 //! measures that trend directly.
 
-use adpm_bench::run_both;
+use adpm_bench::PhaseRecorder;
 use adpm_scenarios::pipeline;
 
 const SEEDS: u64 = 15;
@@ -15,10 +15,12 @@ fn main() {
         "{:>7} {:>10} {:>12} {:>10} {:>10} {:>12} {:>12}",
         "stages", "designers", "conv ops", "adpm ops", "ratio", "conv spins", "adpm spins"
     );
+    let mut recorder = PhaseRecorder::new();
     let mut ratios = Vec::new();
     for n in [2usize, 3, 4, 5, 6] {
         let scenario = pipeline(n);
-        let (conventional, adpm) = run_both(&scenario, SEEDS);
+        let (conventional, adpm) =
+            recorder.run_both_phases(&format!("stages={n}"), &scenario, SEEDS);
         let ratio = conventional.operations().mean / adpm.operations().mean;
         println!(
             "{n:>7} {:>10} {:>12.1} {:>10.1} {:>9.2}x {:>12.1} {:>12.1}",
@@ -38,4 +40,6 @@ fn main() {
         ratios[0],
         ratios[ratios.len() - 1] > ratios[0]
     );
+
+    println!("\n{}", recorder.report());
 }

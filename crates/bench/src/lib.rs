@@ -19,10 +19,14 @@
 //! engine and end-to-end simulation throughput.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 use adpm_core::ManagementMode;
 use adpm_dddl::CompiledScenario;
-use adpm_teamsim::{run_once, Batch, SimulationConfig};
+use adpm_observe::{Counter, CounterSnapshot, InMemorySink, MetricsSink};
+use adpm_teamsim::{run_once, run_once_with_sink, Batch, SimulationConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Number of seeded runs per configuration, matching the paper's
 /// "over 60 simulations were executed varying the value of the random seed".
@@ -43,6 +47,134 @@ pub fn run_both(scenario: &CompiledScenario, seeds: u64) -> (Batch, Batch) {
         run_batch(scenario, ManagementMode::Conventional, seeds),
         run_batch(scenario, ManagementMode::Adpm, seeds),
     )
+}
+
+/// Accumulates per-phase counter totals across a bench binary.
+///
+/// Every figure binary runs in phases (one batch of simulations per bar,
+/// curve, or configuration). A `PhaseRecorder` hands out one shared
+/// [`InMemorySink`], and [`mark`](PhaseRecorder::mark) closes the current
+/// phase by snapshotting the counters accumulated since the previous mark.
+/// [`report`](PhaseRecorder::report) renders all phases as one table so
+/// each binary can print where its constraint-evaluation budget went.
+#[derive(Debug)]
+pub struct PhaseRecorder {
+    sink: Arc<InMemorySink>,
+    last: CounterSnapshot,
+    phases: Vec<(String, CounterSnapshot)>,
+}
+
+impl Default for PhaseRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseRecorder {
+    /// A recorder with a fresh sink and no closed phases.
+    pub fn new() -> Self {
+        let sink = Arc::new(InMemorySink::new());
+        let last = sink.snapshot();
+        PhaseRecorder {
+            sink,
+            last,
+            phases: Vec::new(),
+        }
+    }
+
+    /// The shared sink; pass clones to instrumented runs.
+    pub fn sink(&self) -> Arc<InMemorySink> {
+        self.sink.clone()
+    }
+
+    /// Runs `seeds` simulations through the recorder's sink and closes the
+    /// batch as one phase named `label`.
+    pub fn run_phase(
+        &mut self,
+        label: &str,
+        scenario: &CompiledScenario,
+        mode: ManagementMode,
+        seeds: u64,
+    ) -> Batch {
+        let mut batch = Batch::new();
+        for seed in 0..seeds {
+            batch.push(run_once_with_sink(
+                scenario,
+                SimulationConfig::for_mode(mode, seed),
+                self.sink() as Arc<dyn MetricsSink>,
+            ));
+        }
+        self.mark(label);
+        batch
+    }
+
+    /// Runs both modes through the recorder, one phase per mode.
+    pub fn run_both_phases(
+        &mut self,
+        label: &str,
+        scenario: &CompiledScenario,
+        seeds: u64,
+    ) -> (Batch, Batch) {
+        (
+            self.run_phase(
+                &format!("{label}/conventional"),
+                scenario,
+                ManagementMode::Conventional,
+                seeds,
+            ),
+            self.run_phase(&format!("{label}/adpm"), scenario, ManagementMode::Adpm, seeds),
+        )
+    }
+
+    /// Closes the current phase: everything counted since the last mark is
+    /// recorded under `label`.
+    pub fn mark(&mut self, label: &str) {
+        let now = self.sink.snapshot();
+        let delta = now.since(&self.last);
+        self.last = now;
+        self.phases.push((label.to_owned(), delta));
+    }
+
+    /// Per-phase counter table (the columns the paper's evaluation turns
+    /// on: operations, evaluations, propagation waves, spins) plus a total
+    /// row covering everything the sink counted.
+    pub fn report(&self) -> String {
+        const COLUMNS: [Counter; 6] = [
+            Counter::Operations,
+            Counter::Evaluations,
+            Counter::Propagations,
+            Counter::Waves,
+            Counter::Violations,
+            Counter::Spins,
+        ];
+        let width = self
+            .phases
+            .iter()
+            .map(|(label, _)| label.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let mut out = String::new();
+        let _ = write!(out, "per-phase counters:\n  {:<width$}", "phase");
+        for c in COLUMNS {
+            let _ = write!(out, " {:>13}", c.name());
+        }
+        out.push('\n');
+        for (label, snapshot) in &self.phases {
+            let _ = write!(out, "  {label:<width$}");
+            for c in COLUMNS {
+                let _ = write!(out, " {:>13}", snapshot.get(c));
+            }
+            out.push('\n');
+        }
+        let total = self.sink.snapshot();
+        let _ = write!(out, "  {:<width$}", "total");
+        for c in COLUMNS {
+            let _ = write!(out, " {:>13}", total.get(c));
+        }
+        out.push('\n');
+        out
+    }
 }
 
 /// Formats a simple horizontal ASCII bar.

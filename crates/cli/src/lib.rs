@@ -24,8 +24,11 @@
 use adpm_constraint::{explain_all_violations, propagate, PropagationConfig, Value};
 use adpm_core::{DpmConfig, ManagementMode};
 use adpm_dddl::{compile_source, parse, to_source, CompiledScenario};
-use adpm_teamsim::{run_once, Batch, SimulationConfig};
+use adpm_observe::{InMemorySink, JsonlSink, MetricsSink, TeeSink};
+use adpm_teamsim::{run_once, run_once_with_sink, Batch, SimulationConfig};
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -81,8 +84,12 @@ USAGE:
 COMMANDS:
     check   <file.dddl>                    compile, propagate, report feasibility
     run     <file.dddl> [--mode adpm|conventional] [--seed N] [--max-ops N]
-            [--csv]                        simulate one TeamSim run
-                                           (--csv prints the per-operation table)
+            [--csv] [--trace FILE] [--metrics]
+                                           simulate one TeamSim run
+                                           (--csv prints the per-operation table,
+                                            --trace streams a JSONL event trace
+                                            to FILE, --metrics appends the
+                                            aggregate counter totals)
     compare <file.dddl> [--seeds N]        both modes over N seeds (default 20)
     explain <file.dddl> [--bind obj.prop=V ...]
                                            bind values, propagate, explain conflicts
@@ -163,6 +170,11 @@ pub struct RunOptions {
     pub max_operations: usize,
     /// Emit the per-operation capture as CSV instead of the summary.
     pub csv: bool,
+    /// Stream a JSONL trace of the run (see `docs/OBSERVABILITY.md` for the
+    /// schema) to this path.
+    pub trace: Option<PathBuf>,
+    /// Append the aggregate counter totals to the report.
+    pub metrics: bool,
 }
 
 impl Default for RunOptions {
@@ -172,6 +184,8 @@ impl Default for RunOptions {
             seed: 0,
             max_operations: 5_000,
             csv: false,
+            trace: None,
+            metrics: false,
         }
     }
 }
@@ -185,7 +199,30 @@ pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
     let scenario = compile_source(source)?;
     let mut config = SimulationConfig::for_mode(options.mode, options.seed);
     config.max_operations = options.max_operations;
-    let stats = run_once(&scenario, config);
+
+    let metrics = options.metrics.then(|| Arc::new(InMemorySink::new()));
+    let trace = options
+        .trace
+        .as_deref()
+        .map(JsonlSink::create)
+        .transpose()?
+        .map(Arc::new);
+    let mut sinks: Vec<Arc<dyn MetricsSink>> = Vec::new();
+    if let Some(m) = &metrics {
+        sinks.push(m.clone() as Arc<dyn MetricsSink>);
+    }
+    if let Some(t) = &trace {
+        sinks.push(t.clone() as Arc<dyn MetricsSink>);
+    }
+    let stats = if sinks.is_empty() {
+        run_once(&scenario, config)
+    } else {
+        run_once_with_sink(&scenario, config, Arc::new(TeeSink::new(sinks)))
+    };
+    if let Some(t) = &trace {
+        t.finish()?;
+    }
+
     if options.csv {
         return Ok(adpm_teamsim::report::run_csv(&stats));
     }
@@ -210,6 +247,13 @@ pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
     let _ = writeln!(out, "operations per designer:");
     for (designer, ops) in stats.operations_by_designer() {
         let _ = writeln!(out, "  designer{designer}: {ops}");
+    }
+    if let Some(m) = &metrics {
+        let _ = writeln!(out, "counters:");
+        let _ = write!(out, "{}", m.snapshot());
+    }
+    if let Some(path) = &options.trace {
+        let _ = writeln!(out, "trace written to {}", path.display());
     }
     Ok(out)
 }
@@ -420,6 +464,8 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
                 })?;
             }
             "--csv" => options.csv = true,
+            "--trace" => options.trace = Some(PathBuf::from(value(&mut it)?)),
+            "--metrics" => options.metrics = true,
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -438,6 +484,7 @@ pub fn load_scenario(source: &str) -> Result<CompiledScenario, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adpm_observe::TraceLine;
 
     const MINI: &str = r#"
         object rx {
@@ -479,7 +526,7 @@ mod tests {
                     mode,
                     seed: 1,
                     max_operations: 500,
-                    csv: false,
+                    ..RunOptions::default()
                 },
             )
             .expect("valid scenario");
@@ -616,6 +663,65 @@ mod tests {
         ])
         .expect("explain works");
         assert!(out.contains("violated"));
+    }
+
+    #[test]
+    fn run_with_metrics_appends_the_counter_block() {
+        let out = run(
+            MINI,
+            &RunOptions {
+                seed: 1,
+                metrics: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("valid scenario");
+        assert!(out.contains("counters:"), "{out}");
+        assert!(out.contains("operations"), "{out}");
+        assert!(out.contains("waves"), "{out}");
+    }
+
+    #[test]
+    fn run_with_trace_writes_schema_valid_jsonl() {
+        let dir = std::env::temp_dir().join("adpm-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("mini-trace.jsonl");
+        let out = run(
+            MINI,
+            &RunOptions {
+                seed: 1,
+                trace: Some(path.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .expect("valid scenario");
+        assert!(out.contains("trace written to"), "{out}");
+        let text = std::fs::read_to_string(&path).expect("trace file");
+        let lines = adpm_observe::parse_trace(&text).expect("schema-valid JSONL");
+        assert_eq!(lines.first().map(TraceLine::tag), Some("run_start"));
+        assert_eq!(lines.last().map(TraceLine::tag), Some("counters"));
+        assert!(lines.iter().any(|l| l.tag() == "summary"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dispatch_accepts_trace_and_metrics_flags() {
+        let dir = std::env::temp_dir().join("adpm-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let scenario = dir.join("mini-flags.dddl");
+        std::fs::write(&scenario, MINI).expect("write scenario");
+        let trace = dir.join("mini-flags.jsonl");
+        let out = dispatch(&[
+            "run".into(),
+            scenario.to_string_lossy().into_owned(),
+            "--metrics".into(),
+            "--trace".into(),
+            trace.to_string_lossy().into_owned(),
+        ])
+        .expect("run works");
+        assert!(out.contains("counters:"), "{out}");
+        assert!(trace.exists());
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

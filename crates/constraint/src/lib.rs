@@ -19,6 +19,8 @@
 //! * [`propagate`] — the DCM's propagation algorithm (HC4-revise inside an
 //!   AC-3 worklist) computing infeasible values and statuses while counting
 //!   constraint evaluations, the paper's tool-run proxy;
+//! * [`propagate_observed`] — the same algorithm reporting per-wave spans
+//!   and counters to an [`adpm_observe::MetricsSink`];
 //! * [`helps_direction`] — constraint monotonicity (declared or inferred);
 //! * [`HeuristicReport`] — the mined per-property heuristic support data
 //!   (`v_F` size, `β_i`, `α_i`, repair directions) of the paper's §2.3.
@@ -72,5 +74,7 @@ pub use ids::{ConstraintId, PropertyId};
 pub use interval::Interval;
 pub use monotone::{helps_direction, local_helps_direction};
 pub use network::{ConstraintNetwork, HelpsDirection, Property};
-pub use propagate::{hc4_revise, propagate, PropagationConfig, PropagationOutcome, ReviseResult};
+pub use propagate::{
+    hc4_revise, propagate, propagate_observed, PropagationConfig, PropagationOutcome, ReviseResult,
+};
 pub use value::{Value, VALUE_EPS};

@@ -23,6 +23,7 @@ use crate::expr::Expr;
 use crate::ids::{ConstraintId, PropertyId};
 use crate::interval::Interval;
 use crate::network::ConstraintNetwork;
+use adpm_observe::{Counter, MetricsSink, NoopSink, TraceEvent};
 use std::collections::{HashMap, VecDeque};
 
 /// Tuning knobs for the propagation fixed point.
@@ -58,6 +59,10 @@ pub struct PropagationOutcome {
     pub conflicts: Vec<ConstraintId>,
     /// False only if `max_evaluations` stopped the run early.
     pub reached_fixpoint: bool,
+    /// BFS levels the worklist took to drain: the constraints queued when a
+    /// wave starts form that wave; constraints re-queued by its narrowings
+    /// belong to the next. A direct measure of how far a change ripples.
+    pub waves: usize,
 }
 
 /// Result of revising a single constraint.
@@ -93,10 +98,30 @@ pub struct ReviseResult {
 /// # }
 /// ```
 pub fn propagate(net: &mut ConstraintNetwork, config: &PropagationConfig) -> PropagationOutcome {
+    propagate_observed(net, config, &NoopSink)
+}
+
+/// [`propagate`], reporting per-wave spans and aggregate counters to `sink`.
+///
+/// Per-wave [`TraceEvent::PropagationWave`] events are only constructed when
+/// `sink.is_enabled()`; with a [`NoopSink`] the instrumentation reduces to a
+/// handful of local integer updates plus one `is_enabled` call per run, so
+/// `propagate` delegates here unconditionally.
+///
+/// Counter semantics: `Evaluations`, `Waves`, `Narrowings`, and `Conflicts`
+/// are bumped once at the end of the run by the outcome's totals, and
+/// `Propagations` by one — so a sink shared across runs accumulates
+/// network-wide totals without double counting.
+pub fn propagate_observed(
+    net: &mut ConstraintNetwork,
+    config: &PropagationConfig,
+    sink: &dyn MetricsSink,
+) -> PropagationOutcome {
     let mut outcome = PropagationOutcome {
         reached_fixpoint: true,
         ..PropagationOutcome::default()
     };
+    let trace = sink.is_enabled();
 
     // Start from scratch: initial ranges, bound values pinned.
     net.reset_feasible();
@@ -111,6 +136,13 @@ pub fn propagate(net: &mut ConstraintNetwork, config: &PropagationConfig) -> Pro
     let mut in_queue = vec![true; net.constraint_count()];
     let mut conflicted = vec![false; net.constraint_count()];
 
+    // Wave bookkeeping: the constraints queued when a wave starts belong to
+    // it; anything they re-queue belongs to the next wave (BFS levels).
+    let mut wave_remaining = queue.len();
+    let mut wave_queue_len = queue.len();
+    let mut wave_evaluations: u64 = 0;
+    let mut wave_narrowings: u32 = 0;
+
     while let Some(cid) = queue.pop_front() {
         in_queue[cid.index()] = false;
         if outcome.evaluations >= config.max_evaluations {
@@ -118,6 +150,7 @@ pub fn propagate(net: &mut ConstraintNetwork, config: &PropagationConfig) -> Pro
             break;
         }
         outcome.evaluations += 1;
+        wave_evaluations += 1;
 
         let revise = {
             let lookup = |pid: PropertyId| net.effective_interval(pid);
@@ -128,24 +161,54 @@ pub fn propagate(net: &mut ConstraintNetwork, config: &PropagationConfig) -> Pro
                 conflicted[cid.index()] = true;
                 outcome.conflicts.push(cid);
             }
-            continue;
-        }
-        for (pid, narrowed_iv) in revise.narrowed {
-            if net.is_bound(pid) {
-                continue; // bound properties stay pinned to their value
-            }
-            let old = net.feasible(pid).clone();
-            let new = old.narrow_to_interval(&narrowed_iv);
-            if significant_narrowing(&old, &new, config.min_relative_narrowing) {
-                net.set_feasible(pid, new);
-                for dep in net.constraints_of(pid).to_vec() {
-                    if !in_queue[dep.index()] {
-                        in_queue[dep.index()] = true;
-                        queue.push_back(dep);
+        } else {
+            for (pid, narrowed_iv) in revise.narrowed {
+                if net.is_bound(pid) {
+                    continue; // bound properties stay pinned to their value
+                }
+                let old = net.feasible(pid).clone();
+                let new = old.narrow_to_interval(&narrowed_iv);
+                if significant_narrowing(&old, &new, config.min_relative_narrowing) {
+                    net.set_feasible(pid, new);
+                    wave_narrowings += 1;
+                    for dep in net.constraints_of(pid).to_vec() {
+                        if !in_queue[dep.index()] {
+                            in_queue[dep.index()] = true;
+                            queue.push_back(dep);
+                        }
                     }
                 }
             }
         }
+
+        wave_remaining -= 1;
+        if wave_remaining == 0 {
+            if trace {
+                sink.record(&TraceEvent::PropagationWave {
+                    wave: outcome.waves as u32,
+                    queue_len: wave_queue_len as u32,
+                    evaluations: wave_evaluations,
+                    narrowed: wave_narrowings,
+                });
+            }
+            outcome.waves += 1;
+            wave_remaining = queue.len();
+            wave_queue_len = queue.len();
+            wave_evaluations = 0;
+            wave_narrowings = 0;
+        }
+    }
+    // A wave cut short by the evaluation cap still counts.
+    if wave_evaluations > 0 {
+        if trace {
+            sink.record(&TraceEvent::PropagationWave {
+                wave: outcome.waves as u32,
+                queue_len: wave_queue_len as u32,
+                evaluations: wave_evaluations,
+                narrowed: wave_narrowings,
+            });
+        }
+        outcome.waves += 1;
     }
 
     // Final status sweep over the narrowed box.
@@ -158,6 +221,21 @@ pub fn propagate(net: &mut ConstraintNetwork, config: &PropagationConfig) -> Pro
                 && net.feasible(*pid).relative_size(net.property(*pid).initial_domain()) < 1.0
         })
         .collect();
+
+    sink.incr(Counter::Propagations, 1);
+    sink.incr(Counter::Evaluations, outcome.evaluations as u64);
+    sink.incr(Counter::Waves, outcome.waves as u64);
+    sink.incr(Counter::Narrowings, outcome.narrowed.len() as u64);
+    sink.incr(Counter::Conflicts, outcome.conflicts.len() as u64);
+    if trace {
+        sink.record(&TraceEvent::PropagationDone {
+            waves: outcome.waves as u32,
+            evaluations: outcome.evaluations as u64,
+            narrowed: outcome.narrowed.len() as u32,
+            conflicts: outcome.conflicts.len() as u32,
+            fixpoint: outcome.reached_fixpoint,
+        });
+    }
     outcome
 }
 
@@ -725,6 +803,84 @@ mod tests {
         let y = net.feasible(ids[1]).enclosing_interval().unwrap();
         assert!(x.hi() <= 4.0 + 1e-9);
         assert!(y.lo() >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn waves_count_bfs_levels_and_reach_the_sink() {
+        use adpm_observe::{Counter, InMemorySink};
+
+        // The chain x <= y <= z <= 3 needs the z3 narrowing to ripple back,
+        // so the worklist takes several waves; a single independent cap
+        // drains in one or two.
+        let (mut net, ids) = net_with(&[(0.0, 10.0), (0.0, 10.0), (0.0, 10.0)]);
+        net.add_constraint("xy", var(ids[0]), Relation::Le, var(ids[1]))
+            .unwrap();
+        net.add_constraint("yz", var(ids[1]), Relation::Le, var(ids[2]))
+            .unwrap();
+        net.add_constraint("z3", var(ids[2]), Relation::Le, cst(3.0))
+            .unwrap();
+        let sink = InMemorySink::new();
+        let out = propagate_observed(&mut net, &PropagationConfig::default(), &sink);
+        assert!(out.waves >= 2, "chain drained in {} wave(s)", out.waves);
+        assert_eq!(sink.get(Counter::Waves), out.waves as u64);
+        assert_eq!(sink.get(Counter::Evaluations), out.evaluations as u64);
+        assert_eq!(sink.get(Counter::Propagations), 1);
+        assert_eq!(sink.get(Counter::Narrowings), out.narrowed.len() as u64);
+        assert_eq!(sink.get(Counter::Conflicts), 0);
+
+        let (mut simple, ids) = net_with(&[(0.0, 10.0)]);
+        simple
+            .add_constraint("cap", var(ids[0]), Relation::Le, cst(4.0))
+            .unwrap();
+        let simple_out = propagate(&mut simple, &PropagationConfig::default());
+        assert!(simple_out.waves <= 2);
+        assert!(out.waves >= simple_out.waves);
+    }
+
+    #[test]
+    fn per_wave_events_sum_to_the_run_totals() {
+        use adpm_observe::JsonlSink;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let (mut net, ids) = net_with(&[(0.0, 10.0), (0.0, 10.0), (0.0, 10.0)]);
+        net.add_constraint("xy", var(ids[0]), Relation::Le, var(ids[1]))
+            .unwrap();
+        net.add_constraint("yz", var(ids[1]), Relation::Le, var(ids[2]))
+            .unwrap();
+        net.add_constraint("z3", var(ids[2]), Relation::Le, cst(3.0))
+            .unwrap();
+        let buf = Buf::default();
+        let sink = JsonlSink::new(Box::new(buf.clone()));
+        let out = propagate_observed(&mut net, &PropagationConfig::default(), &sink);
+        sink.finish().unwrap();
+        drop(sink);
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines = adpm_observe::parse_trace(&text).unwrap();
+        let waves: Vec<_> = lines.iter().filter(|l| l.tag() == "wave").collect();
+        assert_eq!(waves.len(), out.waves);
+        let wave_evals: u64 = waves.iter().map(|l| l.u64_field("evaluations").unwrap()).sum();
+        let done = lines.iter().find(|l| l.tag() == "propagation").unwrap();
+        // The propagation line's total includes the final status sweep, the
+        // per-wave lines only the worklist revisions.
+        assert_eq!(done.u64_field("evaluations"), Some(out.evaluations as u64));
+        assert!(wave_evals <= out.evaluations as u64);
+        assert_eq!(done.bool_field("fixpoint"), Some(true));
+        for (i, w) in waves.iter().enumerate() {
+            assert_eq!(w.u64_field("wave"), Some(i as u64));
+        }
     }
 
     #[test]

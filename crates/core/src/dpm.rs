@@ -25,10 +25,12 @@ use crate::ids::{DesignerId, ProblemId};
 use crate::operation::{Operation, OperationRecord, Operator};
 use crate::problem::{ProblemSet, ProblemStatus};
 use adpm_constraint::{
-    propagate, ConstraintId, ConstraintNetwork, ConstraintStatus, HeuristicReport, NetworkError,
-    PropagationConfig, PropertyId,
+    propagate_observed, ConstraintId, ConstraintNetwork, ConstraintStatus, HeuristicReport,
+    NetworkError, PropagationConfig, PropertyId,
 };
+use adpm_observe::{Counter, MetricsSink, NoopSink, TraceEvent};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// The paper's `λ` flag: which transition model the DPM uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,6 +46,14 @@ impl ManagementMode {
     /// Whether this is [`ManagementMode::Adpm`].
     pub fn is_adpm(self) -> bool {
         self == ManagementMode::Adpm
+    }
+
+    /// Stable lowercase name, used as the `mode` field of trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ManagementMode::Adpm => "adpm",
+            ManagementMode::Conventional => "conventional",
+        }
     }
 }
 
@@ -115,6 +125,7 @@ pub struct DesignProcessManager {
     event_buffer: Vec<Event>,
     total_evaluations: usize,
     spins: usize,
+    sink: Arc<dyn MetricsSink>,
 }
 
 impl DesignProcessManager {
@@ -134,7 +145,21 @@ impl DesignProcessManager {
             event_buffer: Vec::new(),
             total_evaluations: 0,
             spins: 0,
+            sink: Arc::new(NoopSink),
         }
+    }
+
+    /// Routes all further instrumentation (operation spans, propagation
+    /// waves, counters) to `sink`. Install the sink *before*
+    /// [`initialize`](Self::initialize) so the setup propagation is traced
+    /// too. The default is a [`NoopSink`].
+    pub fn set_sink(&mut self, sink: Arc<dyn MetricsSink>) {
+        self.sink = sink;
+    }
+
+    /// The metrics sink instrumented paths report to.
+    pub fn metrics_sink(&self) -> &Arc<dyn MetricsSink> {
+        &self.sink
     }
 
     /// Registers a new designer and returns their id.
@@ -232,7 +257,7 @@ impl DesignProcessManager {
             self.event_buffer.clear();
             return 0;
         }
-        let outcome = propagate(&mut self.network, &self.config.propagation);
+        let outcome = propagate_observed(&mut self.network, &self.config.propagation, &*self.sink);
         self.heuristics = Some(HeuristicReport::mine(&self.network));
         self.refresh_known_violations_from_network();
         self.prev_snapshot = self.known_violations.clone();
@@ -255,6 +280,7 @@ impl DesignProcessManager {
         let spin = self.is_spin(&operation);
 
         let mut evaluations = 0usize;
+        let mut verify_evaluations = 0usize;
         match operation.operator() {
             Operator::Assign { property, value } => {
                 self.network.bind(*property, value.clone())?;
@@ -269,7 +295,8 @@ impl DesignProcessManager {
                 }
             }
             Operator::Verify { constraints } => {
-                evaluations += self.run_verification(operation.problem(), constraints);
+                verify_evaluations = self.run_verification(operation.problem(), constraints);
+                evaluations += verify_evaluations;
             }
             Operator::Decompose { subproblems } => {
                 for name in subproblems {
@@ -282,7 +309,8 @@ impl DesignProcessManager {
         // mined into heuristic support data.
         if self.config.mode == ManagementMode::Adpm {
             let before_sizes = self.feasible_sizes();
-            let outcome = propagate(&mut self.network, &self.config.propagation);
+            let outcome =
+                propagate_observed(&mut self.network, &self.config.propagation, &*self.sink);
             evaluations += outcome.evaluations;
             self.heuristics = Some(HeuristicReport::mine(&self.network));
             self.refresh_known_violations_from_network();
@@ -292,7 +320,7 @@ impl DesignProcessManager {
         let new_violations = self.violation_delta();
         self.update_problem_statuses();
         self.emit_violation_events(&new_violations);
-        self.flush_events();
+        let (recipients, delivered) = self.flush_events();
 
         self.total_evaluations += evaluations;
         if spin {
@@ -307,6 +335,36 @@ impl DesignProcessManager {
             spin,
         };
         self.history.push(record.clone());
+
+        // Propagation evaluations were already counted by the DCM's own
+        // instrumentation; only verification tool runs are added here.
+        self.sink.incr(Counter::Operations, 1);
+        self.sink.incr(Counter::Evaluations, verify_evaluations as u64);
+        self.sink
+            .incr(Counter::Violations, record.new_violations.len() as u64);
+        self.sink.incr(Counter::Notifications, delivered as u64);
+        if spin {
+            self.sink.incr(Counter::Spins, 1);
+        }
+        if self.sink.is_enabled() {
+            self.sink.record(&TraceEvent::Operation {
+                seq: record.sequence as u64,
+                designer: record.operation.designer().index() as u32,
+                kind: record.operation.operator().kind(),
+                mode: self.config.mode.as_str(),
+                evaluations: record.evaluations as u64,
+                violations_after: record.violations_after as u32,
+                new_violations: record.new_violations.len() as u32,
+                spin: record.spin,
+            });
+            if delivered > 0 {
+                self.sink.record(&TraceEvent::NotificationFanout {
+                    seq: record.sequence as u64,
+                    recipients,
+                    events: delivered,
+                });
+            }
+        }
         Ok(record)
     }
 
@@ -438,17 +496,23 @@ impl DesignProcessManager {
         self.event_buffer.extend(events);
     }
 
-    fn flush_events(&mut self) {
+    /// Routes the buffered events; returns `(recipients, events delivered)`
+    /// — the Notification Manager's fan-out for this operation.
+    fn flush_events(&mut self) -> (u32, u32) {
         if self.event_buffer.is_empty() {
-            return;
+            return (0, 0);
         }
         let events = std::mem::take(&mut self.event_buffer);
         let routed = self
             .nm
             .route(&events, &self.problems, &self.network, &self.designers);
+        let (mut recipients, mut delivered) = (0u32, 0u32);
         for Notification { designer, events } in routed {
+            recipients += 1;
+            delivered += events.len() as u32;
             self.pending.entry(designer).or_default().extend(events);
         }
+        (recipients, delivered)
     }
 
     /// Recomputes problem statuses bottom-up: a problem is *Solved* when all
@@ -852,8 +916,58 @@ mod tests {
     fn mode_accessors() {
         assert!(ManagementMode::Adpm.is_adpm());
         assert!(!ManagementMode::Conventional.is_adpm());
+        assert_eq!(ManagementMode::Adpm.as_str(), "adpm");
+        assert_eq!(ManagementMode::Conventional.as_str(), "conventional");
         let (dpm, ..) = fixture(ManagementMode::Adpm);
         assert_eq!(dpm.mode(), ManagementMode::Adpm);
         assert_eq!(dpm.designers().len(), 2);
+    }
+
+    #[test]
+    fn sink_counters_mirror_the_dpm_totals() {
+        use adpm_observe::InMemorySink;
+
+        let (mut dpm, d0, d1, top, front, deser, pf, ps, budget) =
+            fixture(ManagementMode::Conventional);
+        let sink = Arc::new(InMemorySink::new());
+        dpm.set_sink(sink.clone());
+        dpm.initialize();
+        dpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        dpm.execute(Operation::assign(d1, deser, ps, Value::number(100.0)))
+            .unwrap();
+        dpm.execute(Operation::verify(d0, top)).unwrap();
+        dpm.execute(
+            Operation::assign(d1, deser, ps, Value::number(40.0)).with_repairs([budget]),
+        )
+        .unwrap();
+        dpm.execute(Operation::verify(d0, top)).unwrap();
+
+        assert_eq!(sink.get(Counter::Operations), dpm.history().len() as u64);
+        assert_eq!(
+            sink.get(Counter::Evaluations),
+            dpm.total_evaluations() as u64
+        );
+        assert_eq!(sink.get(Counter::Spins), dpm.spins() as u64);
+        // Conventional mode never propagates.
+        assert_eq!(sink.get(Counter::Propagations), 0);
+        assert!(sink.get(Counter::Violations) >= 1);
+
+        // ADPM mode: propagation counters flow through the same sink, and
+        // evaluations still reconcile with the DPM's total (initialize's
+        // setup propagation included).
+        let (mut adpm, d0, _, _, front, _, pf, _, _) = fixture(ManagementMode::Adpm);
+        let sink = Arc::new(InMemorySink::new());
+        adpm.set_sink(sink.clone());
+        adpm.initialize();
+        adpm.execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        assert_eq!(sink.get(Counter::Propagations), 2);
+        assert_eq!(
+            sink.get(Counter::Evaluations),
+            adpm.total_evaluations() as u64
+        );
+        assert!(sink.get(Counter::Waves) >= 2);
+        assert!(sink.get(Counter::Notifications) >= 1);
     }
 }

@@ -10,6 +10,7 @@
 use crate::dpm::DesignProcessManager;
 use crate::operation::{Operation, OperationRecord};
 use adpm_constraint::NetworkError;
+use adpm_observe::TraceLine;
 
 /// Result of replaying a history on a fresh DPM.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +82,67 @@ pub fn replay_history(
         records.push(record);
     }
     Ok(ReplayOutcome { records, faithful })
+}
+
+/// Result of auditing a JSONL trace against a design history.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceAudit {
+    /// `"op"` lines found in the trace.
+    pub trace_operations: usize,
+    /// Operations present in the history.
+    pub history_operations: usize,
+    /// Sequence numbers whose trace line disagrees with the history record
+    /// (kind, evaluations, spin flag, or violation counts), or which appear
+    /// in only one of the two.
+    pub mismatched: Vec<u64>,
+}
+
+impl TraceAudit {
+    /// Whether the trace and the history tell the same story.
+    pub fn consistent(&self) -> bool {
+        self.mismatched.is_empty() && self.trace_operations == self.history_operations
+    }
+}
+
+/// Cross-checks the `"op"` lines of a parsed JSONL trace (see
+/// [`adpm_observe::parse_trace`]) against a design history — the offline
+/// half of replay auditing: a trace written by a
+/// [`JsonlSink`](adpm_observe::JsonlSink) during a run must agree with the
+/// history that run recorded, field for field.
+pub fn audit_trace(trace: &[TraceLine], history: &[OperationRecord]) -> TraceAudit {
+    let mut audit = TraceAudit {
+        history_operations: history.len(),
+        ..TraceAudit::default()
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for line in trace.iter().filter(|l| l.tag() == "op") {
+        audit.trace_operations += 1;
+        let Some(seq) = line.u64_field("seq") else {
+            audit.mismatched.push(0);
+            continue;
+        };
+        seen.insert(seq);
+        let Some(record) = history.iter().find(|r| r.sequence as u64 == seq) else {
+            audit.mismatched.push(seq);
+            continue;
+        };
+        let matches = line.str_field("kind") == Some(record.operation.operator().kind())
+            && line.u64_field("designer")
+                == Some(record.operation.designer().index() as u64)
+            && line.u64_field("evaluations") == Some(record.evaluations as u64)
+            && line.u64_field("violations_after") == Some(record.violations_after as u64)
+            && line.u64_field("new_violations") == Some(record.new_violations.len() as u64)
+            && line.bool_field("spin") == Some(record.spin);
+        if !matches {
+            audit.mismatched.push(seq);
+        }
+    }
+    for record in history {
+        if !seen.contains(&(record.sequence as u64)) {
+            audit.mismatched.push(record.sequence as u64);
+        }
+    }
+    audit
 }
 
 #[cfg(test)]
@@ -191,5 +253,59 @@ mod tests {
         let outcome = replay_history(&[], &mut dpm).unwrap();
         assert!(outcome.faithful);
         assert!(outcome.records.is_empty());
+    }
+
+    /// End-to-end: run a traced DPM session, parse the JSONL it wrote, and
+    /// audit the trace against the history that produced it.
+    #[test]
+    fn trace_audit_matches_the_history_that_wrote_it() {
+        use adpm_observe::{parse_trace, JsonlSink};
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let (net, x, y) = build();
+        let mut dpm = dpm_for(&net, DpmConfig::adpm());
+        let buf = Buf::default();
+        let sink = Arc::new(JsonlSink::new(Box::new(buf.clone())));
+        dpm.set_sink(sink.clone());
+        let d = DesignerId::new(0);
+        let top = dpm.problems().root().unwrap();
+        dpm.execute(Operation::assign(d, top, x, Value::number(9.0)))
+            .unwrap();
+        dpm.execute(Operation::assign(d, top, y, Value::number(5.0)))
+            .unwrap(); // violates sum <= 12
+        dpm.execute(Operation::assign(d, top, y, Value::number(2.0)))
+            .unwrap();
+        sink.finish().unwrap();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let trace = parse_trace(&text).unwrap();
+        let audit = audit_trace(&trace, dpm.history());
+        assert!(audit.consistent(), "audit = {audit:?}");
+        assert_eq!(audit.trace_operations, 3);
+
+        // Tampering with the history breaks consistency.
+        let mut tampered = dpm.history().to_vec();
+        tampered[1].spin = !tampered[1].spin;
+        let audit = audit_trace(&trace, &tampered);
+        assert!(!audit.consistent());
+        assert_eq!(audit.mismatched, vec![2]);
+
+        // A truncated trace is flagged too.
+        let audit = audit_trace(&trace[..0], dpm.history());
+        assert!(!audit.consistent());
+        assert_eq!(audit.mismatched.len(), 3);
     }
 }

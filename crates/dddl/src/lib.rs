@@ -30,7 +30,11 @@
 //! The pipeline is [`token`] (lexing) → [`parse`] (AST) → [`compile`]
 //! (name resolution + lowering into an
 //! [`adpm_constraint::ConstraintNetwork`]) → [`CompiledScenario::build_dpm`]
-//! (a fresh [`adpm_core::DesignProcessManager`] per simulation run).
+//! (a fresh [`adpm_core::DesignProcessManager`] per simulation run). A
+//! built DPM can be instrumented before use — see
+//! [`adpm_core::DesignProcessManager::set_sink`] and
+//! `docs/OBSERVABILITY.md` — so every compiled scenario is traceable
+//! without DDDL-level changes.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -1,0 +1,242 @@
+//! The JSONL trace sink and its reader.
+
+use crate::json::{parse_object, JsonValue, TraceParseError};
+use crate::sink::{InMemorySink, MetricsSink};
+use crate::trace::{Counter, TraceEvent};
+use std::fmt;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A [`MetricsSink`] that serializes every event as one JSON object per
+/// line, for offline analysis and replay auditing.
+///
+/// Counters are aggregated in memory alongside the stream;
+/// [`finish`](JsonlSink::finish) appends them as a final
+/// `{"t":"counters",...}` line and flushes. Dropping the sink finishes it
+/// implicitly, but write errors are silently dropped then — call `finish`
+/// when you care.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    counters: InMemorySink,
+    finished: AtomicBool,
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("counters", &self.counters)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer (buffered internally).
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            writer: Mutex::new(BufWriter::new(writer)),
+            counters: InMemorySink::new(),
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    /// Creates (truncating) `path` and streams the trace to it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from creating the file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(file)))
+    }
+
+    /// A point-in-time copy of the aggregated counters.
+    pub fn snapshot(&self) -> crate::sink::CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Writes the final `{"t":"counters",...}` line and flushes. Safe to
+    /// call more than once; only the first call writes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from the underlying writer.
+    pub fn finish(&self) -> std::io::Result<()> {
+        if self.finished.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        let mut writer = self.writer.lock().expect("trace writer poisoned");
+        writeln!(writer, "{}", self.counters.snapshot().to_json())?;
+        writer.flush()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+impl MetricsSink for JsonlSink {
+    fn incr(&self, counter: Counter, by: u64) {
+        self.counters.incr(counter, by);
+    }
+
+    fn record(&self, event: &TraceEvent<'_>) {
+        let mut line = String::with_capacity(96);
+        event.write_json(&mut line);
+        line.push('\n');
+        let mut writer = self.writer.lock().expect("trace writer poisoned");
+        // An I/O error mid-run (disk full, closed pipe) must not panic the
+        // simulation; the trace is best-effort and `finish` surfaces errors.
+        let _ = writer.write_all(line.as_bytes());
+    }
+}
+
+/// One parsed line of a JSONL trace: ordered `(key, value)` pairs plus the
+/// mandatory `"t"` tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLine {
+    tag: String,
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl TraceLine {
+    /// The line's `"t"` type tag (`"op"`, `"wave"`, `"counters"`, ...).
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A field as `u64`, if present and a non-negative integer.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(JsonValue::as_u64)
+    }
+
+    /// A field as `bool`, if present and boolean.
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(JsonValue::as_bool)
+    }
+
+    /// A field as `&str`, if present and a string.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(JsonValue::as_str)
+    }
+
+    /// All fields except the tag, in serialization order.
+    pub fn fields(&self) -> &[(String, JsonValue)] {
+        &self.fields
+    }
+}
+
+/// Parses a JSONL trace (the full text, one object per non-empty line).
+///
+/// Every line must be a flat JSON object whose first field is the string
+/// tag `"t"` — anything else is an error carrying the 1-based line number.
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] for the first malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceLine>, TraceParseError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let number = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let mut fields = parse_object(raw, number)?;
+        let tag = match fields.first() {
+            Some((key, JsonValue::Str(tag))) if key == "t" => tag.clone(),
+            _ => {
+                return Err(TraceParseError {
+                    line: number,
+                    message: "first field must be the string tag \"t\"".into(),
+                })
+            }
+        };
+        fields.remove(0);
+        lines.push(TraceLine { tag, fields });
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A Write handle into a shared buffer, so tests can read back what the
+    /// sink wrote after the sink is gone.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_with_counters_line() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(Box::new(buf.clone()));
+        sink.incr(Counter::Evaluations, 7);
+        sink.record(&TraceEvent::PropagationDone {
+            waves: 2,
+            evaluations: 7,
+            narrowed: 1,
+            conflicts: 0,
+            fixpoint: true,
+        });
+        sink.record(&TraceEvent::Tick {
+            tick: 0,
+            designer: 3,
+            outcome: "executed",
+        });
+        sink.finish().expect("finish");
+        drop(sink);
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8");
+        let lines = parse_trace(&text).expect("valid trace");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].tag(), "propagation");
+        assert_eq!(lines[0].u64_field("waves"), Some(2));
+        assert_eq!(lines[0].bool_field("fixpoint"), Some(true));
+        assert_eq!(lines[1].tag(), "tick");
+        assert_eq!(lines[1].str_field("outcome"), Some("executed"));
+        assert_eq!(lines[2].tag(), "counters");
+        assert_eq!(lines[2].u64_field("evaluations"), Some(7));
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(Box::new(buf.clone()));
+        sink.finish().expect("first finish");
+        sink.finish().expect("second finish");
+        drop(sink);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8");
+        assert_eq!(text.lines().count(), 1, "{text}");
+    }
+
+    #[test]
+    fn parse_trace_requires_leading_tag() {
+        assert!(parse_trace("{\"t\":\"op\",\"seq\":1}\n").is_ok());
+        assert!(parse_trace("\n\n{\"t\":\"op\"}\n").is_ok());
+        let err = parse_trace("{\"seq\":1,\"t\":\"op\"}").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_trace("{\"t\":\"op\"}\nnot json").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! # adpm-observe
+//!
+//! Observability layer for the ADPM reproduction: structured trace events
+//! and aggregate counters emitted from the hot paths of the constraint
+//! propagation engine ([`propagate`](https://docs.rs/adpm-constraint)) and
+//! the TeamSim simulation loop, without either of those crates paying for
+//! instrumentation when nobody is listening.
+//!
+//! The crate is deliberately dependency-free and speaks only in plain
+//! integers, booleans, and `&str` so that every other workspace crate —
+//! including the lowest-level `adpm-constraint` — can depend on it.
+//!
+//! ## The pieces
+//!
+//! * [`MetricsSink`] — the trait instrumented code writes to. Hot paths
+//!   call [`MetricsSink::is_enabled`] once and skip event construction
+//!   entirely when it returns `false`, so the no-op sink costs one virtual
+//!   call per span.
+//! * [`Counter`] — the closed set of aggregate counters (operations,
+//!   constraint evaluations, propagation waves, spins, ...).
+//! * [`TraceEvent`] — the structured spans: per-propagation-wave,
+//!   per-propagation, per-operation, per-tick, notification fan-out, and
+//!   run summary.
+//! * [`NoopSink`] — ships with everything disabled; the default everywhere.
+//! * [`InMemorySink`] — lock-free counter aggregation over atomics, for
+//!   benches and tests.
+//! * [`JsonlSink`] — serializes every event as one JSON object per line
+//!   (see `docs/OBSERVABILITY.md` for the schema) for offline analysis and
+//!   replay auditing.
+//! * [`parse_trace`] / [`TraceLine`] — a minimal reader for the JSONL
+//!   format, used by `adpm-core`'s replay auditing and by tests.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use adpm_observe::{Counter, InMemorySink, MetricsSink, TraceEvent};
+//!
+//! let sink = InMemorySink::new();
+//! sink.incr(Counter::Waves, 3);
+//! sink.record(&TraceEvent::PropagationDone {
+//!     waves: 3,
+//!     evaluations: 17,
+//!     narrowed: 2,
+//!     conflicts: 0,
+//!     fixpoint: true,
+//! });
+//! assert_eq!(sink.get(Counter::Waves), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod json;
+mod jsonl;
+mod sink;
+mod trace;
+
+pub use json::{JsonValue, TraceParseError};
+pub use jsonl::{parse_trace, JsonlSink, TraceLine};
+pub use sink::{CounterSnapshot, InMemorySink, MetricsSink, NoopSink, TeeSink};
+pub use trace::{Counter, TraceEvent};

@@ -1,0 +1,289 @@
+//! The [`MetricsSink`] trait and its in-process implementations.
+
+use crate::trace::{Counter, TraceEvent};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where instrumented hot paths send their counters and trace events.
+///
+/// Implementations must be thread-safe: the TeamSim engine and benches may
+/// share one sink across threads. The `Debug` supertrait keeps structs that
+/// embed an `Arc<dyn MetricsSink>` derivable.
+///
+/// ## Cost contract
+///
+/// Instrumented code is expected to guard *event construction* with
+/// [`is_enabled`](MetricsSink::is_enabled) — building a [`TraceEvent`] and
+/// formatting its fields must not happen when the method returns `false`.
+/// Counter increments ([`incr`](MetricsSink::incr)) may be called
+/// unconditionally; the no-op implementation compiles down to an indirect
+/// call that immediately returns.
+pub trait MetricsSink: fmt::Debug + Send + Sync {
+    /// Whether this sink wants [`TraceEvent`]s. Hot paths skip building
+    /// events entirely when this is `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `by` to `counter`.
+    fn incr(&self, counter: Counter, by: u64);
+
+    /// Records one structured event.
+    fn record(&self, event: &TraceEvent<'_>);
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl MetricsSink for NoopSink {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn incr(&self, _counter: Counter, _by: u64) {}
+
+    fn record(&self, _event: &TraceEvent<'_>) {}
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    values: [u64; Counter::COUNT],
+}
+
+impl CounterSnapshot {
+    /// The value of one counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values[counter.index()]
+    }
+
+    /// Iterates `(counter, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.iter().map(|c| (*c, self.values[c.index()]))
+    }
+
+    /// The snapshot minus `earlier`, counter-wise (saturating) — the delta
+    /// a phase contributed between two snapshots of the same sink.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut out = CounterSnapshot::default();
+        for c in Counter::ALL {
+            out.values[c.index()] =
+                self.values[c.index()].saturating_sub(earlier.values[c.index()]);
+        }
+        out
+    }
+
+    /// Serializes the snapshot as a `{"t":"counters",...}` JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"t\":\"counters\"");
+        for (counter, value) in self.iter() {
+            out.push_str(",\"");
+            out.push_str(counter.name());
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for CounterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (counter, value) in self.iter() {
+            writeln!(f, "{:<16} {value}", counter.name())?;
+        }
+        Ok(())
+    }
+}
+
+/// Lock-free in-memory aggregation: one atomic per [`Counter`], events
+/// counted but not retained. The right sink for benches and concurrency
+/// tests.
+#[derive(Debug, Default)]
+pub struct InMemorySink {
+    counters: [AtomicU64; Counter::COUNT],
+    events: AtomicU64,
+}
+
+impl InMemorySink {
+    /// Creates a sink with all counters at zero.
+    pub fn new() -> Self {
+        InMemorySink::default()
+    }
+
+    /// The current value of one counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Number of [`TraceEvent`]s recorded (the events themselves are not
+    /// retained).
+    pub fn events_recorded(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let mut snapshot = CounterSnapshot::default();
+        for c in Counter::ALL {
+            snapshot.values[c.index()] = self.get(c);
+        }
+        snapshot
+    }
+
+    /// Resets every counter (and the event count) to zero.
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.events.store(0, Ordering::Relaxed);
+    }
+}
+
+impl MetricsSink for InMemorySink {
+    fn incr(&self, counter: Counter, by: u64) {
+        self.counters[counter.index()].fetch_add(by, Ordering::Relaxed);
+    }
+
+    fn record(&self, _event: &TraceEvent<'_>) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Fans every call out to several sinks (e.g. aggregate counters in memory
+/// *and* stream a JSONL trace).
+#[derive(Debug, Clone, Default)]
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn MetricsSink>>,
+}
+
+impl TeeSink {
+    /// Creates a tee over the given sinks.
+    pub fn new(sinks: Vec<Arc<dyn MetricsSink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl MetricsSink for TeeSink {
+    fn is_enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.is_enabled())
+    }
+
+    fn incr(&self, counter: Counter, by: u64) {
+        for sink in &self.sinks {
+            sink.incr(counter, by);
+        }
+    }
+
+    fn record(&self, event: &TraceEvent<'_>) {
+        for sink in &self.sinks {
+            if sink.is_enabled() {
+                sink.record(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        let sink = NoopSink;
+        assert!(!sink.is_enabled());
+        sink.incr(Counter::Waves, 5);
+        sink.record(&TraceEvent::Tick {
+            tick: 0,
+            designer: 0,
+            outcome: "executed",
+        });
+    }
+
+    #[test]
+    fn in_memory_aggregates_and_snapshots() {
+        let sink = InMemorySink::new();
+        sink.incr(Counter::Evaluations, 10);
+        sink.incr(Counter::Evaluations, 5);
+        sink.incr(Counter::Spins, 1);
+        let snap = sink.snapshot();
+        assert_eq!(snap.get(Counter::Evaluations), 15);
+        assert_eq!(snap.get(Counter::Spins), 1);
+        assert_eq!(snap.get(Counter::Waves), 0);
+        sink.incr(Counter::Evaluations, 1);
+        let delta = sink.snapshot().since(&snap);
+        assert_eq!(delta.get(Counter::Evaluations), 1);
+        assert_eq!(delta.get(Counter::Spins), 0);
+        sink.reset();
+        assert_eq!(sink.get(Counter::Evaluations), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_from_many_threads_are_all_counted() {
+        const THREADS: usize = 8;
+        const INCRS_PER_THREAD: u64 = 10_000;
+        let sink = Arc::new(InMemorySink::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let sink = sink.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..INCRS_PER_THREAD {
+                        sink.incr(Counter::Evaluations, 1);
+                        // Half the threads also contend on a second counter
+                        // and on the event path.
+                        if i % 2 == 0 {
+                            sink.incr(Counter::Waves, 2);
+                            sink.record(&TraceEvent::Tick {
+                                tick: 0,
+                                designer: 0,
+                                outcome: "executed",
+                            });
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+        let expected = THREADS as u64 * INCRS_PER_THREAD;
+        assert_eq!(sink.get(Counter::Evaluations), expected);
+        assert_eq!(sink.get(Counter::Waves), expected);
+        assert_eq!(sink.events_recorded(), expected / 2);
+    }
+
+    #[test]
+    fn snapshot_serializes_every_counter() {
+        let sink = InMemorySink::new();
+        sink.incr(Counter::Waves, 2);
+        let json = sink.snapshot().to_json();
+        assert!(json.starts_with("{\"t\":\"counters\""));
+        assert!(json.contains("\"waves\":2"));
+        for counter in Counter::ALL {
+            assert!(json.contains(counter.name()), "missing {}", counter.name());
+        }
+    }
+
+    #[test]
+    fn tee_fans_out_and_ors_enablement() {
+        let a = Arc::new(InMemorySink::new());
+        let b = Arc::new(InMemorySink::new());
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        assert!(tee.is_enabled());
+        tee.incr(Counter::Operations, 2);
+        tee.record(&TraceEvent::RunSummary {
+            operations: 2,
+            evaluations: 0,
+            spins: 0,
+            violations: 0,
+            completed: true,
+        });
+        assert_eq!(a.get(Counter::Operations), 2);
+        assert_eq!(b.get(Counter::Operations), 2);
+        assert_eq!(a.events_recorded(), 1);
+        let noops = TeeSink::new(vec![Arc::new(NoopSink) as Arc<dyn MetricsSink>]);
+        assert!(!noops.is_enabled());
+    }
+}

@@ -1,0 +1,368 @@
+//! Counters and structured trace events.
+
+use crate::json::escape_into;
+
+/// The closed set of aggregate counters the instrumented hot paths bump.
+///
+/// Counter semantics (the full glossary lives in `docs/OBSERVABILITY.md`):
+///
+/// | counter | incremented when |
+/// |---|---|
+/// | `Operations` | a design operation is executed by the DPM |
+/// | `Evaluations` | a constraint evaluation runs (HC4 revision or verification) |
+/// | `Propagations` | one propagation run (worklist to fixpoint) completes |
+/// | `Waves` | one BFS level of the propagation worklist drains |
+/// | `Narrowings` | a property's feasible subspace ends a propagation narrowed |
+/// | `Conflicts` | propagation finds a constraint unsatisfiable |
+/// | `Violations` | an operation newly discovers a violated constraint |
+/// | `Spins` | an executed operation is a design spin |
+/// | `Notifications` | an event is routed to a designer by the NM |
+/// | `TicksExecuted` | a simulation tick executes an operation |
+/// | `TicksStalled` | a simulation tick finds no designer with a proposal |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Executed design operations.
+    Operations,
+    /// Constraint evaluations (the paper's tool-run proxy).
+    Evaluations,
+    /// Completed propagation runs.
+    Propagations,
+    /// Propagation worklist waves (BFS levels).
+    Waves,
+    /// Properties narrowed by a propagation run.
+    Narrowings,
+    /// Constraints found unsatisfiable during propagation.
+    Conflicts,
+    /// Newly discovered constraint violations.
+    Violations,
+    /// Design spins (cross-subsystem rework operations).
+    Spins,
+    /// Events routed to designers by the Notification Manager.
+    Notifications,
+    /// Simulation ticks that executed an operation.
+    TicksExecuted,
+    /// Simulation ticks that stalled (no proposal).
+    TicksStalled,
+}
+
+impl Counter {
+    /// Every counter, in index order.
+    pub const ALL: [Counter; 11] = [
+        Counter::Operations,
+        Counter::Evaluations,
+        Counter::Propagations,
+        Counter::Waves,
+        Counter::Narrowings,
+        Counter::Conflicts,
+        Counter::Violations,
+        Counter::Spins,
+        Counter::Notifications,
+        Counter::TicksExecuted,
+        Counter::TicksStalled,
+    ];
+
+    /// Number of counters (the size of a dense counter array).
+    pub const COUNT: usize = Counter::ALL.len();
+
+    /// Dense index of this counter in `0..Counter::COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name, used as the JSONL key in counter lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Operations => "operations",
+            Counter::Evaluations => "evaluations",
+            Counter::Propagations => "propagations",
+            Counter::Waves => "waves",
+            Counter::Narrowings => "narrowings",
+            Counter::Conflicts => "conflicts",
+            Counter::Violations => "violations",
+            Counter::Spins => "spins",
+            Counter::Notifications => "notifications",
+            Counter::TicksExecuted => "ticks_executed",
+            Counter::TicksStalled => "ticks_stalled",
+        }
+    }
+}
+
+/// One structured span emitted by an instrumented hot path.
+///
+/// Events borrow their string fields so that emitting one costs no
+/// allocation when the sink is disabled or aggregates in memory; the JSONL
+/// sink serializes them immediately. The serialized form is one flat JSON
+/// object per event, tagged by `"t"` — the schema is documented in
+/// `docs/OBSERVABILITY.md` and round-trips through [`crate::parse_trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent<'a> {
+    /// Context line emitted once at the start of a traced simulation run.
+    RunStart {
+        /// Management mode, `"adpm"` or `"conventional"` (the paper's λ).
+        mode: &'a str,
+        /// Simulation seed.
+        seed: u64,
+        /// Team size.
+        designers: u32,
+        /// Properties in the scenario's constraint network.
+        properties: u32,
+        /// Constraints in the scenario's constraint network.
+        constraints: u32,
+    },
+    /// One BFS level of the propagation worklist drained.
+    PropagationWave {
+        /// 0-based wave number within this propagation run.
+        wave: u32,
+        /// Worklist length at the start of the wave (its width).
+        queue_len: u32,
+        /// HC4 revisions performed during the wave.
+        evaluations: u64,
+        /// Narrowing events (property × constraint) during the wave.
+        narrowed: u32,
+    },
+    /// One propagation run reached fixpoint (or its evaluation cap).
+    PropagationDone {
+        /// Waves the worklist took.
+        waves: u32,
+        /// Total constraint evaluations of the run.
+        evaluations: u64,
+        /// Properties whose feasible subspace ended narrower than `E_i`.
+        narrowed: u32,
+        /// Constraints found unsatisfiable.
+        conflicts: u32,
+        /// False when `max_evaluations` censored the run.
+        fixpoint: bool,
+    },
+    /// The DPM executed one design operation.
+    Operation {
+        /// 1-based sequence number in the design history.
+        seq: u64,
+        /// Index of the requesting designer.
+        designer: u32,
+        /// Operator kind: `"assign"`, `"unbind"`, `"verify"`, `"decompose"`.
+        kind: &'a str,
+        /// Management mode, `"adpm"` or `"conventional"`.
+        mode: &'a str,
+        /// Constraint evaluations attributed to the operation.
+        evaluations: u64,
+        /// Violations known immediately after the operation.
+        violations_after: u32,
+        /// Violations newly discovered by the operation.
+        new_violations: u32,
+        /// Whether the operation was a design spin.
+        spin: bool,
+    },
+    /// The Notification Manager routed events after an operation.
+    NotificationFanout {
+        /// Sequence number of the operation whose events were routed.
+        seq: u64,
+        /// Designers that received at least one event.
+        recipients: u32,
+        /// Total events delivered (sum over recipients).
+        events: u32,
+    },
+    /// One simulation engine tick.
+    Tick {
+        /// 0-based tick number.
+        tick: u64,
+        /// Designer whose proposal was executed (`u32::MAX` if none).
+        designer: u32,
+        /// `"executed"`, `"stalled"`, or `"complete"`.
+        outcome: &'a str,
+    },
+    /// Final line of a simulation run.
+    RunSummary {
+        /// Executed operations.
+        operations: u64,
+        /// Total constraint evaluations, including setup propagation.
+        evaluations: u64,
+        /// Total design spins.
+        spins: u64,
+        /// Total violations found over the run.
+        violations: u64,
+        /// Whether the termination condition was reached.
+        completed: bool,
+    },
+}
+
+impl TraceEvent<'_> {
+    /// The `"t"` tag the serialized form carries.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::PropagationWave { .. } => "wave",
+            TraceEvent::PropagationDone { .. } => "propagation",
+            TraceEvent::Operation { .. } => "op",
+            TraceEvent::NotificationFanout { .. } => "fanout",
+            TraceEvent::Tick { .. } => "tick",
+            TraceEvent::RunSummary { .. } => "summary",
+        }
+    }
+
+    /// Appends the event's JSON object (no trailing newline) to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"t\":\"");
+        out.push_str(self.tag());
+        out.push('"');
+        match *self {
+            TraceEvent::RunStart {
+                mode,
+                seed,
+                designers,
+                properties,
+                constraints,
+            } => {
+                field_str(out, "mode", mode);
+                field_u64(out, "seed", seed);
+                field_u64(out, "designers", designers.into());
+                field_u64(out, "properties", properties.into());
+                field_u64(out, "constraints", constraints.into());
+            }
+            TraceEvent::PropagationWave {
+                wave,
+                queue_len,
+                evaluations,
+                narrowed,
+            } => {
+                field_u64(out, "wave", wave.into());
+                field_u64(out, "queue_len", queue_len.into());
+                field_u64(out, "evaluations", evaluations);
+                field_u64(out, "narrowed", narrowed.into());
+            }
+            TraceEvent::PropagationDone {
+                waves,
+                evaluations,
+                narrowed,
+                conflicts,
+                fixpoint,
+            } => {
+                field_u64(out, "waves", waves.into());
+                field_u64(out, "evaluations", evaluations);
+                field_u64(out, "narrowed", narrowed.into());
+                field_u64(out, "conflicts", conflicts.into());
+                field_bool(out, "fixpoint", fixpoint);
+            }
+            TraceEvent::Operation {
+                seq,
+                designer,
+                kind,
+                mode,
+                evaluations,
+                violations_after,
+                new_violations,
+                spin,
+            } => {
+                field_u64(out, "seq", seq);
+                field_u64(out, "designer", designer.into());
+                field_str(out, "kind", kind);
+                field_str(out, "mode", mode);
+                field_u64(out, "evaluations", evaluations);
+                field_u64(out, "violations_after", violations_after.into());
+                field_u64(out, "new_violations", new_violations.into());
+                field_bool(out, "spin", spin);
+            }
+            TraceEvent::NotificationFanout {
+                seq,
+                recipients,
+                events,
+            } => {
+                field_u64(out, "seq", seq);
+                field_u64(out, "recipients", recipients.into());
+                field_u64(out, "events", events.into());
+            }
+            TraceEvent::Tick {
+                tick,
+                designer,
+                outcome,
+            } => {
+                field_u64(out, "tick", tick);
+                field_u64(out, "designer", designer.into());
+                field_str(out, "outcome", outcome);
+            }
+            TraceEvent::RunSummary {
+                operations,
+                evaluations,
+                spins,
+                violations,
+                completed,
+            } => {
+                field_u64(out, "operations", operations);
+                field_u64(out, "evaluations", evaluations);
+                field_u64(out, "spins", spins);
+                field_u64(out, "violations", violations);
+                field_bool(out, "completed", completed);
+            }
+        }
+        out.push('}');
+    }
+
+    /// The event's JSON object as an owned string (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        self.write_json(&mut out);
+        out
+    }
+}
+
+fn field_u64(out: &mut String, key: &str, value: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    // u64 -> decimal without going through fmt machinery would be overkill
+    // here; these paths only run when a trace sink is attached.
+    out.push_str(&value.to_string());
+}
+
+fn field_bool(out: &mut String, key: &str, value: bool) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(if value { "true" } else { "false" });
+}
+
+fn field_str(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_indices_are_dense_and_names_unique() {
+        let mut names = std::collections::BTreeSet::new();
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(names.insert(c.name()), "duplicate name {}", c.name());
+        }
+        assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn events_serialize_with_type_tag_first() {
+        let event = TraceEvent::PropagationWave {
+            wave: 2,
+            queue_len: 5,
+            evaluations: 5,
+            narrowed: 1,
+        };
+        assert_eq!(
+            event.to_json(),
+            "{\"t\":\"wave\",\"wave\":2,\"queue_len\":5,\"evaluations\":5,\"narrowed\":1}"
+        );
+    }
+
+    #[test]
+    fn string_fields_are_escaped() {
+        let event = TraceEvent::Tick {
+            tick: 0,
+            designer: 1,
+            outcome: "quo\"te",
+        };
+        assert!(event.to_json().contains("quo\\\"te"));
+    }
+}

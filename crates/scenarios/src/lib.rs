@@ -25,6 +25,12 @@
 //! let dpm = scenario.build_dpm(DpmConfig::adpm());
 //! assert_eq!(dpm.designers().len(), 3);
 //! ```
+//!
+//! To watch what a scenario does under simulation, pass a sink from
+//! `adpm-observe` to `adpm_teamsim`'s `run_once_with_sink` (or use
+//! `adpm run <file> --trace out.jsonl` on the CLI) — the trace schema is
+//! documented in `docs/OBSERVABILITY.md`, with a worked example reading a
+//! [`sensing_system`] trace.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -13,9 +13,11 @@ use crate::designer::SimulatedDesigner;
 use crate::stats::{OperationStat, RunStats};
 use adpm_core::DesignProcessManager;
 use adpm_dddl::CompiledScenario;
+use adpm_observe::{Counter, MetricsSink, NoopSink, TraceEvent};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Outcome of one engine step.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,12 +41,36 @@ pub struct Simulation {
     stats: Vec<OperationStat>,
     setup_evaluations: usize,
     cursor: usize,
+    sink: Arc<dyn MetricsSink>,
+    ticks: u64,
 }
 
 impl Simulation {
     /// Builds a simulation over a fresh DPM for the scenario.
     pub fn new(scenario: &CompiledScenario, config: SimulationConfig) -> Self {
+        Self::with_sink(scenario, config, Arc::new(NoopSink))
+    }
+
+    /// [`new`](Self::new), routing all instrumentation — per-tick spans
+    /// here, per-operation and per-propagation spans in the layers below —
+    /// to `sink`. The sink is installed before the DPM's setup propagation
+    /// so a trace covers the whole run, opening with a `run_start` line.
+    pub fn with_sink(
+        scenario: &CompiledScenario,
+        config: SimulationConfig,
+        sink: Arc<dyn MetricsSink>,
+    ) -> Self {
         let mut dpm = scenario.build_dpm(config.dpm_config());
+        dpm.set_sink(sink.clone());
+        if sink.is_enabled() {
+            sink.record(&TraceEvent::RunStart {
+                mode: config.mode.as_str(),
+                seed: config.seed,
+                designers: dpm.designers().len() as u32,
+                properties: dpm.network().property_count() as u32,
+                constraints: dpm.network().constraint_count() as u32,
+            });
+        }
         let setup_evaluations = dpm.initialize();
         let designers = dpm
             .designers()
@@ -60,6 +86,8 @@ impl Simulation {
             stats: Vec::new(),
             setup_evaluations,
             cursor: 0,
+            sink,
+            ticks: 0,
         }
     }
 
@@ -89,6 +117,30 @@ impl Simulation {
     /// the first proposal is executed. `Stalled` means a full round of
     /// polling produced no proposal while the design is incomplete.
     pub fn step(&mut self) -> StepOutcome {
+        let outcome = self.step_inner();
+        let tick = self.ticks;
+        self.ticks += 1;
+        match outcome {
+            StepOutcome::Executed(_) => self.sink.incr(Counter::TicksExecuted, 1),
+            StepOutcome::Stalled => self.sink.incr(Counter::TicksStalled, 1),
+            StepOutcome::Complete => {}
+        }
+        if self.sink.is_enabled() {
+            let (designer, label) = match &outcome {
+                StepOutcome::Executed(stat) => (stat.designer, "executed"),
+                StepOutcome::Stalled => (u32::MAX, "stalled"),
+                StepOutcome::Complete => (u32::MAX, "complete"),
+            };
+            self.sink.record(&TraceEvent::Tick {
+                tick,
+                designer,
+                outcome: label,
+            });
+        }
+        outcome
+    }
+
+    fn step_inner(&mut self) -> StepOutcome {
         if self.dpm.design_complete() {
             return StepOutcome::Complete;
         }
@@ -147,20 +199,41 @@ impl Simulation {
             }
         }
         let completed = self.dpm.design_complete() && !stalled;
-        RunStats {
+        let stats = RunStats {
             completed,
             operations: self.stats.len(),
             evaluations: self.dpm.total_evaluations(),
             setup_evaluations: self.setup_evaluations,
             spins: self.dpm.spins(),
             per_operation: self.stats.clone(),
+        };
+        if self.sink.is_enabled() {
+            self.sink.record(&TraceEvent::RunSummary {
+                operations: stats.operations as u64,
+                evaluations: stats.evaluations as u64,
+                spins: stats.spins as u64,
+                violations: stats.total_violations_found() as u64,
+                completed: stats.completed,
+            });
         }
+        stats
     }
 }
 
 /// Convenience: build and run one simulation.
 pub fn run_once(scenario: &CompiledScenario, config: SimulationConfig) -> RunStats {
     Simulation::new(scenario, config).run()
+}
+
+/// Convenience: build and run one instrumented simulation. Everything the
+/// run does — setup propagation, every tick, operation, and propagation
+/// wave — reports to `sink`; see [`Simulation::with_sink`].
+pub fn run_once_with_sink(
+    scenario: &CompiledScenario,
+    config: SimulationConfig,
+    sink: Arc<dyn MetricsSink>,
+) -> RunStats {
+    Simulation::with_sink(scenario, config, sink).run()
 }
 
 #[cfg(test)]
@@ -268,5 +341,68 @@ mod tests {
         let mut sim = Simulation::new(&scenario, SimulationConfig::adpm(5));
         let _ = sim.run();
         assert_eq!(sim.step(), StepOutcome::Complete);
+    }
+
+    #[test]
+    fn instrumented_run_reconciles_with_run_stats() {
+        use adpm_observe::{Counter, InMemorySink};
+        use std::sync::Arc;
+
+        let scenario = lna_walkthrough();
+        let sink = Arc::new(InMemorySink::new());
+        let stats = run_once_with_sink(&scenario, SimulationConfig::adpm(7), sink.clone());
+        assert!(stats.completed);
+        assert_eq!(sink.get(Counter::Operations), stats.operations as u64);
+        assert_eq!(sink.get(Counter::Evaluations), stats.evaluations as u64);
+        assert_eq!(sink.get(Counter::Spins), stats.spins as u64);
+        assert_eq!(sink.get(Counter::TicksExecuted), stats.operations as u64);
+        // ADPM propagates at setup and after every operation.
+        assert_eq!(sink.get(Counter::Propagations), stats.operations as u64 + 1);
+        assert!(sink.get(Counter::Waves) >= sink.get(Counter::Propagations));
+
+        // The sink does not perturb the simulation itself.
+        let untraced = run_once(&scenario, SimulationConfig::adpm(7));
+        assert_eq!(stats, untraced);
+    }
+
+    #[test]
+    fn traced_run_opens_with_run_start_and_closes_with_summary() {
+        use adpm_observe::{parse_trace, JsonlSink};
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let scenario = lna_walkthrough();
+        let buf = Buf::default();
+        let sink = Arc::new(JsonlSink::new(Box::new(buf.clone())));
+        let stats = run_once_with_sink(&scenario, SimulationConfig::adpm(7), sink.clone());
+        sink.finish().unwrap();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines = parse_trace(&text).unwrap();
+        assert_eq!(lines.first().map(|l| l.tag()), Some("run_start"));
+        assert_eq!(lines.first().unwrap().str_field("mode"), Some("adpm"));
+        let summary = lines.iter().rev().find(|l| l.tag() == "summary").unwrap();
+        assert_eq!(
+            summary.u64_field("operations"),
+            Some(stats.operations as u64)
+        );
+        assert_eq!(summary.bool_field("completed"), Some(true));
+        assert_eq!(lines.last().map(|l| l.tag()), Some("counters"));
+        let ops = lines.iter().filter(|l| l.tag() == "op").count();
+        assert_eq!(ops, stats.operations);
+        let ticks = lines.iter().filter(|l| l.tag() == "tick").count();
+        assert!(ticks >= ops);
     }
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verify recipe — see docs/README.md.
+# Tier-1 (ROADMAP.md): build + test. Doc gates keep the public API honest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> cargo test --doc --workspace"
+cargo test -q --doc --workspace
+
+echo "verify: OK"

@@ -1,0 +1,258 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds in environments without a crates.io mirror, so the
+//! external `criterion` dev-dependency is replaced by this in-tree harness
+//! implementing the API subset the workspace's benches use: groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `Bencher::iter_batched`, [`BenchmarkId`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up briefly,
+//! then timed over `sample_size` samples and reported as the median
+//! nanoseconds per iteration on stdout. No statistics files, no plots, no
+//! outlier analysis — enough to compare hot paths locally.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// How per-iteration setup output is batched (accepted for API
+/// compatibility; this harness always times routines individually).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id rendered from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark manager: entry point of a bench target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.to_string(), 100, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benches a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benches a function parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; matches the upstream API).
+    pub fn finish(self) {}
+}
+
+fn run_bench(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up phase: let the closure run until the budget is spent.
+    let mut bencher = Bencher {
+        phase: Phase::Warmup {
+            deadline: Instant::now() + WARMUP_BUDGET,
+        },
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+
+    // Measurement phase.
+    bencher.phase = Phase::Measure {
+        deadline: Instant::now() + MEASURE_BUDGET,
+        remaining: sample_size,
+    };
+    bencher.samples.clear();
+    f(&mut bencher);
+
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("bench {label:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "bench {label:<40} median {:>12} ns/iter ({} samples)",
+        median, samples.len()
+    );
+}
+
+#[derive(Debug)]
+enum Phase {
+    Warmup { deadline: Instant },
+    Measure { deadline: Instant, remaining: usize },
+}
+
+/// Times the closure handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    phase: Phase,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.drive(&mut |n| {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.drive(&mut |n| {
+            let mut total = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        });
+    }
+
+    /// Runs the measured closure (`timed(n)` = time for `n` iterations)
+    /// according to the current phase.
+    fn drive(&mut self, timed: &mut dyn FnMut(u64) -> Duration) {
+        match self.phase {
+            Phase::Warmup { deadline } => {
+                while Instant::now() < deadline {
+                    timed(1);
+                }
+            }
+            Phase::Measure {
+                deadline,
+                remaining,
+            } => {
+                // Calibrate so one sample costs roughly 1/sample_size of
+                // the budget, with at least one iteration.
+                let probe = timed(1).max(Duration::from_nanos(1));
+                let per_sample = MEASURE_BUDGET
+                    .checked_div(remaining.max(1) as u32)
+                    .unwrap_or(Duration::from_millis(1));
+                let iters = (per_sample.as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+                for _ in 0..remaining {
+                    let elapsed = timed(iters);
+                    self.samples.push(elapsed.as_nanos() / u128::from(iters));
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Groups benchmark functions into one callable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,56 @@
+//! The [`Arbitrary`] trait and [`any`] entry point.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`: every value of the type, uniformly where
+/// that is meaningful.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Whole-domain strategy for primitives (uniform over the value space).
+#[derive(Debug, Clone, Copy)]
+pub struct PrimitiveAny<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = PrimitiveAny<$t>;
+            fn arbitrary() -> Self::Strategy {
+                PrimitiveAny(std::marker::PhantomData)
+            }
+        }
+        impl Strategy for PrimitiveAny<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u32, u64, usize, i32, i64);
+
+impl Arbitrary for bool {
+    type Strategy = PrimitiveAny<bool>;
+    fn arbitrary() -> Self::Strategy {
+        PrimitiveAny(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for PrimitiveAny<bool> {
+    type Value = bool;
+    fn gen_value(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}

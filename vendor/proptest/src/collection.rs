@@ -1,0 +1,76 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Attempt cap when a map's key strategy keeps colliding.
+const MAX_MAP_TRIES: usize = 1024;
+
+/// A strategy for `Vec`s whose length is drawn from `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+/// See [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.size.clone());
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// A strategy for `BTreeMap`s with `size`-many distinct keys from `key` and
+/// values from `value`.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    assert!(size.start < size.end, "empty btree_map size range");
+    BTreeMapStrategy { key, value, size }
+}
+
+/// See [`btree_map`].
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn gen_value(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+        let n = rng.gen_range(self.size.clone());
+        let mut map = BTreeMap::new();
+        let mut tries = 0;
+        while map.len() < n && tries < MAX_MAP_TRIES {
+            tries += 1;
+            map.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+        }
+        assert!(
+            map.len() >= self.size.start,
+            "btree_map key strategy too narrow: {} distinct keys after {MAX_MAP_TRIES} draws",
+            map.len()
+        );
+        map
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! This workspace builds in environments without a crates.io mirror, so the
+//! external `proptest` dev-dependency is replaced by this in-tree
+//! implementation of the subset the workspace's property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_filter`, `prop_flat_map`, `prop_recursive`, and `boxed`;
+//! * range strategies, tuple strategies, [`Just`](strategy::Just),
+//!   regex-like `&str` string strategies, [`collection::vec`],
+//!   [`collection::btree_map`], [`sample::select`], and
+//!   [`any`](arbitrary::any);
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`], and [`prop_assume!`] macros;
+//! * a deterministic, non-shrinking [`TestRunner`](test_runner::TestRunner).
+//!
+//! The key behavioural difference from upstream: failing cases are **not
+//! shrunk** — the first failing input is reported as-is. Generation is
+//! deterministic per test name, so failures reproduce across runs.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the workspace's tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal muncher for [`proptest!`]: expands one test fn, recurses on the
+/// rest.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); ) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            let strategy = ($($strat,)+);
+            runner.run(&strategy, |($($pat,)+)| {
+                $body
+                ::core::result::Result::<(), $crate::test_runner::TestCaseError>::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// Picks uniformly between several strategies with the same value type.
+/// (Upstream's `weight => strategy` arms are not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts two values differ inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Discards the current case (without failing) when the assumption is
+/// false; the runner draws a replacement input.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}

@@ -1,0 +1,253 @@
+//! Regex-like string generation for `&str` strategies.
+//!
+//! Supports the subset of regex syntax the workspace's tests use:
+//! character classes with ranges (`[a-z0-9_+ ()]`), groups `( ... )`,
+//! quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`, literal characters, and the
+//! proptest idiom `\PC` ("any non-control character"). Alternation (`|`)
+//! and anchors are not supported and panic loudly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Cap applied to the unbounded quantifiers `*` and `+`.
+const UNBOUNDED_CAP: usize = 8;
+
+/// A parsed pattern element.
+#[derive(Debug, Clone)]
+enum Node {
+    /// A literal character.
+    Literal(char),
+    /// A character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// Any non-control character (`\PC`).
+    Printable,
+    /// A parenthesized subpattern.
+    Group(Vec<(Node, Quant)>),
+}
+
+/// Repetition bounds `[min, max]` for one node.
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: usize,
+    max: usize,
+}
+
+const ONCE: Quant = Quant { min: 1, max: 1 };
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let nodes = parse_sequence(&mut pattern.chars().peekable(), pattern, false);
+    let mut out = String::new();
+    for (node, quant) in &nodes {
+        emit(node, *quant, rng, &mut out);
+    }
+    out
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut Chars<'_>, pattern: &str, in_group: bool) -> Vec<(Node, Quant)> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ')' if in_group => break,
+            '|' => panic!("unsupported regex alternation in pattern `{pattern}`"),
+            '^' | '$' => panic!("unsupported regex anchor in pattern `{pattern}`"),
+            _ => {}
+        }
+        let node = parse_atom(chars, pattern);
+        let quant = parse_quant(chars, pattern);
+        nodes.push((node, quant));
+    }
+    nodes
+}
+
+fn parse_atom(chars: &mut Chars<'_>, pattern: &str) -> Node {
+    match chars.next().expect("non-empty atom") {
+        '[' => parse_class(chars, pattern),
+        '(' => {
+            let inner = parse_sequence(chars, pattern, true);
+            match chars.next() {
+                Some(')') => Node::Group(inner),
+                _ => panic!("unterminated group in pattern `{pattern}`"),
+            }
+        }
+        '\\' => match chars.next() {
+            // proptest's `\PC`: any character not in Unicode category C
+            // (control); approximated by printable characters below.
+            Some('P') => match chars.next() {
+                Some('C') => Node::Printable,
+                other => panic!("unsupported escape \\P{other:?} in pattern `{pattern}`"),
+            },
+            Some(c @ ('.' | '+' | '*' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '\\' | '-'
+            | '|' | '"')) => Node::Literal(c),
+            Some('n') => Node::Literal('\n'),
+            Some('t') => Node::Literal('\t'),
+            other => panic!("unsupported escape \\{other:?} in pattern `{pattern}`"),
+        },
+        c => Node::Literal(c),
+    }
+}
+
+fn parse_class(chars: &mut Chars<'_>, pattern: &str) -> Node {
+    let mut ranges = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in class, pattern `{pattern}`")),
+            Some(c) => c,
+            None => panic!("unterminated character class in pattern `{pattern}`"),
+        };
+        // A `-` between two characters forms a range; elsewhere it is
+        // literal.
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next(); // consume '-'
+            match lookahead.peek() {
+                Some(&end) if end != ']' => {
+                    chars.next();
+                    chars.next();
+                    ranges.push((c, end));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        ranges.push((c, c));
+    }
+    assert!(!ranges.is_empty(), "empty character class in pattern `{pattern}`");
+    Node::Class(ranges)
+}
+
+fn parse_quant(chars: &mut Chars<'_>, pattern: &str) -> Quant {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Quant { min: 0, max: 1 }
+        }
+        Some('*') => {
+            chars.next();
+            Quant {
+                min: 0,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('+') => {
+            chars.next();
+            Quant {
+                min: 1,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("quantifier lower bound"),
+                            hi.trim().parse().expect("quantifier upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    };
+                    assert!(min <= max, "bad quantifier {{{body}}} in `{pattern}`");
+                    return Quant { min, max };
+                }
+                body.push(c);
+            }
+            panic!("unterminated quantifier in pattern `{pattern}`");
+        }
+        _ => ONCE,
+    }
+}
+
+fn emit(node: &Node, quant: Quant, rng: &mut StdRng, out: &mut String) {
+    let reps = if quant.min == quant.max {
+        quant.min
+    } else {
+        rng.gen_range(quant.min..quant.max + 1)
+    };
+    for _ in 0..reps {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => out.push(pick_from_ranges(ranges, rng)),
+            Node::Printable => out.push(pick_printable(rng)),
+            Node::Group(inner) => {
+                for (n, q) in inner {
+                    emit(n, *q, rng, out);
+                }
+            }
+        }
+    }
+}
+
+fn pick_from_ranges(ranges: &[(char, char)], rng: &mut StdRng) -> char {
+    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+    let span = hi as u32 - lo as u32 + 1;
+    char::from_u32(lo as u32 + rng.gen_range(0..span as usize) as u32).unwrap_or(lo)
+}
+
+/// Non-control characters: mostly printable ASCII with an occasional
+/// multi-byte character to exercise UTF-8 handling.
+fn pick_printable(rng: &mut StdRng) -> char {
+    const EXOTIC: [char; 8] = ['é', 'Ω', 'λ', '→', '音', '𝛼', 'ß', '¤'];
+    if rng.gen_bool(0.9) {
+        char::from_u32(rng.gen_range(0x20usize..0x7F) as u32).unwrap_or(' ')
+    } else {
+        EXOTIC[rng.gen_range(0..EXOTIC.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ident_pattern_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,6}(-[a-z0-9]{1,4}){0,2}", &mut rng);
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_ascii_lowercase(), "{s}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || c == '_'
+                    || c == '-'),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_length_class() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let s = generate("[A-Za-z+ ()0-9]{1,12}", &mut rng);
+            let n = s.chars().count();
+            assert!((1..=12).contains(&n), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_escape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let s = generate("\\PC{0,120}", &mut rng);
+            assert!(s.chars().count() <= 120);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

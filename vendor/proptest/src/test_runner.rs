@@ -1,0 +1,105 @@
+//! The deterministic, non-shrinking test runner behind
+//! [`proptest!`](crate::proptest).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for one property test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion — the whole test fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` — redraw and retry.
+    Reject(String),
+}
+
+/// The result type property-test bodies are wrapped into.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs a test body over strategy-generated inputs.
+///
+/// Generation is seeded from the test's name, so every run of the same test
+/// sees the same input sequence (failures reproduce without a persistence
+/// file; there is no shrinking).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // FNV-1a over the test name: decouples sibling tests' streams.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            name,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs `test` against `config.cases` generated inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first failing case,
+    /// or when `prop_assume!` rejects too many inputs.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let max_rejects = self.config.cases as usize * 64 + 1024;
+        let mut completed = 0u32;
+        let mut rejects = 0usize;
+        while completed < self.config.cases {
+            let value = strategy.gen_value(&mut self.rng);
+            match test(value) {
+                Ok(()) => completed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!(
+                            "{}: prop_assume! rejected {rejects} inputs before {} cases passed",
+                            self.name, self.config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{}: property failed on case {} (after {rejects} rejects): {msg}",
+                        self.name,
+                        completed + 1
+                    );
+                }
+            }
+        }
+    }
+}
