@@ -14,6 +14,7 @@
 //! | `fig9_evaluations` | Fig. 9 (b): constraint evaluations, total and per-op |
 //! | `fig10_tightness` | Fig. 10: operations vs gain-requirement tightness |
 //! | `ablation_heuristics` | ablation of the §2.3 heuristics (design-choice study) |
+//! | `fig_incremental` | incremental vs full DCM propagation: cost + equivalence oracle |
 //!
 //! Criterion benches (`cargo bench -p adpm-bench`) measure the propagation
 //! engine and end-to-end simulation throughput.

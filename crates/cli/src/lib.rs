@@ -21,7 +21,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use adpm_constraint::{explain_all_violations, propagate, PropagationConfig, Value};
+use adpm_constraint::{explain_all_violations, propagate, PropagationConfig, PropagationKind, Value};
 use adpm_core::{DpmConfig, ManagementMode};
 use adpm_dddl::{compile_source, parse, to_source, CompiledScenario};
 use adpm_observe::{InMemorySink, JsonlSink, MetricsSink, TeeSink};
@@ -84,12 +84,16 @@ USAGE:
 COMMANDS:
     check   <file.dddl>                    compile, propagate, report feasibility
     run     <file.dddl> [--mode adpm|conventional] [--seed N] [--max-ops N]
-            [--csv] [--trace FILE] [--metrics]
+            [--propagation full|incremental] [--csv] [--trace FILE] [--metrics]
                                            simulate one TeamSim run
-                                           (--csv prints the per-operation table,
-                                            --trace streams a JSONL event trace
-                                            to FILE, --metrics appends the
-                                            aggregate counter totals)
+                                           (--propagation picks the DCM path:
+                                            full re-propagation after every
+                                            operation, or incremental dirty-set
+                                            propagation; --csv prints the
+                                            per-operation table, --trace streams
+                                            a JSONL event trace to FILE,
+                                            --metrics appends the aggregate
+                                            counter totals)
     compare <file.dddl> [--seeds N]        both modes over N seeds (default 20)
     explain <file.dddl> [--bind obj.prop=V ...]
                                            bind values, propagate, explain conflicts
@@ -168,6 +172,8 @@ pub struct RunOptions {
     pub seed: u64,
     /// Operation cap.
     pub max_operations: usize,
+    /// Which DCM propagation path ADPM runs after each operation.
+    pub propagation: PropagationKind,
     /// Emit the per-operation capture as CSV instead of the summary.
     pub csv: bool,
     /// Stream a JSONL trace of the run (see `docs/OBSERVABILITY.md` for the
@@ -183,6 +189,7 @@ impl Default for RunOptions {
             mode: ManagementMode::Adpm,
             seed: 0,
             max_operations: 5_000,
+            propagation: PropagationKind::Full,
             csv: false,
             trace: None,
             metrics: false,
@@ -199,6 +206,7 @@ pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
     let scenario = compile_source(source)?;
     let mut config = SimulationConfig::for_mode(options.mode, options.seed);
     config.max_operations = options.max_operations;
+    config.propagation_kind = options.propagation;
 
     let metrics = options.metrics.then(|| Arc::new(InMemorySink::new()));
     let trace = options
@@ -466,7 +474,19 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
             "--csv" => options.csv = true,
             "--trace" => options.trace = Some(PathBuf::from(value(&mut it)?)),
             "--metrics" => options.metrics = true,
-            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            "--propagation" => {
+                options.propagation = value(&mut it)?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--propagation: {e}")))?;
+            }
+            other => match other.strip_prefix("--propagation=") {
+                Some(v) => {
+                    options.propagation = v
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--propagation: {e}")))?;
+                }
+                None => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            },
         }
     }
     Ok(options)
@@ -743,5 +763,56 @@ mod tests {
                 .expect("valid options");
         assert_eq!(options.seed, 9);
         assert_eq!(options.max_operations, 10);
+        assert_eq!(options.propagation, PropagationKind::Full);
+    }
+
+    #[test]
+    fn run_option_parsing_accepts_propagation_in_both_forms() {
+        let options = parse_run_options(&["--propagation".into(), "incremental".into()])
+            .expect("valid options");
+        assert_eq!(options.propagation, PropagationKind::Incremental);
+        let options =
+            parse_run_options(&["--propagation=incremental".into()]).expect("valid options");
+        assert_eq!(options.propagation, PropagationKind::Incremental);
+        let options = parse_run_options(&["--propagation=full".into()]).expect("valid options");
+        assert_eq!(options.propagation, PropagationKind::Full);
+        let err = parse_run_options(&["--propagation".into(), "magic".into()]).unwrap_err();
+        assert!(err.to_string().contains("--propagation"), "{err}");
+        assert!(matches!(
+            parse_run_options(&["--propagation=".into()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn run_incremental_matches_full_run_statistics() {
+        let full = run(
+            MINI,
+            &RunOptions {
+                seed: 1,
+                max_operations: 500,
+                ..RunOptions::default()
+            },
+        )
+        .expect("valid scenario");
+        let incremental = run(
+            MINI,
+            &RunOptions {
+                seed: 1,
+                max_operations: 500,
+                propagation: PropagationKind::Incremental,
+                ..RunOptions::default()
+            },
+        )
+        .expect("valid scenario");
+        assert!(incremental.contains("completed = true"), "{incremental}");
+        // Same seed, same decisions: only the evaluation counts may differ.
+        let ops = |report: &str| {
+            report
+                .lines()
+                .find(|l| l.starts_with("operations:"))
+                .map(str::to_owned)
+        };
+        assert_eq!(ops(&full), ops(&incremental));
     }
 }

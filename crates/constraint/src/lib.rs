@@ -21,6 +21,9 @@
 //!   constraint evaluations, the paper's tool-run proxy;
 //! * [`propagate_observed`] — the same algorithm reporting per-wave spans
 //!   and counters to an [`adpm_observe::MetricsSink`];
+//! * [`propagate_incremental`] — dirty-set propagation that narrows from
+//!   the last fixed point, seeding only constraints adjacent to the changed
+//!   properties (falling back to a full run when reuse would be unsound);
 //! * [`helps_direction`] — constraint monotonicity (declared or inferred);
 //! * [`HeuristicReport`] — the mined per-property heuristic support data
 //!   (`v_F` size, `β_i`, `α_i`, repair directions) of the paper's §2.3.
@@ -75,6 +78,7 @@ pub use interval::Interval;
 pub use monotone::{helps_direction, local_helps_direction};
 pub use network::{ConstraintNetwork, HelpsDirection, Property};
 pub use propagate::{
-    hc4_revise, propagate, propagate_observed, PropagationConfig, PropagationOutcome, ReviseResult,
+    hc4_revise, propagate, propagate_incremental, propagate_observed, PropagationConfig,
+    PropagationKind, PropagationOutcome, ReviseResult,
 };
 pub use value::{Value, VALUE_EPS};

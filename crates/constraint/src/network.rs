@@ -13,7 +13,7 @@ use crate::expr::Expr;
 use crate::ids::{ConstraintId, PropertyId};
 use crate::interval::Interval;
 use crate::value::Value;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Static description of a design property.
@@ -164,6 +164,18 @@ pub struct ConstraintNetwork {
     prop_constraints: Vec<Vec<ConstraintId>>,
     declared_monotonic: HashMap<(ConstraintId, PropertyId), HelpsDirection>,
     name_index: HashMap<(String, String), PropertyId>,
+    /// Whether the current feasible subspaces are a conflict-free fixed
+    /// point that incremental propagation may narrow from. Any widening
+    /// change (unbind, rebind, structural edit) clears it.
+    fixpoint_clean: bool,
+    /// Properties narrowed by a `bind` since the last fixed point — the
+    /// implicit dirty set incremental propagation unions with the caller's.
+    dirty_props: BTreeSet<PropertyId>,
+    /// Constraints whose stored status was overwritten out-of-band (via
+    /// [`set_status`](Self::set_status)) since the last full status sweep;
+    /// an incremental run must re-evaluate these even when no adjacent
+    /// property changed.
+    stale_statuses: BTreeSet<ConstraintId>,
 }
 
 impl ConstraintNetwork {
@@ -205,6 +217,7 @@ impl ConstraintNetwork {
         });
         self.prop_constraints.push(Vec::new());
         self.name_index.insert(key, id);
+        self.fixpoint_clean = false;
         Ok(id)
     }
 
@@ -245,6 +258,7 @@ impl ConstraintNetwork {
         }
         self.constraints.push(constraint);
         self.statuses.push(ConstraintStatus::Consistent);
+        self.fixpoint_clean = false;
         Ok(id)
     }
 
@@ -408,11 +422,29 @@ impl ConstraintNetwork {
                 value,
             });
         }
+        // A first-time bind to a value inside the current feasible subspace
+        // only narrows the box, so the last fixed point stays reusable; a
+        // rebind (the old singleton goes away) or an out-of-feasible value
+        // widens and forces the next propagation to start from scratch.
+        let narrowing_only = state.assignment.is_none() && state.feasible.contains(&value);
         state.assignment = Some(value);
+        self.dirty_props.insert(id);
+        if !narrowing_only {
+            self.fixpoint_clean = false;
+        }
         Ok(())
     }
 
     /// Removes a property's assignment (backtracking).
+    ///
+    /// The derived state the assignment induced is invalidated immediately,
+    /// not at the next propagation: the property's feasible subspace drops
+    /// back to its initial `E_i` (the old singleton is no longer a fact),
+    /// and the statuses of adjacent constraints are re-evaluated so
+    /// [`alpha`](Self::alpha) readers between an unbind and the next
+    /// propagation never see phantom violations of the abandoned value.
+    /// Narrowings recorded on *other* properties keep their (sound, possibly
+    /// loose) ranges until the next propagation recomputes them.
     ///
     /// # Errors
     ///
@@ -422,7 +454,15 @@ impl ConstraintNetwork {
             .properties
             .get_mut(id.index())
             .ok_or(NetworkError::UnknownProperty(id))?;
-        state.assignment = None;
+        if state.assignment.take().is_none() {
+            return Ok(()); // already unbound; nothing to invalidate
+        }
+        state.feasible = state.meta.initial.clone();
+        self.fixpoint_clean = false;
+        self.dirty_props.insert(id);
+        for cid in self.prop_constraints[id.index()].clone() {
+            self.evaluate_constraint(cid);
+        }
         Ok(())
     }
 
@@ -443,6 +483,7 @@ impl ConstraintNetwork {
         for state in &mut self.properties {
             state.feasible = state.meta.initial.clone();
         }
+        self.fixpoint_clean = false;
     }
 
     /// The interval a constraint evaluation should use for this property:
@@ -483,7 +524,19 @@ impl ConstraintNetwork {
         let statuses: Vec<ConstraintStatus> =
             self.constraints.iter().map(|c| c.status(&lookup)).collect();
         self.statuses = statuses;
+        self.stale_statuses.clear();
         self.constraints.len()
+    }
+
+    /// Recomputes the statuses of just the given constraints and returns the
+    /// number of evaluations performed (`cids.len()`). The incremental
+    /// propagation path sweeps only the constraints a change could have
+    /// touched instead of the whole network.
+    pub(crate) fn evaluate_statuses_subset(&mut self, cids: &BTreeSet<ConstraintId>) -> usize {
+        for cid in cids {
+            self.evaluate_constraint(*cid);
+        }
+        cids.len()
     }
 
     /// Recomputes the status of a single constraint (counts as one
@@ -496,6 +549,7 @@ impl ConstraintNetwork {
         let lookup = |id: PropertyId| self.effective_interval(id);
         let status = self.constraints[cid.index()].status(&lookup);
         self.statuses[cid.index()] = status;
+        self.stale_statuses.remove(&cid);
         status
     }
 
@@ -512,6 +566,35 @@ impl ConstraintNetwork {
     /// which learns statuses only from explicit verification runs).
     pub fn set_status(&mut self, cid: ConstraintId, status: ConstraintStatus) {
         self.statuses[cid.index()] = status;
+        self.stale_statuses.insert(cid);
+    }
+
+    /// Whether the current feasible subspaces are a conflict-free fixed
+    /// point that a narrowing-only (dirty-set) propagation may start from.
+    pub(crate) fn incremental_reuse_ok(&self) -> bool {
+        self.fixpoint_clean
+    }
+
+    /// Properties bound since the last fixed point (the implicit dirty set).
+    pub(crate) fn dirty_props(&self) -> &BTreeSet<PropertyId> {
+        &self.dirty_props
+    }
+
+    /// Constraints whose stored status was overwritten out-of-band since
+    /// the last full status sweep.
+    pub(crate) fn stale_statuses(&self) -> &BTreeSet<ConstraintId> {
+        &self.stale_statuses
+    }
+
+    /// Records the outcome of a propagation run: `clean` means the feasible
+    /// subspaces now hold a conflict-free fixed point (which also settles
+    /// the accumulated dirty set); `!clean` forces the next incremental
+    /// request to fall back to a full run.
+    pub(crate) fn mark_fixpoint(&mut self, clean: bool) {
+        self.fixpoint_clean = clean;
+        if clean {
+            self.dirty_props.clear();
+        }
     }
 
     /// Ids of all constraints currently recorded as violated.
@@ -810,5 +893,68 @@ mod tests {
         let (mut net, _, _, c) = simple_net();
         net.set_status(c, ConstraintStatus::Violated);
         assert!(net.status(c).is_violated());
+        // The override is remembered as stale until something re-evaluates.
+        assert!(net.stale_statuses().contains(&c));
+        net.evaluate_constraint(c);
+        assert!(net.stale_statuses().is_empty());
+    }
+
+    /// Regression: unbinding must invalidate the derived state the binding
+    /// produced — the singleton feasible subspace and the violated statuses
+    /// of adjacent constraints — immediately, not at the next propagation.
+    #[test]
+    fn unbind_invalidates_feasible_and_adjacent_statuses() {
+        let mut net = ConstraintNetwork::new();
+        let a = net
+            .add_property(Property::new("a", "o", Domain::interval(0.0, 10.0)))
+            .unwrap();
+        let c = net
+            .add_constraint("cap", var(a), Relation::Le, cst(4.0))
+            .unwrap();
+        net.bind(a, Value::number(9.0)).unwrap();
+        net.set_feasible(a, Domain::singleton(&Value::number(9.0)));
+        net.evaluate_statuses();
+        assert!(net.status(c).is_violated());
+        assert_eq!(net.alpha(a), 1);
+
+        net.unbind(a).unwrap();
+        // No phantom singleton, no phantom violation.
+        assert_eq!(net.feasible(a), &Domain::interval(0.0, 10.0));
+        assert!(!net.status(c).is_violated());
+        assert_eq!(net.alpha(a), 0);
+        // Unbinding an already-unbound property is a no-op, not an error.
+        net.unbind(a).unwrap();
+        assert_eq!(net.feasible(a), &Domain::interval(0.0, 10.0));
+    }
+
+    #[test]
+    fn dirty_tracking_follows_bind_unbind_and_fixpoint_marks() {
+        let (mut net, a, b, _) = simple_net();
+        assert!(!net.incremental_reuse_ok()); // never propagated
+        net.mark_fixpoint(true);
+        assert!(net.incremental_reuse_ok());
+        assert!(net.dirty_props().is_empty());
+
+        // First-time bind inside the feasible subspace: narrowing-only.
+        net.bind(a, Value::number(5.0)).unwrap();
+        assert!(net.incremental_reuse_ok());
+        assert!(net.dirty_props().contains(&a));
+
+        // Rebinding replaces a singleton — a widening change.
+        net.bind(a, Value::number(6.0)).unwrap();
+        assert!(!net.incremental_reuse_ok());
+
+        net.mark_fixpoint(true);
+        assert!(net.dirty_props().is_empty());
+
+        // A bind outside the current feasible subspace is widening too.
+        net.set_feasible(b, Domain::interval(0.0, 1.0));
+        net.bind(b, Value::number(9.0)).unwrap();
+        assert!(!net.incremental_reuse_ok());
+
+        // Unbind always forces a full restart.
+        net.mark_fixpoint(true);
+        net.unbind(b).unwrap();
+        assert!(!net.incremental_reuse_ok());
     }
 }

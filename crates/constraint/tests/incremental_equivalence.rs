@@ -1,0 +1,200 @@
+//! Property-based equivalence suite for incremental propagation: on
+//! randomized networks driven by randomized bind/unbind sequences,
+//! [`propagate_incremental`] must reach exactly the fixed point, conflicts,
+//! and constraint statuses that a from-scratch [`propagate`] computes —
+//! whatever the dirty set it is handed, because the network's own dirty
+//! tracking supplies anything the caller omits.
+
+use adpm_constraint::expr::{cst, var};
+use adpm_constraint::{
+    propagate, propagate_incremental, ConstraintNetwork, Domain, Property, PropertyId,
+    PropagationConfig, Relation, Value,
+};
+use adpm_observe::NoopSink;
+use proptest::prelude::*;
+
+/// Bound-interval tolerance: the two paths revise in different orders, so
+/// bounds may differ by rounding; anything beyond this is a soundness bug.
+const TOL: f64 = 1e-9;
+
+/// One randomized edit: which property, what to do to it, and where in the
+/// initial domain a bind lands (as a fraction, possibly infeasible by the
+/// time the edit happens).
+#[derive(Debug, Clone)]
+enum Edit {
+    Bind { slot: usize, t: f64 },
+    Unbind { slot: usize },
+}
+
+fn edits() -> impl Strategy<Value = Vec<Edit>> {
+    proptest::collection::vec(
+        (0usize..8, 0.0f64..1.0, 0u32..5).prop_map(|(slot, t, kind)| {
+            // 1-in-5 edits unbind (the widening fallback path); the rest bind.
+            if kind == 0 {
+                Edit::Unbind { slot }
+            } else {
+                Edit::Bind { slot, t }
+            }
+        }),
+        1..10,
+    )
+}
+
+/// Builds the randomized network: interval properties chained by `<=`
+/// constraints, plus random caps and one sum constraint so revisions fan
+/// out through shared constraints.
+fn build_network(bounds: &[(f64, f64)], caps: &[f64]) -> ConstraintNetwork {
+    let mut net = ConstraintNetwork::new();
+    let ids: Vec<PropertyId> = bounds
+        .iter()
+        .enumerate()
+        .map(|(i, (lo, hi))| {
+            net.add_property(Property::new(format!("x{i}"), "o", Domain::interval(*lo, *hi)))
+                .unwrap()
+        })
+        .collect();
+    for w in ids.windows(2) {
+        net.add_constraint("ord", var(w[0]), Relation::Le, var(w[1])).unwrap();
+    }
+    for (i, cap) in caps.iter().enumerate() {
+        let pid = ids[i % ids.len()];
+        net.add_constraint(format!("cap{i}"), var(pid), Relation::Le, cst(*cap)).unwrap();
+    }
+    net.add_constraint("sum", var(ids[0]) + var(ids[ids.len() - 1]), Relation::Le, cst(45.0))
+        .unwrap();
+    net
+}
+
+/// Asserts both networks agree on every feasible subspace and status.
+fn assert_equivalent(full: &ConstraintNetwork, inc: &ConstraintNetwork, context: &str) {
+    for pid in full.property_ids() {
+        let (a, b) = (full.feasible(pid), inc.feasible(pid));
+        assert_eq!(a.is_empty(), b.is_empty(), "{context}: emptiness of {pid} diverged");
+        match (a.enclosing_interval(), b.enclosing_interval()) {
+            (Some(ia), Some(ib)) => {
+                assert!(
+                    (ia.lo() - ib.lo()).abs() <= TOL && (ia.hi() - ib.hi()).abs() <= TOL,
+                    "{context}: feasible({pid}) diverged: full {a} vs incremental {b}"
+                );
+            }
+            _ => assert_eq!(a, b, "{context}: feasible({pid}) diverged"),
+        }
+    }
+    for cid in full.constraint_ids() {
+        assert_eq!(
+            full.status(cid),
+            inc.status(cid),
+            "{context}: status({}) diverged",
+            full.constraint(cid).name()
+        );
+    }
+}
+
+/// Applies the edit sequence to a full-propagation network and an
+/// incremental twin, checking equivalence after every propagation. The
+/// incremental call is handed `dirty_of(edit)` as its dirty set.
+fn run_sequence(
+    bounds: &[(f64, f64)],
+    caps: &[f64],
+    seq: &[Edit],
+    dirty_of: impl Fn(&Edit, PropertyId) -> Vec<PropertyId>,
+) -> Result<(), TestCaseError> {
+    let config = PropagationConfig::default();
+    let mut full = build_network(bounds, caps);
+    let mut inc = full.clone();
+    let n = full.property_count();
+
+    for (step, edit) in seq.iter().enumerate() {
+        let pid = match edit {
+            Edit::Bind { slot, .. } | Edit::Unbind { slot } => PropertyId::new((slot % n) as u32),
+        };
+        match edit {
+            Edit::Bind { t, .. } => {
+                let init = full.property(pid).initial_domain().enclosing_interval().unwrap();
+                let value = Value::number(init.lo() + init.width() * t);
+                full.bind(pid, value.clone()).unwrap();
+                inc.bind(pid, value).unwrap();
+            }
+            Edit::Unbind { .. } => {
+                full.unbind(pid).unwrap();
+                inc.unbind(pid).unwrap();
+            }
+        }
+        let fo = propagate(&mut full, &config);
+        let io = propagate_incremental(&mut inc, &dirty_of(edit, pid), &config, &NoopSink);
+
+        prop_assert_eq!(
+            fo.reached_fixpoint,
+            io.reached_fixpoint,
+            "step {}: fixpoint flags diverged",
+            step
+        );
+        let mut fc = fo.conflicts.clone();
+        let mut ic = io.conflicts.clone();
+        fc.sort();
+        fc.dedup();
+        ic.sort();
+        ic.dedup();
+        prop_assert_eq!(fc, ic, "step {}: conflict sets diverged", step);
+        assert_equivalent(&full, &inc, &format!("step {step}"));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The honest caller: the dirty set is exactly the edited property.
+    #[test]
+    fn incremental_matches_full_with_exact_dirty_sets(
+        bounds in proptest::collection::vec((0.0f64..10.0, 10.0f64..30.0), 2..8),
+        caps in proptest::collection::vec(5.0f64..40.0, 1..6),
+        seq in edits(),
+    ) {
+        run_sequence(&bounds, &caps, &seq, |_, pid| vec![pid])?;
+    }
+
+    /// A lazy caller passing an empty dirty set must still be correct: the
+    /// network's own dirty tracking knows what changed.
+    #[test]
+    fn incremental_matches_full_with_empty_dirty_sets(
+        bounds in proptest::collection::vec((0.0f64..10.0, 10.0f64..30.0), 2..8),
+        caps in proptest::collection::vec(5.0f64..40.0, 1..6),
+        seq in edits(),
+    ) {
+        run_sequence(&bounds, &caps, &seq, |_, _| Vec::new())?;
+    }
+
+    /// An over-eager caller marking a random extra property dirty may cost
+    /// more but must compute the same result.
+    #[test]
+    fn incremental_matches_full_with_extra_dirty_properties(
+        bounds in proptest::collection::vec((0.0f64..10.0, 10.0f64..30.0), 2..8),
+        caps in proptest::collection::vec(5.0f64..40.0, 1..6),
+        seq in edits(),
+        extra in 0usize..8,
+    ) {
+        let n = bounds.len();
+        run_sequence(&bounds, &caps, &seq, move |_, pid| {
+            vec![pid, PropertyId::new((extra % n) as u32)]
+        })?;
+    }
+}
+
+/// Deterministic spot check: a long alternating bind/unbind/rebind tour of
+/// the network, verifying the cache survives every widening fallback.
+#[test]
+fn alternating_bind_unbind_tour_stays_equivalent() {
+    let bounds = [(0.0, 20.0), (2.0, 25.0), (1.0, 30.0), (0.0, 15.0)];
+    let caps = [12.0, 33.0, 9.0];
+    let seq: Vec<Edit> = (0..12)
+        .map(|i| {
+            if i % 3 == 2 {
+                Edit::Unbind { slot: i }
+            } else {
+                Edit::Bind { slot: i, t: 0.3 + 0.05 * i as f64 }
+            }
+        })
+        .collect();
+    run_sequence(&bounds, &caps, &seq, |_, pid| vec![pid]).unwrap();
+}

@@ -193,6 +193,8 @@ mod tests {
         let sink = JsonlSink::new(Box::new(buf.clone()));
         sink.incr(Counter::Evaluations, 7);
         sink.record(&TraceEvent::PropagationDone {
+            kind: "full",
+            seeded: 4,
             waves: 2,
             evaluations: 7,
             narrowed: 1,

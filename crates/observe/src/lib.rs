@@ -38,6 +38,8 @@
 //! let sink = InMemorySink::new();
 //! sink.incr(Counter::Waves, 3);
 //! sink.record(&TraceEvent::PropagationDone {
+//!     kind: "full",
+//!     seeded: 9,
 //!     waves: 3,
 //!     evaluations: 17,
 //!     narrowed: 2,

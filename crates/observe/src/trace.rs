@@ -12,8 +12,9 @@ use crate::json::escape_into;
 /// | `Evaluations` | a constraint evaluation runs (HC4 revision or verification) |
 /// | `Propagations` | one propagation run (worklist to fixpoint) completes |
 /// | `Waves` | one BFS level of the propagation worklist drains |
-/// | `Narrowings` | a property's feasible subspace ends a propagation narrowed |
+/// | `Narrowings` | a revision narrows a property's feasible subspace (one event per property × revision) |
 /// | `Conflicts` | propagation finds a constraint unsatisfiable |
+/// | `SeedConstraints` | a constraint is seeded onto the initial propagation worklist |
 /// | `Violations` | an operation newly discovers a violated constraint |
 /// | `Spins` | an executed operation is a design spin |
 /// | `Notifications` | an event is routed to a designer by the NM |
@@ -29,10 +30,13 @@ pub enum Counter {
     Propagations,
     /// Propagation worklist waves (BFS levels).
     Waves,
-    /// Properties narrowed by a propagation run.
+    /// Narrowing events (property × revision) during propagation.
     Narrowings,
     /// Constraints found unsatisfiable during propagation.
     Conflicts,
+    /// Constraints seeded onto the initial propagation worklist (all of
+    /// them for a full run, only the dirty-adjacent ones incrementally).
+    SeedConstraints,
     /// Newly discovered constraint violations.
     Violations,
     /// Design spins (cross-subsystem rework operations).
@@ -47,13 +51,14 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 12] = [
         Counter::Operations,
         Counter::Evaluations,
         Counter::Propagations,
         Counter::Waves,
         Counter::Narrowings,
         Counter::Conflicts,
+        Counter::SeedConstraints,
         Counter::Violations,
         Counter::Spins,
         Counter::Notifications,
@@ -78,6 +83,7 @@ impl Counter {
             Counter::Waves => "waves",
             Counter::Narrowings => "narrowings",
             Counter::Conflicts => "conflicts",
+            Counter::SeedConstraints => "seed_constraints",
             Counter::Violations => "violations",
             Counter::Spins => "spins",
             Counter::Notifications => "notifications",
@@ -122,6 +128,11 @@ pub enum TraceEvent<'a> {
     },
     /// One propagation run reached fixpoint (or its evaluation cap).
     PropagationDone {
+        /// `"full"` or `"incremental"` — which propagation path ran.
+        kind: &'a str,
+        /// Constraints seeded onto the initial worklist (all of them for a
+        /// full run, only the dirty-adjacent ones incrementally).
+        seeded: u32,
         /// Waves the worklist took.
         waves: u32,
         /// Total constraint evaluations of the run.
@@ -230,12 +241,16 @@ impl TraceEvent<'_> {
                 field_u64(out, "narrowed", narrowed.into());
             }
             TraceEvent::PropagationDone {
+                kind,
+                seeded,
                 waves,
                 evaluations,
                 narrowed,
                 conflicts,
                 fixpoint,
             } => {
+                field_str(out, "kind", kind);
+                field_u64(out, "seeded", seeded.into());
                 field_u64(out, "waves", waves.into());
                 field_u64(out, "evaluations", evaluations);
                 field_u64(out, "narrowed", narrowed.into());

@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use adpm_constraint::PropagationConfig;
+use adpm_constraint::{PropagationConfig, PropagationKind};
 use adpm_core::{DpmConfig, ManagementMode};
 
 /// How a designer orders unbound outputs when choosing what to work on
@@ -97,6 +97,10 @@ pub struct SimulationConfig {
     pub choice_noise: f64,
     /// Propagation settings for the ADPM DCM.
     pub propagation: PropagationConfig,
+    /// Which DCM propagation path the ADPM DPM runs after each operation:
+    /// from-scratch full propagation (the default) or dirty-set incremental
+    /// propagation seeded with the operation's target property.
+    pub propagation_kind: PropagationKind,
 }
 
 impl SimulationConfig {
@@ -110,6 +114,7 @@ impl SimulationConfig {
             heuristics: HeuristicToggles::all(),
             choice_noise: 0.25,
             propagation: PropagationConfig::default(),
+            propagation_kind: PropagationKind::Full,
         }
     }
 
@@ -134,6 +139,7 @@ impl SimulationConfig {
         DpmConfig {
             mode: self.mode,
             propagation: self.propagation.clone(),
+            propagation_kind: self.propagation_kind,
         }
     }
 }
@@ -177,5 +183,13 @@ mod tests {
     fn dpm_config_propagates_mode() {
         let c = SimulationConfig::conventional(7);
         assert_eq!(c.dpm_config().mode, ManagementMode::Conventional);
+    }
+
+    #[test]
+    fn dpm_config_propagates_propagation_kind() {
+        let mut c = SimulationConfig::adpm(7);
+        assert_eq!(c.dpm_config().propagation_kind, PropagationKind::Full);
+        c.propagation_kind = PropagationKind::Incremental;
+        assert_eq!(c.dpm_config().propagation_kind, PropagationKind::Incremental);
     }
 }

@@ -7,8 +7,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
+echo "==> cargo clippy --workspace (-D warnings)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
 echo "==> cargo test --workspace"
 cargo test -q --workspace
+
+echo "==> fig_incremental smoke run (3 seeds, equivalence oracle)"
+cargo run --release -q -p adpm-bench --bin fig_incremental -- 3 >/dev/null
 
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
