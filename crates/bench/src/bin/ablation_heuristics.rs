@@ -7,7 +7,7 @@
 //! should evaluate other types of problems and heuristics" — so this bench
 //! is an extension, not a paper figure.)
 
-use adpm_bench::PhaseRecorder;
+use adpm_bench::{write_results_json, JsonRow, PhaseRecorder};
 use adpm_teamsim::{run_once_with_sink, Batch, ForwardOrdering, HeuristicToggles, SimulationConfig};
 
 const SEEDS: u64 = 30;
@@ -43,6 +43,7 @@ fn main() {
         ("no heuristics at all", Box::new(|h| *h = HeuristicToggles::none())),
     ];
 
+    let mut json = Vec::new();
     for (name, scenario) in [
         ("sensing system", adpm_scenarios::sensing_system()),
         ("wireless receiver", adpm_scenarios::wireless_receiver()),
@@ -68,7 +69,16 @@ fn main() {
                 batch.evaluations().mean,
                 100.0 * batch.completion_rate()
             );
+            json.push(
+                JsonRow::new("bench_variant", "ablation_heuristics")
+                    .str("case", name)
+                    .str("variant", label)
+                    .batch("adpm", &batch)
+                    .finish(),
+            );
         }
         println!("\n{}", recorder.report());
+        json.extend(recorder.results_rows(&format!("ablation_heuristics/{name}")));
     }
+    write_results_json("ablation_heuristics", &json);
 }

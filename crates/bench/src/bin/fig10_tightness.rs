@@ -6,7 +6,7 @@
 //! the conventional approach — ADPM is more robust to specification
 //! tightening.
 
-use adpm_bench::{bar, PhaseRecorder};
+use adpm_bench::{bar, write_results_json, JsonRow, PhaseRecorder};
 use adpm_scenarios::wireless_receiver_with_gain;
 use adpm_teamsim::Summary;
 
@@ -73,4 +73,25 @@ fn main() {
     );
 
     println!("\n{}", recorder.report());
+
+    let mut json: Vec<String> = gains
+        .iter()
+        .enumerate()
+        .map(|(i, gain)| {
+            JsonRow::new("bench_point", "fig10_tightness")
+                .f64("req_gain", *gain)
+                .f64("conventional_ops_mean", conv_means[i])
+                .f64("adpm_ops_mean", adpm_means[i])
+                .finish()
+        })
+        .collect();
+    json.push(
+        JsonRow::new("bench_shape", "fig10_tightness")
+            .f64("conventional_spread", conv_spread)
+            .f64("adpm_spread", adpm_spread)
+            .bool("conventional_varies_more", conv_spread > adpm_spread)
+            .finish(),
+    );
+    json.extend(recorder.results_rows("fig10_tightness"));
+    write_results_json("fig10_tightness", &json);
 }

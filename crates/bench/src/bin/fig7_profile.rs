@@ -10,7 +10,7 @@
 //! smaller than the per-operation penalty because ADPM executes fewer
 //! operations.
 
-use adpm_bench::PhaseRecorder;
+use adpm_bench::{write_results_json, JsonRow, PhaseRecorder};
 use adpm_core::ManagementMode;
 use adpm_teamsim::report::{profile_chart, run_csv};
 use adpm_teamsim::{run_once, run_once_with_sink, SimulationConfig};
@@ -86,6 +86,28 @@ fn main() {
 
     println!("--- CSV (conventional) ---\n{}", run_csv(&conventional));
     println!("--- CSV (adpm) ---\n{}", run_csv(&adpm));
+
+    let mut rows = vec![JsonRow::new("bench_config", "fig7_profile")
+        .str("case", "sensing system")
+        .u64("seed", seed)
+        .finish()];
+    for (mode, stats) in [("conventional", &conventional), ("adpm", &adpm)] {
+        let (first, last) = stats.violation_span().unwrap_or((0, 0));
+        rows.push(
+            JsonRow::new("bench_run", "fig7_profile")
+                .str("mode", mode)
+                .u64("operations", stats.operations as u64)
+                .u64("evaluations", stats.evaluations as u64)
+                .u64("violations", stats.total_violations_found() as u64)
+                .u64("first_violation_op", first as u64)
+                .u64("last_violation_op", last as u64)
+                .f64("evaluations_per_op", stats.evaluations_per_operation())
+                .bool("completed", stats.completed)
+                .finish(),
+        );
+    }
+    rows.extend(recorder.results_rows("fig7_profile"));
+    write_results_json("fig7_profile", &rows);
 }
 
 /// Seed whose conventional operation count is closest to the median over a

@@ -3,7 +3,7 @@
 //! of violations, number of constraint evaluations, cumulative design
 //! spins) — as periodic snapshots over a receiver-case run in each mode.
 
-use adpm_bench::PhaseRecorder;
+use adpm_bench::{write_results_json, PhaseRecorder};
 use adpm_core::ManagementMode;
 use adpm_teamsim::report::stats_window;
 use adpm_teamsim::{Simulation, SimulationConfig, StepOutcome};
@@ -45,4 +45,5 @@ fn main() {
         recorder.mark(mode.as_str());
     }
     println!("{}", recorder.report());
+    write_results_json("fig8_stats", &recorder.results_rows("fig8_stats"));
 }

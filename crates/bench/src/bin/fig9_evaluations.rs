@@ -8,7 +8,7 @@
 //! harder (receiver) problem*; and the per-operation penalty is larger than
 //! the total penalty (consistent with Fig. 7 (b)).
 
-use adpm_bench::{bar, PhaseRecorder, SEEDS};
+use adpm_bench::{bar, write_results_json, JsonRow, PhaseRecorder, SEEDS};
 
 fn main() {
     println!("=== Fig. 9 (b) — constraint evaluations ({SEEDS} seeds per bar) ===\n");
@@ -85,4 +85,19 @@ fn main() {
     );
 
     println!("\n{}", recorder.report());
+
+    let mut json = Vec::new();
+    for (i, (name, c, a)) in rows.iter().enumerate() {
+        json.push(
+            JsonRow::new("bench_case", "fig9_evaluations")
+                .str("case", name)
+                .batch("conventional", c)
+                .batch("adpm", a)
+                .f64("total_penalty", total_penalty[i])
+                .f64("per_op_penalty", per_op_penalty[i])
+                .finish(),
+        );
+    }
+    json.extend(recorder.results_rows("fig9_evaluations"));
+    write_results_json("fig9_evaluations", &json);
 }

@@ -9,7 +9,7 @@
 //! variable; ADPM's spins are a small fraction (~7 %) of the conventional
 //! approach's.
 
-use adpm_bench::{bar, PhaseRecorder, SEEDS};
+use adpm_bench::{bar, write_results_json, JsonRow, PhaseRecorder, SEEDS};
 use adpm_teamsim::report::comparison_block;
 
 fn main() {
@@ -69,4 +69,18 @@ fn main() {
     );
 
     println!("\n{}", recorder.report());
+
+    let mut json = Vec::new();
+    for (name, c, a) in &rows {
+        json.push(
+            JsonRow::new("bench_case", "fig9_operations")
+                .str("case", name)
+                .batch("conventional", c)
+                .batch("adpm", a)
+                .f64("ops_ratio", c.operations().mean / a.operations().mean)
+                .finish(),
+        );
+    }
+    json.extend(recorder.results_rows("fig9_operations"));
+    write_results_json("fig9_operations", &json);
 }

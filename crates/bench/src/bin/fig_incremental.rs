@@ -17,7 +17,7 @@
 //!
 //! Usage: `fig_incremental [seeds]` (default 60).
 
-use adpm_bench::SEEDS;
+use adpm_bench::{write_results_json, JsonRow, SEEDS};
 use adpm_core::{DesignProcessManager, DpmConfig};
 use adpm_dddl::CompiledScenario;
 use adpm_teamsim::{Simulation, SimulationConfig};
@@ -122,6 +122,7 @@ fn main() {
     );
 
     let mut all_cheaper = true;
+    let mut json = Vec::new();
     for (name, scenario) in [
         ("sensing system", adpm_scenarios::sensing_system()),
         ("wireless receiver", adpm_scenarios::wireless_receiver()),
@@ -139,11 +140,24 @@ fn main() {
             100.0 * t.incremental_runs as f64 / t.operations as f64,
         );
         all_cheaper &= t.incremental_evaluations < t.full_evaluations;
+        json.push(
+            JsonRow::new("bench_case", "fig_incremental")
+                .str("case", name)
+                .u64("seeds", seeds)
+                .u64("operations", t.operations)
+                .u64("full_evaluations", t.full_evaluations)
+                .u64("incremental_evaluations", t.incremental_evaluations)
+                .u64("incremental_runs", t.incremental_runs)
+                .u64("fallback_runs", t.fallback_runs)
+                .f64("speedup", full_per_op / incr_per_op)
+                .finish(),
+        );
     }
 
     println!("\nequivalence oracle: every operation left identical feasible subspaces,");
     println!("constraint statuses, and known violations under both paths (checked above).");
     println!("incremental strictly cheaper on every scenario: {all_cheaper}");
+    write_results_json("fig_incremental", &json);
     assert!(
         all_cheaper,
         "incremental propagation must need fewer evaluations than full"

@@ -4,7 +4,7 @@
 //! teams, where multiple subsystems are developed in parallel" — this bench
 //! measures that trend directly.
 
-use adpm_bench::PhaseRecorder;
+use adpm_bench::{write_results_json, JsonRow, PhaseRecorder};
 use adpm_scenarios::pipeline;
 
 const SEEDS: u64 = 15;
@@ -17,6 +17,7 @@ fn main() {
     );
     let mut recorder = PhaseRecorder::new();
     let mut ratios = Vec::new();
+    let mut json = Vec::new();
     for n in [2usize, 3, 4, 5, 6] {
         let scenario = pipeline(n);
         let (conventional, adpm) =
@@ -32,6 +33,15 @@ fn main() {
             adpm.mean_spins()
         );
         ratios.push(ratio);
+        json.push(
+            JsonRow::new("bench_point", "scaling_teams")
+                .u64("stages", n as u64)
+                .u64("designers", (n + 1) as u64)
+                .batch("conventional", &conventional)
+                .batch("adpm", &adpm)
+                .f64("ops_ratio", ratio)
+                .finish(),
+        );
     }
     println!(
         "\nADPM's operation advantage at 6 stages vs 2 stages: {:.2}x vs {:.2}x \
@@ -42,4 +52,6 @@ fn main() {
     );
 
     println!("\n{}", recorder.report());
+    json.extend(recorder.results_rows("scaling_teams"));
+    write_results_json("scaling_teams", &json);
 }

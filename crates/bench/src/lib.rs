@@ -27,6 +27,7 @@ use adpm_dddl::CompiledScenario;
 use adpm_observe::{Counter, CounterSnapshot, InMemorySink, MetricsSink};
 use adpm_teamsim::{run_once, run_once_with_sink, Batch, SimulationConfig};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Number of seeded runs per configuration, matching the paper's
@@ -182,4 +183,187 @@ impl PhaseRecorder {
 pub fn bar(value: f64, scale: f64, ch: char) -> String {
     let n = ((value * scale).round() as usize).min(60);
     std::iter::repeat_n(ch, n).collect()
+}
+
+/// Builder for one flat JSON object line of a `results/*.json` twin —
+/// same single-level shape as the trace schema, so the files stay
+/// greppable and parseable with the same tooling.
+#[derive(Debug)]
+pub struct JsonRow(String);
+
+impl JsonRow {
+    /// Opens a row with its `"t"` tag and the emitting bench's name.
+    pub fn new(tag: &str, bench: &str) -> Self {
+        let mut row = JsonRow(String::from("{"));
+        row.push_str_field("t", tag);
+        row.push_str_field("bench", bench);
+        row
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if self.0.len() > 1 {
+            self.0.push(',');
+        }
+        let _ = write!(self.0, "\"{key}\":");
+    }
+
+    fn push_str_field(&mut self, key: &str, value: &str) {
+        self.push_key(key);
+        self.0.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => self.0.push_str("\\\""),
+                '\\' => self.0.push_str("\\\\"),
+                c => self.0.push(c),
+            }
+        }
+        self.0.push('"');
+    }
+
+    /// Appends a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.push_str_field(key, value);
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.push_key(key);
+        let _ = write!(self.0, "{value}");
+        self
+    }
+
+    /// Appends a float field (non-finite values serialize as `null`).
+    #[must_use]
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.push_key(key);
+        if value.is_finite() {
+            let _ = write!(self.0, "{value}");
+        } else {
+            self.0.push_str("null");
+        }
+        self
+    }
+
+    /// Appends a boolean field.
+    #[must_use]
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.push_key(key);
+        let _ = write!(self.0, "{value}");
+        self
+    }
+
+    /// Appends every counter of a snapshot as one field each.
+    #[must_use]
+    pub fn counters(mut self, snapshot: &CounterSnapshot) -> Self {
+        for (counter, value) in snapshot.iter() {
+            self = self.u64(counter.name(), value);
+        }
+        self
+    }
+
+    /// Appends a [`Batch`]'s headline statistics under a `prefix`.
+    #[must_use]
+    pub fn batch(self, prefix: &str, batch: &Batch) -> Self {
+        let ops = batch.operations();
+        let evals = batch.evaluations();
+        self.u64(&format!("{prefix}_runs"), batch.runs().len() as u64)
+            .f64(&format!("{prefix}_ops_mean"), ops.mean)
+            .f64(&format!("{prefix}_ops_std"), ops.std_dev)
+            .f64(&format!("{prefix}_evals_mean"), evals.mean)
+            .f64(&format!("{prefix}_evals_std"), evals.std_dev)
+            .f64(&format!("{prefix}_spins_mean"), batch.mean_spins())
+            .f64(&format!("{prefix}_completion"), batch.completion_rate())
+    }
+
+    /// Closes the row.
+    pub fn finish(mut self) -> String {
+        self.0.push('}');
+        self.0
+    }
+}
+
+/// The checked-in `results/` directory at the repository root.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Writes a bench binary's machine-readable twin, `results/<name>.json`
+/// (one flat JSON object per line), and reports where it went on stdout.
+/// Bench binaries are human-driven reproduction tools, so I/O failures
+/// panic rather than propagate.
+pub fn write_results_json(name: &str, rows: &[String]) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    let path = dir.join(format!("{name}.json"));
+    let mut body = rows.join("\n");
+    body.push('\n');
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let shown = path.canonicalize().unwrap_or(path);
+    // stderr, so `bin > results/<name>.txt` sample captures stay clean.
+    eprintln!("results twin written to {}", shown.display());
+}
+
+impl PhaseRecorder {
+    /// The recorder's phases as `results/*.json` rows: one `bench_phase`
+    /// row per closed phase plus one `bench_total` row over everything the
+    /// sink counted.
+    pub fn results_rows(&self, bench: &str) -> Vec<String> {
+        let mut rows: Vec<String> = self
+            .phases
+            .iter()
+            .map(|(label, snapshot)| {
+                JsonRow::new("bench_phase", bench)
+                    .str("phase", label)
+                    .counters(snapshot)
+                    .finish()
+            })
+            .collect();
+        rows.push(
+            JsonRow::new("bench_total", bench)
+                .counters(&self.sink.snapshot())
+                .finish(),
+        );
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rows_are_flat_and_escaped() {
+        let row = JsonRow::new("bench_phase", "demo")
+            .str("phase", "a\"b\\c")
+            .u64("ops", 7)
+            .f64("ratio", 1.5)
+            .f64("bad", f64::NAN)
+            .bool("ok", true)
+            .finish();
+        assert_eq!(
+            row,
+            "{\"t\":\"bench_phase\",\"bench\":\"demo\",\"phase\":\"a\\\"b\\\\c\",\
+             \"ops\":7,\"ratio\":1.5,\"bad\":null,\"ok\":true}"
+        );
+        // The twin files parse with the trace tooling.
+        assert!(adpm_observe::parse_trace(&row).is_ok());
+    }
+
+    #[test]
+    fn recorder_rows_cover_phases_and_total() {
+        let mut recorder = PhaseRecorder::new();
+        recorder.sink().incr(Counter::Operations, 3);
+        recorder.mark("warmup");
+        let rows = recorder.results_rows("demo");
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains("\"phase\":\"warmup\""));
+        assert!(rows[0].contains("\"operations\":3"));
+        assert!(rows[1].contains("\"t\":\"bench_total\""));
+        let joined = rows.join("\n");
+        assert!(adpm_observe::parse_trace(&joined).is_ok());
+    }
 }

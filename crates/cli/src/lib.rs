@@ -24,7 +24,8 @@
 use adpm_constraint::{explain_all_violations, propagate, PropagationConfig, PropagationKind, Value};
 use adpm_core::{DpmConfig, ManagementMode};
 use adpm_dddl::{compile_source, parse, to_source, CompiledScenario};
-use adpm_observe::{InMemorySink, JsonlSink, MetricsSink, TeeSink};
+use adpm_observe::analyze::{analyze_trace, diff_traces, render_comparison, DiffThresholds};
+use adpm_observe::{parse_trace, InMemorySink, JsonlSink, MetricsSink, TeeSink};
 use adpm_teamsim::{run_once, run_once_with_sink, Batch, SimulationConfig};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -41,6 +42,12 @@ pub enum CliError {
     Dddl(adpm_dddl::DddlError),
     /// A `--bind` value was rejected by the network.
     Network(adpm_constraint::NetworkError),
+    /// A trace file is not schema-valid JSONL.
+    Trace(adpm_observe::TraceParseError),
+    /// `diff-trace` found at least one regression; the payload is the
+    /// rendered diff report. Mapped to a non-zero exit by the binary, so
+    /// CI gates can use `adpm diff-trace` directly.
+    Regression(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -50,11 +57,19 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "cannot read scenario: {e}"),
             CliError::Dddl(e) => write!(f, "{e}"),
             CliError::Network(e) => write!(f, "{e}"),
+            CliError::Trace(e) => write!(f, "invalid trace: {e}"),
+            CliError::Regression(report) => write!(f, "{report}"),
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+impl From<adpm_observe::TraceParseError> for CliError {
+    fn from(e: adpm_observe::TraceParseError) -> Self {
+        CliError::Trace(e)
+    }
+}
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
@@ -95,6 +110,18 @@ COMMANDS:
                                             --metrics appends the aggregate
                                             counter totals)
     compare <file.dddl> [--seeds N]        both modes over N seeds (default 20)
+    analyze <trace.jsonl> [--json] [--vs other.jsonl]
+                                           profile a JSONL trace: totals,
+                                           constraint/property hot-spots,
+                                           designer profiles, span timings
+                                           (--json emits machine-readable
+                                           JSONL, --vs prints a side-by-side
+                                           λ=T vs λ=F style comparison)
+    diff-trace <a.jsonl> <b.jsonl> [--abs N] [--rel F]
+                                           compare b against baseline a over
+                                           the paper's statistics; exits
+                                           non-zero when b regresses beyond
+                                           a + max(abs, a*rel)
     explain <file.dddl> [--bind obj.prop=V ...]
                                            bind values, propagate, explain conflicts
     fmt     <file.dddl>                    print normalized DDDL
@@ -330,6 +357,52 @@ pub fn explain(source: &str, bindings: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `adpm analyze`: profile a JSONL trace — totals, per-constraint and
+/// per-property hot-spots, designer profiles, propagation shape, and span
+/// timing rollups. With `json` the report is emitted as flat JSONL
+/// (`a_*`-tagged lines, themselves parseable by [`parse_trace`]).
+///
+/// # Errors
+///
+/// Returns [`CliError::Trace`] for malformed trace text.
+pub fn analyze(trace: &str, json: bool) -> Result<String, CliError> {
+    let lines = parse_trace(trace)?;
+    let report = analyze_trace(&lines);
+    Ok(if json { report.to_jsonl() } else { report.render() })
+}
+
+/// `adpm analyze --vs`: side-by-side comparison of two trace profiles over
+/// the paper's statistics — the λ=T vs λ=F view of §3.2.
+///
+/// # Errors
+///
+/// Returns [`CliError::Trace`] if either trace is malformed.
+pub fn analyze_vs(a: &str, b: &str) -> Result<String, CliError> {
+    let a = analyze_trace(&parse_trace(a)?);
+    let b = analyze_trace(&parse_trace(b)?);
+    Ok(render_comparison(&a, &b))
+}
+
+/// `adpm diff-trace`: compare candidate trace `b` against baseline `a`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Trace`] for malformed traces, and
+/// [`CliError::Regression`] (carrying the rendered report) when any
+/// statistic regresses beyond the thresholds — the binary maps that to a
+/// non-zero exit.
+pub fn diff_trace(a: &str, b: &str, thresholds: &DiffThresholds) -> Result<String, CliError> {
+    let a = analyze_trace(&parse_trace(a)?);
+    let b = analyze_trace(&parse_trace(b)?);
+    let diff = diff_traces(&a, &b, thresholds);
+    let report = diff.render();
+    if diff.has_regressions() {
+        Err(CliError::Regression(report))
+    } else {
+        Ok(report)
+    }
+}
+
 /// `adpm fmt`: parse and pretty-print the scenario (normalized DDDL).
 ///
 /// # Errors
@@ -375,6 +448,78 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .next()
                 .ok_or_else(|| CliError::Usage("builtin needs a scenario name".into()))?;
             builtin(name)
+        }
+        "analyze" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::Usage("analyze needs a trace file".into()))?;
+            let rest: Vec<String> = it.cloned().collect();
+            let mut json = false;
+            let mut vs: Option<String> = None;
+            let mut args = rest.iter();
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    "--vs" => {
+                        vs = Some(
+                            args.next()
+                                .ok_or_else(|| CliError::Usage("--vs needs a trace file".into()))?
+                                .clone(),
+                        );
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            let trace = std::fs::read_to_string(path)?;
+            match vs {
+                Some(other) => {
+                    if json {
+                        return Err(CliError::Usage(
+                            "--json and --vs cannot be combined".into(),
+                        ));
+                    }
+                    analyze_vs(&trace, &std::fs::read_to_string(other)?)
+                }
+                None => analyze(&trace, json),
+            }
+        }
+        "diff-trace" => {
+            let a = it
+                .next()
+                .ok_or_else(|| CliError::Usage("diff-trace needs a baseline trace".into()))?;
+            let b = it
+                .next()
+                .ok_or_else(|| CliError::Usage("diff-trace needs a candidate trace".into()))?;
+            let rest: Vec<String> = it.cloned().collect();
+            let mut thresholds = DiffThresholds::default();
+            let mut args = rest.iter();
+            while let Some(flag) = args.next() {
+                let value = |args: &mut std::slice::Iter<String>| {
+                    args.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--abs" => {
+                        let v = value(&mut args)?;
+                        thresholds.absolute = v.parse().map_err(|_| {
+                            CliError::Usage(format!("--abs expects a number, got `{v}`"))
+                        })?;
+                    }
+                    "--rel" => {
+                        let v = value(&mut args)?;
+                        thresholds.relative = v.parse().map_err(|_| {
+                            CliError::Usage(format!("--rel expects a fraction, got `{v}`"))
+                        })?;
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            diff_trace(
+                &std::fs::read_to_string(a)?,
+                &std::fs::read_to_string(b)?,
+                &thresholds,
+            )
         }
         "check" | "fmt" | "run" | "compare" | "explain" => {
             let path = it
@@ -782,6 +927,129 @@ mod tests {
             parse_run_options(&["--propagation=".into()]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    /// Runs the mini scenario with a trace sink and returns the trace text.
+    fn mini_trace(seed: u64) -> String {
+        let dir = std::env::temp_dir().join("adpm-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(format!("mini-analyze-{seed}-{:?}.jsonl", std::thread::current().id()));
+        run(
+            MINI,
+            &RunOptions {
+                seed,
+                trace: Some(path.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .expect("valid scenario");
+        let text = std::fs::read_to_string(&path).expect("trace file");
+        std::fs::remove_file(&path).ok();
+        text
+    }
+
+    #[test]
+    fn analyze_renders_hot_spot_tables() {
+        let trace = mini_trace(1);
+        let out = analyze(&trace, false).expect("valid trace");
+        assert!(out.contains("totals"), "{out}");
+        assert!(out.contains("constraint hot-spots"), "{out}");
+        assert!(out.contains("power"), "{out}");
+        assert!(out.contains("property attribution"), "{out}");
+        assert!(out.contains("designer profiles"), "{out}");
+        assert!(out.contains("span timings"), "{out}");
+    }
+
+    #[test]
+    fn analyze_json_round_trips_through_the_parser() {
+        let trace = mini_trace(1);
+        let out = analyze(&trace, true).expect("valid trace");
+        let lines = adpm_observe::parse_trace(&out).expect("analysis JSONL parses");
+        assert!(lines.iter().any(|l| l.tag() == "a_total"));
+        assert!(lines.iter().any(|l| l.tag() == "a_constraint"));
+    }
+
+    #[test]
+    fn analyze_vs_prints_a_mode_comparison() {
+        let a = mini_trace(1);
+        let out = analyze_vs(&a, &a).expect("valid traces");
+        assert!(out.contains("operations"), "{out}");
+        assert!(matches!(analyze("not json", false), Err(CliError::Trace(_))));
+    }
+
+    #[test]
+    fn diff_trace_passes_identical_and_fails_doctored_traces() {
+        let trace = mini_trace(1);
+        let clean = diff_trace(&trace, &trace, &DiffThresholds::default())
+            .expect("identical traces never regress");
+        assert!(clean.contains("0 regression(s)"), "{clean}");
+
+        // Inflate the summary's evaluation count to fake a regression.
+        let evals_field = trace
+            .lines()
+            .find(|l| l.contains("\"t\":\"summary\""))
+            .and_then(|l| {
+                l.split("\"evaluations\":")
+                    .nth(1)
+                    .and_then(|rest| rest.split(&[',', '}'][..]).next())
+            })
+            .expect("summary has an evaluation count")
+            .to_owned();
+        let doctored = trace.replace(
+            &format!("\"evaluations\":{evals_field}"),
+            "\"evaluations\":999999",
+        );
+        match diff_trace(&trace, &doctored, &DiffThresholds::default()) {
+            Err(CliError::Regression(report)) => {
+                assert!(report.contains("REGRESSION"), "{report}");
+                assert!(report.contains("evaluations"), "{report}");
+            }
+            other => panic!("expected a regression, got {other:?}"),
+        }
+        // Generous thresholds absorb the same delta.
+        let forgiving = DiffThresholds {
+            absolute: 10_000_000,
+            relative: 0.0,
+        };
+        assert!(diff_trace(&trace, &doctored, &forgiving).is_ok());
+    }
+
+    #[test]
+    fn dispatch_analyze_and_diff_trace_work_end_to_end() {
+        let dir = std::env::temp_dir().join("adpm-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("dispatch-analyze.jsonl");
+        std::fs::write(&path, mini_trace(2)).expect("write trace");
+        let path_str = path.to_string_lossy().to_string();
+        let out = dispatch(&["analyze".into(), path_str.clone()]).expect("analyze works");
+        assert!(out.contains("constraint hot-spots"), "{out}");
+        let out = dispatch(&["analyze".into(), path_str.clone(), "--json".into()])
+            .expect("analyze --json works");
+        assert!(adpm_observe::parse_trace(&out).is_ok());
+        let out = dispatch(&[
+            "diff-trace".into(),
+            path_str.clone(),
+            path_str.clone(),
+            "--abs".into(),
+            "5".into(),
+            "--rel".into(),
+            "0.1".into(),
+        ])
+        .expect("self-diff passes");
+        assert!(out.contains("0 regression(s)"), "{out}");
+        assert!(matches!(
+            dispatch(&["analyze".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&["diff-trace".into(), path_str.clone()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&["analyze".into(), path_str.clone(), "--json".into(), "--vs".into(), path_str]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

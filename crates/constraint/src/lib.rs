@@ -20,7 +20,10 @@
 //!   AC-3 worklist) computing infeasible values and statuses while counting
 //!   constraint evaluations, the paper's tool-run proxy;
 //! * [`propagate_observed`] — the same algorithm reporting per-wave spans
-//!   and counters to an [`adpm_observe::MetricsSink`];
+//!   and counters to an [`adpm_observe::MetricsSink`], with
+//!   [`propagate_profiled`] additionally timing spans against an injectable
+//!   [`adpm_observe::Clock`] and attributing evaluations / narrowings to
+//!   individual constraints and properties;
 //! * [`propagate_incremental`] — dirty-set propagation that narrows from
 //!   the last fixed point, seeding only constraints adjacent to the changed
 //!   properties (falling back to a full run when reuse would be unsound);
@@ -78,7 +81,8 @@ pub use interval::Interval;
 pub use monotone::{helps_direction, local_helps_direction};
 pub use network::{ConstraintNetwork, HelpsDirection, Property};
 pub use propagate::{
-    hc4_revise, propagate, propagate_incremental, propagate_observed, PropagationConfig,
-    PropagationKind, PropagationOutcome, ReviseResult,
+    hc4_revise, propagate, propagate_incremental, propagate_incremental_profiled,
+    propagate_observed, propagate_profiled, PropagationConfig, PropagationKind,
+    PropagationOutcome, ReviseResult,
 };
 pub use value::{Value, VALUE_EPS};

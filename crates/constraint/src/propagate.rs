@@ -23,7 +23,7 @@ use crate::expr::Expr;
 use crate::ids::{ConstraintId, PropertyId};
 use crate::interval::Interval;
 use crate::network::ConstraintNetwork;
-use adpm_observe::{Counter, MetricsSink, NoopSink, TraceEvent};
+use adpm_observe::{Clock, Counter, MetricsSink, MonotonicClock, NoopSink, SpanKind, TraceEvent};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
@@ -172,7 +172,24 @@ pub fn propagate_observed(
     config: &PropagationConfig,
     sink: &dyn MetricsSink,
 ) -> PropagationOutcome {
+    propagate_profiled(net, config, sink, &MonotonicClock)
+}
+
+/// [`propagate_observed`], timing spans against an explicit [`Clock`].
+///
+/// With the real [`MonotonicClock`] the trace carries wall-clock `dur_us`
+/// fields; with a [`ManualClock`](adpm_observe::ManualClock) the durations
+/// are a deterministic function of the execution path, which keeps golden
+/// traces byte-reproducible. The clock is only read when the sink is
+/// enabled, so an untraced run makes zero clock calls.
+pub fn propagate_profiled(
+    net: &mut ConstraintNetwork,
+    config: &PropagationConfig,
+    sink: &dyn MetricsSink,
+    clock: &dyn Clock,
+) -> PropagationOutcome {
     let trace = sink.is_enabled();
+    let started = if trace { clock.now_us() } else { 0 };
 
     // Start from scratch: initial ranges, bound values pinned.
     net.reset_feasible();
@@ -186,24 +203,43 @@ pub fn propagate_observed(
     let seeds: Vec<ConstraintId> = net.constraint_ids().collect();
     // Reserve the final full status sweep inside the cap.
     let budget = config.max_evaluations.saturating_sub(net.constraint_count());
-    let run = run_worklist(net, &seeds, budget, config.min_relative_narrowing, false, trace);
+    let mut run = run_worklist(
+        net,
+        &seeds,
+        budget,
+        config.min_relative_narrowing,
+        false,
+        trace,
+        clock,
+    );
 
     let mut outcome = PropagationOutcome {
         kind: PropagationKind::Full,
         seeded: seeds.len(),
         evaluations: run.evaluations,
         narrowed: Vec::new(),
-        conflicts: run.conflicts,
+        conflicts: run.conflicts.clone(),
         reached_fixpoint: run.reached_fixpoint,
         waves: run.waves,
     };
 
-    // Final status sweep over the narrowed box.
+    // Final status sweep over the narrowed box: every constraint is
+    // checked once, so attribution charges each one evaluation.
     outcome.evaluations += net.evaluate_statuses();
+    if trace {
+        for evals in &mut run.constraint_evals {
+            *evals += 1;
+        }
+    }
     outcome.narrowed = collect_narrowed(net, &prop_ids);
     net.mark_fixpoint(outcome.reached_fixpoint && outcome.conflicts.is_empty());
 
-    emit_run(sink, trace, &run.wave_records, run.narrowing_events, &outcome);
+    let dur_us = if trace {
+        clock.now_us().saturating_sub(started)
+    } else {
+        0
+    };
+    emit_run(sink, trace, net, &run, &outcome, dur_us);
     outcome
 }
 
@@ -264,6 +300,21 @@ pub fn propagate_incremental(
     config: &PropagationConfig,
     sink: &dyn MetricsSink,
 ) -> PropagationOutcome {
+    propagate_incremental_profiled(net, dirty, config, sink, &MonotonicClock)
+}
+
+/// [`propagate_incremental`], timing spans against an explicit [`Clock`]
+/// (see [`propagate_profiled`]). A conflict-aborted incremental attempt
+/// emits no spans of its own — the full restart reports one complete,
+/// consistently attributed run instead (its wasted revisions are still
+/// counted).
+pub fn propagate_incremental_profiled(
+    net: &mut ConstraintNetwork,
+    dirty: &[PropertyId],
+    config: &PropagationConfig,
+    sink: &dyn MetricsSink,
+    clock: &dyn Clock,
+) -> PropagationOutcome {
     let mut dirty_all: BTreeSet<PropertyId> = dirty.iter().copied().collect();
     dirty_all.extend(net.dirty_props().iter().copied());
     let reusable = net.incremental_reuse_ok()
@@ -271,9 +322,10 @@ pub fn propagate_incremental(
             .iter()
             .all(|pid| pid.index() < net.property_count() && net.assignment(*pid).is_some());
     if !reusable {
-        return propagate_observed(net, config, sink);
+        return propagate_profiled(net, config, sink, clock);
     }
     let trace = sink.is_enabled();
+    let started = if trace { clock.now_us() } else { 0 };
 
     // Keep the fixed-point box; pin the dirty properties to their values.
     let prop_ids: Vec<PropertyId> = net.property_ids().collect();
@@ -291,7 +343,15 @@ pub fn propagate_incremental(
         .into_iter()
         .collect();
     let budget = config.max_evaluations.saturating_sub(net.constraint_count());
-    let run = run_worklist(net, &seeds, budget, config.min_relative_narrowing, true, trace);
+    let mut run = run_worklist(
+        net,
+        &seeds,
+        budget,
+        config.min_relative_narrowing,
+        true,
+        trace,
+        clock,
+    );
 
     if run.aborted_on_conflict {
         // Conflicts break the narrowing-only reuse argument: restart from
@@ -302,7 +362,7 @@ pub fn propagate_incremental(
             max_evaluations: config.max_evaluations.saturating_sub(wasted),
             ..config.clone()
         };
-        let mut outcome = propagate_observed(net, &inner, sink);
+        let mut outcome = propagate_profiled(net, &inner, sink, clock);
         outcome.evaluations += wasted;
         return outcome;
     }
@@ -312,7 +372,7 @@ pub fn propagate_incremental(
         seeded: seeds.len(),
         evaluations: run.evaluations,
         narrowed: Vec::new(),
-        conflicts: run.conflicts,
+        conflicts: run.conflicts.clone(),
         reached_fixpoint: run.reached_fixpoint,
         waves: run.waves,
     };
@@ -327,10 +387,20 @@ pub fn propagate_incremental(
         sweep.extend(net.constraints_of(*pid).iter().copied());
     }
     outcome.evaluations += net.evaluate_statuses_subset(&sweep);
+    if trace {
+        for cid in &sweep {
+            run.constraint_evals[cid.index()] += 1;
+        }
+    }
     outcome.narrowed = collect_narrowed(net, &prop_ids);
     net.mark_fixpoint(outcome.reached_fixpoint);
 
-    emit_run(sink, trace, &run.wave_records, run.narrowing_events, &outcome);
+    let dur_us = if trace {
+        clock.now_us().saturating_sub(started)
+    } else {
+        0
+    };
+    emit_run(sink, trace, net, &run, &outcome, dur_us);
     outcome
 }
 
@@ -341,6 +411,7 @@ struct WaveRecord {
     queue_len: u32,
     evaluations: u64,
     narrowed: u32,
+    dur_us: u64,
 }
 
 /// Result of draining one AC-3 worklist.
@@ -356,6 +427,12 @@ struct WorklistRun {
     reached_fixpoint: bool,
     aborted_on_conflict: bool,
     wave_records: Vec<WaveRecord>,
+    /// HC4 revisions per constraint (indexed by `ConstraintId::index`);
+    /// populated only when `record_waves` is set.
+    constraint_evals: Vec<u64>,
+    /// Narrowing events per property (indexed by `PropertyId::index`);
+    /// populated only when `record_waves` is set.
+    property_narrowings: Vec<u64>,
 }
 
 /// Drains an AC-3 worklist seeded with `seeds` to a fixed point (or until
@@ -369,6 +446,7 @@ fn run_worklist(
     min_relative_narrowing: f64,
     abort_on_conflict: bool,
     record_waves: bool,
+    clock: &dyn Clock,
 ) -> WorklistRun {
     let mut run = WorklistRun {
         evaluations: 0,
@@ -379,6 +457,16 @@ fn run_worklist(
         reached_fixpoint: true,
         aborted_on_conflict: false,
         wave_records: Vec::new(),
+        constraint_evals: if record_waves {
+            vec![0; net.constraint_count()]
+        } else {
+            Vec::new()
+        },
+        property_narrowings: if record_waves {
+            vec![0; net.property_count()]
+        } else {
+            Vec::new()
+        },
     };
     let mut queue: VecDeque<ConstraintId> = seeds.iter().copied().collect();
     let mut in_queue = vec![false; net.constraint_count()];
@@ -393,6 +481,7 @@ fn run_worklist(
     let mut wave_queue_len = queue.len();
     let mut wave_evaluations: u64 = 0;
     let mut wave_narrowings: u32 = 0;
+    let mut wave_started = if record_waves { clock.now_us() } else { 0 };
 
     while let Some(cid) = queue.pop_front() {
         in_queue[cid.index()] = false;
@@ -402,6 +491,9 @@ fn run_worklist(
         }
         run.evaluations += 1;
         wave_evaluations += 1;
+        if record_waves {
+            run.constraint_evals[cid.index()] += 1;
+        }
 
         let revise = {
             let lookup = |pid: PropertyId| net.effective_interval(pid);
@@ -428,6 +520,9 @@ fn run_worklist(
                     run.narrowing_events += 1;
                     run.changed.insert(pid);
                     wave_narrowings += 1;
+                    if record_waves {
+                        run.property_narrowings[pid.index()] += 1;
+                    }
                     for dep in net.constraints_of(pid).to_vec() {
                         if !in_queue[dep.index()] {
                             in_queue[dep.index()] = true;
@@ -441,12 +536,15 @@ fn run_worklist(
         wave_remaining -= 1;
         if wave_remaining == 0 {
             if record_waves {
+                let now = clock.now_us();
                 run.wave_records.push(WaveRecord {
                     wave: run.waves as u32,
                     queue_len: wave_queue_len as u32,
                     evaluations: wave_evaluations,
                     narrowed: wave_narrowings,
+                    dur_us: now.saturating_sub(wave_started),
                 });
+                wave_started = now;
             }
             run.waves += 1;
             wave_remaining = queue.len();
@@ -463,6 +561,7 @@ fn run_worklist(
                 queue_len: wave_queue_len as u32,
                 evaluations: wave_evaluations,
                 narrowed: wave_narrowings,
+                dur_us: clock.now_us().saturating_sub(wave_started),
             });
         }
         run.waves += 1;
@@ -482,29 +581,53 @@ fn collect_narrowed(net: &ConstraintNetwork, prop_ids: &[PropertyId]) -> Vec<Pro
         .collect()
 }
 
-/// Emits the buffered wave spans, the run counters, and the
-/// `PropagationDone` span for one completed (non-aborted) run.
+/// Emits the buffered wave spans, per-constraint / per-property profile
+/// attribution, the run counters, and the `PropagationDone` span for one
+/// completed (non-aborted) run.
 fn emit_run(
     sink: &dyn MetricsSink,
     trace: bool,
-    wave_records: &[WaveRecord],
-    narrowing_events: u64,
+    net: &ConstraintNetwork,
+    run: &WorklistRun,
     outcome: &PropagationOutcome,
+    dur_us: u64,
 ) {
     if trace {
-        for w in wave_records {
+        for w in &run.wave_records {
             sink.record(&TraceEvent::PropagationWave {
                 wave: w.wave,
                 queue_len: w.queue_len,
                 evaluations: w.evaluations,
                 narrowed: w.narrowed,
+                dur_us: w.dur_us,
             });
+            sink.time(SpanKind::Wave, w.dur_us);
+        }
+        for cid in net.constraint_ids() {
+            let evaluations = run.constraint_evals[cid.index()];
+            if evaluations > 0 {
+                sink.record(&TraceEvent::ConstraintProfile {
+                    name: net.constraint(cid).name(),
+                    evaluations,
+                    conflict: outcome.conflicts.contains(&cid),
+                });
+            }
+        }
+        for pid in net.property_ids() {
+            let narrowings = run.property_narrowings[pid.index()];
+            if narrowings > 0 {
+                let prop = net.property(pid);
+                sink.record(&TraceEvent::PropertyProfile {
+                    name: &format!("{}.{}", prop.object(), prop.name()),
+                    narrowings,
+                });
+            }
         }
     }
     sink.incr(Counter::Propagations, 1);
     sink.incr(Counter::Evaluations, outcome.evaluations as u64);
     sink.incr(Counter::Waves, outcome.waves as u64);
-    sink.incr(Counter::Narrowings, narrowing_events);
+    sink.incr(Counter::Narrowings, run.narrowing_events);
     sink.incr(Counter::Conflicts, outcome.conflicts.len() as u64);
     sink.incr(Counter::SeedConstraints, outcome.seeded as u64);
     if trace {
@@ -516,7 +639,9 @@ fn emit_run(
             narrowed: outcome.narrowed.len() as u32,
             conflicts: outcome.conflicts.len() as u32,
             fixpoint: outcome.reached_fixpoint,
+            dur_us,
         });
+        sink.time(SpanKind::Propagation, dur_us);
     }
 }
 

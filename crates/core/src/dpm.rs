@@ -25,10 +25,11 @@ use crate::ids::{DesignerId, ProblemId};
 use crate::operation::{Operation, OperationRecord, Operator};
 use crate::problem::{ProblemSet, ProblemStatus};
 use adpm_constraint::{
-    propagate_incremental, propagate_observed, ConstraintId, ConstraintNetwork, ConstraintStatus,
-    HeuristicReport, NetworkError, PropagationConfig, PropagationKind, PropertyId,
+    propagate_incremental_profiled, propagate_profiled, ConstraintId, ConstraintNetwork,
+    ConstraintStatus, HeuristicReport, NetworkError, PropagationConfig, PropagationKind,
+    PropertyId,
 };
-use adpm_observe::{Counter, MetricsSink, NoopSink, TraceEvent};
+use adpm_observe::{Clock, Counter, MetricsSink, MonotonicClock, NoopSink, SpanKind, TraceEvent};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -142,6 +143,7 @@ pub struct DesignProcessManager {
     total_evaluations: usize,
     spins: usize,
     sink: Arc<dyn MetricsSink>,
+    clock: Arc<dyn Clock>,
 }
 
 impl DesignProcessManager {
@@ -162,6 +164,7 @@ impl DesignProcessManager {
             total_evaluations: 0,
             spins: 0,
             sink: Arc::new(NoopSink),
+            clock: Arc::new(MonotonicClock),
         }
     }
 
@@ -176,6 +179,15 @@ impl DesignProcessManager {
     /// The metrics sink instrumented paths report to.
     pub fn metrics_sink(&self) -> &Arc<dyn MetricsSink> {
         &self.sink
+    }
+
+    /// Replaces the clock instrumented spans are timed against. The default
+    /// [`MonotonicClock`] reports wall-clock durations; inject a
+    /// [`ManualClock`](adpm_observe::ManualClock) to make traced `dur_us`
+    /// fields a deterministic function of the execution path (golden
+    /// traces). The clock is only read when the sink is enabled.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
     }
 
     /// Registers a new designer and returns their id.
@@ -273,7 +285,12 @@ impl DesignProcessManager {
             self.event_buffer.clear();
             return 0;
         }
-        let outcome = propagate_observed(&mut self.network, &self.config.propagation, &*self.sink);
+        let outcome = propagate_profiled(
+            &mut self.network,
+            &self.config.propagation,
+            &*self.sink,
+            &*self.clock,
+        );
         self.heuristics = Some(HeuristicReport::mine(&self.network));
         self.refresh_known_violations_from_network();
         self.prev_snapshot = self.known_violations.clone();
@@ -291,6 +308,9 @@ impl DesignProcessManager {
     /// (e.g. a value outside `E_i`); the state is unchanged in that case and
     /// nothing is recorded.
     pub fn execute(&mut self, operation: Operation) -> Result<OperationRecord, NetworkError> {
+        let trace = self.sink.is_enabled();
+        let op_started = if trace { self.clock.now_us() } else { 0 };
+
         // Spin detection is judged against the state *before* the operation:
         // was the designer reacting to a known cross-subsystem violation?
         let spin = self.is_spin(&operation);
@@ -326,9 +346,12 @@ impl DesignProcessManager {
         if self.config.mode == ManagementMode::Adpm {
             let before_sizes = self.feasible_sizes();
             let outcome = match self.config.propagation_kind {
-                PropagationKind::Full => {
-                    propagate_observed(&mut self.network, &self.config.propagation, &*self.sink)
-                }
+                PropagationKind::Full => propagate_profiled(
+                    &mut self.network,
+                    &self.config.propagation,
+                    &*self.sink,
+                    &*self.clock,
+                ),
                 PropagationKind::Incremental => {
                     // The operation's target property is the dirty set; ops
                     // without one (verify, decompose) touch no values, so an
@@ -337,11 +360,12 @@ impl DesignProcessManager {
                     // back to a full run inside propagate_incremental.
                     let dirty: Vec<PropertyId> =
                         operation.operator().target_property().into_iter().collect();
-                    propagate_incremental(
+                    propagate_incremental_profiled(
                         &mut self.network,
                         &dirty,
                         &self.config.propagation,
                         &*self.sink,
+                        &*self.clock,
                     )
                 }
             };
@@ -354,7 +378,13 @@ impl DesignProcessManager {
         let new_violations = self.violation_delta();
         self.update_problem_statuses();
         self.emit_violation_events(&new_violations);
+        let fanout_started = if trace { self.clock.now_us() } else { 0 };
         let (recipients, delivered) = self.flush_events();
+        let fanout_dur_us = if trace {
+            self.clock.now_us().saturating_sub(fanout_started)
+        } else {
+            0
+        };
 
         self.total_evaluations += evaluations;
         if spin {
@@ -380,23 +410,43 @@ impl DesignProcessManager {
         if spin {
             self.sink.incr(Counter::Spins, 1);
         }
-        if self.sink.is_enabled() {
+        if trace {
+            for cid in &record.new_violations {
+                self.sink.record(&TraceEvent::Violation {
+                    seq: record.sequence as u64,
+                    constraint: self.network.constraint(*cid).name(),
+                    cross: self.network.is_cross_object(*cid),
+                });
+            }
+            let target = match record.operation.operator().target_property() {
+                Some(pid) => {
+                    let prop = self.network.property(pid);
+                    format!("{}.{}", prop.object(), prop.name())
+                }
+                None => String::new(),
+            };
+            let dur_us = self.clock.now_us().saturating_sub(op_started);
             self.sink.record(&TraceEvent::Operation {
                 seq: record.sequence as u64,
                 designer: record.operation.designer().index() as u32,
                 kind: record.operation.operator().kind(),
                 mode: self.config.mode.as_str(),
+                target: &target,
                 evaluations: record.evaluations as u64,
                 violations_after: record.violations_after as u32,
                 new_violations: record.new_violations.len() as u32,
                 spin: record.spin,
+                dur_us,
             });
+            self.sink.time(SpanKind::Operation, dur_us);
             if delivered > 0 {
                 self.sink.record(&TraceEvent::NotificationFanout {
                     seq: record.sequence as u64,
                     recipients,
                     events: delivered,
+                    dur_us: fanout_dur_us,
                 });
+                self.sink.time(SpanKind::Fanout, fanout_dur_us);
             }
         }
         Ok(record)

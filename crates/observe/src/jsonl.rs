@@ -3,24 +3,29 @@
 use crate::json::{parse_object, JsonValue, TraceParseError};
 use crate::sink::{InMemorySink, MetricsSink};
 use crate::trace::{Counter, TraceEvent};
+use crate::histogram::SpanKind;
 use std::fmt;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// A [`MetricsSink`] that serializes every event as one JSON object per
 /// line, for offline analysis and replay auditing.
 ///
 /// Counters are aggregated in memory alongside the stream;
 /// [`finish`](JsonlSink::finish) appends them as a final
-/// `{"t":"counters",...}` line and flushes. Dropping the sink finishes it
-/// implicitly, but write errors are silently dropped then — call `finish`
-/// when you care.
+/// `{"t":"counters",...}` line and flushes. An I/O error during
+/// [`record`](MetricsSink::record) never panics the instrumented run; the
+/// *first* such error is retained and surfaced by the next
+/// [`finish`](JsonlSink::finish) call (or inspected early via
+/// [`take_error`](JsonlSink::take_error)). Dropping the sink finishes it
+/// implicitly but discards any error — call `finish` when you care.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
     counters: InMemorySink,
     finished: AtomicBool,
+    error: Mutex<Option<std::io::Error>>,
 }
 
 impl fmt::Debug for JsonlSink {
@@ -39,6 +44,7 @@ impl JsonlSink {
             writer: Mutex::new(BufWriter::new(writer)),
             counters: InMemorySink::new(),
             finished: AtomicBool::new(false),
+            error: Mutex::new(None),
         }
     }
 
@@ -57,20 +63,54 @@ impl JsonlSink {
         self.counters.snapshot()
     }
 
+    /// Removes and returns the first deferred write error, if any —
+    /// [`record`](MetricsSink::record) must never panic or error into the
+    /// instrumented run, so mid-run I/O failures park here instead.
+    pub fn take_error(&self) -> Option<std::io::Error> {
+        lock_recovered(&self.error).take()
+    }
+
+    fn store_error(&self, error: std::io::Error) {
+        let mut slot = lock_recovered(&self.error);
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, BufWriter<Box<dyn Write + Send>>> {
+        // Poison recovery: a panic on another instrumented thread must not
+        // cascade into losing the rest of the trace. The writer state is a
+        // byte stream — at worst the panicking thread left a partial line.
+        lock_recovered(&self.writer)
+    }
+
     /// Writes the final `{"t":"counters",...}` line and flushes. Safe to
-    /// call more than once; only the first call writes.
+    /// call more than once; only the first call writes (but any call
+    /// surfaces a still-pending deferred error).
     ///
     /// # Errors
     ///
-    /// Any [`std::io::Error`] from the underlying writer.
+    /// The first deferred [`record`](MetricsSink::record) error, or any
+    /// [`std::io::Error`] from writing the counters line and flushing.
     pub fn finish(&self) -> std::io::Result<()> {
-        if self.finished.swap(true, Ordering::SeqCst) {
-            return Ok(());
+        if !self.finished.swap(true, Ordering::SeqCst) {
+            let mut writer = self.lock_writer();
+            let result = writeln!(writer, "{}", self.counters.snapshot().to_json())
+                .and_then(|()| writer.flush());
+            drop(writer);
+            if let Err(error) = result {
+                self.store_error(error);
+            }
         }
-        let mut writer = self.writer.lock().expect("trace writer poisoned");
-        writeln!(writer, "{}", self.counters.snapshot().to_json())?;
-        writer.flush()
+        match self.take_error() {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
     }
+}
+
+fn lock_recovered<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Drop for JsonlSink {
@@ -88,10 +128,17 @@ impl MetricsSink for JsonlSink {
         let mut line = String::with_capacity(96);
         event.write_json(&mut line);
         line.push('\n');
-        let mut writer = self.writer.lock().expect("trace writer poisoned");
+        let result = self.lock_writer().write_all(line.as_bytes());
         // An I/O error mid-run (disk full, closed pipe) must not panic the
-        // simulation; the trace is best-effort and `finish` surfaces errors.
-        let _ = writer.write_all(line.as_bytes());
+        // simulation; the trace is best-effort, so park the first error for
+        // `finish`/`take_error` to surface.
+        if let Err(error) = result {
+            self.store_error(error);
+        }
+    }
+
+    fn time(&self, kind: SpanKind, dur_us: u64) {
+        self.counters.time(kind, dur_us);
     }
 }
 
@@ -200,11 +247,13 @@ mod tests {
             narrowed: 1,
             conflicts: 0,
             fixpoint: true,
+            dur_us: 40,
         });
         sink.record(&TraceEvent::Tick {
             tick: 0,
             designer: 3,
             outcome: "executed",
+            dur_us: 55,
         });
         sink.finish().expect("finish");
         drop(sink);
@@ -215,10 +264,74 @@ mod tests {
         assert_eq!(lines[0].tag(), "propagation");
         assert_eq!(lines[0].u64_field("waves"), Some(2));
         assert_eq!(lines[0].bool_field("fixpoint"), Some(true));
+        assert_eq!(lines[0].u64_field("dur_us"), Some(40));
         assert_eq!(lines[1].tag(), "tick");
         assert_eq!(lines[1].str_field("outcome"), Some("executed"));
+        assert_eq!(lines[1].u64_field("dur_us"), Some(55));
         assert_eq!(lines[2].tag(), "counters");
         assert_eq!(lines[2].u64_field("evaluations"), Some(7));
+    }
+
+    /// A writer that fails every write after the first `ok_writes`.
+    struct FailingWriter {
+        ok_writes: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.ok_writes == 0 {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.ok_writes -= 1;
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn record_errors_are_deferred_and_surfaced_by_finish() {
+        let sink = JsonlSink::new(Box::new(FailingWriter { ok_writes: 0 }));
+        // record never panics or errors into the run...
+        sink.record(&TraceEvent::Tick {
+            tick: 0,
+            designer: 0,
+            outcome: "executed",
+            dur_us: 1,
+        });
+        sink.record(&TraceEvent::Tick {
+            tick: 1,
+            designer: 0,
+            outcome: "executed",
+            dur_us: 1,
+        });
+        // ...BufWriter buffers small lines, so force the failure out.
+        let err = sink.finish().expect_err("failure must surface");
+        assert_eq!(err.to_string(), "disk full");
+        // The error was taken by the failed finish; later calls are clean.
+        assert!(sink.finish().is_ok());
+        assert!(sink.take_error().is_none());
+    }
+
+    #[test]
+    fn take_error_exposes_the_first_deferred_error() {
+        // Buffer capacity 1 byte would still buffer; use a writer that
+        // fails immediately and bypass buffering via finish-sized writes.
+        let sink = JsonlSink::new(Box::new(FailingWriter { ok_writes: 0 }));
+        let long_line = "x".repeat(16 * 1024);
+        sink.record(&TraceEvent::Tick {
+            tick: 0,
+            designer: 0,
+            outcome: &long_line,
+            dur_us: 1,
+        });
+        let err = sink.take_error().expect("oversized write fails through");
+        assert_eq!(err.to_string(), "disk full");
+        // Only the FIRST error is retained; a finish after take_error hits
+        // its own write failure and reports that instead.
+        assert!(sink.finish().is_err());
     }
 
     #[test]

@@ -29,11 +29,18 @@
 //!   replay auditing.
 //! * [`parse_trace`] / [`TraceLine`] — a minimal reader for the JSONL
 //!   format, used by `adpm-core`'s replay auditing and by tests.
+//! * [`Clock`] / [`MonotonicClock`] / [`ManualClock`] — injectable
+//!   monotonic time for span durations; the manual clock keeps golden
+//!   traces byte-deterministic.
+//! * [`Histogram`] / [`SpanKind`] — log-bucketed duration capture per span
+//!   kind, aggregated by [`InMemorySink`] via [`MetricsSink::time`].
+//! * [`analyze`] — offline trace analysis: hot-spot attribution, timing
+//!   rollups, λ=T vs λ=F comparison, and trace-to-trace regression diffs.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use adpm_observe::{Counter, InMemorySink, MetricsSink, TraceEvent};
+//! use adpm_observe::{Counter, InMemorySink, MetricsSink, SpanKind, TraceEvent};
 //!
 //! let sink = InMemorySink::new();
 //! sink.incr(Counter::Waves, 3);
@@ -45,18 +52,26 @@
 //!     narrowed: 2,
 //!     conflicts: 0,
 //!     fixpoint: true,
+//!     dur_us: 120,
 //! });
+//! sink.time(SpanKind::Propagation, 120);
 //! assert_eq!(sink.get(Counter::Waves), 3);
+//! assert_eq!(sink.histogram(SpanKind::Propagation).max(), 120);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analyze;
+mod clock;
+mod histogram;
 mod json;
 mod jsonl;
 mod sink;
 mod trace;
 
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use histogram::{Histogram, SpanKind};
 pub use json::{JsonValue, TraceParseError};
 pub use jsonl::{parse_trace, JsonlSink, TraceLine};
 pub use sink::{CounterSnapshot, InMemorySink, MetricsSink, NoopSink, TeeSink};

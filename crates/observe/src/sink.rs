@@ -1,5 +1,6 @@
 //! The [`MetricsSink`] trait and its in-process implementations.
 
+use crate::histogram::{Histogram, SpanKind};
 use crate::trace::{Counter, TraceEvent};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,6 +32,15 @@ pub trait MetricsSink: fmt::Debug + Send + Sync {
 
     /// Records one structured event.
     fn record(&self, event: &TraceEvent<'_>);
+
+    /// Records the duration of one timed span, in µs. The default is a
+    /// no-op so counter-only sinks need not care; [`InMemorySink`]
+    /// aggregates into one [`Histogram`] per [`SpanKind`]. Producers only
+    /// time spans when [`is_enabled`](MetricsSink::is_enabled) is true (the
+    /// clock reads ride along with event construction).
+    fn time(&self, kind: SpanKind, dur_us: u64) {
+        let _ = (kind, dur_us);
+    }
 }
 
 /// The default sink: drops everything, reports itself disabled.
@@ -98,12 +108,13 @@ impl fmt::Display for CounterSnapshot {
     }
 }
 
-/// Lock-free in-memory aggregation: one atomic per [`Counter`], events
-/// counted but not retained. The right sink for benches and concurrency
-/// tests.
+/// Lock-free in-memory aggregation: one atomic per [`Counter`], one
+/// [`Histogram`] per [`SpanKind`], events counted but not retained. The
+/// right sink for benches and concurrency tests.
 #[derive(Debug, Default)]
 pub struct InMemorySink {
     counters: [AtomicU64; Counter::COUNT],
+    timings: [Histogram; SpanKind::COUNT],
     events: AtomicU64,
 }
 
@@ -133,10 +144,18 @@ impl InMemorySink {
         snapshot
     }
 
-    /// Resets every counter (and the event count) to zero.
+    /// The duration histogram of one span kind.
+    pub fn histogram(&self, kind: SpanKind) -> &Histogram {
+        &self.timings[kind.index()]
+    }
+
+    /// Resets every counter, histogram, and the event count to zero.
     pub fn reset(&self) {
         for c in &self.counters {
             c.store(0, Ordering::Relaxed);
+        }
+        for h in &self.timings {
+            h.reset();
         }
         self.events.store(0, Ordering::Relaxed);
     }
@@ -149,6 +168,10 @@ impl MetricsSink for InMemorySink {
 
     fn record(&self, _event: &TraceEvent<'_>) {
         self.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn time(&self, kind: SpanKind, dur_us: u64) {
+        self.timings[kind.index()].record(dur_us);
     }
 }
 
@@ -184,6 +207,12 @@ impl MetricsSink for TeeSink {
             }
         }
     }
+
+    fn time(&self, kind: SpanKind, dur_us: u64) {
+        for sink in &self.sinks {
+            sink.time(kind, dur_us);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +228,7 @@ mod tests {
             tick: 0,
             designer: 0,
             outcome: "executed",
+            dur_us: 0,
         });
     }
 
@@ -239,6 +269,7 @@ mod tests {
                                 tick: 0,
                                 designer: 0,
                                 outcome: "executed",
+                                dur_us: 0,
                             });
                         }
                     }
@@ -252,6 +283,31 @@ mod tests {
         assert_eq!(sink.get(Counter::Evaluations), expected);
         assert_eq!(sink.get(Counter::Waves), expected);
         assert_eq!(sink.events_recorded(), expected / 2);
+    }
+
+    #[test]
+    fn in_memory_aggregates_span_timings() {
+        let sink = InMemorySink::new();
+        sink.time(SpanKind::Wave, 10);
+        sink.time(SpanKind::Wave, 30);
+        sink.time(SpanKind::Tick, 100);
+        let waves = sink.histogram(SpanKind::Wave);
+        assert_eq!(waves.count(), 2);
+        assert_eq!(waves.max(), 30);
+        assert_eq!(sink.histogram(SpanKind::Tick).sum(), 100);
+        assert!(sink.histogram(SpanKind::Fanout).is_empty());
+        sink.reset();
+        assert!(sink.histogram(SpanKind::Wave).is_empty());
+    }
+
+    #[test]
+    fn tee_forwards_span_timings() {
+        let a = Arc::new(InMemorySink::new());
+        let tee = TeeSink::new(vec![a.clone()]);
+        tee.time(SpanKind::Operation, 7);
+        assert_eq!(a.histogram(SpanKind::Operation).count(), 1);
+        // The default implementation (e.g. NoopSink) discards timings.
+        NoopSink.time(SpanKind::Operation, 7);
     }
 
     #[test]

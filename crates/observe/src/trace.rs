@@ -125,6 +125,9 @@ pub enum TraceEvent<'a> {
         evaluations: u64,
         /// Narrowing events (property × constraint) during the wave.
         narrowed: u32,
+        /// Wall-clock duration of the wave, µs (deterministic under a
+        /// manual clock).
+        dur_us: u64,
     },
     /// One propagation run reached fixpoint (or its evaluation cap).
     PropagationDone {
@@ -143,6 +146,42 @@ pub enum TraceEvent<'a> {
         conflicts: u32,
         /// False when `max_evaluations` censored the run.
         fixpoint: bool,
+        /// Duration of the whole run (including the status sweep), µs.
+        dur_us: u64,
+    },
+    /// Per-constraint profile of one propagation run, emitted (while
+    /// tracing) once per constraint that was evaluated, just before the
+    /// run's `propagation` footer. Summing `evaluations` over a run's
+    /// `cprof` lines reproduces the footer's `evaluations` total.
+    ConstraintProfile {
+        /// Constraint name.
+        name: &'a str,
+        /// Evaluations charged to the constraint in this run (HC4
+        /// revisions plus its status-sweep check, if swept).
+        evaluations: u64,
+        /// Whether this run found the constraint unsatisfiable.
+        conflict: bool,
+    },
+    /// Per-property profile of one propagation run, emitted (while
+    /// tracing) once per property narrowed in the run, before the
+    /// `propagation` footer. Summing `narrowings` over a run's `pprof`
+    /// lines reproduces the run's narrowing-event count.
+    PropertyProfile {
+        /// Property name, `object.property`.
+        name: &'a str,
+        /// Narrowing events charged to the property in this run.
+        narrowings: u64,
+    },
+    /// One newly discovered constraint violation, emitted by the DPM after
+    /// the operation that surfaced it.
+    Violation {
+        /// Sequence number of the discovering operation.
+        seq: u64,
+        /// Violated constraint's name.
+        constraint: &'a str,
+        /// Whether the constraint spans more than one design object (the
+        /// paper's cross-subsystem case — the expensive kind).
+        cross: bool,
     },
     /// The DPM executed one design operation.
     Operation {
@@ -154,6 +193,9 @@ pub enum TraceEvent<'a> {
         kind: &'a str,
         /// Management mode, `"adpm"` or `"conventional"`.
         mode: &'a str,
+        /// Target property of an assign/unbind as `object.property`, empty
+        /// for operators without a single property target.
+        target: &'a str,
         /// Constraint evaluations attributed to the operation.
         evaluations: u64,
         /// Violations known immediately after the operation.
@@ -162,6 +204,8 @@ pub enum TraceEvent<'a> {
         new_violations: u32,
         /// Whether the operation was a design spin.
         spin: bool,
+        /// Duration of the operation (propagation included), µs.
+        dur_us: u64,
     },
     /// The Notification Manager routed events after an operation.
     NotificationFanout {
@@ -171,6 +215,8 @@ pub enum TraceEvent<'a> {
         recipients: u32,
         /// Total events delivered (sum over recipients).
         events: u32,
+        /// Duration of the routing + delivery, µs.
+        dur_us: u64,
     },
     /// One simulation engine tick.
     Tick {
@@ -180,6 +226,8 @@ pub enum TraceEvent<'a> {
         designer: u32,
         /// `"executed"`, `"stalled"`, or `"complete"`.
         outcome: &'a str,
+        /// Duration of the tick, µs.
+        dur_us: u64,
     },
     /// Final line of a simulation run.
     RunSummary {
@@ -203,6 +251,9 @@ impl TraceEvent<'_> {
             TraceEvent::RunStart { .. } => "run_start",
             TraceEvent::PropagationWave { .. } => "wave",
             TraceEvent::PropagationDone { .. } => "propagation",
+            TraceEvent::ConstraintProfile { .. } => "cprof",
+            TraceEvent::PropertyProfile { .. } => "pprof",
+            TraceEvent::Violation { .. } => "violation",
             TraceEvent::Operation { .. } => "op",
             TraceEvent::NotificationFanout { .. } => "fanout",
             TraceEvent::Tick { .. } => "tick",
@@ -234,11 +285,13 @@ impl TraceEvent<'_> {
                 queue_len,
                 evaluations,
                 narrowed,
+                dur_us,
             } => {
                 field_u64(out, "wave", wave.into());
                 field_u64(out, "queue_len", queue_len.into());
                 field_u64(out, "evaluations", evaluations);
                 field_u64(out, "narrowed", narrowed.into());
+                field_u64(out, "dur_us", dur_us);
             }
             TraceEvent::PropagationDone {
                 kind,
@@ -248,6 +301,7 @@ impl TraceEvent<'_> {
                 narrowed,
                 conflicts,
                 fixpoint,
+                dur_us,
             } => {
                 field_str(out, "kind", kind);
                 field_u64(out, "seeded", seeded.into());
@@ -256,43 +310,74 @@ impl TraceEvent<'_> {
                 field_u64(out, "narrowed", narrowed.into());
                 field_u64(out, "conflicts", conflicts.into());
                 field_bool(out, "fixpoint", fixpoint);
+                field_u64(out, "dur_us", dur_us);
+            }
+            TraceEvent::ConstraintProfile {
+                name,
+                evaluations,
+                conflict,
+            } => {
+                field_str(out, "name", name);
+                field_u64(out, "evaluations", evaluations);
+                field_bool(out, "conflict", conflict);
+            }
+            TraceEvent::PropertyProfile { name, narrowings } => {
+                field_str(out, "name", name);
+                field_u64(out, "narrowings", narrowings);
+            }
+            TraceEvent::Violation {
+                seq,
+                constraint,
+                cross,
+            } => {
+                field_u64(out, "seq", seq);
+                field_str(out, "constraint", constraint);
+                field_bool(out, "cross", cross);
             }
             TraceEvent::Operation {
                 seq,
                 designer,
                 kind,
                 mode,
+                target,
                 evaluations,
                 violations_after,
                 new_violations,
                 spin,
+                dur_us,
             } => {
                 field_u64(out, "seq", seq);
                 field_u64(out, "designer", designer.into());
                 field_str(out, "kind", kind);
                 field_str(out, "mode", mode);
+                field_str(out, "target", target);
                 field_u64(out, "evaluations", evaluations);
                 field_u64(out, "violations_after", violations_after.into());
                 field_u64(out, "new_violations", new_violations.into());
                 field_bool(out, "spin", spin);
+                field_u64(out, "dur_us", dur_us);
             }
             TraceEvent::NotificationFanout {
                 seq,
                 recipients,
                 events,
+                dur_us,
             } => {
                 field_u64(out, "seq", seq);
                 field_u64(out, "recipients", recipients.into());
                 field_u64(out, "events", events.into());
+                field_u64(out, "dur_us", dur_us);
             }
             TraceEvent::Tick {
                 tick,
                 designer,
                 outcome,
+                dur_us,
             } => {
                 field_u64(out, "tick", tick);
                 field_u64(out, "designer", designer.into());
                 field_str(out, "outcome", outcome);
+                field_u64(out, "dur_us", dur_us);
             }
             TraceEvent::RunSummary {
                 operations,
@@ -364,10 +449,11 @@ mod tests {
             queue_len: 5,
             evaluations: 5,
             narrowed: 1,
+            dur_us: 12,
         };
         assert_eq!(
             event.to_json(),
-            "{\"t\":\"wave\",\"wave\":2,\"queue_len\":5,\"evaluations\":5,\"narrowed\":1}"
+            "{\"t\":\"wave\",\"wave\":2,\"queue_len\":5,\"evaluations\":5,\"narrowed\":1,\"dur_us\":12}"
         );
     }
 
@@ -377,7 +463,38 @@ mod tests {
             tick: 0,
             designer: 1,
             outcome: "quo\"te",
+            dur_us: 0,
         };
         assert!(event.to_json().contains("quo\\\"te"));
+    }
+
+    #[test]
+    fn profile_events_carry_attribution_tags() {
+        let cprof = TraceEvent::ConstraintProfile {
+            name: "cap",
+            evaluations: 7,
+            conflict: true,
+        };
+        assert_eq!(
+            cprof.to_json(),
+            "{\"t\":\"cprof\",\"name\":\"cap\",\"evaluations\":7,\"conflict\":true}"
+        );
+        let pprof = TraceEvent::PropertyProfile {
+            name: "lna.gain",
+            narrowings: 3,
+        };
+        assert_eq!(
+            pprof.to_json(),
+            "{\"t\":\"pprof\",\"name\":\"lna.gain\",\"narrowings\":3}"
+        );
+        let violation = TraceEvent::Violation {
+            seq: 4,
+            constraint: "sum",
+            cross: false,
+        };
+        assert_eq!(
+            violation.to_json(),
+            "{\"t\":\"violation\",\"seq\":4,\"constraint\":\"sum\",\"cross\":false}"
+        );
     }
 }

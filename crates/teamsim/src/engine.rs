@@ -13,7 +13,7 @@ use crate::designer::SimulatedDesigner;
 use crate::stats::{OperationStat, RunStats};
 use adpm_core::DesignProcessManager;
 use adpm_dddl::CompiledScenario;
-use adpm_observe::{Counter, MetricsSink, NoopSink, TraceEvent};
+use adpm_observe::{Clock, Counter, MetricsSink, MonotonicClock, NoopSink, SpanKind, TraceEvent};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -42,6 +42,7 @@ pub struct Simulation {
     setup_evaluations: usize,
     cursor: usize,
     sink: Arc<dyn MetricsSink>,
+    clock: Arc<dyn Clock>,
     ticks: u64,
 }
 
@@ -55,13 +56,32 @@ impl Simulation {
     /// here, per-operation and per-propagation spans in the layers below —
     /// to `sink`. The sink is installed before the DPM's setup propagation
     /// so a trace covers the whole run, opening with a `run_start` line.
+    /// Spans are timed against the wall clock; see
+    /// [`with_instrumentation`](Self::with_instrumentation) to inject one.
     pub fn with_sink(
         scenario: &CompiledScenario,
         config: SimulationConfig,
         sink: Arc<dyn MetricsSink>,
     ) -> Self {
+        Self::with_instrumentation(scenario, config, sink, Arc::new(MonotonicClock))
+    }
+
+    /// [`with_sink`](Self::with_sink) with an explicit [`Clock`] for span
+    /// durations. The default wall clock reports real `dur_us`; injecting a
+    /// [`ManualClock`](adpm_observe::ManualClock) makes every duration a
+    /// deterministic function of the execution path, so traces of the same
+    /// seed are byte-identical (golden traces). The clock is threaded down
+    /// through the DPM into constraint propagation and only read when the
+    /// sink is enabled.
+    pub fn with_instrumentation(
+        scenario: &CompiledScenario,
+        config: SimulationConfig,
+        sink: Arc<dyn MetricsSink>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         let mut dpm = scenario.build_dpm(config.dpm_config());
         dpm.set_sink(sink.clone());
+        dpm.set_clock(clock.clone());
         if sink.is_enabled() {
             sink.record(&TraceEvent::RunStart {
                 mode: config.mode.as_str(),
@@ -87,6 +107,7 @@ impl Simulation {
             setup_evaluations,
             cursor: 0,
             sink,
+            clock,
             ticks: 0,
         }
     }
@@ -117,6 +138,8 @@ impl Simulation {
     /// the first proposal is executed. `Stalled` means a full round of
     /// polling produced no proposal while the design is incomplete.
     pub fn step(&mut self) -> StepOutcome {
+        let trace = self.sink.is_enabled();
+        let started = if trace { self.clock.now_us() } else { 0 };
         let outcome = self.step_inner();
         let tick = self.ticks;
         self.ticks += 1;
@@ -125,17 +148,20 @@ impl Simulation {
             StepOutcome::Stalled => self.sink.incr(Counter::TicksStalled, 1),
             StepOutcome::Complete => {}
         }
-        if self.sink.is_enabled() {
+        if trace {
             let (designer, label) = match &outcome {
                 StepOutcome::Executed(stat) => (stat.designer, "executed"),
                 StepOutcome::Stalled => (u32::MAX, "stalled"),
                 StepOutcome::Complete => (u32::MAX, "complete"),
             };
+            let dur_us = self.clock.now_us().saturating_sub(started);
             self.sink.record(&TraceEvent::Tick {
                 tick,
                 designer,
                 outcome: label,
+                dur_us,
             });
+            self.sink.time(SpanKind::Tick, dur_us);
         }
         outcome
     }
@@ -234,6 +260,19 @@ pub fn run_once_with_sink(
     sink: Arc<dyn MetricsSink>,
 ) -> RunStats {
     Simulation::with_sink(scenario, config, sink).run()
+}
+
+/// Convenience: build and run one instrumented simulation against an
+/// explicit clock (deterministic `dur_us` under a
+/// [`ManualClock`](adpm_observe::ManualClock)); see
+/// [`Simulation::with_instrumentation`].
+pub fn run_once_instrumented(
+    scenario: &CompiledScenario,
+    config: SimulationConfig,
+    sink: Arc<dyn MetricsSink>,
+    clock: Arc<dyn Clock>,
+) -> RunStats {
+    Simulation::with_instrumentation(scenario, config, sink, clock).run()
 }
 
 #[cfg(test)]

@@ -33,5 +33,5 @@ pub mod stats;
 
 pub use config::{ForwardOrdering, HeuristicToggles, SimulationConfig};
 pub use designer::SimulatedDesigner;
-pub use engine::{run_once, run_once_with_sink, Simulation, StepOutcome};
+pub use engine::{run_once, run_once_instrumented, run_once_with_sink, Simulation, StepOutcome};
 pub use stats::{percentile, Batch, OperationStat, RunStats, Summary};

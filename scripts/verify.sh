@@ -16,6 +16,13 @@ cargo test -q --workspace
 echo "==> fig_incremental smoke run (3 seeds, equivalence oracle)"
 cargo run --release -q -p adpm-bench --bin fig_incremental -- 3 >/dev/null
 
+echo "==> adpm analyze smoke run (golden trace)"
+cargo run --release -q -p adpm-cli --bin adpm -- analyze tests/golden/sensing_short.jsonl >/dev/null
+
+echo "==> adpm diff-trace self-comparison (golden vs golden, must exit 0)"
+cargo run --release -q -p adpm-cli --bin adpm -- diff-trace \
+  tests/golden/sensing_short.jsonl tests/golden/sensing_short.jsonl >/dev/null
+
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

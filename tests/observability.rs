@@ -11,8 +11,10 @@
 //! $ UPDATE_GOLDEN=1 cargo test -p adpm-integration-tests --test observability
 //! ```
 
-use adpm_observe::{parse_trace, InMemorySink, JsonlSink, MetricsSink, TeeSink, TraceLine};
-use adpm_teamsim::{run_once_with_sink, SimulationConfig};
+use adpm_observe::{
+    parse_trace, InMemorySink, JsonlSink, ManualClock, MetricsSink, TeeSink, TraceLine,
+};
+use adpm_teamsim::{run_once_instrumented, run_once_with_sink, SimulationConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -24,10 +26,14 @@ fn short_sensing_config() -> SimulationConfig {
     config
 }
 
+/// Traces a short run against a [`ManualClock`] stepping 1 µs per reading,
+/// so every `dur_us` in the trace is a deterministic function of the
+/// execution path (byte-identical traces per seed).
 fn trace_short_sensing_run(path: &std::path::Path) -> adpm_teamsim::RunStats {
     let scenario = adpm_scenarios::sensing_system();
     let sink = Arc::new(JsonlSink::create(path).expect("create trace file"));
-    let stats = run_once_with_sink(&scenario, short_sensing_config(), sink.clone());
+    let clock = Arc::new(ManualClock::with_step(0, 1));
+    let stats = run_once_instrumented(&scenario, short_sensing_config(), sink.clone(), clock);
     sink.finish().expect("flush trace");
     stats
 }
@@ -42,14 +48,31 @@ fn tmp_trace_path(name: &str) -> PathBuf {
 /// (`docs/OBSERVABILITY.md`). Every field listed must be present.
 const SCHEMA: &[(&str, &[&str])] = &[
     ("run_start", &["mode", "seed", "designers", "properties", "constraints"]),
-    ("wave", &["wave", "queue_len", "evaluations", "narrowed"]),
-    ("propagation", &["evaluations", "waves", "narrowed", "conflicts", "fixpoint"]),
+    ("wave", &["wave", "queue_len", "evaluations", "narrowed", "dur_us"]),
+    ("cprof", &["name", "evaluations", "conflict"]),
+    ("pprof", &["name", "narrowings"]),
+    (
+        "propagation",
+        &["evaluations", "waves", "narrowed", "conflicts", "fixpoint", "dur_us"],
+    ),
+    ("violation", &["seq", "constraint", "cross"]),
     (
         "op",
-        &["seq", "designer", "kind", "mode", "evaluations", "violations_after", "new_violations", "spin"],
+        &[
+            "seq",
+            "designer",
+            "kind",
+            "mode",
+            "target",
+            "evaluations",
+            "violations_after",
+            "new_violations",
+            "spin",
+            "dur_us",
+        ],
     ),
-    ("fanout", &["seq", "recipients", "events"]),
-    ("tick", &["tick", "outcome"]),
+    ("fanout", &["seq", "recipients", "events", "dur_us"]),
+    ("tick", &["tick", "outcome", "dur_us"]),
     ("summary", &["operations", "evaluations", "spins", "violations", "completed"]),
     ("counters", &["operations", "evaluations", "waves", "spins"]),
 ];
@@ -135,6 +158,42 @@ fn traces_are_deterministic_per_seed() {
     assert_eq!(ta, tb, "same scenario + seed must produce identical traces");
     std::fs::remove_file(&a).ok();
     std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn analysis_attribution_reconciles_with_the_counter_totals() {
+    let path = tmp_trace_path("attribution.jsonl");
+    let stats = trace_short_sensing_run(&path);
+    let text = std::fs::read_to_string(&path).expect("read trace");
+    std::fs::remove_file(&path).ok();
+    let lines = parse_trace(&text).expect("valid JSONL");
+    let report = adpm_observe::analyze::analyze_trace(&lines);
+
+    // Per-constraint attribution accounts for every propagation evaluation
+    // (this ADPM run has no explicit verification operations).
+    let cprof_sum: u64 = report.constraints.iter().map(|c| c.evaluations).sum();
+    assert_eq!(cprof_sum, report.total("evaluations"));
+    // Per-property attribution accounts for every narrowing event.
+    let pprof_sum: u64 = report.properties.iter().map(|p| p.narrowings).sum();
+    assert_eq!(pprof_sum, report.total("narrowings"));
+    // Designer profiles account for every operation.
+    let designer_ops: u64 = report.designers.iter().map(|d| d.operations).sum();
+    assert_eq!(designer_ops, stats.operations as u64);
+    // Span timings cover every tick, and nested spans never take longer
+    // than the ticks that contain them (manual clock: monotone counters).
+    let ticks = report.timings.iter().find(|t| t.span == "tick").expect("tick timings");
+    assert_eq!(ticks.count, lines.iter().filter(|l| l.tag() == "tick").count() as u64);
+    let props = report
+        .timings
+        .iter()
+        .find(|t| t.span == "propagation")
+        .expect("propagation timings");
+    assert!(props.total_us <= ticks.total_us);
+
+    // The machine-readable report round-trips through the trace parser.
+    let json = report.to_jsonl();
+    let parsed = parse_trace(&json).expect("analysis output is itself flat JSONL");
+    assert!(parsed.iter().any(|l| l.tag() == "a_constraint"));
 }
 
 #[test]
