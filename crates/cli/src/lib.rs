@@ -12,6 +12,9 @@
 //! $ adpm explain my-chip.dddl --bind rx.P-front=150 --bind rx.P-ser=100
 //! $ adpm fmt my-chip.dddl            # normalized pretty-printed DDDL
 //! $ adpm builtin receiver            # print an embedded paper scenario
+//! $ adpm serve my-chip.dddl          # host a live collaboration session
+//! $ adpm client 127.0.0.1:4000 --designer 1 --subscribe
+//! $ adpm submit 127.0.0.1:4000 --designer 0 --problem fe --assign rx.P-front=150
 //! ```
 //!
 //! Every subcommand is a library function returning the text it would
@@ -21,7 +24,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use adpm_constraint::{explain_all_violations, propagate, PropagationConfig, PropagationKind, Value};
+use adpm_collab::{run_concurrent_dpm, CollabClient, CollabServer, Frame, WireError, WireOp};
+use adpm_constraint::{
+    explain_all_violations, propagate, NetworkError, PropagationConfig, PropagationKind, Value,
+};
 use adpm_core::{DpmConfig, ManagementMode};
 use adpm_dddl::{compile_source, parse, to_source, CompiledScenario};
 use adpm_observe::analyze::{analyze_trace, diff_traces, render_comparison, DiffThresholds};
@@ -48,6 +54,9 @@ pub enum CliError {
     /// rendered diff report. Mapped to a non-zero exit by the binary, so
     /// CI gates can use `adpm diff-trace` directly.
     Regression(String),
+    /// A collaboration connection failed at the wire-protocol level, or a
+    /// `client`/`submit` expectation (like `--expect-events`) was not met.
+    Wire(WireError),
 }
 
 impl std::fmt::Display for CliError {
@@ -59,6 +68,7 @@ impl std::fmt::Display for CliError {
             CliError::Network(e) => write!(f, "{e}"),
             CliError::Trace(e) => write!(f, "invalid trace: {e}"),
             CliError::Regression(report) => write!(f, "{report}"),
+            CliError::Wire(e) => write!(f, "{e}"),
         }
     }
 }
@@ -89,6 +99,12 @@ impl From<adpm_constraint::NetworkError> for CliError {
     }
 }
 
+impl From<WireError> for CliError {
+    fn from(e: WireError) -> Self {
+        CliError::Wire(e)
+    }
+}
+
 /// The usage text printed by `adpm help` (and on usage errors).
 pub const USAGE: &str = "\
 adpm — Active Design Process Management (DAC 2001 reproduction)
@@ -100,6 +116,7 @@ COMMANDS:
     check   <file.dddl>                    compile, propagate, report feasibility
     run     <file.dddl> [--mode adpm|conventional] [--seed N] [--max-ops N]
             [--propagation full|incremental] [--csv] [--trace FILE] [--metrics]
+            [--concurrent] [--turn-barrier]
                                            simulate one TeamSim run
                                            (--propagation picks the DCM path:
                                             full re-propagation after every
@@ -108,7 +125,11 @@ COMMANDS:
                                             per-operation table, --trace streams
                                             a JSONL event trace to FILE,
                                             --metrics appends the aggregate
-                                            counter totals)
+                                            counter totals; --concurrent runs
+                                            designers as real threads against a
+                                            collaboration session, and
+                                            --turn-barrier makes that run a
+                                            deterministic round-robin)
     compare <file.dddl> [--seeds N]        both modes over N seeds (default 20)
     analyze <trace.jsonl> [--json] [--vs other.jsonl]
                                            profile a JSONL trace: totals,
@@ -126,6 +147,25 @@ COMMANDS:
                                            bind values, propagate, explain conflicts
     fmt     <file.dddl>                    print normalized DDDL
     builtin <sensing|receiver|walkthrough> print an embedded paper scenario
+    serve   <file.dddl> [--port N] [--mode adpm|conventional]
+            [--propagation full|incremental]
+                                           host a collaboration session over the
+                                           JSONL wire protocol; prints
+                                           `listening on 127.0.0.1:PORT` up
+                                           front (port 0 = ephemeral) and runs
+                                           until a client sends shutdown
+    client  <addr> [--designer N] [--subscribe | --subscribe-all]
+            [--expect-events K] [--timeout-ms T]
+                                           connect as designer N, optionally
+                                           subscribe to notifications, and print
+                                           received frames as JSONL; exits
+                                           non-zero if fewer than K events
+                                           arrive within T ms (default 5000)
+    submit  <addr> [--designer N] [--problem NAME] [--assign obj.prop=V]
+            [--unbind obj.prop] [--verify] [--constraints c1,c2] [--shutdown]
+                                           one-shot scripted request: submit a
+                                           design operation (or shut the session
+                                           down) and print the response frames
     help                                   this text
 ";
 
@@ -208,6 +248,12 @@ pub struct RunOptions {
     pub trace: Option<PathBuf>,
     /// Append the aggregate counter totals to the report.
     pub metrics: bool,
+    /// Run designers as real threads against a collaboration session
+    /// instead of the sequential engine.
+    pub concurrent: bool,
+    /// With [`concurrent`](Self::concurrent): act strictly round-robin so
+    /// the run is a deterministic function of the seed.
+    pub turn_barrier: bool,
 }
 
 impl Default for RunOptions {
@@ -220,6 +266,8 @@ impl Default for RunOptions {
             csv: false,
             trace: None,
             metrics: false,
+            concurrent: false,
+            turn_barrier: false,
         }
     }
 }
@@ -249,10 +297,19 @@ pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
     if let Some(t) = &trace {
         sinks.push(t.clone() as Arc<dyn MetricsSink>);
     }
-    let stats = if sinks.is_empty() {
-        run_once(&scenario, config)
+    let sink: Option<Arc<dyn MetricsSink>> =
+        (!sinks.is_empty()).then(|| Arc::new(TeeSink::new(sinks)) as Arc<dyn MetricsSink>);
+    let stats = if options.concurrent {
+        let mut dpm = scenario.build_dpm(config.dpm_config());
+        if let Some(s) = &sink {
+            dpm.set_sink(s.clone());
+        }
+        run_concurrent_dpm(dpm, &config, options.turn_barrier).stats
     } else {
-        run_once_with_sink(&scenario, config, Arc::new(TeeSink::new(sinks)))
+        match &sink {
+            None => run_once(&scenario, config),
+            Some(s) => run_once_with_sink(&scenario, config, s.clone()),
+        }
     };
     if let Some(t) = &trace {
         t.finish()?;
@@ -262,9 +319,14 @@ pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
         return Ok(adpm_teamsim::report::run_csv(&stats));
     }
     let mut out = String::new();
+    let driver = match (options.concurrent, options.turn_barrier) {
+        (false, _) => "",
+        (true, false) => " (concurrent)",
+        (true, true) => " (concurrent, turn barrier)",
+    };
     let _ = writeln!(
         out,
-        "mode {:?}, seed {}: completed = {}",
+        "mode {:?}, seed {}{driver}: completed = {}",
         options.mode, options.seed, stats.completed
     );
     let _ = writeln!(out, "operations:             {}", stats.operations);
@@ -339,9 +401,19 @@ pub fn explain(source: &str, bindings: &[String]) -> Result<String, CliError> {
             .parse()
             .map_err(|_| CliError::Usage(format!("`{value}` is not a number")))?;
         // Re-contextualize network errors with the user's property path —
-        // the network only knows internal ids.
+        // the network only knows internal ids, which mean nothing to the
+        // person typing --bind.
         net.bind(pid, Value::number(value)).map_err(|e| {
-            CliError::Usage(format!("cannot bind `{path}` to {value}: {e}"))
+            let reason = match &e {
+                NetworkError::ValueOutsideDomain { .. } => {
+                    format!("the domain is {}", net.property(pid).initial_domain())
+                }
+                NetworkError::KindMismatch { value_kind, .. } => {
+                    format!("a {value_kind} value does not fit its domain kind")
+                }
+                _ => e.to_string(),
+            };
+            CliError::Usage(format!("cannot bind `{path}` to {value}: {reason}"))
         })?;
     }
     propagate(&mut net, &PropagationConfig::default());
@@ -429,6 +501,236 @@ pub fn builtin(name: &str) -> Result<String, CliError> {
             "unknown builtin `{other}` (expected sensing, receiver, or walkthrough)"
         ))),
     }
+}
+
+/// Options for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// TCP port on loopback; 0 picks an ephemeral port.
+    pub port: u16,
+    /// Management mode (`λ`) for the hosted session.
+    pub mode: ManagementMode,
+    /// DCM propagation path for the hosted session.
+    pub propagation: PropagationKind,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            port: 0,
+            mode: ManagementMode::Adpm,
+            propagation: PropagationKind::Full,
+        }
+    }
+}
+
+/// `adpm serve`: host a collaboration session for the scenario over the
+/// JSONL wire protocol on loopback TCP.
+///
+/// `announce` is called with the `listening on 127.0.0.1:PORT` line as
+/// soon as the listener is bound — the binary prints and flushes it so
+/// scripts can scrape the ephemeral port — and the function then blocks
+/// until a client sends a `shutdown` frame. Returns a summary of the
+/// final design state.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for invalid scenarios or bind failures.
+pub fn serve(
+    source: &str,
+    options: &ServeOptions,
+    announce: &mut dyn FnMut(&str),
+) -> Result<String, CliError> {
+    let scenario = compile_source(source)?;
+    let mut config = SimulationConfig::for_mode(options.mode, 0);
+    config.propagation_kind = options.propagation;
+    let mut dpm = scenario.build_dpm(config.dpm_config());
+    dpm.initialize();
+    let server = CollabServer::bind(dpm, options.port)?;
+    announce(&format!("listening on {}", server.local_addr()));
+    let dpm = server.wait();
+    let network = dpm.network();
+    let bound = network
+        .property_ids()
+        .filter(|id| network.is_bound(*id))
+        .count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "session closed: {} operations, {} bound properties, {} violations",
+        dpm.history().len(),
+        bound,
+        network.violated_constraints().len()
+    );
+    Ok(out)
+}
+
+/// Options for [`client`].
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Designer index to hello as.
+    pub designer: u32,
+    /// Subscribe with connectivity-derived interests.
+    pub subscribe: bool,
+    /// Subscribe to every notification instead.
+    pub subscribe_all: bool,
+    /// Wait for at least this many notification frames before exiting;
+    /// fewer within the timeout is an error (the smoke-test contract).
+    pub expect_events: usize,
+    /// How long to wait for the expected events, in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            designer: 0,
+            subscribe: false,
+            subscribe_all: false,
+            expect_events: 0,
+            timeout_ms: 5_000,
+        }
+    }
+}
+
+fn parse_addr(addr: &str) -> Result<std::net::SocketAddr, CliError> {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs()
+        .map_err(CliError::Io)?
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("cannot resolve `{addr}`")))
+}
+
+/// Fails on a protocol-level `err` response; passes everything else.
+fn expect_ok(frame: Frame) -> Result<Frame, CliError> {
+    match frame {
+        Frame::Error { message } => Err(CliError::Wire(WireError { message })),
+        other => Ok(other),
+    }
+}
+
+/// `adpm client`: connect to a collaboration server as a designer,
+/// optionally subscribe, and collect notification frames. Every received
+/// frame is echoed in wire format (one JSON object per line), so the
+/// output is itself machine-readable.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for connection or protocol failures, and a
+/// [`CliError::Wire`] when fewer than `expect_events` notifications
+/// arrive within the timeout.
+pub fn client(addr: &str, options: &ClientOptions) -> Result<String, CliError> {
+    let mut connection = CollabClient::connect(parse_addr(addr)?)?;
+    let mut out = String::new();
+    let welcome = expect_ok(connection.request(&Frame::Hello {
+        designer: options.designer,
+    })?)?;
+    out.push_str(&welcome.to_line());
+    if options.subscribe || options.subscribe_all {
+        let subscribed = expect_ok(connection.request(&Frame::Subscribe {
+            all: options.subscribe_all,
+        })?)?;
+        out.push_str(&subscribed.to_line());
+    }
+    let deadline =
+        std::time::Instant::now() + std::time::Duration::from_millis(options.timeout_ms);
+    let mut received = 0usize;
+    while received < options.expect_events {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match connection.next_event(deadline - now)? {
+            None => break,
+            Some(event) => {
+                out.push_str(&event.to_line());
+                received += 1;
+            }
+        }
+    }
+    let _ = connection.send(&Frame::Bye);
+    if received < options.expect_events {
+        return Err(CliError::Wire(WireError {
+            message: format!(
+                "expected {} notification(s), received {received}",
+                options.expect_events
+            ),
+        }));
+    }
+    Ok(out)
+}
+
+/// What [`submit_request`] should send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitAction {
+    /// Bind `object.property` to a value.
+    Assign {
+        /// Property as `object.property`.
+        property: String,
+        /// The value to bind.
+        value: f64,
+    },
+    /// Unbind `object.property`.
+    Unbind {
+        /// Property as `object.property`.
+        property: String,
+    },
+    /// Run verification, optionally limited to comma-joined constraint
+    /// names.
+    Verify {
+        /// Comma-joined constraint names; empty for all.
+        constraints: String,
+    },
+    /// Ask the server to shut the whole session down.
+    Shutdown,
+}
+
+/// `adpm submit`: one scripted request against a collaboration server —
+/// hello, submit (or shutdown), print the response frames in wire format.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for connection failures, protocol-level `err`
+/// responses (unknown names, missing `--problem`, ...), or timeouts.
+/// A `rejected` response is a *successful* exchange: the frame is printed
+/// and the caller decides what it means.
+pub fn submit_request(
+    addr: &str,
+    designer: u32,
+    problem: Option<&str>,
+    action: &SubmitAction,
+) -> Result<String, CliError> {
+    let mut connection = CollabClient::connect(parse_addr(addr)?)?;
+    let mut out = String::new();
+    if let SubmitAction::Shutdown = action {
+        connection.send(&Frame::Shutdown).map_err(CliError::Io)?;
+        if let Some(reply) = connection.recv(std::time::Duration::from_secs(5))? {
+            out.push_str(&reply.to_line());
+        }
+        return Ok(out);
+    }
+    let problem = problem
+        .ok_or_else(|| CliError::Usage("submit needs --problem NAME".into()))?
+        .to_owned();
+    let op = match action.clone() {
+        SubmitAction::Assign { property, value } => WireOp::Assign {
+            problem,
+            property,
+            value,
+        },
+        SubmitAction::Unbind { property } => WireOp::Unbind { problem, property },
+        SubmitAction::Verify { constraints } => WireOp::Verify {
+            problem,
+            constraints,
+        },
+        SubmitAction::Shutdown => unreachable!("handled above"),
+    };
+    let welcome = expect_ok(connection.request(&Frame::Hello { designer })?)?;
+    out.push_str(&welcome.to_line());
+    let outcome = expect_ok(connection.request(&Frame::Submit(op))?)?;
+    out.push_str(&outcome.to_line());
+    let _ = connection.send(&Frame::Bye);
+    Ok(out)
 }
 
 /// Parses and dispatches a full argument vector (without the program
@@ -520,6 +822,37 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 &std::fs::read_to_string(b)?,
                 &thresholds,
             )
+        }
+        "serve" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::Usage("serve needs a scenario file".into()))?;
+            let source = std::fs::read_to_string(path)?;
+            let rest: Vec<String> = it.cloned().collect();
+            let options = parse_serve_options(&rest)?;
+            // Print the listening line eagerly so scripts can scrape the
+            // ephemeral port while the server blocks.
+            serve(&source, &options, &mut |line| {
+                use std::io::Write as _;
+                println!("{line}");
+                let _ = std::io::stdout().flush();
+            })
+        }
+        "client" => {
+            let addr = it
+                .next()
+                .ok_or_else(|| CliError::Usage("client needs a server address".into()))?;
+            let rest: Vec<String> = it.cloned().collect();
+            let options = parse_client_options(&rest)?;
+            client(addr, &options)
+        }
+        "submit" => {
+            let addr = it
+                .next()
+                .ok_or_else(|| CliError::Usage("submit needs a server address".into()))?;
+            let rest: Vec<String> = it.cloned().collect();
+            let (designer, problem, action) = parse_submit_options(&rest)?;
+            submit_request(addr, designer, problem.as_deref(), &action)
         }
         "check" | "fmt" | "run" | "compare" | "explain" => {
             let path = it
@@ -619,6 +952,8 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
             "--csv" => options.csv = true,
             "--trace" => options.trace = Some(PathBuf::from(value(&mut it)?)),
             "--metrics" => options.metrics = true,
+            "--concurrent" => options.concurrent = true,
+            "--turn-barrier" => options.turn_barrier = true,
             "--propagation" => {
                 options.propagation = value(&mut it)?
                     .parse()
@@ -635,6 +970,147 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
         }
     }
     Ok(options)
+}
+
+fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
+    let mut options = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--port" => {
+                let v = value(&mut it)?;
+                options.port = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--port expects a number, got `{v}`")))?;
+            }
+            "--mode" => {
+                options.mode = match value(&mut it)?.as_str() {
+                    "adpm" => ManagementMode::Adpm,
+                    "conventional" | "conv" => ManagementMode::Conventional,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--mode expects adpm or conventional, got `{other}`"
+                        )))
+                    }
+                }
+            }
+            "--propagation" => {
+                options.propagation = value(&mut it)?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--propagation: {e}")))?;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_client_options(args: &[String]) -> Result<ClientOptions, CliError> {
+    let mut options = ClientOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        let number = |v: String| {
+            v.parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("{flag} expects a number, got `{v}`")))
+        };
+        match flag.as_str() {
+            "--designer" => options.designer = number(value(&mut it)?)? as u32,
+            "--subscribe" => options.subscribe = true,
+            "--subscribe-all" => options.subscribe_all = true,
+            "--expect-events" => options.expect_events = number(value(&mut it)?)? as usize,
+            "--timeout-ms" => options.timeout_ms = number(value(&mut it)?)?,
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_submit_options(
+    args: &[String],
+) -> Result<(u32, Option<String>, SubmitAction), CliError> {
+    let mut designer = 0u32;
+    let mut problem: Option<String> = None;
+    let mut action: Option<SubmitAction> = None;
+    let mut constraints = String::new();
+    let mut it = args.iter();
+    let set_action = |action: &mut Option<SubmitAction>, new: SubmitAction| {
+        if action.is_some() {
+            return Err(CliError::Usage(
+                "submit takes exactly one of --assign, --unbind, --verify, --shutdown".into(),
+            ));
+        }
+        *action = Some(new);
+        Ok(())
+    };
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--designer" => {
+                let v = value(&mut it)?;
+                designer = v.parse().map_err(|_| {
+                    CliError::Usage(format!("--designer expects a number, got `{v}`"))
+                })?;
+            }
+            "--problem" => problem = Some(value(&mut it)?),
+            "--assign" => {
+                let binding = value(&mut it)?;
+                let (property, raw) = binding.split_once('=').ok_or_else(|| {
+                    CliError::Usage(format!("--assign expects obj.prop=value, got `{binding}`"))
+                })?;
+                let value: f64 = raw
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("`{raw}` is not a number")))?;
+                set_action(
+                    &mut action,
+                    SubmitAction::Assign {
+                        property: property.to_owned(),
+                        value,
+                    },
+                )?;
+            }
+            "--unbind" => {
+                let property = value(&mut it)?;
+                set_action(&mut action, SubmitAction::Unbind { property })?;
+            }
+            "--verify" => set_action(
+                &mut action,
+                SubmitAction::Verify {
+                    constraints: String::new(),
+                },
+            )?,
+            "--constraints" => constraints = value(&mut it)?,
+            "--shutdown" => set_action(&mut action, SubmitAction::Shutdown)?,
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    let mut action = action.ok_or_else(|| {
+        CliError::Usage("submit needs one of --assign, --unbind, --verify, --shutdown".into())
+    })?;
+    if let SubmitAction::Verify {
+        constraints: ref mut list,
+    } = action
+    {
+        *list = constraints;
+    } else if !constraints.is_empty() {
+        return Err(CliError::Usage(
+            "--constraints only applies to --verify".into(),
+        ));
+    }
+    Ok((designer, problem, action))
 }
 
 /// Compiles a scenario for callers embedding the CLI as a library.
@@ -1050,6 +1526,188 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_concurrent_completes_and_reports_the_driver() {
+        let out = run(
+            MINI,
+            &RunOptions {
+                seed: 1,
+                max_operations: 500,
+                concurrent: true,
+                turn_barrier: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("valid scenario");
+        assert!(out.contains("(concurrent, turn barrier)"), "{out}");
+        assert!(out.contains("completed = true"), "{out}");
+    }
+
+    #[test]
+    fn serve_client_submit_end_to_end_over_loopback() {
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel::<String>();
+        let server = std::thread::spawn(move || {
+            serve(MINI, &ServeOptions::default(), &mut |line| {
+                let addr = line.strip_prefix("listening on ").expect("announce");
+                addr_tx.send(addr.to_owned()).expect("send addr");
+            })
+        });
+        let addr = addr_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("server announces its address");
+
+        // Designer 1 (owns rx.P-ser) subscribes with derived interests in
+        // a background thread, waiting for one notification.
+        let watcher_addr = addr.clone();
+        let watcher = std::thread::spawn(move || {
+            client(
+                &watcher_addr,
+                &ClientOptions {
+                    designer: 1,
+                    subscribe: true,
+                    expect_events: 1,
+                    timeout_ms: 10_000,
+                    ..ClientOptions::default()
+                },
+            )
+        });
+        // Give the watcher a moment to get its subscription in.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+
+        // Designer 0 binds rx.P-front; the shared `power` constraint
+        // narrows rx.P-ser, which the watcher is interested in.
+        let out = submit_request(
+            &addr,
+            0,
+            Some("fe"),
+            &SubmitAction::Assign {
+                property: "rx.P-front".into(),
+                value: 150.0,
+            },
+        )
+        .expect("submit works");
+        assert!(out.contains("\"t\":\"executed\""), "{out}");
+
+        let watched = watcher.join().expect("watcher join").expect("event arrives");
+        assert!(watched.contains("\"t\":\"event\""), "{watched}");
+
+        let bye = submit_request(&addr, 0, None, &SubmitAction::Shutdown).expect("shutdown");
+        assert!(bye.contains("\"t\":\"bye\""), "{bye}");
+        let summary = server.join().expect("server join").expect("serve returns");
+        assert!(summary.contains("session closed: 1 operations"), "{summary}");
+    }
+
+    #[test]
+    fn submit_option_parsing() {
+        let (designer, problem, action) = parse_submit_options(&[
+            "--designer".into(),
+            "1".into(),
+            "--problem".into(),
+            "fe".into(),
+            "--assign".into(),
+            "rx.P-front=150".into(),
+        ])
+        .expect("valid options");
+        assert_eq!(designer, 1);
+        assert_eq!(problem.as_deref(), Some("fe"));
+        assert_eq!(
+            action,
+            SubmitAction::Assign {
+                property: "rx.P-front".into(),
+                value: 150.0
+            }
+        );
+        let (_, _, action) = parse_submit_options(&[
+            "--verify".into(),
+            "--constraints".into(),
+            "power".into(),
+            "--problem".into(),
+            "top".into(),
+        ])
+        .expect("valid options");
+        assert_eq!(
+            action,
+            SubmitAction::Verify {
+                constraints: "power".into()
+            }
+        );
+        assert!(matches!(
+            parse_submit_options(&[]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_submit_options(&["--assign".into(), "nonsense".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_submit_options(&[
+                "--assign".into(),
+                "rx.P-front=1".into(),
+                "--shutdown".into()
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_submit_options(&[
+                "--unbind".into(),
+                "rx.P-front".into(),
+                "--constraints".into(),
+                "power".into()
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn client_and_serve_option_parsing() {
+        let options = parse_client_options(&[
+            "--designer".into(),
+            "2".into(),
+            "--subscribe".into(),
+            "--expect-events".into(),
+            "3".into(),
+            "--timeout-ms".into(),
+            "1234".into(),
+        ])
+        .expect("valid options");
+        assert_eq!(options.designer, 2);
+        assert!(options.subscribe && !options.subscribe_all);
+        assert_eq!(options.expect_events, 3);
+        assert_eq!(options.timeout_ms, 1234);
+        assert!(matches!(
+            parse_client_options(&["--wat".into()]),
+            Err(CliError::Usage(_))
+        ));
+        let options = parse_serve_options(&[
+            "--port".into(),
+            "0".into(),
+            "--mode".into(),
+            "conventional".into(),
+        ])
+        .expect("valid options");
+        assert_eq!(options.port, 0);
+        assert_eq!(options.mode, ManagementMode::Conventional);
+        assert!(matches!(
+            parse_serve_options(&["--port".into(), "banana".into()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn client_fails_cleanly_when_no_server_listens() {
+        // Bind-then-drop to get a port nothing listens on.
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").port()
+        };
+        let err = client(
+            &format!("127.0.0.1:{port}"),
+            &ClientOptions::default(),
+        )
+        .expect_err("nothing listening");
+        assert!(matches!(err, CliError::Io(_) | CliError::Wire(_)));
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! A small blocking client for the collaboration wire protocol.
+//!
+//! [`CollabClient`] wraps one TCP connection and understands the
+//! protocol's one asynchronous wrinkle: subscribed connections receive
+//! `event` frames at any moment, including between a request and its
+//! response. [`request`](CollabClient::request) therefore queues any
+//! events it encounters while waiting for the response, and
+//! [`next_event`](CollabClient::next_event) drains that queue before
+//! touching the socket, so neither path loses frames to the other.
+//!
+//! Reads go through an internal byte buffer rather than a `BufReader`:
+//! with a read timeout on the socket, a line can arrive in pieces, and
+//! the buffer keeps the partial line intact across timeouts.
+
+use crate::wire::{Frame, WireError, MAX_LINE_BYTES};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// How long [`request`](CollabClient::request) waits for its response.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A blocking JSONL wire-protocol client.
+#[derive(Debug)]
+pub struct CollabClient {
+    stream: TcpStream,
+    /// Bytes read off the socket but not yet consumed as a full line.
+    pending: Vec<u8>,
+    /// `event` frames received while waiting for a response.
+    events: VecDeque<Frame>,
+    /// Response frames received while waiting for an event.
+    replies: VecDeque<Frame>,
+}
+
+impl CollabClient {
+    /// Connects to a collaboration server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection error.
+    pub fn connect(addr: SocketAddr) -> io::Result<CollabClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(CollabClient {
+            stream,
+            pending: Vec::new(),
+            events: VecDeque::new(),
+            replies: VecDeque::new(),
+        })
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write error.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.send_raw(&frame.to_line())
+    }
+
+    /// Sends raw bytes verbatim — for protocol error-path tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write error.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Sends a request frame and returns its (non-`event`) response,
+    /// queueing any notification frames that arrive in between.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on send failure, malformed frames, connection loss,
+    /// or timeout.
+    pub fn request(&mut self, frame: &Frame) -> Result<Frame, WireError> {
+        self.send(frame)
+            .map_err(|e| WireError {
+                message: format!("send failed: {e}"),
+            })?;
+        if let Some(reply) = self.replies.pop_front() {
+            return Ok(reply);
+        }
+        let deadline = Instant::now() + REQUEST_TIMEOUT;
+        loop {
+            match self.poll_frame(deadline)? {
+                None => {
+                    return Err(WireError {
+                        message: "timed out waiting for a response".into(),
+                    })
+                }
+                // Hold async notifications for next_event().
+                Some(event @ Frame::Event { .. }) => self.events.push_back(event),
+                Some(reply) => return Ok(reply),
+            }
+        }
+    }
+
+    /// Returns the next notification frame, waiting up to `timeout`.
+    /// `Ok(None)` means the wait elapsed without one.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed frames or connection loss.
+    pub fn next_event(&mut self, timeout: Duration) -> Result<Option<Frame>, WireError> {
+        if let Some(event) = self.events.pop_front() {
+            return Ok(Some(event));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.poll_frame(deadline)? {
+                None => return Ok(None),
+                Some(event @ Frame::Event { .. }) => return Ok(Some(event)),
+                Some(reply) => self.replies.push_back(reply),
+            }
+        }
+    }
+
+    /// Receives the next frame of any kind (events included, in arrival
+    /// order), waiting up to `timeout`. `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed frames or connection loss.
+    pub fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, WireError> {
+        if let Some(event) = self.events.pop_front() {
+            return Ok(Some(event));
+        }
+        if let Some(reply) = self.replies.pop_front() {
+            return Ok(Some(reply));
+        }
+        self.poll_frame(Instant::now() + timeout)
+    }
+
+    /// Requests a snapshot and collects the multi-frame response:
+    /// the `state` header and one `prop` frame per property.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on protocol violations, connection loss, or timeout.
+    pub fn read_snapshot(&mut self) -> Result<(Frame, Vec<Frame>), WireError> {
+        let state = self.request(&Frame::Snapshot)?;
+        if !matches!(state, Frame::State { .. }) {
+            return Err(WireError {
+                message: format!("expected a state frame, got `{}`", state.tag()),
+            });
+        }
+        let deadline = Instant::now() + REQUEST_TIMEOUT;
+        let mut props = Vec::new();
+        loop {
+            match self.poll_frame(deadline)? {
+                None => {
+                    return Err(WireError {
+                        message: "timed out reading the snapshot".into(),
+                    })
+                }
+                Some(Frame::End) => return Ok((state, props)),
+                Some(prop @ Frame::Prop { .. }) => props.push(prop),
+                Some(event @ Frame::Event { .. }) => self.events.push_back(event),
+                Some(other) => {
+                    return Err(WireError {
+                        message: format!("unexpected `{}` frame in a snapshot", other.tag()),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Reads frames off the socket until `deadline`, stashing nothing:
+    /// the *caller* decides where each frame belongs. Events encountered
+    /// here are returned like any other frame. `Ok(None)` on deadline.
+    fn poll_frame(&mut self, deadline: Instant) -> Result<Option<Frame>, WireError> {
+        loop {
+            if let Some(line) = self.take_line()? {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                return Frame::parse_line(&line).map(Some);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let window = (deadline - now).min(Duration::from_millis(200));
+            self.stream
+                .set_read_timeout(Some(window.max(Duration::from_millis(1))))
+                .map_err(|e| WireError {
+                    message: format!("set_read_timeout failed: {e}"),
+                })?;
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(WireError {
+                        message: "connection closed by the server".into(),
+                    })
+                }
+                Ok(n) => {
+                    self.pending.extend_from_slice(&chunk[..n]);
+                    if self.pending.len() > MAX_LINE_BYTES {
+                        return Err(WireError {
+                            message: format!(
+                                "server line exceeds the {MAX_LINE_BYTES} byte limit"
+                            ),
+                        });
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => {
+                    return Err(WireError {
+                        message: format!("read failed: {e}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Pops one complete line off the pending buffer, if there is one.
+    fn take_line(&mut self) -> Result<Option<String>, WireError> {
+        let Some(pos) = self.pending.iter().position(|b| *b == b'\n') else {
+            return Ok(None);
+        };
+        let rest = self.pending.split_off(pos + 1);
+        let line = std::mem::replace(&mut self.pending, rest);
+        String::from_utf8(line)
+            .map(Some)
+            .map_err(|_| WireError {
+                message: "server frame is not valid UTF-8".into(),
+            })
+    }
+}

@@ -1,0 +1,259 @@
+//! `teamsim --concurrent`: simulated designers as real client threads.
+//!
+//! The sequential TeamSim engine interleaves designers on one thread; this
+//! driver gives each [`SimulatedDesigner`] its *own* thread submitting
+//! through a shared [`SessionHandle`](crate::session::SessionHandle), so the collaboration machinery —
+//! command loop, validation, notification fan-out — is exercised by real
+//! concurrency. Determinism comes from two ingredients:
+//!
+//! - **per-designer RNGs** — each thread seeds its own `StdRng` from
+//!   `config.seed` and its index, so a designer's choices depend only on
+//!   the design states it observed, never on scheduler noise between
+//!   threads' shared-RNG draws; and
+//! - **an optional turn barrier** — with `turn_barrier`, designers act
+//!   strictly round-robin (one snapshot → choose → submit per turn), which
+//!   makes the whole history a deterministic function of the seed and
+//!   hence byte-comparable across runs and against sequential replays.
+//!
+//! Without the barrier, threads free-run: histories vary with scheduling,
+//! but every history is still linearized by the session loop, and
+//! [`adpm_core::replay_history`] replays it faithfully on a fresh DPM —
+//! that invariant is what the linearizability proptest leans on.
+
+use crate::session::{OpOutcome, SessionEngine};
+use adpm_core::DesignProcessManager;
+use adpm_dddl::CompiledScenario;
+use adpm_teamsim::{OperationStat, RunStats, SimulatedDesigner, SimulationConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+
+/// Golden-ratio odd multiplier for decorrelating per-designer seeds.
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Result of a concurrent TeamSim run.
+#[derive(Debug)]
+pub struct ConcurrentOutcome {
+    /// The final design state, recovered from the session on shutdown.
+    pub dpm: DesignProcessManager,
+    /// Run statistics in the sequential engine's shape, so existing
+    /// reporting (`run_csv`, batch summaries) applies unchanged.
+    pub stats: RunStats,
+}
+
+struct SharedState {
+    turn: usize,
+    /// Consecutive designer rounds without an executed operation.
+    stalls: usize,
+    executed: usize,
+    done: bool,
+}
+
+struct Coordinator {
+    state: Mutex<SharedState>,
+    changed: Condvar,
+}
+
+impl Coordinator {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SharedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Builds a fresh DPM for the scenario and runs it concurrently; see
+/// [`run_concurrent_dpm`].
+pub fn run_concurrent(
+    scenario: &CompiledScenario,
+    config: &SimulationConfig,
+    turn_barrier: bool,
+) -> ConcurrentOutcome {
+    let dpm = scenario.build_dpm(config.dpm_config());
+    run_concurrent_dpm(dpm, config, turn_barrier)
+}
+
+/// Runs a concurrent TeamSim session over `dpm` (built but not yet
+/// initialized — setup propagation happens here, mirroring the sequential
+/// engine) with one thread per registered designer.
+///
+/// With `turn_barrier`, designers act round-robin and the run is a
+/// deterministic function of `config.seed`; without it they free-run.
+/// The run ends when the design completes, the operation cap is reached,
+/// or a full stall window passes with no executed operation.
+pub fn run_concurrent_dpm(
+    mut dpm: DesignProcessManager,
+    config: &SimulationConfig,
+    turn_barrier: bool,
+) -> ConcurrentOutcome {
+    let setup_evaluations = dpm.initialize();
+    let designer_ids: Vec<_> = dpm.designers().to_vec();
+    let team = designer_ids.len().max(1);
+    let stall_limit = if turn_barrier { team } else { 4 * team };
+    let engine = SessionEngine::spawn(dpm);
+    let coordinator = Arc::new(Coordinator {
+        state: Mutex::new(SharedState {
+            turn: 0,
+            stalls: 0,
+            executed: 0,
+            done: false,
+        }),
+        changed: Condvar::new(),
+    });
+    let mut threads = Vec::with_capacity(designer_ids.len());
+    for (i, id) in designer_ids.iter().enumerate() {
+        let handle = engine.handle();
+        let coordinator = coordinator.clone();
+        let config = config.clone();
+        let id = *id;
+        let thread = thread::Builder::new()
+            .name(format!("adpm-designer-{i}"))
+            .spawn(move || {
+                let mut designer = SimulatedDesigner::new(id);
+                let mut rng = StdRng::seed_from_u64(
+                    config.seed ^ ((i as u64 + 1).wrapping_mul(SEED_STRIDE)),
+                );
+                loop {
+                    // Wait for our turn (barrier mode) or for the run to end.
+                    {
+                        let mut state = coordinator.lock();
+                        loop {
+                            if state.done {
+                                return;
+                            }
+                            if !turn_barrier || state.turn % team == i {
+                                break;
+                            }
+                            state = coordinator
+                                .changed
+                                .wait(state)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                    let Ok(snapshot) = handle.snapshot() else {
+                        return;
+                    };
+                    let complete = snapshot.design_complete();
+                    let proposal = if complete {
+                        None
+                    } else {
+                        designer.choose(&snapshot, &config, &mut rng)
+                    };
+                    let executed = match proposal {
+                        None => false,
+                        Some(operation) => match handle.submit(operation) {
+                            Err(_) => return,
+                            Ok(OpOutcome::Executed(record)) => {
+                                designer.observe(&record);
+                                true
+                            }
+                            // A rejection means our snapshot went stale
+                            // (another designer moved first) or the value
+                            // was infeasible — equivalent to proposing
+                            // nothing this round.
+                            Ok(OpOutcome::Rejected(_)) => false,
+                        },
+                    };
+                    let mut state = coordinator.lock();
+                    state.turn += 1;
+                    if executed {
+                        state.stalls = 0;
+                        state.executed += 1;
+                        if state.executed >= config.max_operations {
+                            state.done = true;
+                        }
+                    } else {
+                        state.stalls += 1;
+                        if complete || state.stalls >= stall_limit {
+                            state.done = true;
+                        }
+                    }
+                    coordinator.changed.notify_all();
+                }
+            })
+            .expect("spawn designer thread");
+        threads.push(thread);
+    }
+    for thread in threads {
+        let _ = thread.join();
+    }
+    let dpm = engine.shutdown();
+    let per_operation: Vec<OperationStat> =
+        dpm.history().iter().map(OperationStat::from_record).collect();
+    let stats = RunStats {
+        completed: dpm.design_complete(),
+        operations: dpm.history().len(),
+        evaluations: dpm.total_evaluations(),
+        setup_evaluations,
+        spins: dpm.spins(),
+        per_operation,
+    };
+    ConcurrentOutcome { dpm, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adpm_constraint::ConstraintNetwork;
+    use adpm_core::replay_history;
+    use adpm_scenarios::{lna_walkthrough, sensing_system};
+
+    fn feasible_boxes(network: &ConstraintNetwork) -> Vec<(f64, f64)> {
+        network
+            .property_ids()
+            .map(|id| {
+                network
+                    .feasible(id)
+                    .enclosing_interval()
+                    .map_or((1.0, 0.0), |iv| (iv.lo(), iv.hi()))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn turn_barrier_runs_are_deterministic() {
+        let scenario = lna_walkthrough();
+        let config = SimulationConfig::adpm(11);
+        let a = run_concurrent(&scenario, &config, true);
+        let b = run_concurrent(&scenario, &config, true);
+        assert_eq!(
+            format!("{:?}", a.dpm.history()),
+            format!("{:?}", b.dpm.history())
+        );
+        assert_eq!(a.stats.operations, b.stats.operations);
+        assert_eq!(a.stats.evaluations, b.stats.evaluations);
+        assert_eq!(a.stats.spins, b.stats.spins);
+    }
+
+    #[test]
+    fn concurrent_history_replays_faithfully() {
+        let scenario = sensing_system();
+        let config = SimulationConfig::adpm(3);
+        let outcome = run_concurrent(&scenario, &config, false);
+        assert!(!outcome.dpm.history().is_empty());
+        let mut fresh = scenario.build_dpm(config.dpm_config());
+        fresh.initialize();
+        let replay = replay_history(outcome.dpm.history(), &mut fresh).expect("replayable");
+        assert!(replay.faithful, "concurrent history must replay exactly");
+        assert_eq!(
+            feasible_boxes(outcome.dpm.network()),
+            feasible_boxes(fresh.network())
+        );
+        assert_eq!(
+            outcome.dpm.network().violated_constraints(),
+            fresh.network().violated_constraints()
+        );
+    }
+
+    #[test]
+    fn turn_barrier_walkthrough_completes() {
+        let scenario = lna_walkthrough();
+        let config = SimulationConfig::adpm(7);
+        let outcome = run_concurrent(&scenario, &config, true);
+        assert!(
+            outcome.stats.completed,
+            "ops = {}, stalls hit",
+            outcome.stats.operations
+        );
+        assert!(outcome.dpm.network().violated_constraints().is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Concurrent collaboration engine for the ADPM reproduction.
+//!
+//! The paper's Design Process Manager is a shared resource: several
+//! designers operate on the same constraint network, and the Notification
+//! Manager routes change events to the "affected designers". This crate
+//! makes that concurrent story real while keeping the core engine
+//! single-threaded and deterministic:
+//!
+//! - [`session`] — a [`SessionEngine`] owns the
+//!   [`DesignProcessManager`](adpm_core::DesignProcessManager) behind a
+//!   single command-loop thread. Clones of [`SessionHandle`] submit
+//!   operations, subscribe, and snapshot from any thread over `mpsc`
+//!   channels; because exactly one thread mutates the DPM, every
+//!   concurrent history is already a valid sequential history
+//!   (linearizability by construction) and can be replayed by
+//!   `adpm-core`'s replay module.
+//! - [`notify`] — the Notification Manager as a real router:
+//!   [`InterestSet`]s derived from constraint connectivity filter events
+//!   into per-designer bounded [`Inbox`]es with overflow accounting
+//!   instead of silent drops.
+//! - [`wire`] — a line-delimited JSONL protocol (one flat object per
+//!   line, same escaping and parser as `adpm-observe` traces) spoken by
+//!   `adpm serve` / `adpm client`.
+//! - [`server`] / [`client`] — a `std::net` TCP server hosting one
+//!   session for many connections, and a small blocking client used by
+//!   the CLI and the concurrent TeamSim driver.
+//! - [`concurrent`] — `teamsim --concurrent`: simulated designers as
+//!   real threads against one session, deterministic under a seeded
+//!   per-designer RNG plus an optional turn barrier.
+//!
+//! Observability is threaded through from day one: session commands and
+//! notification fan-out emit `session` / `notify` spans and the
+//! `session_ops` / `inbox_delivered` / `inbox_dropped` counters through
+//! the DPM's existing `MetricsSink`, so `adpm analyze` sees collaboration
+//! traffic with no extra plumbing.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod concurrent;
+pub mod notify;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use client::CollabClient;
+pub use concurrent::{run_concurrent, run_concurrent_dpm, ConcurrentOutcome};
+pub use notify::{Inbox, InboxEntry, InterestSet};
+pub use server::CollabServer;
+pub use session::{
+    OpOutcome, RejectReason, SessionClosed, SessionEngine, SessionHandle, DEFAULT_INBOX_CAPACITY,
+};
+pub use wire::{read_frame, Frame, WireError, WireOp, MAX_LINE_BYTES};

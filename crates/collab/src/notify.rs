@@ -1,0 +1,389 @@
+//! Interest sets and bounded per-designer inboxes — the delivery half of
+//! the paper's Notification Manager.
+//!
+//! The in-process [`NotificationManager`](adpm_core::NotificationManager)
+//! decides *which designers are affected* by an operation's events; this
+//! module turns that into real asynchronous delivery: each subscriber owns
+//! a bounded [`Inbox`] and receives only the events matching its
+//! [`InterestSet`], which is derived from constraint connectivity (the
+//! properties of the designer's problems, the constraints touching them,
+//! and the one-hop neighbourhood those constraints connect). When an inbox
+//! is full the incoming event is counted as dropped — overflow is
+//! accounted, never silent.
+
+use adpm_constraint::{ConstraintId, ConstraintNetwork, PropertyId};
+use adpm_core::{DesignProcessManager, DesignerId, Event};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// The properties and constraints a subscriber cares about.
+///
+/// An event matches when it names an interesting property or constraint
+/// (see [`InterestSet::matches`]); the `all` variant matches everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterestSet {
+    properties: BTreeSet<PropertyId>,
+    constraints: BTreeSet<ConstraintId>,
+    all: bool,
+}
+
+impl InterestSet {
+    /// An interest set matching every event (a firehose subscription).
+    pub fn everything() -> Self {
+        InterestSet {
+            properties: BTreeSet::new(),
+            constraints: BTreeSet::new(),
+            all: true,
+        }
+    }
+
+    /// An explicit interest set over the given properties and constraints.
+    pub fn new(
+        properties: impl IntoIterator<Item = PropertyId>,
+        constraints: impl IntoIterator<Item = ConstraintId>,
+    ) -> Self {
+        InterestSet {
+            properties: properties.into_iter().collect(),
+            constraints: constraints.into_iter().collect(),
+            all: false,
+        }
+    }
+
+    /// Derives the designer's interest set from constraint connectivity,
+    /// the paper's "affected designers" rule: the inputs and outputs of the
+    /// designer's assigned problems, every constraint touching one of those
+    /// properties, and the full argument set of those constraints (the
+    /// one-hop neighbourhood through which other designers' changes reach
+    /// this one).
+    pub fn for_designer(dpm: &DesignProcessManager, designer: DesignerId) -> Self {
+        let network = dpm.network();
+        let mut properties: BTreeSet<PropertyId> = BTreeSet::new();
+        for problem in dpm.problems().assigned_to(designer) {
+            let p = dpm.problems().problem(problem);
+            properties.extend(p.inputs().iter().copied());
+            properties.extend(p.outputs().iter().copied());
+        }
+        let mut constraints: BTreeSet<ConstraintId> = BTreeSet::new();
+        for pid in &properties {
+            constraints.extend(network.constraints_of(*pid).iter().copied());
+        }
+        let mut neighbourhood = properties.clone();
+        for cid in &constraints {
+            neighbourhood.extend(network.constraint(*cid).argument_slice().iter().copied());
+        }
+        InterestSet {
+            properties: neighbourhood,
+            constraints,
+            all: false,
+        }
+    }
+
+    /// Whether the set is the match-everything firehose.
+    pub fn is_everything(&self) -> bool {
+        self.all
+    }
+
+    /// Number of interesting properties (0 for the firehose).
+    pub fn property_count(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Number of interesting constraints (0 for the firehose).
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether `event` is relevant to this subscriber. Violation events
+    /// match through the constraint or any of its argument properties,
+    /// feasibility events through their property; `ProblemSolved` is a
+    /// coordination milestone and always delivered.
+    pub fn matches(&self, event: &Event, network: &ConstraintNetwork) -> bool {
+        if self.all {
+            return true;
+        }
+        match event {
+            Event::ViolationDetected {
+                constraint,
+                properties,
+            } => {
+                self.constraints.contains(constraint)
+                    || properties.iter().any(|p| self.properties.contains(p))
+            }
+            Event::ViolationResolved { constraint } => {
+                self.constraints.contains(constraint)
+                    || network
+                        .constraint(*constraint)
+                        .argument_slice()
+                        .iter()
+                        .any(|p| self.properties.contains(p))
+            }
+            Event::FeasibleReduced { property, .. } | Event::FeasibleEmptied { property } => {
+                self.properties.contains(property)
+            }
+            Event::ProblemSolved { .. } => true,
+        }
+    }
+}
+
+/// One delivered event, tagged with the sequence number of the operation
+/// that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InboxEntry {
+    /// Sequence number (design-history position) of the producing operation.
+    pub seq: u64,
+    /// The routed event.
+    pub event: Event,
+}
+
+#[derive(Debug)]
+struct InboxState {
+    queue: VecDeque<InboxEntry>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct InboxShared {
+    state: Mutex<InboxState>,
+    available: Condvar,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+/// A bounded, thread-safe event inbox shared between the session's router
+/// (producer) and one subscriber (consumer).
+///
+/// `push` never blocks: when the queue is at capacity the *incoming* event
+/// is dropped and counted, so a stalled subscriber slows nobody down but
+/// can still see (via [`dropped`](Inbox::dropped)) that it missed events.
+#[derive(Debug, Clone)]
+pub struct Inbox {
+    shared: Arc<InboxShared>,
+}
+
+impl Inbox {
+    /// Creates an inbox holding at most `capacity` undelivered events
+    /// (minimum 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Inbox {
+            shared: Arc::new(InboxShared {
+                state: Mutex::new(InboxState {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                available: Condvar::new(),
+                capacity: capacity.max(1),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, InboxState> {
+        // A consumer panicking mid-drain leaves the queue intact, so the
+        // poisoned lock is still safe to use (same recovery as JsonlSink).
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Delivers one entry. Returns `true` if it was queued, `false` if it
+    /// was dropped (inbox full or closed); drops are counted either way.
+    pub fn push(&self, entry: InboxEntry) -> bool {
+        let mut state = self.lock();
+        if state.closed || state.queue.len() >= self.shared.capacity {
+            drop(state);
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        state.queue.push_back(entry);
+        drop(state);
+        self.shared.available.notify_all();
+        true
+    }
+
+    /// Takes every queued entry without blocking.
+    pub fn drain(&self) -> Vec<InboxEntry> {
+        self.lock().queue.drain(..).collect()
+    }
+
+    /// Blocks until at least one entry is queued, the inbox closes, or
+    /// `timeout` elapses — then drains. An empty result therefore means
+    /// "nothing arrived in time" or "closed", distinguishable via
+    /// [`is_closed`](Inbox::is_closed).
+    pub fn wait_drain(&self, timeout: Duration) -> Vec<InboxEntry> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        while state.queue.is_empty() && !state.closed {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let (next, result) = self
+                .shared
+                .available
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = next;
+            if result.timed_out() {
+                break;
+            }
+        }
+        state.queue.drain(..).collect()
+    }
+
+    /// Number of entries currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the inbox was full or closed.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Closes the inbox: future pushes are dropped (and counted) and
+    /// blocked waiters wake immediately. Queued entries stay drainable.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.shared.available.notify_all();
+    }
+
+    /// Whether [`close`](Inbox::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adpm_core::ProblemId;
+
+    fn entry(seq: u64) -> InboxEntry {
+        InboxEntry {
+            seq,
+            event: Event::ProblemSolved {
+                problem: ProblemId::new(0),
+            },
+        }
+    }
+
+    #[test]
+    fn push_drain_round_trips_in_order() {
+        let inbox = Inbox::bounded(8);
+        assert!(inbox.is_empty());
+        assert!(inbox.push(entry(1)));
+        assert!(inbox.push(entry(2)));
+        assert_eq!(inbox.len(), 2);
+        let drained = inbox.drain();
+        assert_eq!(drained.iter().map(|e| e.seq).collect::<Vec<_>>(), [1, 2]);
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_the_incoming_event_and_counts_it() {
+        let inbox = Inbox::bounded(2);
+        assert!(inbox.push(entry(1)));
+        assert!(inbox.push(entry(2)));
+        assert!(!inbox.push(entry(3)));
+        assert!(!inbox.push(entry(4)));
+        assert_eq!(inbox.dropped(), 2);
+        // The oldest events are the ones kept (drop-newest policy).
+        assert_eq!(
+            inbox.drain().iter().map(|e| e.seq).collect::<Vec<_>>(),
+            [1, 2]
+        );
+        // Room again after the drain.
+        assert!(inbox.push(entry(5)));
+    }
+
+    #[test]
+    fn close_wakes_waiters_and_rejects_pushes() {
+        let inbox = Inbox::bounded(4);
+        let waiter = {
+            let inbox = inbox.clone();
+            std::thread::spawn(move || inbox.wait_drain(Duration::from_secs(30)))
+        };
+        // Give the waiter a moment to block, then close.
+        std::thread::sleep(Duration::from_millis(10));
+        inbox.close();
+        let drained = waiter.join().expect("waiter panicked");
+        assert!(drained.is_empty());
+        assert!(inbox.is_closed());
+        assert!(!inbox.push(entry(1)));
+        assert_eq!(inbox.dropped(), 1);
+    }
+
+    #[test]
+    fn wait_drain_times_out_empty() {
+        let inbox = Inbox::bounded(4);
+        let start = Instant::now();
+        assert!(inbox.wait_drain(Duration::from_millis(20)).is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn wait_drain_returns_when_an_entry_lands() {
+        let inbox = Inbox::bounded(4);
+        let producer = {
+            let inbox = inbox.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                inbox.push(entry(7));
+            })
+        };
+        let drained = inbox.wait_drain(Duration::from_secs(30));
+        producer.join().expect("producer panicked");
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].seq, 7);
+    }
+
+    #[test]
+    fn explicit_interest_set_matches_by_property_and_constraint() {
+        use adpm_constraint::{
+            expr::{cst, var},
+            ConstraintNetwork, Domain, Property, Relation,
+        };
+        let mut net = ConstraintNetwork::new();
+        let x = net
+            .add_property(Property::new("x", "a", Domain::interval(0.0, 1.0)))
+            .unwrap();
+        let y = net
+            .add_property(Property::new("y", "b", Domain::interval(0.0, 1.0)))
+            .unwrap();
+        let c = net
+            .add_constraint("cap", var(x) + var(y), Relation::Le, cst(1.0))
+            .unwrap();
+        let on_x = InterestSet::new([x], []);
+        assert!(on_x.matches(
+            &Event::FeasibleReduced {
+                property: x,
+                relative_size: 0.5
+            },
+            &net
+        ));
+        assert!(!on_x.matches(&Event::FeasibleEmptied { property: y }, &net));
+        // Violation reaches x's subscriber through the argument list even
+        // though the constraint itself is not in the set.
+        assert!(on_x.matches(&Event::ViolationResolved { constraint: c }, &net));
+        assert!(on_x.matches(
+            &Event::ViolationDetected {
+                constraint: c,
+                properties: vec![x, y]
+            },
+            &net
+        ));
+        let on_c = InterestSet::new([], [c]);
+        assert!(on_c.matches(&Event::ViolationResolved { constraint: c }, &net));
+        assert!(!on_c.matches(&Event::FeasibleEmptied { property: y }, &net));
+        assert!(InterestSet::everything().matches(&Event::FeasibleEmptied { property: y }, &net));
+    }
+}

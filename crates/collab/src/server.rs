@@ -1,0 +1,744 @@
+//! The collaboration server: one session, many TCP connections.
+//!
+//! [`CollabServer::bind`] takes ownership of a configured
+//! [`DesignProcessManager`], moves it into a [`SessionEngine`], and
+//! accepts JSONL wire-protocol connections on a loopback TCP listener.
+//! Each connection runs on its own thread; all of them funnel into the
+//! single session command loop, so concurrent clients interleave exactly
+//! like concurrent [`SessionHandle`] users — linearized, with one
+//! authoritative history.
+//!
+//! Wire frames carry names, not ids: the server snapshots the network's
+//! name tables once at bind time (the property/constraint/problem *sets*
+//! are fixed after scenario setup; only bindings and feasible subspaces
+//! change) and resolves both directions on the connection threads without
+//! consulting the session.
+
+use crate::notify::{InboxEntry, InterestSet};
+use crate::session::{OpOutcome, RejectReason, SessionEngine, SessionHandle, DEFAULT_INBOX_CAPACITY};
+use crate::wire::{read_frame, Frame, WireOp};
+use adpm_constraint::{ConstraintId, PropertyId};
+use adpm_core::{DesignProcessManager, DesignerId, Event, Operation, Operator, ProblemId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How long a notification pusher thread sleeps between inbox polls.
+const PUSH_POLL: Duration = Duration::from_millis(50);
+
+/// Name tables snapshot, shared read-only across connection threads.
+struct NameMaps {
+    mode: &'static str,
+    designers: u32,
+    /// `object.name` per property, indexed by `PropertyId::index()`.
+    property_names: Vec<String>,
+    property_ids: BTreeMap<String, PropertyId>,
+    constraint_names: Vec<String>,
+    constraint_ids: BTreeMap<String, ConstraintId>,
+    problem_names: Vec<String>,
+    problem_ids: BTreeMap<String, ProblemId>,
+}
+
+impl NameMaps {
+    fn build(dpm: &DesignProcessManager) -> Self {
+        let network = dpm.network();
+        let mut property_names = Vec::with_capacity(network.property_count());
+        let mut property_ids = BTreeMap::new();
+        for id in network.property_ids() {
+            let meta = network.property(id);
+            let full = format!("{}.{}", meta.object(), meta.name());
+            property_ids.insert(full.clone(), id);
+            property_names.push(full);
+        }
+        let mut constraint_names = Vec::with_capacity(network.constraint_count());
+        let mut constraint_ids = BTreeMap::new();
+        for id in network.constraint_ids() {
+            let name = network.constraint(id).name().to_owned();
+            constraint_ids.insert(name.clone(), id);
+            constraint_names.push(name);
+        }
+        let mut problem_names = Vec::with_capacity(dpm.problems().len());
+        let mut problem_ids = BTreeMap::new();
+        for id in dpm.problems().ids() {
+            let name = dpm.problems().problem(id).name().to_owned();
+            problem_ids.insert(name.clone(), id);
+            problem_names.push(name);
+        }
+        NameMaps {
+            mode: dpm.mode().as_str(),
+            designers: dpm.designers().len() as u32,
+            property_names,
+            property_ids,
+            constraint_names,
+            constraint_ids,
+            problem_names,
+            problem_ids,
+        }
+    }
+
+    fn property_name(&self, id: PropertyId) -> &str {
+        &self.property_names[id.index()]
+    }
+
+    fn constraint_name(&self, id: ConstraintId) -> &str {
+        &self.constraint_names[id.index()]
+    }
+
+    fn event_frame(&self, entry: &InboxEntry) -> Frame {
+        match &entry.event {
+            Event::ViolationDetected {
+                constraint,
+                properties,
+            } => Frame::Event {
+                seq: entry.seq,
+                kind: "violation_detected".into(),
+                subject: self.constraint_name(*constraint).to_owned(),
+                properties: properties
+                    .iter()
+                    .map(|p| self.property_name(*p))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                relative_size: 0.0,
+            },
+            Event::ViolationResolved { constraint } => Frame::Event {
+                seq: entry.seq,
+                kind: "violation_resolved".into(),
+                subject: self.constraint_name(*constraint).to_owned(),
+                properties: String::new(),
+                relative_size: 0.0,
+            },
+            Event::FeasibleReduced {
+                property,
+                relative_size,
+            } => Frame::Event {
+                seq: entry.seq,
+                kind: "feasible_reduced".into(),
+                subject: self.property_name(*property).to_owned(),
+                properties: String::new(),
+                relative_size: *relative_size,
+            },
+            Event::FeasibleEmptied { property } => Frame::Event {
+                seq: entry.seq,
+                kind: "feasible_emptied".into(),
+                subject: self.property_name(*property).to_owned(),
+                properties: String::new(),
+                relative_size: 0.0,
+            },
+            Event::ProblemSolved { problem } => Frame::Event {
+                seq: entry.seq,
+                kind: "problem_solved".into(),
+                subject: self.problem_names[problem.index()].clone(),
+                properties: String::new(),
+                relative_size: 0.0,
+            },
+        }
+    }
+}
+
+/// A TCP server hosting one collaboration session.
+///
+/// Created by [`CollabServer::bind`]; torn down by [`CollabServer::wait`]
+/// (block until a client sends `shutdown`) or [`CollabServer::shutdown`]
+/// (immediate). Both return the final [`DesignProcessManager`] so callers
+/// can inspect or persist the end state.
+pub struct CollabServer {
+    addr: SocketAddr,
+    engine: SessionEngine,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    conn_streams: Arc<Mutex<Vec<TcpStream>>>,
+    stop: Arc<AtomicBool>,
+    shutdown_signal: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl fmt::Debug for CollabServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CollabServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CollabServer {
+    /// Spawns the session thread and starts accepting connections on
+    /// `127.0.0.1:port` (`port` 0 picks an ephemeral port; see
+    /// [`local_addr`](Self::local_addr)). The DPM is served as given —
+    /// callers run scenario setup and `initialize()` first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener's bind error.
+    pub fn bind(dpm: DesignProcessManager, port: u16) -> io::Result<CollabServer> {
+        let names = Arc::new(NameMaps::build(&dpm));
+        let engine = SessionEngine::spawn(dpm);
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shutdown_signal = Arc::new((Mutex::new(false), Condvar::new()));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let conn_streams = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let handle = engine.handle();
+            let stop = stop.clone();
+            let signal = shutdown_signal.clone();
+            let threads = conn_threads.clone();
+            let streams = conn_streams.clone();
+            let names = names.clone();
+            thread::Builder::new()
+                .name("adpm-accept".into())
+                .spawn(move || {
+                    for incoming in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = incoming else { continue };
+                        if let Ok(clone) = stream.try_clone() {
+                            lock(&streams).push(clone);
+                        }
+                        let handle = handle.clone();
+                        let names = names.clone();
+                        let signal = signal.clone();
+                        let worker = thread::Builder::new()
+                            .name("adpm-conn".into())
+                            .spawn(move || serve_connection(stream, handle, names, signal));
+                        if let Ok(worker) = worker {
+                            lock(&threads).push(worker);
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(CollabServer {
+            addr,
+            engine,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+            conn_streams,
+            stop,
+            shutdown_signal,
+        })
+    }
+
+    /// The bound address, e.g. `127.0.0.1:41873`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle onto the hosted session, for in-process submitters that
+    /// want to skip the socket (the concurrent TeamSim driver).
+    pub fn handle(&self) -> SessionHandle {
+        self.engine.handle()
+    }
+
+    /// Blocks until some client sends a `shutdown` frame, then tears the
+    /// server down and returns the final design state.
+    pub fn wait(self) -> DesignProcessManager {
+        {
+            let (flag, cvar) = &*self.shutdown_signal;
+            let mut requested = lock_flag(flag);
+            while !*requested {
+                requested = cvar
+                    .wait(requested)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        self.finish()
+    }
+
+    /// Tears the server down now: stops accepting, closes connections,
+    /// joins every thread, and shuts the session down.
+    pub fn shutdown(self) -> DesignProcessManager {
+        self.finish()
+    }
+
+    fn finish(mut self) -> DesignProcessManager {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Unblock connection readers; their clients are done either way.
+        for stream in lock(&self.conn_streams).drain(..) {
+            let _ = stream.shutdown(NetShutdown::Both);
+        }
+        let threads: Vec<_> = lock(&self.conn_threads).drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+        self.engine.shutdown()
+    }
+}
+
+fn lock<T>(m: &Mutex<Vec<T>>) -> std::sync::MutexGuard<'_, Vec<T>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_flag(m: &Mutex<bool>) -> std::sync::MutexGuard<'_, bool> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Writes one frame under the connection's writer lock, so concurrently
+/// pushed notification lines never interleave with response lines.
+fn write_frame(writer: &Mutex<TcpStream>, frame: &Frame) -> io::Result<()> {
+    let line = frame.to_line();
+    let mut stream = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+fn reject_reason(reason: &RejectReason) -> String {
+    reason.to_string()
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    handle: SessionHandle,
+    names: Arc<NameMaps>,
+    shutdown_signal: Arc<(Mutex<bool>, Condvar)>,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let writer = Arc::new(Mutex::new(stream));
+    let mut designer: Option<DesignerId> = None;
+    let mut pusher: Option<thread::JoinHandle<()>> = None;
+    let conn_done = Arc::new(AtomicBool::new(false));
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(err) => {
+                // Parse errors keep the line-synchronized connection open;
+                // I/O errors end the read loop on the next iteration.
+                if write_frame(
+                    &writer,
+                    &Frame::Error {
+                        message: err.message,
+                    },
+                )
+                .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+        };
+        let reply = match frame {
+            Frame::Hello { designer: index } => {
+                if index < names.designers {
+                    designer = Some(DesignerId::new(index));
+                    Frame::Welcome {
+                        mode: names.mode.to_owned(),
+                        designers: names.designers,
+                        properties: names.property_names.len() as u32,
+                        constraints: names.constraint_names.len() as u32,
+                    }
+                } else {
+                    Frame::Error {
+                        message: format!(
+                            "unknown designer {index} (session has {})",
+                            names.designers
+                        ),
+                    }
+                }
+            }
+            Frame::Subscribe { all } => match designer {
+                None => Frame::Error {
+                    message: "subscribe requires a hello first".into(),
+                },
+                Some(d) => match subscribe(&handle, d, all) {
+                    Err(_) => Frame::Error {
+                        message: "session is shut down".into(),
+                    },
+                    Ok(inbox) => {
+                        let writer = writer.clone();
+                        let names = names.clone();
+                        let done = conn_done.clone();
+                        let worker = thread::Builder::new()
+                            .name("adpm-push".into())
+                            .spawn(move || push_events(inbox, writer, names, done));
+                        pusher = worker.ok();
+                        Frame::Subscribed {
+                            designer: d.index() as u32,
+                        }
+                    }
+                },
+            },
+            Frame::Submit(op) => match designer {
+                None => Frame::Error {
+                    message: "submit requires a hello first".into(),
+                },
+                Some(d) => submit(&handle, &names, d, op),
+            },
+            Frame::Snapshot => match handle.snapshot() {
+                Err(_) => Frame::Error {
+                    message: "session is shut down".into(),
+                },
+                Ok(dpm) => {
+                    if stream_snapshot(&writer, &names, &dpm).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+            },
+            Frame::Shutdown => {
+                let _ = write_frame(&writer, &Frame::Bye);
+                let (flag, cvar) = &*shutdown_signal;
+                *lock_flag(flag) = true;
+                cvar.notify_all();
+                break;
+            }
+            Frame::Bye => {
+                let _ = write_frame(&writer, &Frame::Bye);
+                break;
+            }
+            // Response-only frames arriving from a client are protocol
+            // misuse, but harmless: name them and carry on.
+            other => Frame::Error {
+                message: format!("unexpected `{}` frame from a client", other.tag()),
+            },
+        };
+        if write_frame(&writer, &reply).is_err() {
+            break;
+        }
+    }
+    conn_done.store(true, Ordering::SeqCst);
+    if let Some(p) = pusher {
+        let _ = p.join();
+    }
+}
+
+fn subscribe(
+    handle: &SessionHandle,
+    designer: DesignerId,
+    all: bool,
+) -> Result<crate::notify::Inbox, crate::session::SessionClosed> {
+    if all {
+        handle.subscribe(designer, InterestSet::everything(), DEFAULT_INBOX_CAPACITY)
+    } else {
+        let snapshot = handle.snapshot()?;
+        let interests = InterestSet::for_designer(&snapshot, designer);
+        handle.subscribe(designer, interests, DEFAULT_INBOX_CAPACITY)
+    }
+}
+
+fn push_events(
+    inbox: crate::notify::Inbox,
+    writer: Arc<Mutex<TcpStream>>,
+    names: Arc<NameMaps>,
+    done: Arc<AtomicBool>,
+) {
+    loop {
+        let entries = inbox.wait_drain(PUSH_POLL);
+        for entry in &entries {
+            if write_frame(&writer, &names.event_frame(entry)).is_err() {
+                return;
+            }
+        }
+        if done.load(Ordering::SeqCst) || (inbox.is_closed() && inbox.is_empty()) {
+            return;
+        }
+    }
+}
+
+fn submit(
+    handle: &SessionHandle,
+    names: &NameMaps,
+    designer: DesignerId,
+    op: WireOp,
+) -> Frame {
+    let operation = match resolve_operation(names, designer, op) {
+        Ok(operation) => operation,
+        Err(message) => return Frame::Error { message },
+    };
+    match handle.submit(operation) {
+        Err(_) => Frame::Error {
+            message: "session is shut down".into(),
+        },
+        Ok(OpOutcome::Rejected(reason)) => Frame::Rejected {
+            reason: reject_reason(&reason),
+        },
+        Ok(OpOutcome::Executed(record)) => Frame::Executed {
+            seq: record.sequence as u64,
+            evaluations: record.evaluations as u64,
+            violations_after: record.violations_after as u32,
+            new_violations: record
+                .new_violations
+                .iter()
+                .map(|c| names.constraint_name(*c))
+                .collect::<Vec<_>>()
+                .join(","),
+            spin: record.spin,
+        },
+    }
+}
+
+fn resolve_operation(
+    names: &NameMaps,
+    designer: DesignerId,
+    op: WireOp,
+) -> Result<Operation, String> {
+    let problem_id = |name: &str| {
+        names
+            .problem_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("unknown problem `{name}`"))
+    };
+    let property_id = |name: &str| {
+        names
+            .property_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("unknown property `{name}` (use `object.property`)"))
+    };
+    match op {
+        WireOp::Assign {
+            problem,
+            property,
+            value,
+        } => {
+            if !value.is_finite() {
+                return Err(format!("value for `{property}` must be finite"));
+            }
+            Ok(Operation::assign(
+                designer,
+                problem_id(&problem)?,
+                property_id(&property)?,
+                adpm_constraint::Value::number(value),
+            ))
+        }
+        WireOp::Unbind { problem, property } => Ok(Operation::unbind(
+            designer,
+            problem_id(&problem)?,
+            property_id(&property)?,
+        )),
+        WireOp::Verify {
+            problem,
+            constraints,
+        } => {
+            let problem = problem_id(&problem)?;
+            if constraints.is_empty() {
+                return Ok(Operation::verify(designer, problem));
+            }
+            let mut ids = Vec::new();
+            for name in constraints.split(',') {
+                let name = name.trim();
+                let id = names
+                    .constraint_ids
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| format!("unknown constraint `{name}`"))?;
+                ids.push(id);
+            }
+            Ok(Operation::new(
+                designer,
+                problem,
+                Operator::Verify { constraints: ids },
+            ))
+        }
+    }
+}
+
+fn stream_snapshot(
+    writer: &Mutex<TcpStream>,
+    names: &NameMaps,
+    dpm: &DesignProcessManager,
+) -> io::Result<()> {
+    let network = dpm.network();
+    let bound = network
+        .property_ids()
+        .filter(|id| network.is_bound(*id))
+        .count();
+    write_frame(
+        writer,
+        &Frame::State {
+            operations: dpm.history().len() as u64,
+            bound: bound as u32,
+            violations: network.violated_constraints().len() as u32,
+        },
+    )?;
+    for id in network.property_ids() {
+        let feasible = network.feasible(id);
+        // An empty feasible subspace is encoded as an inverted interval.
+        let (lo, hi) = feasible
+            .enclosing_interval()
+            .map_or((1.0, 0.0), |iv| (iv.lo(), iv.hi()));
+        write_frame(
+            writer,
+            &Frame::Prop {
+                name: names.property_name(id).to_owned(),
+                lo,
+                hi,
+                bound: network.is_bound(id),
+            },
+        )?;
+    }
+    write_frame(writer, &Frame::End)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::CollabClient;
+    use adpm_scenarios::sensing_system;
+    use adpm_teamsim::SimulationConfig;
+    use std::time::Duration;
+
+    fn serve_sensing() -> CollabServer {
+        let scenario = sensing_system();
+        let config = SimulationConfig::adpm(7);
+        let mut dpm = scenario.build_dpm(config.dpm_config());
+        dpm.initialize();
+        CollabServer::bind(dpm, 0).expect("bind")
+    }
+
+    #[test]
+    fn hello_welcome_and_snapshot_over_loopback() {
+        let server = serve_sensing();
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        let welcome = client.request(&Frame::Hello { designer: 0 }).expect("hello");
+        let Frame::Welcome {
+            mode,
+            designers,
+            properties,
+            constraints,
+        } = welcome
+        else {
+            panic!("expected welcome, got {welcome:?}");
+        };
+        assert_eq!(mode, "adpm");
+        assert_eq!(designers, 3);
+        assert!(properties > 0 && constraints > 0);
+        let (state, props) = client.read_snapshot().expect("snapshot");
+        let Frame::State { operations, .. } = state else {
+            panic!("expected state, got {state:?}");
+        };
+        assert_eq!(operations, 0);
+        assert_eq!(props.len(), properties as usize);
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_executes_and_notifies_interested_subscriber() {
+        let server = serve_sensing();
+        let addr = server.local_addr();
+
+        // Designer 2 (interface-circuit) subscribes with derived interests.
+        let mut watcher = CollabClient::connect(addr).expect("connect watcher");
+        let welcome = watcher.request(&Frame::Hello { designer: 2 }).expect("hello");
+        assert!(matches!(welcome, Frame::Welcome { .. }));
+        let subscribed = watcher
+            .request(&Frame::Subscribe { all: false })
+            .expect("subscribe");
+        assert_eq!(subscribed, Frame::Subscribed { designer: 2 });
+
+        // Designer 1 binds a sensor output that shares a cross constraint
+        // with the interface circuit; propagation narrows interface
+        // properties, which must reach the watcher.
+        let mut actor = CollabClient::connect(addr).expect("connect actor");
+        actor.request(&Frame::Hello { designer: 1 }).expect("hello");
+        let outcome = actor
+            .request(&Frame::Submit(WireOp::Assign {
+                problem: "pressure-sensor".into(),
+                property: "sensor.s-area".into(),
+                value: 4.0,
+            }))
+            .expect("submit");
+        assert!(
+            matches!(outcome, Frame::Executed { .. }),
+            "expected executed, got {outcome:?}"
+        );
+
+        let event = watcher
+            .next_event(Duration::from_secs(5))
+            .expect("event wait")
+            .expect("an interest-filtered event should arrive");
+        let Frame::Event { seq, kind, .. } = &event else {
+            panic!("expected event, got {event:?}");
+        };
+        assert_eq!(*seq, 1);
+        assert!(
+            kind == "feasible_reduced" || kind == "violation_detected",
+            "unexpected kind {kind}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_misuse_yields_errors_not_disconnects() {
+        let server = serve_sensing();
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        // Submit before hello.
+        let err = client
+            .request(&Frame::Submit(WireOp::Verify {
+                problem: "sensing-system".into(),
+                constraints: String::new(),
+            }))
+            .expect("reply");
+        assert!(matches!(err, Frame::Error { .. }));
+        // Unknown designer.
+        let err = client.request(&Frame::Hello { designer: 99 }).expect("reply");
+        assert!(matches!(err, Frame::Error { .. }));
+        // Unknown names after a valid hello.
+        client.request(&Frame::Hello { designer: 0 }).expect("hello");
+        let err = client
+            .request(&Frame::Submit(WireOp::Assign {
+                problem: "no-such-problem".into(),
+                property: "sensor.s-area".into(),
+                value: 1.0,
+            }))
+            .expect("reply");
+        assert!(matches!(err, Frame::Error { .. }));
+        // Malformed line: connection survives, next request works.
+        client.send_raw("this is not json\n").expect("send raw");
+        let err = client.recv(Duration::from_secs(5)).expect("recv").expect("frame");
+        assert!(matches!(err, Frame::Error { .. }));
+        let welcome = client.request(&Frame::Hello { designer: 0 }).expect("hello");
+        assert!(matches!(welcome, Frame::Welcome { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_frame_releases_wait() {
+        let server = serve_sensing();
+        let addr = server.local_addr();
+        let waiter = thread::spawn(move || server.wait());
+        let mut client = CollabClient::connect(addr).expect("connect");
+        client.send(&Frame::Shutdown).expect("send shutdown");
+        let bye = client.recv(Duration::from_secs(5)).expect("recv").expect("frame");
+        assert_eq!(bye, Frame::Bye);
+        let dpm = waiter.join().expect("wait join");
+        assert_eq!(dpm.history().len(), 0);
+    }
+
+    #[test]
+    fn dropped_client_does_not_wedge_the_server() {
+        let server = serve_sensing();
+        let addr = server.local_addr();
+        {
+            let mut client = CollabClient::connect(addr).expect("connect");
+            client.request(&Frame::Hello { designer: 0 }).expect("hello");
+            client
+                .request(&Frame::Subscribe { all: true })
+                .expect("subscribe");
+            // Dropped here with an active subscription: the pusher thread
+            // must notice the dead socket or the closing inbox and exit.
+        }
+        let mut client = CollabClient::connect(addr).expect("connect again");
+        let welcome = client.request(&Frame::Hello { designer: 1 }).expect("hello");
+        assert!(matches!(welcome, Frame::Welcome { .. }));
+        // shutdown() joins every connection thread; a wedged pusher would
+        // hang the test here.
+        server.shutdown();
+    }
+}

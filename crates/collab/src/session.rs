@@ -1,0 +1,694 @@
+//! The session engine: one command-loop thread owning the DPM.
+//!
+//! Concurrency model: the
+//! [`DesignProcessManager`] is not
+//! thread-safe and must not be — the paper's `δ` is a sequential
+//! transition function. [`SessionEngine::spawn`] therefore moves the DPM
+//! onto a dedicated thread that processes [`SessionHandle`] commands one
+//! at a time from an `mpsc` queue. Every concurrent history is thereby
+//! *linearized by construction*: the design history the session produces
+//! is a valid sequential history, replayable by
+//! [`replay_history`](adpm_core::replay_history).
+//!
+//! After each executed operation the engine drains the DPM's pending
+//! notifications for every designer and fans the events out to the
+//! matching subscriptions' bounded [`Inbox`]es (see [`crate::notify`]).
+//! Reply channels are fire-and-forget on the engine side: a client that
+//! drops its reply receiver (or dies mid-call) never wedges the session
+//! thread.
+
+use crate::notify::{Inbox, InboxEntry, InterestSet};
+use adpm_core::{DesignProcessManager, DesignerId, Operation, OperationError, OperationRecord};
+use adpm_constraint::NetworkError;
+use adpm_observe::{Counter, MetricsSink, SpanKind, TraceEvent};
+use std::fmt;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Default per-subscription inbox capacity.
+pub const DEFAULT_INBOX_CAPACITY: usize = 256;
+
+/// What became of a submitted operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpOutcome {
+    /// The DPM executed the operation; here is its history record.
+    Executed(OperationRecord),
+    /// The operation was rejected; the design state is unchanged.
+    Rejected(RejectReason),
+}
+
+impl OpOutcome {
+    /// The record, if the operation executed.
+    pub fn record(&self) -> Option<&OperationRecord> {
+        match self {
+            OpOutcome::Executed(record) => Some(record),
+            OpOutcome::Rejected(_) => None,
+        }
+    }
+}
+
+/// Why a submitted operation was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// Structural validation failed (unknown designer/problem/property/
+    /// constraint id) — see
+    /// [`validate_operation`](DesignProcessManager::validate_operation).
+    Invalid(OperationError),
+    /// The operator itself failed (e.g. a value outside `E_i`).
+    Network(NetworkError),
+    /// The session was already shutting down when the command was queued.
+    ShuttingDown,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Invalid(e) => write!(f, "invalid operation: {e}"),
+            RejectReason::Network(e) => write!(f, "operation failed: {e}"),
+            RejectReason::ShuttingDown => write!(f, "session is shutting down"),
+        }
+    }
+}
+
+/// The session is gone: its thread has exited (or is shutting down) and
+/// the command could not be delivered or answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionClosed;
+
+impl fmt::Display for SessionClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "collaboration session is closed")
+    }
+}
+
+impl std::error::Error for SessionClosed {}
+
+enum Command {
+    Submit {
+        operation: Operation,
+        reply: Sender<OpOutcome>,
+    },
+    Subscribe {
+        designer: DesignerId,
+        interests: InterestSet,
+        capacity: usize,
+        reply: Sender<Inbox>,
+    },
+    Snapshot {
+        reply: Sender<DesignProcessManager>,
+    },
+    Shutdown {
+        reply: Sender<()>,
+    },
+}
+
+impl Command {
+    fn kind(&self) -> &'static str {
+        match self {
+            Command::Submit { .. } => "submit",
+            Command::Subscribe { .. } => "subscribe",
+            Command::Snapshot { .. } => "snapshot",
+            Command::Shutdown { .. } => "shutdown",
+        }
+    }
+
+    fn designer_index(&self) -> u32 {
+        match self {
+            Command::Submit { operation, .. } => operation.designer().index() as u32,
+            Command::Subscribe { designer, .. } => designer.index() as u32,
+            Command::Snapshot { .. } | Command::Shutdown { .. } => u32::MAX,
+        }
+    }
+}
+
+/// A cloneable handle for talking to a running session.
+///
+/// All methods are synchronous rendezvous calls (send the command, wait
+/// for the session thread's reply); [`submit_async`](SessionHandle::submit_async)
+/// exposes the underlying reply channel for callers that want to pipeline
+/// or abandon a call.
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    tx: Sender<Command>,
+}
+
+impl SessionHandle {
+    /// Submits an operation and waits for its outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionClosed`] when the session thread has already exited.
+    pub fn submit(&self, operation: Operation) -> Result<OpOutcome, SessionClosed> {
+        self.submit_async(operation)?.recv().map_err(|_| SessionClosed)
+    }
+
+    /// Submits an operation without waiting; the returned receiver yields
+    /// the outcome. Dropping the receiver abandons the call — the session
+    /// still executes the operation but discards the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionClosed`] when the session thread has already exited.
+    pub fn submit_async(
+        &self,
+        operation: Operation,
+    ) -> Result<Receiver<OpOutcome>, SessionClosed> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Command::Submit { operation, reply })
+            .map_err(|_| SessionClosed)?;
+        Ok(rx)
+    }
+
+    /// Registers a bounded inbox receiving the events that match
+    /// `interests` among those the Notification Manager routes to
+    /// `designer`.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionClosed`] when the session thread has already exited.
+    pub fn subscribe(
+        &self,
+        designer: DesignerId,
+        interests: InterestSet,
+        capacity: usize,
+    ) -> Result<Inbox, SessionClosed> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Command::Subscribe {
+                designer,
+                interests,
+                capacity,
+                reply,
+            })
+            .map_err(|_| SessionClosed)?;
+        rx.recv().map_err(|_| SessionClosed)
+    }
+
+    /// Returns a clone of the DPM frozen at this point of the command
+    /// queue — a consistent read of the whole design state.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionClosed`] when the session thread has already exited.
+    pub fn snapshot(&self) -> Result<DesignProcessManager, SessionClosed> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Command::Snapshot { reply })
+            .map_err(|_| SessionClosed)?;
+        rx.recv().map_err(|_| SessionClosed)
+    }
+}
+
+struct SubscriptionEntry {
+    designer: DesignerId,
+    interests: InterestSet,
+    inbox: Inbox,
+}
+
+/// A running collaboration session: the command-loop thread plus a
+/// [`SessionHandle`] factory.
+///
+/// Dropping the engine shuts the session down and joins the thread, so a
+/// forgotten engine cannot leak a detached thread past the end of a test.
+#[derive(Debug)]
+pub struct SessionEngine {
+    handle: SessionHandle,
+    thread: Option<JoinHandle<DesignProcessManager>>,
+}
+
+impl SessionEngine {
+    /// Moves `dpm` onto a new command-loop thread and returns the engine.
+    ///
+    /// The DPM is taken as-is: callers normally run
+    /// [`initialize`](DesignProcessManager::initialize) first so the
+    /// session starts from the propagated initial state.
+    pub fn spawn(dpm: DesignProcessManager) -> Self {
+        let (tx, rx) = mpsc::channel::<Command>();
+        let thread = std::thread::Builder::new()
+            .name("adpm-session".into())
+            .spawn(move || session_loop(dpm, rx))
+            .expect("spawn session thread");
+        SessionEngine {
+            handle: SessionHandle { tx },
+            thread: Some(thread),
+        }
+    }
+
+    /// A new handle to this session.
+    pub fn handle(&self) -> SessionHandle {
+        self.handle.clone()
+    }
+
+    /// Gracefully stops the session and returns the final DPM.
+    ///
+    /// Commands already queued behind the shutdown are answered with a
+    /// deterministic [`RejectReason::ShuttingDown`] (or dropped for
+    /// non-submit commands), every subscription inbox is closed, and the
+    /// command thread is joined.
+    pub fn shutdown(mut self) -> DesignProcessManager {
+        let (reply, rx) = mpsc::channel();
+        let _ = self.handle.tx.send(Command::Shutdown { reply });
+        let _ = rx.recv();
+        let thread = self.thread.take().expect("session thread already joined");
+        thread.join().expect("session thread panicked")
+    }
+}
+
+impl Drop for SessionEngine {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let (reply, _rx) = mpsc::channel();
+            let _ = self.handle.tx.send(Command::Shutdown { reply });
+            let _ = thread.join();
+        }
+    }
+}
+
+fn session_loop(mut dpm: DesignProcessManager, rx: Receiver<Command>) -> DesignProcessManager {
+    let mut subscriptions: Vec<SubscriptionEntry> = Vec::new();
+    let mut seq: u64 = 0;
+    while let Ok(command) = rx.recv() {
+        seq += 1;
+        let started = Instant::now();
+        let kind = command.kind();
+        let designer = command.designer_index();
+        let sink = dpm.metrics_sink().clone();
+        sink.incr(Counter::SessionOps, 1);
+        let outcome = match command {
+            Command::Submit { operation, reply } => {
+                let outcome = execute_submission(&mut dpm, &mut subscriptions, operation);
+                let label = match &outcome {
+                    OpOutcome::Executed(_) => "executed",
+                    OpOutcome::Rejected(_) => "rejected",
+                };
+                // A dropped client must never wedge the session thread.
+                let _ = reply.send(outcome);
+                label
+            }
+            Command::Subscribe {
+                designer,
+                interests,
+                capacity,
+                reply,
+            } => {
+                let inbox = Inbox::bounded(capacity);
+                subscriptions.push(SubscriptionEntry {
+                    designer,
+                    interests,
+                    inbox: inbox.clone(),
+                });
+                let _ = reply.send(inbox);
+                "ok"
+            }
+            Command::Snapshot { reply } => {
+                let _ = reply.send(dpm.clone());
+                "ok"
+            }
+            Command::Shutdown { reply } => {
+                // Deterministic drain: everything still queued behind the
+                // shutdown is rejected, never half-executed.
+                while let Ok(queued) = rx.try_recv() {
+                    match queued {
+                        Command::Submit { reply, .. } => {
+                            let _ = reply
+                                .send(OpOutcome::Rejected(RejectReason::ShuttingDown));
+                        }
+                        Command::Subscribe { .. }
+                        | Command::Snapshot { .. }
+                        | Command::Shutdown { .. } => {
+                            // Dropping the reply sender signals closure.
+                        }
+                    }
+                }
+                for sub in &subscriptions {
+                    sub.inbox.close();
+                }
+                let _ = reply.send(());
+                record_session_event(&*sink, seq, kind, designer, "ok", started);
+                return dpm;
+            }
+        };
+        record_session_event(&*sink, seq, kind, designer, outcome, started);
+    }
+    // Every handle (and the engine) is gone: nobody can command the
+    // session any more, so close the inboxes and exit.
+    for sub in &subscriptions {
+        sub.inbox.close();
+    }
+    dpm
+}
+
+fn record_session_event(
+    sink: &dyn MetricsSink,
+    seq: u64,
+    kind: &str,
+    designer: u32,
+    outcome: &str,
+    started: Instant,
+) {
+    let dur_us = started.elapsed().as_micros() as u64;
+    sink.time(SpanKind::Session, dur_us);
+    if sink.is_enabled() {
+        sink.record(&TraceEvent::SessionCommand {
+            seq,
+            kind,
+            designer,
+            outcome,
+            dur_us,
+        });
+    }
+}
+
+fn execute_submission(
+    dpm: &mut DesignProcessManager,
+    subscriptions: &mut [SubscriptionEntry],
+    operation: Operation,
+) -> OpOutcome {
+    if let Err(error) = dpm.validate_operation(&operation) {
+        return OpOutcome::Rejected(RejectReason::Invalid(error));
+    }
+    match dpm.execute(operation) {
+        Ok(record) => {
+            fan_out(dpm, subscriptions, record.sequence as u64);
+            OpOutcome::Executed(record)
+        }
+        Err(error) => OpOutcome::Rejected(RejectReason::Network(error)),
+    }
+}
+
+/// Drains the DPM's pending notifications for every designer and delivers
+/// the interest-matching events into the subscribed inboxes. Draining
+/// unconditionally (even with no subscriptions) keeps the DPM's pending
+/// queues from growing without bound over a long session.
+fn fan_out(dpm: &mut DesignProcessManager, subscriptions: &mut [SubscriptionEntry], seq: u64) {
+    let started = Instant::now();
+    let sink = dpm.metrics_sink().clone();
+    let mut delivered: u32 = 0;
+    let mut dropped: u32 = 0;
+    for designer in dpm.designers().to_vec() {
+        let events = dpm.take_notifications(designer);
+        if events.is_empty() {
+            continue;
+        }
+        for sub in subscriptions.iter().filter(|s| s.designer == designer) {
+            for event in &events {
+                if !sub.interests.matches(event, dpm.network()) {
+                    continue;
+                }
+                if sub.inbox.push(InboxEntry {
+                    seq,
+                    event: event.clone(),
+                }) {
+                    delivered += 1;
+                } else {
+                    dropped += 1;
+                }
+            }
+        }
+    }
+    if delivered > 0 {
+        sink.incr(Counter::InboxDelivered, delivered.into());
+    }
+    if dropped > 0 {
+        sink.incr(Counter::InboxDropped, dropped.into());
+    }
+    let dur_us = started.elapsed().as_micros() as u64;
+    sink.time(SpanKind::Notify, dur_us);
+    if sink.is_enabled() && (delivered > 0 || dropped > 0) {
+        sink.record(&TraceEvent::InboxFanout {
+            seq,
+            subscribers: subscriptions.len() as u32,
+            delivered,
+            dropped,
+            dur_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adpm_constraint::{
+        expr::{cst, var},
+        ConstraintNetwork, Domain, Property, PropertyId, Relation, Value,
+    };
+    use adpm_core::{DpmConfig, ProblemId};
+    use std::time::Duration;
+
+    /// Two designers share the receiver power budget `P_f + P_s <= 200`.
+    fn session_fixture() -> (DesignProcessManager, PropertyId, PropertyId) {
+        let mut net = ConstraintNetwork::new();
+        let pf = net
+            .add_property(Property::new("P-front", "rx", Domain::interval(0.0, 300.0)))
+            .unwrap();
+        let ps = net
+            .add_property(Property::new("P-ser", "rx", Domain::interval(0.0, 300.0)))
+            .unwrap();
+        let budget = net
+            .add_constraint("power", var(pf) + var(ps), Relation::Le, cst(200.0))
+            .unwrap();
+        let mut dpm = DesignProcessManager::new(net, DpmConfig::adpm());
+        let d0 = dpm.add_designer();
+        let d1 = dpm.add_designer();
+        let top = dpm.problems_mut().add_root("receiver");
+        let fe = dpm.problems_mut().decompose(top, "frontend");
+        let de = dpm.problems_mut().decompose(top, "deser");
+        *dpm.problems_mut().problem_mut(top) = dpm
+            .problems()
+            .problem(top)
+            .clone()
+            .with_constraints([budget]);
+        *dpm.problems_mut().problem_mut(fe) = dpm
+            .problems()
+            .problem(fe)
+            .clone()
+            .with_outputs([pf])
+            .with_assignee(d0);
+        *dpm.problems_mut().problem_mut(de) = dpm
+            .problems()
+            .problem(de)
+            .clone()
+            .with_outputs([ps])
+            .with_assignee(d1);
+        dpm.initialize();
+        (dpm, pf, ps)
+    }
+
+    fn frontend_problem(dpm: &DesignProcessManager) -> ProblemId {
+        let top = dpm.problems().root().unwrap();
+        dpm.problems().problem(top).children()[0]
+    }
+
+    #[test]
+    fn submit_executes_and_snapshot_sees_the_result() {
+        let (dpm, pf, _) = session_fixture();
+        let d0 = dpm.designers()[0];
+        let fe = frontend_problem(&dpm);
+        let engine = SessionEngine::spawn(dpm);
+        let handle = engine.handle();
+        let outcome = handle
+            .submit(Operation::assign(d0, fe, pf, Value::number(150.0)))
+            .expect("session alive");
+        let record = outcome.record().expect("executed").clone();
+        assert_eq!(record.sequence, 1);
+        let snapshot = handle.snapshot().expect("session alive");
+        assert_eq!(snapshot.history().len(), 1);
+        assert!(snapshot.network().is_bound(pf));
+        let final_dpm = engine.shutdown();
+        assert_eq!(final_dpm.history().len(), 1);
+    }
+
+    #[test]
+    fn invalid_and_infeasible_operations_are_rejected_as_data() {
+        let (dpm, pf, _) = session_fixture();
+        let d0 = dpm.designers()[0];
+        let fe = frontend_problem(&dpm);
+        let engine = SessionEngine::spawn(dpm);
+        let handle = engine.handle();
+        // Unknown designer id: typed validation rejection, no panic.
+        let ghost = DesignerId::new(42);
+        match handle
+            .submit(Operation::assign(ghost, fe, pf, Value::number(1.0)))
+            .expect("session alive")
+        {
+            OpOutcome::Rejected(RejectReason::Invalid(OperationError::UnknownDesigner(d))) => {
+                assert_eq!(d, ghost)
+            }
+            other => panic!("expected invalid-designer rejection, got {other:?}"),
+        }
+        // Value outside E_i: NetworkError rejection.
+        match handle
+            .submit(Operation::assign(d0, fe, pf, Value::number(1e9)))
+            .expect("session alive")
+        {
+            OpOutcome::Rejected(RejectReason::Network(_)) => {}
+            other => panic!("expected network rejection, got {other:?}"),
+        }
+        // The session is still healthy afterwards.
+        assert!(handle
+            .submit(Operation::assign(d0, fe, pf, Value::number(150.0)))
+            .expect("session alive")
+            .record()
+            .is_some());
+        let final_dpm = engine.shutdown();
+        assert_eq!(final_dpm.history().len(), 1, "rejections leave no record");
+    }
+
+    #[test]
+    fn subscriber_receives_interest_filtered_events() {
+        let (dpm, pf, ps) = session_fixture();
+        let d0 = dpm.designers()[0];
+        let d1 = dpm.designers()[1];
+        let fe = frontend_problem(&dpm);
+        let interests = InterestSet::for_designer(&dpm, d1);
+        // d1's connectivity-derived interests reach pf through the shared
+        // budget constraint.
+        assert!(interests.property_count() >= 2);
+        let engine = SessionEngine::spawn(dpm);
+        let handle = engine.handle();
+        let inbox = handle
+            .subscribe(d1, interests, DEFAULT_INBOX_CAPACITY)
+            .expect("session alive");
+        // d0 binding pf narrows ps's feasible subspace -> d1 is notified.
+        handle
+            .submit(Operation::assign(d0, fe, pf, Value::number(150.0)))
+            .expect("session alive");
+        let entries = inbox.wait_drain(Duration::from_secs(10));
+        assert!(
+            entries.iter().any(|e| matches!(
+                e.event,
+                Event::FeasibleReduced { property, .. } if property == ps
+            )),
+            "expected a FeasibleReduced for ps, got {entries:?}"
+        );
+        assert!(entries.iter().all(|e| e.seq == 1));
+        engine.shutdown();
+        assert!(inbox.is_closed(), "shutdown closes subscriptions");
+    }
+
+    use adpm_core::Event;
+
+    #[test]
+    fn shutdown_rejects_queued_submissions_deterministically() {
+        let (dpm, pf, _) = session_fixture();
+        let d0 = dpm.designers()[0];
+        let fe = frontend_problem(&dpm);
+        let engine = SessionEngine::spawn(dpm);
+        let handle = engine.handle();
+        // Queue a shutdown, then pile submissions behind it before the
+        // loop can drain. Every one must come back ShuttingDown or
+        // SessionClosed — never half-executed.
+        let final_dpm = {
+            let handle2 = handle.clone();
+            let racer = std::thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for i in 0..32 {
+                    let op =
+                        Operation::assign(d0, fe, pf, Value::number(100.0 + i as f64));
+                    match handle2.submit(op) {
+                        Ok(outcome) => outcomes.push(outcome),
+                        Err(SessionClosed) => break,
+                    }
+                }
+                outcomes
+            });
+            let final_dpm = engine.shutdown();
+            let outcomes = racer.join().expect("racer panicked");
+            for outcome in &outcomes {
+                match outcome {
+                    OpOutcome::Executed(record) => {
+                        // Raced ahead of the shutdown: must be recorded.
+                        assert!(record.sequence <= final_dpm.history().len());
+                    }
+                    OpOutcome::Rejected(RejectReason::ShuttingDown) => {}
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+            final_dpm
+        };
+        // The history contains exactly the executed operations.
+        assert!(final_dpm.history().len() <= 32);
+    }
+
+    #[test]
+    fn dropped_reply_receiver_does_not_wedge_the_session() {
+        let (dpm, pf, _) = session_fixture();
+        let d0 = dpm.designers()[0];
+        let fe = frontend_problem(&dpm);
+        let engine = SessionEngine::spawn(dpm);
+        let handle = engine.handle();
+        // Abandon the reply receiver immediately: the session must still
+        // execute the operation and keep serving later commands.
+        let rx = handle
+            .submit_async(Operation::assign(d0, fe, pf, Value::number(150.0)))
+            .expect("session alive");
+        drop(rx);
+        let snapshot = handle.snapshot().expect("session still serving");
+        assert_eq!(snapshot.history().len(), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn handles_error_after_shutdown() {
+        let (dpm, pf, _) = session_fixture();
+        let d0 = dpm.designers()[0];
+        let fe = frontend_problem(&dpm);
+        let engine = SessionEngine::spawn(dpm);
+        let handle = engine.handle();
+        engine.shutdown();
+        assert_eq!(
+            handle.submit(Operation::assign(d0, fe, pf, Value::number(1.0))),
+            Err(SessionClosed)
+        );
+        assert!(handle.snapshot().is_err());
+        assert!(handle
+            .subscribe(d0, InterestSet::everything(), 8)
+            .is_err());
+    }
+
+    #[test]
+    fn drop_joins_the_session_thread() {
+        let (dpm, _, _) = session_fixture();
+        let engine = SessionEngine::spawn(dpm);
+        let handle = engine.handle();
+        drop(engine);
+        // The thread is gone: the handle errors instead of hanging.
+        assert!(handle.snapshot().is_err());
+    }
+
+    #[test]
+    fn session_counters_flow_through_the_dpm_sink() {
+        use adpm_observe::InMemorySink;
+        use std::sync::Arc;
+        let (mut dpm, pf, _) = session_fixture();
+        let sink = Arc::new(InMemorySink::new());
+        dpm.set_sink(sink.clone());
+        let d0 = dpm.designers()[0];
+        let d1 = dpm.designers()[1];
+        let fe = frontend_problem(&dpm);
+        let engine = SessionEngine::spawn(dpm);
+        let handle = engine.handle();
+        let inbox = handle
+            .subscribe(d1, InterestSet::everything(), 1)
+            .expect("session alive");
+        handle
+            .submit(Operation::assign(d0, fe, pf, Value::number(150.0)))
+            .expect("session alive");
+        handle.snapshot().expect("session alive");
+        engine.shutdown();
+        // subscribe + submit + snapshot + shutdown.
+        assert_eq!(sink.get(Counter::SessionOps), 4);
+        assert!(sink.get(Counter::InboxDelivered) >= 1);
+        // Capacity 1: the pf bind produces several events for d1 (its own
+        // FeasibleReduced + the broadcast), so overflow is accounted.
+        assert_eq!(
+            sink.get(Counter::InboxDelivered) as usize,
+            inbox.drain().len()
+        );
+        assert_eq!(sink.get(Counter::InboxDropped), inbox.dropped());
+        assert!(sink.histogram(SpanKind::Session).count() >= 4);
+        assert!(sink.histogram(SpanKind::Notify).count() >= 1);
+    }
+}

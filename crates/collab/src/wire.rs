@@ -1,0 +1,668 @@
+//! The line-delimited JSONL wire protocol.
+//!
+//! One flat JSON object per line, first field the string tag `"t"` —
+//! exactly the trace-file shape, reusing `adpm-observe`'s
+//! [`escape_into`]/[`parse_object`] so the escaping rules and the parser's
+//! error reporting are shared with the trace subsystem. The schema is
+//! deliberately flat (the observe parser rejects nesting): list-valued
+//! fields are comma-joined name strings, and every design entity crosses
+//! the wire by *name* (`object.property`, problem name, constraint name)
+//! rather than by raw id, so a client needs no knowledge of the server's
+//! id assignment. The full frame table lives in `docs/COLLAB.md`.
+//!
+//! Lines longer than [`MAX_LINE_BYTES`] are rejected before parsing — a
+//! malformed or malicious peer cannot make the reader buffer without
+//! bound.
+
+use adpm_observe::{escape_into, parse_object, JsonValue};
+use std::fmt;
+use std::io::BufRead;
+
+/// Upper bound on one wire line, delimiter included (64 KiB).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A submitted design operation, by name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOp {
+    /// Bind `property` (as `object.property`) to `value` within `problem`.
+    Assign {
+        /// Problem name.
+        problem: String,
+        /// Property as `object.property`.
+        property: String,
+        /// The value to bind.
+        value: f64,
+    },
+    /// Unbind `property` within `problem`.
+    Unbind {
+        /// Problem name.
+        problem: String,
+        /// Property as `object.property`.
+        property: String,
+    },
+    /// Run verification for `problem`, optionally limited to the
+    /// comma-joined constraint names in `constraints` (empty = all of the
+    /// problem's constraints).
+    Verify {
+        /// Problem name.
+        problem: String,
+        /// Comma-joined constraint names; empty for all.
+        constraints: String,
+    },
+}
+
+/// One protocol frame — requests (client → server), responses, and the
+/// asynchronous `event` notification frame (server → subscribed client).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client introduces itself as a designer (by index).
+    Hello {
+        /// Designer index.
+        designer: u32,
+    },
+    /// Client subscribes to notifications. `all` = firehose; otherwise
+    /// the server derives the interest set from the hello'd designer's
+    /// constraint connectivity.
+    Subscribe {
+        /// `true` for the firehose, `false` for connectivity-derived
+        /// interests.
+        all: bool,
+    },
+    /// Client submits one design operation.
+    Submit(WireOp),
+    /// Client requests the current design state.
+    Snapshot,
+    /// Client asks the server to shut the whole session down.
+    Shutdown,
+    /// Either side signals an orderly connection close.
+    Bye,
+    /// Server's hello response.
+    Welcome {
+        /// Management mode, `"adpm"` or `"conventional"`.
+        mode: String,
+        /// Registered designers.
+        designers: u32,
+        /// Properties in the network.
+        properties: u32,
+        /// Constraints in the network.
+        constraints: u32,
+    },
+    /// Server confirms a subscription.
+    Subscribed {
+        /// Designer index the subscription is filtered for.
+        designer: u32,
+    },
+    /// The submitted operation executed.
+    Executed {
+        /// Sequence number in the design history.
+        seq: u64,
+        /// Constraint evaluations attributed to the operation.
+        evaluations: u64,
+        /// Violations known after the operation.
+        violations_after: u32,
+        /// Comma-joined names of newly violated constraints (may be empty).
+        new_violations: String,
+        /// Whether the operation was a design spin.
+        spin: bool,
+    },
+    /// The submitted operation was rejected; design state unchanged.
+    Rejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Protocol-level error (bad frame, unknown name, no hello yet...).
+    /// The connection stays open.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Snapshot header; followed by one [`Frame::Prop`] per property and a
+    /// terminating [`Frame::End`].
+    State {
+        /// Executed operations so far.
+        operations: u64,
+        /// Currently bound properties.
+        bound: u32,
+        /// Currently known violations.
+        violations: u32,
+    },
+    /// One property's state within a snapshot: the enclosing interval of
+    /// its feasible subspace and whether it is bound. An empty feasible
+    /// subspace is encoded as `lo > hi` (`1 > 0`).
+    Prop {
+        /// Property as `object.property`.
+        name: String,
+        /// Feasible lower bound.
+        lo: f64,
+        /// Feasible upper bound.
+        hi: f64,
+        /// Whether the property is bound.
+        bound: bool,
+    },
+    /// Terminates a multi-frame snapshot response.
+    End,
+    /// Asynchronous notification delivered to a subscribed client.
+    Event {
+        /// Sequence number of the producing operation.
+        seq: u64,
+        /// Event kind: `"violation_detected"`, `"violation_resolved"`,
+        /// `"feasible_reduced"`, `"feasible_emptied"`, `"problem_solved"`.
+        kind: String,
+        /// The named subject: constraint, property, or problem name.
+        subject: String,
+        /// Comma-joined argument property names (violation_detected only;
+        /// empty otherwise).
+        properties: String,
+        /// Remaining feasible fraction (feasible_reduced only; 0 otherwise).
+        relative_size: f64,
+    },
+}
+
+/// Why a wire line could not be turned into a [`Frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    fn new(message: impl Into<String>) -> Self {
+        WireError {
+            message: message.into(),
+        }
+    }
+}
+
+fn field_str(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+fn field_u64(out: &mut String, key: &str, value: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn field_bool(out: &mut String, key: &str, value: bool) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(if value { "true" } else { "false" });
+}
+
+fn field_f64(out: &mut String, key: &str, value: f64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    // Shortest round-trip formatting; the schema carries only finite
+    // values, so this is always valid JSON.
+    out.push_str(&format!("{value:?}"));
+}
+
+impl Frame {
+    /// The `"t"` tag of the serialized frame.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::Subscribe { .. } => "subscribe",
+            Frame::Submit(WireOp::Assign { .. }) => "assign",
+            Frame::Submit(WireOp::Unbind { .. }) => "unbind",
+            Frame::Submit(WireOp::Verify { .. }) => "verify",
+            Frame::Snapshot => "snapshot",
+            Frame::Shutdown => "shutdown",
+            Frame::Bye => "bye",
+            Frame::Welcome { .. } => "welcome",
+            Frame::Subscribed { .. } => "subscribed",
+            Frame::Executed { .. } => "executed",
+            Frame::Rejected { .. } => "rejected",
+            Frame::Error { .. } => "err",
+            Frame::State { .. } => "state",
+            Frame::Prop { .. } => "prop",
+            Frame::End => "end",
+            Frame::Event { .. } => "event",
+        }
+    }
+
+    /// Serializes the frame as one JSON line, trailing `\n` included.
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"t\":\"");
+        out.push_str(self.tag());
+        out.push('"');
+        match self {
+            Frame::Hello { designer } => field_u64(&mut out, "designer", (*designer).into()),
+            Frame::Subscribe { all } => field_bool(&mut out, "all", *all),
+            Frame::Submit(WireOp::Assign {
+                problem,
+                property,
+                value,
+            }) => {
+                field_str(&mut out, "problem", problem);
+                field_str(&mut out, "property", property);
+                field_f64(&mut out, "value", *value);
+            }
+            Frame::Submit(WireOp::Unbind { problem, property }) => {
+                field_str(&mut out, "problem", problem);
+                field_str(&mut out, "property", property);
+            }
+            Frame::Submit(WireOp::Verify {
+                problem,
+                constraints,
+            }) => {
+                field_str(&mut out, "problem", problem);
+                field_str(&mut out, "constraints", constraints);
+            }
+            Frame::Snapshot | Frame::Shutdown | Frame::Bye | Frame::End => {}
+            Frame::Welcome {
+                mode,
+                designers,
+                properties,
+                constraints,
+            } => {
+                field_str(&mut out, "mode", mode);
+                field_u64(&mut out, "designers", (*designers).into());
+                field_u64(&mut out, "properties", (*properties).into());
+                field_u64(&mut out, "constraints", (*constraints).into());
+            }
+            Frame::Subscribed { designer } => {
+                field_u64(&mut out, "designer", (*designer).into())
+            }
+            Frame::Executed {
+                seq,
+                evaluations,
+                violations_after,
+                new_violations,
+                spin,
+            } => {
+                field_u64(&mut out, "seq", *seq);
+                field_u64(&mut out, "evaluations", *evaluations);
+                field_u64(&mut out, "violations_after", (*violations_after).into());
+                field_str(&mut out, "new_violations", new_violations);
+                field_bool(&mut out, "spin", *spin);
+            }
+            Frame::Rejected { reason } => field_str(&mut out, "reason", reason),
+            Frame::Error { message } => field_str(&mut out, "message", message),
+            Frame::State {
+                operations,
+                bound,
+                violations,
+            } => {
+                field_u64(&mut out, "operations", *operations);
+                field_u64(&mut out, "bound", (*bound).into());
+                field_u64(&mut out, "violations", (*violations).into());
+            }
+            Frame::Prop {
+                name,
+                lo,
+                hi,
+                bound,
+            } => {
+                field_str(&mut out, "name", name);
+                field_f64(&mut out, "lo", *lo);
+                field_f64(&mut out, "hi", *hi);
+                field_bool(&mut out, "bound", *bound);
+            }
+            Frame::Event {
+                seq,
+                kind,
+                subject,
+                properties,
+                relative_size,
+            } => {
+                field_u64(&mut out, "seq", *seq);
+                field_str(&mut out, "kind", kind);
+                field_str(&mut out, "subject", subject);
+                field_str(&mut out, "properties", properties);
+                field_f64(&mut out, "relative_size", *relative_size);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses one wire line (with or without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] when the line exceeds [`MAX_LINE_BYTES`], is not a
+    /// flat JSON object, lacks the leading `"t"` tag, carries an unknown
+    /// tag, or is missing/mistyping a required field.
+    pub fn parse_line(line: &str) -> Result<Frame, WireError> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(WireError::new(format!(
+                "line of {} bytes exceeds the {} byte limit",
+                line.len(),
+                MAX_LINE_BYTES
+            )));
+        }
+        let text = line.trim_end_matches(['\n', '\r']);
+        let fields =
+            parse_object(text, 0).map_err(|e| WireError::new(e.message))?;
+        let Some((first_key, first_value)) = fields.first() else {
+            return Err(WireError::new("empty frame"));
+        };
+        if first_key != "t" {
+            return Err(WireError::new("first field must be the \"t\" tag"));
+        }
+        let Some(tag) = first_value.as_str() else {
+            return Err(WireError::new("\"t\" tag must be a string"));
+        };
+        let get = |key: &str| -> Option<&JsonValue> {
+            fields
+                .iter()
+                .skip(1)
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+        };
+        let need_str = |key: &str| -> Result<String, WireError> {
+            get(key)
+                .and_then(|v| v.as_str())
+                .map(str::to_owned)
+                .ok_or_else(|| WireError::new(format!("`{tag}` frame needs string `{key}`")))
+        };
+        let need_u64 = |key: &str| -> Result<u64, WireError> {
+            get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| WireError::new(format!("`{tag}` frame needs integer `{key}`")))
+        };
+        let need_u32 = |key: &str| -> Result<u32, WireError> {
+            need_u64(key)?
+                .try_into()
+                .map_err(|_| WireError::new(format!("`{key}` out of range in `{tag}` frame")))
+        };
+        let need_bool = |key: &str| -> Result<bool, WireError> {
+            get(key)
+                .and_then(|v| v.as_bool())
+                .ok_or_else(|| WireError::new(format!("`{tag}` frame needs boolean `{key}`")))
+        };
+        let need_f64 = |key: &str| -> Result<f64, WireError> {
+            match get(key) {
+                Some(JsonValue::Num(n)) => Ok(*n),
+                _ => Err(WireError::new(format!(
+                    "`{tag}` frame needs number `{key}`"
+                ))),
+            }
+        };
+        match tag {
+            "hello" => Ok(Frame::Hello {
+                designer: need_u32("designer")?,
+            }),
+            "subscribe" => Ok(Frame::Subscribe {
+                all: need_bool("all")?,
+            }),
+            "assign" => Ok(Frame::Submit(WireOp::Assign {
+                problem: need_str("problem")?,
+                property: need_str("property")?,
+                value: need_f64("value")?,
+            })),
+            "unbind" => Ok(Frame::Submit(WireOp::Unbind {
+                problem: need_str("problem")?,
+                property: need_str("property")?,
+            })),
+            "verify" => Ok(Frame::Submit(WireOp::Verify {
+                problem: need_str("problem")?,
+                constraints: need_str("constraints")?,
+            })),
+            "snapshot" => Ok(Frame::Snapshot),
+            "shutdown" => Ok(Frame::Shutdown),
+            "bye" => Ok(Frame::Bye),
+            "welcome" => Ok(Frame::Welcome {
+                mode: need_str("mode")?,
+                designers: need_u32("designers")?,
+                properties: need_u32("properties")?,
+                constraints: need_u32("constraints")?,
+            }),
+            "subscribed" => Ok(Frame::Subscribed {
+                designer: need_u32("designer")?,
+            }),
+            "executed" => Ok(Frame::Executed {
+                seq: need_u64("seq")?,
+                evaluations: need_u64("evaluations")?,
+                violations_after: need_u32("violations_after")?,
+                new_violations: need_str("new_violations")?,
+                spin: need_bool("spin")?,
+            }),
+            "rejected" => Ok(Frame::Rejected {
+                reason: need_str("reason")?,
+            }),
+            "err" => Ok(Frame::Error {
+                message: need_str("message")?,
+            }),
+            "state" => Ok(Frame::State {
+                operations: need_u64("operations")?,
+                bound: need_u32("bound")?,
+                violations: need_u32("violations")?,
+            }),
+            "prop" => Ok(Frame::Prop {
+                name: need_str("name")?,
+                lo: need_f64("lo")?,
+                hi: need_f64("hi")?,
+                bound: need_bool("bound")?,
+            }),
+            "end" => Ok(Frame::End),
+            "event" => Ok(Frame::Event {
+                seq: need_u64("seq")?,
+                kind: need_str("kind")?,
+                subject: need_str("subject")?,
+                properties: need_str("properties")?,
+                relative_size: need_f64("relative_size")?,
+            }),
+            other => Err(WireError::new(format!("unknown frame tag `{other}`"))),
+        }
+    }
+}
+
+/// Reads one frame from a buffered byte stream.
+///
+/// Returns `Ok(None)` on clean end-of-stream. Oversized lines are consumed
+/// (so the stream stays line-synchronized) but reported as an error without
+/// ever buffering more than [`MAX_LINE_BYTES`].
+///
+/// # Errors
+///
+/// `Err(Ok(io_error))`-free by design: I/O problems surface as a
+/// [`WireError`] describing them, since callers treat both identically —
+/// the connection is done.
+pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<Frame>, WireError> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let buf = reader
+            .fill_buf()
+            .map_err(|e| WireError::new(format!("read failed: {e}")))?;
+        if buf.is_empty() {
+            // End of stream.
+            if line.is_empty() && !oversized {
+                return Ok(None);
+            }
+            break;
+        }
+        let newline = buf.iter().position(|b| *b == b'\n');
+        let take = newline.map_or(buf.len(), |i| i + 1);
+        if !oversized {
+            if line.len() + take > MAX_LINE_BYTES {
+                oversized = true;
+                line.clear();
+            } else {
+                line.extend_from_slice(&buf[..take]);
+            }
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    if oversized {
+        return Err(WireError::new(format!(
+            "line exceeds the {MAX_LINE_BYTES} byte limit"
+        )));
+    }
+    let text = std::str::from_utf8(&line)
+        .map_err(|_| WireError::new("frame is not valid UTF-8"))?;
+    if text.trim().is_empty() {
+        // Tolerate blank keep-alive lines by reading the next frame.
+        return read_frame(reader);
+    }
+    Frame::parse_line(text).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        let frames = vec![
+            Frame::Hello { designer: 2 },
+            Frame::Subscribe { all: false },
+            Frame::Submit(WireOp::Assign {
+                problem: "pressure-sensor".into(),
+                property: "sensor.s-area".into(),
+                value: 4.0,
+            }),
+            Frame::Submit(WireOp::Unbind {
+                problem: "p".into(),
+                property: "o.x".into(),
+            }),
+            Frame::Submit(WireOp::Verify {
+                problem: "top".into(),
+                constraints: "MeetArea,TotalNoise".into(),
+            }),
+            Frame::Snapshot,
+            Frame::Shutdown,
+            Frame::Bye,
+            Frame::Welcome {
+                mode: "adpm".into(),
+                designers: 3,
+                properties: 26,
+                constraints: 21,
+            },
+            Frame::Subscribed { designer: 1 },
+            Frame::Executed {
+                seq: 7,
+                evaluations: 42,
+                violations_after: 1,
+                new_violations: "MeetArea".into(),
+                spin: true,
+            },
+            Frame::Rejected {
+                reason: "value outside E_i".into(),
+            },
+            Frame::Error {
+                message: "unknown frame tag `wat`".into(),
+            },
+            Frame::State {
+                operations: 9,
+                bound: 4,
+                violations: 1,
+            },
+            Frame::Prop {
+                name: "interface.i-area".into(),
+                lo: 0.5,
+                hi: 4.0,
+                bound: false,
+            },
+            Frame::End,
+            Frame::Event {
+                seq: 3,
+                kind: "feasible_reduced".into(),
+                subject: "interface.i-area".into(),
+                properties: String::new(),
+                relative_size: 0.625,
+            },
+        ];
+        for frame in frames {
+            let line = frame.to_line();
+            assert!(line.ends_with('\n'));
+            assert_eq!(Frame::parse_line(&line), Ok(frame.clone()), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn adversarial_names_survive_escaping() {
+        let frame = Frame::Submit(WireOp::Assign {
+            problem: "a\"b\\c\nd\te\u{1}f λ".into(),
+            property: "obj.\u{7f}prop".into(),
+            value: -1.25e-3,
+        });
+        let line = frame.to_line();
+        assert_eq!(Frame::parse_line(&line), Ok(frame));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_frames_with_messages() {
+        for (line, needle) in [
+            ("{\"x\":1}", "\"t\" tag"),
+            ("{\"t\":1}", "must be a string"),
+            ("{\"t\":\"wat\"}", "unknown frame tag"),
+            ("{\"t\":\"hello\"}", "needs integer `designer`"),
+            ("{\"t\":\"hello\",\"designer\":-1}", "needs integer"),
+            ("{\"t\":\"subscribe\",\"all\":1}", "needs boolean"),
+            ("{\"t\":\"assign\",\"problem\":\"p\"}", "needs string `property`"),
+            ("{\"t\":\"assign\",\"problem\":\"p\",\"property\":\"o.x\",\"value\":\"high\"}",
+             "needs number"),
+            ("{\"t\":\"hello\",\"designer\":{}}", "nested"),
+            ("not json", "expected"),
+            ("{}", "empty frame"),
+        ] {
+            let err = Frame::parse_line(line).expect_err(line);
+            assert!(
+                err.message.contains(needle),
+                "line {line:?}: message {:?} missing {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn read_frame_streams_frames_and_skips_blank_lines() {
+        let text = format!(
+            "{}\n{}{}",
+            "", // leading blank line
+            Frame::Hello { designer: 0 }.to_line(),
+            Frame::Bye.to_line()
+        );
+        let mut reader = std::io::BufReader::new(text.as_bytes());
+        assert_eq!(
+            read_frame(&mut reader).unwrap(),
+            Some(Frame::Hello { designer: 0 })
+        );
+        assert_eq!(read_frame(&mut reader).unwrap(), Some(Frame::Bye));
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_lines_without_buffering_them() {
+        let mut text = String::new();
+        text.push_str("{\"t\":\"rejected\",\"reason\":\"");
+        text.push_str(&"x".repeat(MAX_LINE_BYTES));
+        text.push_str("\"}\n");
+        text.push_str(&Frame::Bye.to_line());
+        let mut reader = std::io::BufReader::new(text.as_bytes());
+        let err = read_frame(&mut reader).expect_err("oversized");
+        assert!(err.message.contains("byte limit"));
+        // The stream stays line-synchronized: the next frame parses.
+        assert_eq!(read_frame(&mut reader).unwrap(), Some(Frame::Bye));
+    }
+
+    #[test]
+    fn read_frame_handles_missing_trailing_newline() {
+        let line = Frame::Snapshot.to_line();
+        let mut reader = std::io::BufReader::new(line.trim_end().as_bytes());
+        assert_eq!(read_frame(&mut reader).unwrap(), Some(Frame::Snapshot));
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+}

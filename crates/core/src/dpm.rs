@@ -33,6 +33,41 @@ use adpm_observe::{Clock, Counter, MetricsSink, MonotonicClock, NoopSink, SpanKi
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
+/// Why an [`Operation`] failed structural validation before execution.
+///
+/// [`DesignProcessManager::execute`] applies operators by id and its id
+/// lookups (`network.bind`, `problems.problem`, ...) index directly into
+/// the underlying vectors — fine for the in-process loop where every id
+/// comes from the DPM itself, but panic-prone once operations arrive from
+/// another thread or from the wire. [`DesignProcessManager::validate_operation`]
+/// checks all referenced ids first and reports the failure as one of these
+/// variants, so a session can reject a malformed operation as data instead
+/// of poisoning the engine thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperationError {
+    /// The requesting designer was never registered with this DPM.
+    UnknownDesigner(DesignerId),
+    /// The operation's problem id is outside the problem hierarchy.
+    UnknownProblem(ProblemId),
+    /// An assign/unbind target property is outside the network.
+    UnknownProperty(PropertyId),
+    /// A verify operator names a constraint outside the network.
+    UnknownConstraint(ConstraintId),
+}
+
+impl std::fmt::Display for OperationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OperationError::UnknownDesigner(d) => write!(f, "unknown designer {d}"),
+            OperationError::UnknownProblem(p) => write!(f, "unknown problem id {p}"),
+            OperationError::UnknownProperty(p) => write!(f, "unknown property id {p}"),
+            OperationError::UnknownConstraint(c) => write!(f, "unknown constraint id {c}"),
+        }
+    }
+}
+
+impl std::error::Error for OperationError {}
+
 /// The paper's `λ` flag: which transition model the DPM uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ManagementMode {
@@ -298,6 +333,53 @@ impl DesignProcessManager {
         self.event_buffer.clear();
         self.total_evaluations += outcome.evaluations;
         outcome.evaluations
+    }
+
+    /// Checks that every id an operation references exists in this DPM:
+    /// the designer is registered, the problem is in the hierarchy, and the
+    /// target properties/constraints are in the network.
+    ///
+    /// [`execute`](Self::execute) assumes valid ids (its lookups index
+    /// directly and panic out of range, which is correct for the in-process
+    /// loop where ids originate from this DPM). Call this first whenever an
+    /// operation crosses a trust boundary — another thread, the wire — so
+    /// the failure surfaces as a typed rejection instead of a panic on the
+    /// engine thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`OperationError`] found, checking the designer,
+    /// then the problem, then the operator's property/constraint ids.
+    pub fn validate_operation(&self, operation: &Operation) -> Result<(), OperationError> {
+        let designer = operation.designer();
+        if designer.index() >= self.designers.len() {
+            return Err(OperationError::UnknownDesigner(designer));
+        }
+        let problem = operation.problem();
+        if problem.index() >= self.problems.len() {
+            return Err(OperationError::UnknownProblem(problem));
+        }
+        match operation.operator() {
+            Operator::Assign { property, .. } | Operator::Unbind { property } => {
+                if property.index() >= self.network.property_count() {
+                    return Err(OperationError::UnknownProperty(*property));
+                }
+            }
+            Operator::Verify { constraints } => {
+                for cid in constraints {
+                    if cid.index() >= self.network.constraint_count() {
+                        return Err(OperationError::UnknownConstraint(*cid));
+                    }
+                }
+            }
+            Operator::Decompose { .. } => {}
+        }
+        for cid in operation.repairs() {
+            if cid.index() >= self.network.constraint_count() {
+                return Err(OperationError::UnknownConstraint(*cid));
+            }
+        }
+        Ok(())
     }
 
     /// Executes one design operation — the paper's `δ(s_n, θ_n)`.
@@ -1113,5 +1195,48 @@ mod tests {
         );
         assert!(sink.get(Counter::Waves) >= 2);
         assert!(sink.get(Counter::Notifications) >= 1);
+    }
+
+    #[test]
+    fn validate_operation_rejects_out_of_range_ids() {
+        let (mut dpm, d0, _, top, front, _, pf, _, budget) = fixture(ManagementMode::Adpm);
+        dpm.initialize();
+        let ok = Operation::assign(d0, front, pf, Value::number(150.0));
+        assert_eq!(dpm.validate_operation(&ok), Ok(()));
+
+        let ghost_designer = DesignerId::new(99);
+        assert_eq!(
+            dpm.validate_operation(&Operation::assign(ghost_designer, front, pf, Value::number(1.0))),
+            Err(OperationError::UnknownDesigner(ghost_designer))
+        );
+        let ghost_problem = ProblemId::new(99);
+        assert_eq!(
+            dpm.validate_operation(&Operation::assign(d0, ghost_problem, pf, Value::number(1.0))),
+            Err(OperationError::UnknownProblem(ghost_problem))
+        );
+        let ghost_property = PropertyId::new(99);
+        assert_eq!(
+            dpm.validate_operation(&Operation::assign(d0, front, ghost_property, Value::number(1.0))),
+            Err(OperationError::UnknownProperty(ghost_property))
+        );
+        let ghost_constraint = ConstraintId::new(99);
+        assert_eq!(
+            dpm.validate_operation(&Operation::new(
+                d0,
+                top,
+                Operator::Verify { constraints: vec![ghost_constraint] },
+            )),
+            Err(OperationError::UnknownConstraint(ghost_constraint))
+        );
+        assert_eq!(
+            dpm.validate_operation(&ok.clone().with_repairs([ghost_constraint])),
+            Err(OperationError::UnknownConstraint(ghost_constraint))
+        );
+        // Repairs naming a real constraint pass.
+        assert_eq!(dpm.validate_operation(&ok.with_repairs([budget])), Ok(()));
+        // Errors render as human-readable text.
+        assert!(OperationError::UnknownDesigner(ghost_designer)
+            .to_string()
+            .contains("designer"));
     }
 }

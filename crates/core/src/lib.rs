@@ -37,7 +37,7 @@ mod operation;
 mod problem;
 mod replay;
 
-pub use dpm::{DesignProcessManager, DpmConfig, ManagementMode};
+pub use dpm::{DesignProcessManager, DpmConfig, ManagementMode, OperationError};
 pub use events::{Event, Notification, NotificationManager};
 pub use ids::{DesignerId, ProblemId};
 pub use operation::{Operation, OperationRecord, Operator};

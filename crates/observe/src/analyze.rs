@@ -154,7 +154,15 @@ impl AnalysisReport {
 }
 
 /// Span tags in nesting order for the timing rollup.
-const SPAN_TAGS: [&str; 5] = ["tick", "op", "propagation", "wave", "fanout"];
+const SPAN_TAGS: [&str; 7] = [
+    "tick",
+    "session",
+    "op",
+    "propagation",
+    "wave",
+    "fanout",
+    "notify",
+];
 
 /// Analyzes one parsed trace into attribution tables, propagation shape,
 /// and timing rollups. Works on any schema-conformant trace; sections whose

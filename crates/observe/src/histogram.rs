@@ -28,16 +28,22 @@ pub enum SpanKind {
     Wave,
     /// One Notification Manager fanout after an operation.
     Fanout,
+    /// One collaboration session command (submit/subscribe/snapshot/...).
+    Session,
+    /// One notification-router fanout into subscriber inboxes.
+    Notify,
 }
 
 impl SpanKind {
     /// Every span kind, in index order.
-    pub const ALL: [SpanKind; 5] = [
+    pub const ALL: [SpanKind; 7] = [
         SpanKind::Tick,
         SpanKind::Operation,
         SpanKind::Propagation,
         SpanKind::Wave,
         SpanKind::Fanout,
+        SpanKind::Session,
+        SpanKind::Notify,
     ];
 
     /// Number of span kinds (the size of a dense histogram array).
@@ -57,6 +63,8 @@ impl SpanKind {
             SpanKind::Propagation => "propagation",
             SpanKind::Wave => "wave",
             SpanKind::Fanout => "fanout",
+            SpanKind::Session => "session",
+            SpanKind::Notify => "notify",
         }
     }
 }

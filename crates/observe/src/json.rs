@@ -66,7 +66,11 @@ impl fmt::Display for TraceParseError {
 impl std::error::Error for TraceParseError {}
 
 /// Appends `value` to `out` with JSON string escaping applied.
-pub(crate) fn escape_into(out: &mut String, value: &str) {
+///
+/// This is the writer-side primitive of the flat JSONL schema; it is public
+/// so other line-oriented protocols in the workspace (e.g. the collaboration
+/// wire format) can produce strings that [`parse_object`] round-trips.
+pub fn escape_into(out: &mut String, value: &str) {
     for ch in value.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -84,7 +88,17 @@ pub(crate) fn escape_into(out: &mut String, value: &str) {
 
 /// Parses one flat JSON object into `(key, value)` pairs, in order.
 /// Nested objects and arrays are rejected — the trace schema is flat.
-pub(crate) fn parse_object(
+///
+/// `line` is the 1-based line number reported in errors (pass 0 when
+/// parsing a bare object outside a trace file).
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] carrying `line` and a column-annotated
+/// message when `text` is not exactly one flat JSON object: malformed
+/// syntax, nested objects/arrays, or trailing characters after the
+/// closing brace.
+pub fn parse_object(
     text: &str,
     line: usize,
 ) -> Result<Vec<(String, JsonValue)>, TraceParseError> {

@@ -72,7 +72,7 @@ mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use histogram::{Histogram, SpanKind};
-pub use json::{JsonValue, TraceParseError};
+pub use json::{escape_into, parse_object, JsonValue, TraceParseError};
 pub use jsonl::{parse_trace, JsonlSink, TraceLine};
 pub use sink::{CounterSnapshot, InMemorySink, MetricsSink, NoopSink, TeeSink};
 pub use trace::{Counter, TraceEvent};

@@ -20,6 +20,9 @@ use crate::json::escape_into;
 /// | `Notifications` | an event is routed to a designer by the NM |
 /// | `TicksExecuted` | a simulation tick executes an operation |
 /// | `TicksStalled` | a simulation tick finds no designer with a proposal |
+/// | `SessionOps` | a collaboration session's command loop processes a command |
+/// | `InboxDelivered` | an interest-filtered event lands in a subscriber's inbox |
+/// | `InboxDropped` | a full inbox drops an incoming event (overflow accounting) |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Counter {
     /// Executed design operations.
@@ -47,11 +50,17 @@ pub enum Counter {
     TicksExecuted,
     /// Simulation ticks that stalled (no proposal).
     TicksStalled,
+    /// Commands processed by a collaboration session's command loop.
+    SessionOps,
+    /// Events delivered into subscriber inboxes by the notification router.
+    InboxDelivered,
+    /// Events dropped by full subscriber inboxes (overflow accounting).
+    InboxDropped,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 15] = [
         Counter::Operations,
         Counter::Evaluations,
         Counter::Propagations,
@@ -64,6 +73,9 @@ impl Counter {
         Counter::Notifications,
         Counter::TicksExecuted,
         Counter::TicksStalled,
+        Counter::SessionOps,
+        Counter::InboxDelivered,
+        Counter::InboxDropped,
     ];
 
     /// Number of counters (the size of a dense counter array).
@@ -89,6 +101,9 @@ impl Counter {
             Counter::Notifications => "notifications",
             Counter::TicksExecuted => "ticks_executed",
             Counter::TicksStalled => "ticks_stalled",
+            Counter::SessionOps => "session_ops",
+            Counter::InboxDelivered => "inbox_delivered",
+            Counter::InboxDropped => "inbox_dropped",
         }
     }
 }
@@ -229,6 +244,35 @@ pub enum TraceEvent<'a> {
         /// Duration of the tick, µs.
         dur_us: u64,
     },
+    /// A collaboration session's command loop finished one command.
+    SessionCommand {
+        /// Sequence number of the command within the session (1-based).
+        seq: u64,
+        /// Command kind: `"submit"`, `"subscribe"`, `"snapshot"`,
+        /// `"shutdown"`.
+        kind: &'a str,
+        /// Index of the designer the command acted for (`u32::MAX` when
+        /// the command has no designer, e.g. `snapshot`).
+        designer: u32,
+        /// `"executed"`, `"rejected"`, or `"ok"`.
+        outcome: &'a str,
+        /// Duration of the command, µs.
+        dur_us: u64,
+    },
+    /// The notification router fanned an operation's events out to the
+    /// subscribed inboxes.
+    InboxFanout {
+        /// Sequence number of the operation whose events were routed.
+        seq: u64,
+        /// Subscriptions considered.
+        subscribers: u32,
+        /// Events delivered into inboxes (after interest filtering).
+        delivered: u32,
+        /// Events dropped by full inboxes.
+        dropped: u32,
+        /// Duration of the fanout, µs.
+        dur_us: u64,
+    },
     /// Final line of a simulation run.
     RunSummary {
         /// Executed operations.
@@ -257,6 +301,8 @@ impl TraceEvent<'_> {
             TraceEvent::Operation { .. } => "op",
             TraceEvent::NotificationFanout { .. } => "fanout",
             TraceEvent::Tick { .. } => "tick",
+            TraceEvent::SessionCommand { .. } => "session",
+            TraceEvent::InboxFanout { .. } => "notify",
             TraceEvent::RunSummary { .. } => "summary",
         }
     }
@@ -377,6 +423,32 @@ impl TraceEvent<'_> {
                 field_u64(out, "tick", tick);
                 field_u64(out, "designer", designer.into());
                 field_str(out, "outcome", outcome);
+                field_u64(out, "dur_us", dur_us);
+            }
+            TraceEvent::SessionCommand {
+                seq,
+                kind,
+                designer,
+                outcome,
+                dur_us,
+            } => {
+                field_u64(out, "seq", seq);
+                field_str(out, "kind", kind);
+                field_u64(out, "designer", designer.into());
+                field_str(out, "outcome", outcome);
+                field_u64(out, "dur_us", dur_us);
+            }
+            TraceEvent::InboxFanout {
+                seq,
+                subscribers,
+                delivered,
+                dropped,
+                dur_us,
+            } => {
+                field_u64(out, "seq", seq);
+                field_u64(out, "subscribers", subscribers.into());
+                field_u64(out, "delivered", delivered.into());
+                field_u64(out, "dropped", dropped.into());
                 field_u64(out, "dur_us", dur_us);
             }
             TraceEvent::RunSummary {

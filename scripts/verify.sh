@@ -23,6 +23,47 @@ echo "==> adpm diff-trace self-comparison (golden vs golden, must exit 0)"
 cargo run --release -q -p adpm-cli --bin adpm -- diff-trace \
   tests/golden/sensing_short.jsonl tests/golden/sensing_short.jsonl >/dev/null
 
+echo "==> concurrent teamsim smoke run (2 designers, turn barrier)"
+cat > /tmp/verify_mini.dddl <<'EOF'
+object rx {
+    property P-front : interval(0, 300);
+    property P-ser : interval(0, 300);
+}
+constraint power: rx.P-front + rx.P-ser <= 200;
+problem top { constraints: power; designer 0; }
+problem fe under top { outputs: rx.P-front; designer 0; }
+problem de under top { outputs: rx.P-ser; designer 1; }
+EOF
+cargo run --release -q -p adpm-cli --bin adpm -- run /tmp/verify_mini.dddl \
+  --concurrent --turn-barrier --seed 7 | grep -q 'concurrent, turn barrier'
+cargo run --release -q -p adpm-cli --bin adpm -- builtin receiver > /tmp/verify_rx.dddl
+
+echo "==> collaboration loopback smoke (serve / client / submit)"
+ADPM_RELEASE=target/release/adpm
+SERVE_LOG=$(mktemp)
+"$ADPM_RELEASE" serve /tmp/verify_rx.dddl --port 0 > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve never announced an address"; kill "$SERVE_PID"; exit 1; }
+CLIENT_LOG=$(mktemp)
+"$ADPM_RELEASE" client "$ADDR" --designer 1 --subscribe \
+  --expect-events 1 --timeout-ms 10000 > "$CLIENT_LOG" &
+CLIENT_PID=$!
+sleep 0.3  # let the subscription land before the operation fires
+"$ADPM_RELEASE" submit "$ADDR" --designer 1 --problem analog-front-end \
+  --assign lna-mixer.lna-gain=20 | grep -q '"t":"executed"'
+wait "$CLIENT_PID"   # exits non-zero unless the notification arrived
+grep -q '"t":"event"' "$CLIENT_LOG"
+"$ADPM_RELEASE" submit "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"    # serve must exit cleanly after the shutdown frame
+grep -q 'session closed' "$SERVE_LOG"
+rm -f "$SERVE_LOG" "$CLIENT_LOG" /tmp/verify_rx.dddl /tmp/verify_mini.dddl
+
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
