@@ -10,11 +10,20 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(error) => {
-            eprintln!("adpm: {error}");
+            // Classify for scripts: retryable transport failures (75) are
+            // worth retrying verbatim; fatal protocol/validation failures
+            // (65) are not.
+            if error.is_retryable() {
+                eprintln!("adpm: retryable transport failure: {error}");
+            } else if matches!(error, adpm_cli::CliError::Wire(_)) {
+                eprintln!("adpm: fatal: {error}");
+            } else {
+                eprintln!("adpm: {error}");
+            }
             if matches!(error, adpm_cli::CliError::Usage(_)) {
                 eprintln!("\n{}", adpm_cli::USAGE);
             }
-            ExitCode::FAILURE
+            ExitCode::from(error.exit_code())
         }
     }
 }

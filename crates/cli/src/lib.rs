@@ -24,11 +24,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use adpm_collab::{run_concurrent_dpm, CollabClient, CollabServer, Frame, WireError, WireOp};
+use adpm_collab::{
+    recover, run_concurrent_dpm, run_concurrent_remote, CollabClient, CollabServer, FaultInjector,
+    FaultPlan, Frame, FsyncPolicy, JournalConfig, JournalWriter, ServerOptions, SessionOptions,
+    WireError, WireOp,
+};
 use adpm_constraint::{
     explain_all_violations, propagate, NetworkError, PropagationConfig, PropagationKind, Value,
 };
-use adpm_core::{DpmConfig, ManagementMode};
+use adpm_core::{state_fingerprint, DpmConfig, ManagementMode};
 use adpm_dddl::{compile_source, parse, to_source, CompiledScenario};
 use adpm_observe::analyze::{analyze_trace, diff_traces, render_comparison, DiffThresholds};
 use adpm_observe::{parse_trace, InMemorySink, JsonlSink, MetricsSink, TeeSink};
@@ -46,6 +50,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// The scenario failed to lex/parse/compile.
     Dddl(adpm_dddl::DddlError),
+    /// The operation journal could not be recovered or opened.
+    Journal(adpm_collab::JournalError),
     /// A `--bind` value was rejected by the network.
     Network(adpm_constraint::NetworkError),
     /// A trace file is not schema-valid JSONL.
@@ -65,6 +71,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Io(e) => write!(f, "cannot read scenario: {e}"),
             CliError::Dddl(e) => write!(f, "{e}"),
+            CliError::Journal(e) => write!(f, "journal error: {e}"),
             CliError::Network(e) => write!(f, "{e}"),
             CliError::Trace(e) => write!(f, "invalid trace: {e}"),
             CliError::Regression(report) => write!(f, "{report}"),
@@ -74,6 +81,28 @@ impl std::fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+impl CliError {
+    /// Whether retrying the same invocation can plausibly succeed —
+    /// transport-level failures (connection refused/reset, timeouts), as
+    /// opposed to validation or protocol errors that will fail again.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CliError::Wire(e) if e.is_retryable())
+    }
+
+    /// sysexits-style process exit code: 75 (`EX_TEMPFAIL`) for retryable
+    /// transport failures, 65 (`EX_DATAERR`) for fatal wire/validation
+    /// failures, 2 for usage errors, 1 for everything else. Scripts retry
+    /// on 75 and give up on 65.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Wire(e) if e.is_retryable() => 75,
+            CliError::Wire(_) => 65,
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
 
 impl From<adpm_observe::TraceParseError> for CliError {
     fn from(e: adpm_observe::TraceParseError) -> Self {
@@ -99,6 +128,12 @@ impl From<adpm_constraint::NetworkError> for CliError {
     }
 }
 
+impl From<adpm_collab::JournalError> for CliError {
+    fn from(e: adpm_collab::JournalError) -> Self {
+        CliError::Journal(e)
+    }
+}
+
 impl From<WireError> for CliError {
     fn from(e: WireError) -> Self {
         CliError::Wire(e)
@@ -116,7 +151,7 @@ COMMANDS:
     check   <file.dddl>                    compile, propagate, report feasibility
     run     <file.dddl> [--mode adpm|conventional] [--seed N] [--max-ops N]
             [--propagation full|incremental] [--csv] [--trace FILE] [--metrics]
-            [--concurrent] [--turn-barrier]
+            [--concurrent] [--turn-barrier] [--remote] [--fault-plan PLAN]
                                            simulate one TeamSim run
                                            (--propagation picks the DCM path:
                                             full re-propagation after every
@@ -148,14 +183,28 @@ COMMANDS:
     fmt     <file.dddl>                    print normalized DDDL
     builtin <sensing|receiver|walkthrough> print an embedded paper scenario
     serve   <file.dddl> [--port N] [--mode adpm|conventional]
-            [--propagation full|incremental]
+            [--propagation full|incremental] [--journal FILE]
+            [--fsync always|never|N] [--checkpoint-every N]
+            [--fault-plan PLAN] [--heartbeat-ms T] [--idle-timeout-ms T]
                                            host a collaboration session over the
                                            JSONL wire protocol; prints
                                            `listening on 127.0.0.1:PORT` up
                                            front (port 0 = ephemeral) and runs
-                                           until a client sends shutdown
+                                           until a client sends shutdown.
+                                           --journal appends every executed
+                                           operation to FILE and, on restart,
+                                           replays it first (prints
+                                           `recovered N operations`); --fsync
+                                           and --checkpoint-every tune its
+                                           durability cadence. --fault-plan
+                                           (e.g. `seed=7,drop=0.1,delay=0.1:5ms,
+                                           dup=0.1,corrupt=0.05,truncate=0.05,
+                                           kill=20`) injects deterministic
+                                           faults into outgoing frames;
+                                           --heartbeat-ms / --idle-timeout-ms
+                                           tune half-open peer detection
     client  <addr> [--designer N] [--subscribe | --subscribe-all]
-            [--expect-events K] [--timeout-ms T]
+            [--expect-events K] [--timeout-ms T] [--fault-plan PLAN]
                                            connect as designer N, optionally
                                            subscribe to notifications, and print
                                            received frames as JSONL; exits
@@ -165,7 +214,11 @@ COMMANDS:
             [--unbind obj.prop] [--verify] [--constraints c1,c2] [--shutdown]
                                            one-shot scripted request: submit a
                                            design operation (or shut the session
-                                           down) and print the response frames
+                                           down) and print the response frames.
+                                           Exit codes: 75 = retryable transport
+                                           failure (connection, timeout), 65 =
+                                           fatal (rejected operation, protocol
+                                           error) — the binary prints which
     help                                   this text
 ";
 
@@ -254,6 +307,12 @@ pub struct RunOptions {
     /// With [`concurrent`](Self::concurrent): act strictly round-robin so
     /// the run is a deterministic function of the seed.
     pub turn_barrier: bool,
+    /// Route every submission over loopback TCP through reconnecting
+    /// clients (implies the turn barrier) and report a `state digest`.
+    pub remote: bool,
+    /// With [`remote`](Self::remote): inject deterministic faults into
+    /// every server-side outgoing frame.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RunOptions {
@@ -268,6 +327,8 @@ impl Default for RunOptions {
             metrics: false,
             concurrent: false,
             turn_barrier: false,
+            remote: false,
+            fault_plan: None,
         }
     }
 }
@@ -299,7 +360,16 @@ pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
     }
     let sink: Option<Arc<dyn MetricsSink>> =
         (!sinks.is_empty()).then(|| Arc::new(TeeSink::new(sinks)) as Arc<dyn MetricsSink>);
-    let stats = if options.concurrent {
+    let mut digest: Option<u64> = None;
+    let stats = if options.remote {
+        let mut dpm = scenario.build_dpm(config.dpm_config());
+        if let Some(s) = &sink {
+            dpm.set_sink(s.clone());
+        }
+        let outcome = run_concurrent_remote(dpm, &config, options.fault_plan.as_ref());
+        digest = Some(state_fingerprint(&outcome.dpm));
+        outcome.stats
+    } else if options.concurrent {
         let mut dpm = scenario.build_dpm(config.dpm_config());
         if let Some(s) = &sink {
             dpm.set_sink(s.clone());
@@ -319,10 +389,18 @@ pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
         return Ok(adpm_teamsim::report::run_csv(&stats));
     }
     let mut out = String::new();
-    let driver = match (options.concurrent, options.turn_barrier) {
-        (false, _) => "",
-        (true, false) => " (concurrent)",
-        (true, true) => " (concurrent, turn barrier)",
+    let driver = if options.remote {
+        if options.fault_plan.is_some() {
+            " (remote, fault plan)"
+        } else {
+            " (remote)"
+        }
+    } else {
+        match (options.concurrent, options.turn_barrier) {
+            (false, _) => "",
+            (true, false) => " (concurrent)",
+            (true, true) => " (concurrent, turn barrier)",
+        }
     };
     let _ = writeln!(
         out,
@@ -344,6 +422,9 @@ pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
     let _ = writeln!(out, "operations per designer:");
     for (designer, ops) in stats.operations_by_designer() {
         let _ = writeln!(out, "  designer{designer}: {ops}");
+    }
+    if let Some(digest) = digest {
+        let _ = writeln!(out, "state digest: {digest:016x}");
     }
     if let Some(m) = &metrics {
         let _ = writeln!(out, "counters:");
@@ -512,6 +593,20 @@ pub struct ServeOptions {
     pub mode: ManagementMode,
     /// DCM propagation path for the hosted session.
     pub propagation: PropagationKind,
+    /// Journal every executed operation to this file; on restart the
+    /// journal is recovered (replayed) before the server binds.
+    pub journal: Option<PathBuf>,
+    /// Fsync cadence for the journal.
+    pub fsync: FsyncPolicy,
+    /// Ops between journal checkpoints (`jck` lines); 0 disables them.
+    pub checkpoint_every: u64,
+    /// Deterministic faults injected into every outgoing frame.
+    pub fault_plan: Option<FaultPlan>,
+    /// Silence before the server pings a quiet connection (milliseconds).
+    pub heartbeat_ms: u64,
+    /// Silence after which a connection is declared half-open and dropped
+    /// (milliseconds).
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -520,6 +615,12 @@ impl Default for ServeOptions {
             port: 0,
             mode: ManagementMode::Adpm,
             propagation: PropagationKind::Full,
+            journal: None,
+            fsync: FsyncPolicy::EveryN(8),
+            checkpoint_every: 32,
+            fault_plan: None,
+            heartbeat_ms: 10_000,
+            idle_timeout_ms: 30_000,
         }
     }
 }
@@ -530,12 +631,15 @@ impl Default for ServeOptions {
 /// `announce` is called with the `listening on 127.0.0.1:PORT` line as
 /// soon as the listener is bound — the binary prints and flushes it so
 /// scripts can scrape the ephemeral port — and the function then blocks
-/// until a client sends a `shutdown` frame. Returns a summary of the
-/// final design state.
+/// until a client sends a `shutdown` frame. With a journal configured, a
+/// `recovered N operations` line is announced first (recovery replays the
+/// journal's longest valid prefix before the server binds). Returns a
+/// summary of the final design state.
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] for invalid scenarios or bind failures.
+/// Returns a [`CliError`] for invalid scenarios, bind failures, or an
+/// unrecoverable journal.
 pub fn serve(
     source: &str,
     options: &ServeOptions,
@@ -546,7 +650,42 @@ pub fn serve(
     config.propagation_kind = options.propagation;
     let mut dpm = scenario.build_dpm(config.dpm_config());
     dpm.initialize();
-    let server = CollabServer::bind(dpm, options.port)?;
+    let mut session = SessionOptions::default();
+    if let Some(path) = &options.journal {
+        let report = if path.exists() {
+            let report = recover(path, &mut dpm)?;
+            announce(&format!(
+                "recovered {} operations from {}{}",
+                report.ops,
+                path.display(),
+                if report.truncated_bytes > 0 {
+                    " (discarded a torn suffix)"
+                } else {
+                    ""
+                }
+            ));
+            Some(report)
+        } else {
+            None
+        };
+        let writer = JournalWriter::open(
+            JournalConfig {
+                path: path.clone(),
+                fsync: options.fsync,
+                checkpoint_every: options.checkpoint_every,
+            },
+            &dpm,
+            report.map(|r| r.journal_bytes),
+        )?;
+        session.journal = Some(writer);
+    }
+    let server_options = ServerOptions {
+        heartbeat: std::time::Duration::from_millis(options.heartbeat_ms),
+        idle_timeout: std::time::Duration::from_millis(options.idle_timeout_ms),
+        fault_plan: options.fault_plan.clone(),
+        ..ServerOptions::default()
+    };
+    let server = CollabServer::bind_with(dpm, options.port, server_options, session)?;
     announce(&format!("listening on {}", server.local_addr()));
     let dpm = server.wait();
     let network = dpm.network();
@@ -579,6 +718,8 @@ pub struct ClientOptions {
     pub expect_events: usize,
     /// How long to wait for the expected events, in milliseconds.
     pub timeout_ms: u64,
+    /// Deterministic faults injected into this client's *outgoing* frames.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ClientOptions {
@@ -589,6 +730,7 @@ impl Default for ClientOptions {
             subscribe_all: false,
             expect_events: 0,
             timeout_ms: 5_000,
+            fault_plan: None,
         }
     }
 }
@@ -604,9 +746,16 @@ fn parse_addr(addr: &str) -> Result<std::net::SocketAddr, CliError> {
 /// Fails on a protocol-level `err` response; passes everything else.
 fn expect_ok(frame: Frame) -> Result<Frame, CliError> {
     match frame {
-        Frame::Error { message } => Err(CliError::Wire(WireError { message })),
+        Frame::Error { message } => Err(CliError::Wire(WireError::protocol(message))),
         other => Ok(other),
     }
+}
+
+/// Connects, classifying failure as a *retryable* transport error so
+/// scripted callers (`adpm submit`) exit 75, not a generic failure.
+fn connect_wire(addr: &str) -> Result<CollabClient, CliError> {
+    CollabClient::connect(parse_addr(addr)?)
+        .map_err(|e| CliError::Wire(WireError::io(format!("connect failed: {e}"))))
 }
 
 /// `adpm client`: connect to a collaboration server as a designer,
@@ -620,7 +769,10 @@ fn expect_ok(frame: Frame) -> Result<Frame, CliError> {
 /// [`CliError::Wire`] when fewer than `expect_events` notifications
 /// arrive within the timeout.
 pub fn client(addr: &str, options: &ClientOptions) -> Result<String, CliError> {
-    let mut connection = CollabClient::connect(parse_addr(addr)?)?;
+    let mut connection = connect_wire(addr)?;
+    if let Some(plan) = &options.fault_plan {
+        connection.set_fault_injector(FaultInjector::new(plan, 0));
+    }
     let mut out = String::new();
     let welcome = expect_ok(connection.request(&Frame::Hello {
         designer: options.designer,
@@ -629,6 +781,7 @@ pub fn client(addr: &str, options: &ClientOptions) -> Result<String, CliError> {
     if options.subscribe || options.subscribe_all {
         let subscribed = expect_ok(connection.request(&Frame::Subscribe {
             all: options.subscribe_all,
+            resume_from: None,
         })?)?;
         out.push_str(&subscribed.to_line());
     }
@@ -650,12 +803,10 @@ pub fn client(addr: &str, options: &ClientOptions) -> Result<String, CliError> {
     }
     let _ = connection.send(&Frame::Bye);
     if received < options.expect_events {
-        return Err(CliError::Wire(WireError {
-            message: format!(
-                "expected {} notification(s), received {received}",
-                options.expect_events
-            ),
-        }));
+        return Err(CliError::Wire(WireError::timeout(format!(
+            "expected {} notification(s), received {received}",
+            options.expect_events
+        ))));
     }
     Ok(out)
 }
@@ -690,17 +841,17 @@ pub enum SubmitAction {
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] for connection failures, protocol-level `err`
-/// responses (unknown names, missing `--problem`, ...), or timeouts.
-/// A `rejected` response is a *successful* exchange: the frame is printed
-/// and the caller decides what it means.
+/// Errors are classified for scripting (see [`CliError::exit_code`]):
+/// connection failures and timeouts are *retryable* (exit 75); a
+/// `rejected` verdict, a protocol-level `err` response (unknown names,
+/// missing `--problem`, ...), and malformed frames are *fatal* (exit 65).
 pub fn submit_request(
     addr: &str,
     designer: u32,
     problem: Option<&str>,
     action: &SubmitAction,
 ) -> Result<String, CliError> {
-    let mut connection = CollabClient::connect(parse_addr(addr)?)?;
+    let mut connection = connect_wire(addr)?;
     let mut out = String::new();
     if let SubmitAction::Shutdown = action {
         connection.send(&Frame::Shutdown).map_err(CliError::Io)?;
@@ -727,9 +878,16 @@ pub fn submit_request(
     };
     let welcome = expect_ok(connection.request(&Frame::Hello { designer })?)?;
     out.push_str(&welcome.to_line());
-    let outcome = expect_ok(connection.request(&Frame::Submit(op))?)?;
+    let outcome = expect_ok(connection.request(&Frame::Submit { op, cid: None })?)?;
     out.push_str(&outcome.to_line());
     let _ = connection.send(&Frame::Bye);
+    if let Frame::Rejected { reason, .. } = &outcome {
+        // The operation was *validly refused* — retrying the identical
+        // request will be refused again, so the failure is fatal.
+        return Err(CliError::Wire(WireError::protocol(format!(
+            "operation rejected: {reason}"
+        ))));
+    }
     Ok(out)
 }
 
@@ -954,6 +1112,14 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
             "--metrics" => options.metrics = true,
             "--concurrent" => options.concurrent = true,
             "--turn-barrier" => options.turn_barrier = true,
+            "--remote" => options.remote = true,
+            "--fault-plan" => {
+                options.fault_plan = Some(
+                    value(&mut it)?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?,
+                );
+            }
             "--propagation" => {
                 options.propagation = value(&mut it)?
                     .parse()
@@ -1004,6 +1170,37 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
                     .parse()
                     .map_err(|e| CliError::Usage(format!("--propagation: {e}")))?;
             }
+            "--journal" => options.journal = Some(PathBuf::from(value(&mut it)?)),
+            "--fsync" => {
+                options.fsync = value(&mut it)?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--fsync: {e}")))?;
+            }
+            "--checkpoint-every" => {
+                let v = value(&mut it)?;
+                options.checkpoint_every = v.parse().map_err(|_| {
+                    CliError::Usage(format!("--checkpoint-every expects a number, got `{v}`"))
+                })?;
+            }
+            "--fault-plan" => {
+                options.fault_plan = Some(
+                    value(&mut it)?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?,
+                );
+            }
+            "--heartbeat-ms" => {
+                let v = value(&mut it)?;
+                options.heartbeat_ms = v.parse().map_err(|_| {
+                    CliError::Usage(format!("--heartbeat-ms expects a number, got `{v}`"))
+                })?;
+            }
+            "--idle-timeout-ms" => {
+                let v = value(&mut it)?;
+                options.idle_timeout_ms = v.parse().map_err(|_| {
+                    CliError::Usage(format!("--idle-timeout-ms expects a number, got `{v}`"))
+                })?;
+            }
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -1029,6 +1226,13 @@ fn parse_client_options(args: &[String]) -> Result<ClientOptions, CliError> {
             "--subscribe-all" => options.subscribe_all = true,
             "--expect-events" => options.expect_events = number(value(&mut it)?)? as usize,
             "--timeout-ms" => options.timeout_ms = number(value(&mut it)?)?,
+            "--fault-plan" => {
+                options.fault_plan = Some(
+                    value(&mut it)?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?,
+                );
+            }
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -1708,6 +1912,211 @@ mod tests {
         )
         .expect_err("nothing listening");
         assert!(matches!(err, CliError::Io(_) | CliError::Wire(_)));
+    }
+
+    /// Spawns [`serve`] on an ephemeral port, returning the scraped
+    /// address, every announce line, and the join handle.
+    #[allow(clippy::type_complexity)]
+    fn spawn_serve(
+        options: ServeOptions,
+    ) -> (
+        String,
+        std::sync::mpsc::Receiver<String>,
+        std::thread::JoinHandle<Result<String, CliError>>,
+    ) {
+        let (line_tx, line_rx) = std::sync::mpsc::channel::<String>();
+        let server = std::thread::spawn(move || {
+            serve(MINI, &options, &mut |line| {
+                line_tx.send(line.to_owned()).expect("send announce");
+            })
+        });
+        let addr = loop {
+            let line = line_rx
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("server announces");
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                break addr.to_owned();
+            }
+        };
+        (addr, line_rx, server)
+    }
+
+    #[test]
+    fn serve_recovers_its_journal_across_restarts() {
+        let dir = std::env::temp_dir().join(format!("adpm-cli-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let journal = dir.join("serve-restart.journal");
+        std::fs::remove_file(&journal).ok();
+        let options = ServeOptions {
+            journal: Some(journal.clone()),
+            fsync: FsyncPolicy::Always,
+            ..ServeOptions::default()
+        };
+
+        // First life: execute one operation, then shut down.
+        let (addr, _lines, server) = spawn_serve(options.clone());
+        let out = submit_request(
+            &addr,
+            0,
+            Some("fe"),
+            &SubmitAction::Assign {
+                property: "rx.P-front".into(),
+                value: 150.0,
+            },
+        )
+        .expect("submit works");
+        assert!(out.contains("\"t\":\"executed\""), "{out}");
+        submit_request(&addr, 0, None, &SubmitAction::Shutdown).expect("shutdown");
+        let summary = server.join().expect("join").expect("serve returns");
+        assert!(summary.contains("session closed: 1 operations"), "{summary}");
+
+        // Second life: the journal replays the history before binding, and
+        // the recovered operation counts toward the closing summary.
+        let (line_tx, line_rx) = std::sync::mpsc::channel::<String>();
+        let reborn = std::thread::spawn(move || {
+            serve(MINI, &options, &mut |line| {
+                line_tx.send(line.to_owned()).expect("send announce");
+            })
+        });
+        let first = line_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("recovery announce");
+        assert!(
+            first.starts_with("recovered 1 operations from "),
+            "{first}"
+        );
+        let addr = line_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("listen announce")
+            .strip_prefix("listening on ")
+            .expect("announce shape")
+            .to_owned();
+        submit_request(&addr, 0, None, &SubmitAction::Shutdown).expect("shutdown");
+        let summary = reborn.join().expect("join").expect("serve returns");
+        assert!(summary.contains("session closed: 1 operations"), "{summary}");
+        std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
+    fn submit_failures_carry_distinct_exit_codes() {
+        // Nothing listening: a *retryable* transport failure, exit 75.
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").port()
+        };
+        let err = submit_request(
+            &format!("127.0.0.1:{port}"),
+            0,
+            Some("fe"),
+            &SubmitAction::Assign {
+                property: "rx.P-front".into(),
+                value: 150.0,
+            },
+        )
+        .expect_err("nothing listening");
+        assert!(err.is_retryable(), "{err}");
+        assert_eq!(err.exit_code(), 75);
+
+        // A refused operation: *fatal*, exit 65 — retrying cannot help.
+        let (addr, _lines, server) = spawn_serve(ServeOptions::default());
+        let err = submit_request(
+            &addr,
+            0,
+            Some("fe"),
+            &SubmitAction::Assign {
+                property: "rx.P-front".into(),
+                value: 500.0, // outside interval(0, 300)
+            },
+        )
+        .expect_err("out-of-domain assign is rejected");
+        assert!(!err.is_retryable(), "{err}");
+        assert_eq!(err.exit_code(), 65);
+        assert!(err.to_string().contains("rejected"), "{err}");
+        // Usage mistakes are neither: conventional exit 2.
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        submit_request(&addr, 0, None, &SubmitAction::Shutdown).expect("shutdown");
+        server.join().expect("join").expect("serve returns");
+    }
+
+    #[test]
+    fn run_remote_chaos_converges_to_the_clean_digest() {
+        let clean = run(
+            MINI,
+            &RunOptions {
+                seed: 3,
+                max_operations: 500,
+                remote: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("valid scenario");
+        assert!(clean.contains("(remote)"), "{clean}");
+        let digest_of = |out: &str| {
+            out.lines()
+                .find_map(|l| l.strip_prefix("state digest: ").map(str::to_owned))
+                .expect("digest line")
+        };
+        let chaotic = run(
+            MINI,
+            &RunOptions {
+                seed: 3,
+                max_operations: 500,
+                remote: true,
+                fault_plan: Some(
+                    "seed=5,drop=0.1,dup=0.1,delay=0.2:2ms,kill=9"
+                        .parse()
+                        .expect("plan"),
+                ),
+                ..RunOptions::default()
+            },
+        )
+        .expect("faulty run still completes");
+        assert!(chaotic.contains("fault plan"), "{chaotic}");
+        assert_eq!(digest_of(&clean), digest_of(&chaotic));
+    }
+
+    #[test]
+    fn fault_tolerance_option_parsing() {
+        let options = parse_serve_options(&[
+            "--journal".into(),
+            "/tmp/x.journal".into(),
+            "--fsync".into(),
+            "always".into(),
+            "--checkpoint-every".into(),
+            "5".into(),
+            "--heartbeat-ms".into(),
+            "250".into(),
+            "--idle-timeout-ms".into(),
+            "900".into(),
+            "--fault-plan".into(),
+            "seed=1,drop=0.5".into(),
+        ])
+        .expect("valid options");
+        assert_eq!(
+            options.journal.as_deref(),
+            Some(std::path::Path::new("/tmp/x.journal"))
+        );
+        assert!(matches!(options.fsync, FsyncPolicy::Always));
+        assert_eq!(options.checkpoint_every, 5);
+        assert_eq!(options.heartbeat_ms, 250);
+        assert_eq!(options.idle_timeout_ms, 900);
+        assert!(options.fault_plan.is_some());
+        assert!(matches!(
+            parse_serve_options(&["--fault-plan".into(), "drop=2.0".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_serve_options(&["--fsync".into(), "0".into()]),
+            Err(CliError::Usage(_))
+        ));
+        let options =
+            parse_run_options(&["--remote".into(), "--fault-plan".into(), "seed=2,dup=0.1".into()])
+                .expect("valid options");
+        assert!(options.remote);
+        assert!(options.fault_plan.is_some());
+        let options = parse_client_options(&["--fault-plan".into(), "seed=3,drop=0.1".into()])
+            .expect("valid options");
+        assert!(options.fault_plan.is_some());
     }
 
     #[test]

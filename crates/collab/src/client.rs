@@ -12,13 +12,15 @@
 //! with a read timeout on the socket, a line can arrive in pieces, and
 //! the buffer keeps the partial line intact across timeouts.
 
+use crate::fault::{FaultAction, FaultInjector};
 use crate::wire::{Frame, WireError, MAX_LINE_BYTES};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-/// How long [`request`](CollabClient::request) waits for its response.
+/// How long [`request`](CollabClient::request) waits for its response by
+/// default; see [`set_request_timeout`](CollabClient::set_request_timeout).
 const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A blocking JSONL wire-protocol client.
@@ -31,6 +33,12 @@ pub struct CollabClient {
     events: VecDeque<Frame>,
     /// Response frames received while waiting for an event.
     replies: VecDeque<Frame>,
+    /// Server `warn` frames, kept out of the request/response pairing.
+    warnings: Vec<String>,
+    /// Outbound fault injection, for chaos tests (`None` = clean link).
+    injector: Option<FaultInjector>,
+    /// How long request/response exchanges wait before timing out.
+    request_timeout: Duration,
 }
 
 impl CollabClient {
@@ -47,7 +55,24 @@ impl CollabClient {
             pending: Vec::new(),
             events: VecDeque::new(),
             replies: VecDeque::new(),
+            warnings: Vec::new(),
+            injector: None,
+            request_timeout: REQUEST_TIMEOUT,
         })
+    }
+
+    /// Arms deterministic fault injection on this connection's *outgoing*
+    /// frames.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Overrides how long [`request`](CollabClient::request) and
+    /// [`read_snapshot`](CollabClient::read_snapshot) wait for a response
+    /// (default 30 s). Resilient callers shorten this so a lost response
+    /// turns into a retry instead of a long stall.
+    pub fn set_request_timeout(&mut self, timeout: Duration) {
+        self.request_timeout = timeout;
     }
 
     /// Sends one frame.
@@ -59,14 +84,40 @@ impl CollabClient {
         self.send_raw(&frame.to_line())
     }
 
-    /// Sends raw bytes verbatim — for protocol error-path tests.
+    /// Sends raw bytes verbatim — for protocol error-path tests — through
+    /// the fault injector when one is armed.
     ///
     /// # Errors
     ///
     /// Propagates the write error.
     pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
-        self.stream.write_all(line.as_bytes())?;
-        self.stream.flush()
+        let Some(injector) = self.injector.as_mut() else {
+            self.stream.write_all(line.as_bytes())?;
+            return self.stream.flush();
+        };
+        match injector.transform(line.as_bytes()) {
+            FaultAction::Kill => {
+                self.stream.shutdown(Shutdown::Both).ok();
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "connection killed by fault plan",
+                ))
+            }
+            FaultAction::Write(chunks) => {
+                for (bytes, delay) in chunks {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    self.stream.write_all(&bytes)?;
+                }
+                self.stream.flush()
+            }
+        }
+    }
+
+    /// Drains the non-fatal `warn` diagnostics the server has pushed.
+    pub fn take_warnings(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.warnings)
     }
 
     /// Sends a request frame and returns its (non-`event`) response,
@@ -78,19 +129,15 @@ impl CollabClient {
     /// or timeout.
     pub fn request(&mut self, frame: &Frame) -> Result<Frame, WireError> {
         self.send(frame)
-            .map_err(|e| WireError {
-                message: format!("send failed: {e}"),
-            })?;
+            .map_err(|e| WireError::io(format!("send failed: {e}")))?;
         if let Some(reply) = self.replies.pop_front() {
             return Ok(reply);
         }
-        let deadline = Instant::now() + REQUEST_TIMEOUT;
+        let deadline = Instant::now() + self.request_timeout;
         loop {
             match self.poll_frame(deadline)? {
                 None => {
-                    return Err(WireError {
-                        message: "timed out waiting for a response".into(),
-                    })
+                    return Err(WireError::timeout("timed out waiting for a response"))
                 }
                 // Hold async notifications for next_event().
                 Some(event @ Frame::Event { .. }) => self.events.push_back(event),
@@ -144,26 +191,24 @@ impl CollabClient {
     pub fn read_snapshot(&mut self) -> Result<(Frame, Vec<Frame>), WireError> {
         let state = self.request(&Frame::Snapshot)?;
         if !matches!(state, Frame::State { .. }) {
-            return Err(WireError {
-                message: format!("expected a state frame, got `{}`", state.tag()),
-            });
+            return Err(WireError::protocol(format!(
+                "expected a state frame, got `{}`",
+                state.tag()
+            )));
         }
-        let deadline = Instant::now() + REQUEST_TIMEOUT;
+        let deadline = Instant::now() + self.request_timeout;
         let mut props = Vec::new();
         loop {
             match self.poll_frame(deadline)? {
-                None => {
-                    return Err(WireError {
-                        message: "timed out reading the snapshot".into(),
-                    })
-                }
+                None => return Err(WireError::timeout("timed out reading the snapshot")),
                 Some(Frame::End) => return Ok((state, props)),
                 Some(prop @ Frame::Prop { .. }) => props.push(prop),
                 Some(event @ Frame::Event { .. }) => self.events.push_back(event),
                 Some(other) => {
-                    return Err(WireError {
-                        message: format!("unexpected `{}` frame in a snapshot", other.tag()),
-                    })
+                    return Err(WireError::protocol(format!(
+                        "unexpected `{}` frame in a snapshot",
+                        other.tag()
+                    )))
                 }
             }
         }
@@ -178,7 +223,29 @@ impl CollabClient {
                 if line.trim().is_empty() {
                     continue;
                 }
-                return Frame::parse_line(&line).map(Some);
+                // A line that does not parse means the *stream* got mangled
+                // in transit (torn or corrupted frame) — a transport
+                // failure, classified retryable so a resilient caller can
+                // reconnect onto a clean stream.
+                let parsed = Frame::parse_line(&line).map_err(|e| {
+                    WireError::io(format!("malformed frame from the server: {}", e.message))
+                })?;
+                match parsed {
+                    // Liveness and diagnostics are handled inside the
+                    // client so they never disturb request/response or
+                    // event pairing at the call sites.
+                    Frame::Ping { nonce } => {
+                        self.send(&Frame::Pong { nonce })
+                            .map_err(|e| WireError::io(format!("pong failed: {e}")))?;
+                        continue;
+                    }
+                    Frame::Pong { .. } => continue,
+                    Frame::Warning { message } => {
+                        self.warnings.push(message);
+                        continue;
+                    }
+                    frame => return Ok(Some(frame)),
+                }
             }
             let now = Instant::now();
             if now >= deadline {
@@ -187,34 +254,22 @@ impl CollabClient {
             let window = (deadline - now).min(Duration::from_millis(200));
             self.stream
                 .set_read_timeout(Some(window.max(Duration::from_millis(1))))
-                .map_err(|e| WireError {
-                    message: format!("set_read_timeout failed: {e}"),
-                })?;
+                .map_err(|e| WireError::io(format!("set_read_timeout failed: {e}")))?;
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
-                Ok(0) => {
-                    return Err(WireError {
-                        message: "connection closed by the server".into(),
-                    })
-                }
+                Ok(0) => return Err(WireError::io("connection closed by the server")),
                 Ok(n) => {
                     self.pending.extend_from_slice(&chunk[..n]);
                     if self.pending.len() > MAX_LINE_BYTES {
-                        return Err(WireError {
-                            message: format!(
-                                "server line exceeds the {MAX_LINE_BYTES} byte limit"
-                            ),
-                        });
+                        return Err(WireError::io(format!(
+                            "server line exceeds the {MAX_LINE_BYTES} byte limit"
+                        )));
                     }
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut => {}
-                Err(e) => {
-                    return Err(WireError {
-                        message: format!("read failed: {e}"),
-                    })
-                }
+                Err(e) => return Err(WireError::io(format!("read failed: {e}"))),
             }
         }
     }
@@ -228,8 +283,6 @@ impl CollabClient {
         let line = std::mem::replace(&mut self.pending, rest);
         String::from_utf8(line)
             .map(Some)
-            .map_err(|_| WireError {
-                message: "server frame is not valid UTF-8".into(),
-            })
+            .map_err(|_| WireError::io("server frame is not valid UTF-8"))
     }
 }

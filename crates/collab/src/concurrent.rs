@@ -20,14 +20,21 @@
 //! [`adpm_core::replay_history`] replays it faithfully on a fresh DPM —
 //! that invariant is what the linearizability proptest leans on.
 
-use crate::session::{OpOutcome, SessionEngine};
-use adpm_core::DesignProcessManager;
+use crate::fault::FaultPlan;
+use crate::resilient::{ReconnectConfig, ResilientClient};
+use crate::server::{CollabServer, ServerOptions};
+use crate::session::{OpOutcome, SessionEngine, SessionOptions};
+use crate::wire::{Frame, WireOp};
+use adpm_constraint::{ConstraintId, Value};
+use adpm_core::{DesignProcessManager, Operation, OperationRecord, Operator};
 use adpm_dddl::CompiledScenario;
 use adpm_teamsim::{OperationStat, RunStats, SimulatedDesigner, SimulationConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
+use std::time::Duration;
 
 /// Golden-ratio odd multiplier for decorrelating per-designer seeds.
 const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -190,6 +197,262 @@ pub fn run_concurrent_dpm(
     ConcurrentOutcome { dpm, stats }
 }
 
+/// Name tables for turning a local [`Operation`] into its wire form and a
+/// wire verdict back into an [`OperationRecord`].
+struct RemoteNames {
+    property_names: Vec<String>,
+    problem_names: Vec<String>,
+    constraint_names: Vec<String>,
+    constraint_ids: BTreeMap<String, ConstraintId>,
+}
+
+impl RemoteNames {
+    fn build(dpm: &DesignProcessManager) -> Self {
+        let network = dpm.network();
+        let property_names = network
+            .property_ids()
+            .map(|id| {
+                let meta = network.property(id);
+                format!("{}.{}", meta.object(), meta.name())
+            })
+            .collect();
+        let problem_names = dpm
+            .problems()
+            .ids()
+            .map(|id| dpm.problems().problem(id).name().to_owned())
+            .collect();
+        let constraint_names: Vec<String> = network
+            .constraint_ids()
+            .map(|id| network.constraint(id).name().to_owned())
+            .collect();
+        let constraint_ids = network
+            .constraint_ids()
+            .map(|id| (network.constraint(id).name().to_owned(), id))
+            .collect();
+        RemoteNames {
+            property_names,
+            problem_names,
+            constraint_names,
+            constraint_ids,
+        }
+    }
+
+    /// Encodes `operation` for the wire; `None` for operators the protocol
+    /// does not carry (decompose, non-numeric assigns) — simulated
+    /// designers never propose those.
+    fn wire_op(&self, operation: &Operation) -> Option<WireOp> {
+        let problem = self.problem_names.get(operation.problem().index())?.clone();
+        match operation.operator() {
+            Operator::Assign { property, value } => {
+                let Value::Number(value) = value else {
+                    return None;
+                };
+                Some(WireOp::Assign {
+                    problem,
+                    property: self.property_names.get(property.index())?.clone(),
+                    value: *value,
+                })
+            }
+            Operator::Unbind { property } => Some(WireOp::Unbind {
+                problem,
+                property: self.property_names.get(property.index())?.clone(),
+            }),
+            Operator::Verify { constraints } => Some(WireOp::Verify {
+                problem,
+                constraints: constraints
+                    .iter()
+                    .map(|c| self.constraint_names[c.index()].as_str())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            }),
+            Operator::Decompose { .. } => None,
+        }
+    }
+
+    /// Rebuilds the executed record from the verdict frame plus the local
+    /// operation, for [`SimulatedDesigner::observe`].
+    fn record_from_verdict(&self, operation: Operation, verdict: &Frame) -> Option<OperationRecord> {
+        let Frame::Executed {
+            seq,
+            evaluations,
+            violations_after,
+            new_violations,
+            spin,
+            ..
+        } = verdict
+        else {
+            return None;
+        };
+        let new_violations = new_violations
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .filter_map(|name| self.constraint_ids.get(name.trim()).copied())
+            .collect();
+        Some(OperationRecord {
+            sequence: *seq as usize,
+            operation,
+            evaluations: *evaluations as usize,
+            violations_after: *violations_after as usize,
+            new_violations,
+            spin: *spin,
+        })
+    }
+}
+
+/// [`run_concurrent_dpm`] with the submissions routed over real loopback
+/// TCP through [`ResilientClient`]s — the chaos-equivalence harness.
+///
+/// Designer threads snapshot in-process (a read of the authoritative
+/// state) but submit over the wire, with `fault_plan` injected into every
+/// *server-side* outgoing frame (verdicts, events, pings). Because the
+/// turn barrier is always on, the decision sequence is a pure function of
+/// `config.seed`: a faulty run must converge to the *same* final design
+/// state as a clean one — lost verdicts are resubmitted under the same
+/// client operation id and answered from the session's dedup window, never
+/// re-executed.
+pub fn run_concurrent_remote(
+    mut dpm: DesignProcessManager,
+    config: &SimulationConfig,
+    fault_plan: Option<&FaultPlan>,
+) -> ConcurrentOutcome {
+    let setup_evaluations = dpm.initialize();
+    let designer_ids: Vec<_> = dpm.designers().to_vec();
+    let team = designer_ids.len().max(1);
+    let stall_limit = team;
+    let names = Arc::new(RemoteNames::build(&dpm));
+    let options = ServerOptions {
+        fault_plan: fault_plan.cloned(),
+        ..ServerOptions::default()
+    };
+    let server = CollabServer::bind_with(dpm, 0, options, SessionOptions::default())
+        .expect("bind loopback collaboration server");
+    let addr = server.local_addr();
+    let session = server.handle();
+    let coordinator = Arc::new(Coordinator {
+        state: Mutex::new(SharedState {
+            turn: 0,
+            stalls: 0,
+            executed: 0,
+            done: false,
+        }),
+        changed: Condvar::new(),
+    });
+    let mut threads = Vec::with_capacity(designer_ids.len());
+    for (i, id) in designer_ids.iter().enumerate() {
+        let session = session.clone();
+        let coordinator = coordinator.clone();
+        let config = config.clone();
+        let names = names.clone();
+        let id = *id;
+        let thread = thread::Builder::new()
+            .name(format!("adpm-remote-designer-{i}"))
+            .spawn(move || {
+                // Ends the whole run (instead of deadlocking the barrier
+                // on our turn) when this designer drops out.
+                let bail = |coordinator: &Coordinator| {
+                    coordinator.lock().done = true;
+                    coordinator.changed.notify_all();
+                };
+                let reconnect = ReconnectConfig {
+                    max_attempts: 8,
+                    base_backoff: Duration::from_millis(10),
+                    max_backoff: Duration::from_millis(250),
+                    request_timeout: Duration::from_secs(3),
+                    seed: config.seed ^ ((i as u64 + 1).wrapping_mul(SEED_STRIDE)),
+                };
+                let Ok(mut client) = ResilientClient::connect(addr, i as u32, reconnect) else {
+                    bail(&coordinator);
+                    return;
+                };
+                let mut designer = SimulatedDesigner::new(id);
+                let mut rng = StdRng::seed_from_u64(
+                    config.seed ^ ((i as u64 + 1).wrapping_mul(SEED_STRIDE)),
+                );
+                loop {
+                    {
+                        let mut state = coordinator.lock();
+                        loop {
+                            if state.done {
+                                return;
+                            }
+                            if state.turn % team == i {
+                                break;
+                            }
+                            state = coordinator
+                                .changed
+                                .wait(state)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                    let Ok(snapshot) = session.snapshot() else {
+                        bail(&coordinator);
+                        return;
+                    };
+                    let complete = snapshot.design_complete();
+                    let proposal = if complete {
+                        None
+                    } else {
+                        designer.choose(&snapshot, &config, &mut rng)
+                    };
+                    let executed = match proposal.as_ref().and_then(|op| names.wire_op(op)) {
+                        None => false,
+                        Some(op) => match client.submit(op) {
+                            Err(_) => {
+                                // Retries exhausted even across reconnects.
+                                bail(&coordinator);
+                                return;
+                            }
+                            Ok(verdict @ Frame::Executed { .. }) => {
+                                let operation = proposal.expect("encoded from a proposal");
+                                if let Some(record) =
+                                    names.record_from_verdict(operation, &verdict)
+                                {
+                                    designer.observe(&record);
+                                }
+                                true
+                            }
+                            // Rejected (stale snapshot / infeasible value)
+                            // or a degenerate verdict: no-op this round.
+                            Ok(_) => false,
+                        },
+                    };
+                    let mut state = coordinator.lock();
+                    state.turn += 1;
+                    if executed {
+                        state.stalls = 0;
+                        state.executed += 1;
+                        if state.executed >= config.max_operations {
+                            state.done = true;
+                        }
+                    } else {
+                        state.stalls += 1;
+                        if complete || state.stalls >= stall_limit {
+                            state.done = true;
+                        }
+                    }
+                    coordinator.changed.notify_all();
+                }
+            })
+            .expect("spawn remote designer thread");
+        threads.push(thread);
+    }
+    for thread in threads {
+        let _ = thread.join();
+    }
+    let dpm = server.shutdown();
+    let per_operation: Vec<OperationStat> =
+        dpm.history().iter().map(OperationStat::from_record).collect();
+    let stats = RunStats {
+        completed: dpm.design_complete(),
+        operations: dpm.history().len(),
+        evaluations: dpm.total_evaluations(),
+        setup_evaluations,
+        spins: dpm.spins(),
+        per_operation,
+    };
+    ConcurrentOutcome { dpm, stats }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +504,30 @@ mod tests {
         assert_eq!(
             outcome.dpm.network().violated_constraints(),
             fresh.network().violated_constraints()
+        );
+    }
+
+    #[test]
+    fn remote_chaos_run_converges_to_the_clean_outcome() {
+        use adpm_core::state_fingerprint;
+        let scenario = lna_walkthrough();
+        let config = SimulationConfig::adpm(11);
+        let clean = run_concurrent_remote(scenario.build_dpm(config.dpm_config()), &config, None);
+        assert!(!clean.dpm.history().is_empty(), "clean run must execute");
+        // Drops, duplicates, corruption, truncation, latency, and scripted
+        // connection kills — exactly-once submission plus reconnect must
+        // make all of it invisible in the final design state.
+        let plan: FaultPlan =
+            "seed=9,drop=0.08,dup=0.1,corrupt=0.05,truncate=0.05,delay=0.2:2ms,kill=9"
+                .parse()
+                .expect("plan");
+        let chaotic =
+            run_concurrent_remote(scenario.build_dpm(config.dpm_config()), &config, Some(&plan));
+        assert_eq!(clean.stats.operations, chaotic.stats.operations);
+        assert_eq!(
+            state_fingerprint(&clean.dpm),
+            state_fingerprint(&chaotic.dpm),
+            "a faulty run must converge to the fault-free design state"
         );
     }
 

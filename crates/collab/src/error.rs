@@ -1,0 +1,69 @@
+//! The retryable-vs-fatal error taxonomy for graceful degradation.
+//!
+//! Everything that can go wrong talking to a collaboration session falls
+//! in one of two buckets: *retryable* failures of the transport (dead
+//! connection, expired deadline) where reconnecting and retrying the same
+//! exchange can succeed, and *fatal* failures of the exchange itself
+//! (protocol violation, invalid operation) where it cannot. The
+//! [`ResilientClient`](crate::ResilientClient) retries the first bucket
+//! with backoff and surfaces the second immediately; `adpm submit` maps
+//! the buckets to distinct exit codes so scripts can branch on them.
+
+use crate::wire::WireError;
+use std::fmt;
+
+/// A collaboration failure, classified for retry decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollabError {
+    /// Transient transport trouble — reconnect and retry can succeed.
+    Retryable(String),
+    /// The exchange itself is invalid — retrying cannot succeed.
+    Fatal(String),
+}
+
+impl CollabError {
+    /// Whether a reconnect-and-retry could succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CollabError::Retryable(_))
+    }
+
+    /// The human-readable description.
+    pub fn message(&self) -> &str {
+        match self {
+            CollabError::Retryable(m) | CollabError::Fatal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for CollabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollabError::Retryable(m) => write!(f, "retryable collaboration error: {m}"),
+            CollabError::Fatal(m) => write!(f, "fatal collaboration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CollabError {}
+
+impl From<WireError> for CollabError {
+    fn from(e: WireError) -> Self {
+        if e.is_retryable() {
+            CollabError::Retryable(e.message)
+        } else {
+            CollabError::Fatal(e.message)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_error_kinds_map_to_the_right_bucket() {
+        assert!(CollabError::from(WireError::io("reset")).is_retryable());
+        assert!(CollabError::from(WireError::timeout("late")).is_retryable());
+        assert!(!CollabError::from(WireError::protocol("bad tag")).is_retryable());
+    }
+}

@@ -1,0 +1,791 @@
+//! The append-only operation journal and crash recovery.
+//!
+//! A journaled session appends one JSONL line per accepted operation, in
+//! execution (sequence) order, to a plain text file. The format reuses the
+//! trace/wire JSON dialect — one flat object per line, `"t"` tag first —
+//! with three line kinds:
+//!
+//! | tag | written | carries |
+//! |-----|---------|---------|
+//! | `jmeta` | once, at file creation | format version, management mode, network shape |
+//! | `jop`   | per executed operation | the full [`OperationRecord`]: operator, arguments (by name), repairs, and the recorded outcome (evaluations, violations, spin) |
+//! | `jck`   | every `checkpoint_every` operations | the sequence number and the [`state_fingerprint`] of the design state at that point |
+//!
+//! Durability is tunable via [`FsyncPolicy`]; recovery is
+//! **longest-valid-prefix**: [`recover`] replays every *newline-terminated,
+//! fully parseable* line and discards the torn or corrupt suffix a crash
+//! may have left (counting the discarded bytes). Replaying through
+//! [`adpm_core::replay_history`] re-derives all propagation state, so the
+//! journal never needs to serialize domains or violation sets — and the
+//! recorded per-operation outcomes double as an integrity check
+//! ([`RecoveryReport::faithful`]), with `jck` fingerprints cross-checking
+//! whole-state digests at every checkpoint.
+
+use crate::wire::{field_bool, field_f64, field_str, field_u64};
+use adpm_constraint::{ConstraintId, NetworkError, PropertyId, Value};
+use adpm_core::{
+    state_fingerprint, DesignProcessManager, DesignerId, Operation, OperationRecord, Operator,
+    ProblemId,
+};
+use adpm_observe::{parse_object, Counter, JsonValue, MetricsSink, TraceEvent};
+use adpm_observe::{Clock, MonotonicClock, SpanKind};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// Journal format version, bumped on any incompatible line-schema change.
+const JOURNAL_VERSION: u64 = 1;
+
+/// When the journal writer calls `fsync` after an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every operation — at most zero committed operations lost
+    /// on power failure, at a per-operation latency cost.
+    Always,
+    /// Sync every N operations (N ≥ 1) — bounded loss window.
+    EveryN(u32),
+    /// Never sync explicitly; the OS flushes on its own schedule. Process
+    /// crashes lose nothing (the kernel has the bytes), machine crashes
+    /// may lose the tail.
+    Never,
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            n => {
+                let every: u32 = n
+                    .parse()
+                    .map_err(|_| format!("fsync policy must be `always`, `never`, or N, got `{n}`"))?;
+                if every == 0 {
+                    return Err("fsync interval must be ≥ 1 (or `never`)".into());
+                }
+                Ok(FsyncPolicy::EveryN(every))
+            }
+        }
+    }
+}
+
+/// How a session journals its operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalConfig {
+    /// Journal file path.
+    pub path: PathBuf,
+    /// Durability policy.
+    pub fsync: FsyncPolicy,
+    /// Write a `jck` checkpoint every this many operations (0 = never).
+    pub checkpoint_every: u64,
+}
+
+impl JournalConfig {
+    /// A journal at `path` with the default policy: fsync every 8
+    /// operations, checkpoint every 32.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JournalConfig {
+            path: path.into(),
+            fsync: FsyncPolicy::EveryN(8),
+            checkpoint_every: 32,
+        }
+    }
+}
+
+/// Why journal recovery failed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// A valid-prefix line names an entity the scenario does not have —
+    /// the journal belongs to a different design problem.
+    Mismatch(String),
+    /// Replaying a journaled operation failed outright.
+    Replay(NetworkError),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Mismatch(m) => write!(f, "journal does not match the scenario: {m}"),
+            JournalError::Replay(e) => write!(f, "journal replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// What [`recover`] reconstructed.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Operations re-executed from the journal.
+    pub ops: u64,
+    /// `jck` checkpoints encountered in the valid prefix.
+    pub checkpoints: u64,
+    /// Checkpoints whose recorded fingerprint matched the replayed state.
+    pub checkpoints_verified: u64,
+    /// Whether every replayed operation reproduced its recorded outcome
+    /// *and* every checkpoint fingerprint matched.
+    pub faithful: bool,
+    /// Length of the valid prefix, in bytes — the offset to truncate to
+    /// before appending new operations.
+    pub journal_bytes: u64,
+    /// Torn/corrupt suffix bytes discarded by longest-valid-prefix.
+    pub truncated_bytes: u64,
+}
+
+/// One parsed journal line.
+#[derive(Debug, Clone, PartialEq)]
+enum JournalLine {
+    Meta,
+    Op(ParsedOp),
+    Checkpoint { fingerprint: u64 },
+}
+
+/// A `jop` line, entities still by name (resolved against a DPM later).
+#[derive(Debug, Clone, PartialEq)]
+struct ParsedOp {
+    seq: u64,
+    designer: u32,
+    problem: u32,
+    op: String,
+    property: Option<String>,
+    value: Option<ParsedValue>,
+    constraints: Option<String>,
+    subproblems: Option<String>,
+    repairs: String,
+    evaluations: u64,
+    violations_after: u32,
+    new_violations: String,
+    spin: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ParsedValue {
+    Number(f64),
+    Text(String),
+    Bool(bool),
+}
+
+fn property_name(dpm: &DesignProcessManager, id: PropertyId) -> String {
+    let p = dpm.network().property(id);
+    format!("{}.{}", p.object(), p.name())
+}
+
+fn join_constraint_names(dpm: &DesignProcessManager, ids: &[ConstraintId]) -> String {
+    ids.iter()
+        .map(|c| dpm.network().constraint(*c).name())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Serializes one executed operation as a `jop` line.
+fn op_line(record: &OperationRecord, dpm: &DesignProcessManager) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str("{\"t\":\"jop\"");
+    field_u64(&mut out, "seq", record.sequence as u64);
+    field_u64(&mut out, "designer", record.operation.designer().index() as u64);
+    field_u64(&mut out, "problem", record.operation.problem().index() as u64);
+    match record.operation.operator() {
+        Operator::Assign { property, value } => {
+            field_str(&mut out, "op", "assign");
+            field_str(&mut out, "property", &property_name(dpm, *property));
+            match value {
+                Value::Number(x) => {
+                    field_str(&mut out, "vk", "num");
+                    field_f64(&mut out, "value", *x);
+                }
+                Value::Text(s) => {
+                    field_str(&mut out, "vk", "text");
+                    field_str(&mut out, "value", s);
+                }
+                Value::Bool(b) => {
+                    field_str(&mut out, "vk", "bool");
+                    field_bool(&mut out, "value", *b);
+                }
+            }
+        }
+        Operator::Unbind { property } => {
+            field_str(&mut out, "op", "unbind");
+            field_str(&mut out, "property", &property_name(dpm, *property));
+        }
+        Operator::Verify { constraints } => {
+            field_str(&mut out, "op", "verify");
+            field_str(&mut out, "constraints", &join_constraint_names(dpm, constraints));
+        }
+        Operator::Decompose { subproblems } => {
+            field_str(&mut out, "op", "decompose");
+            field_str(&mut out, "subproblems", &subproblems.join(","));
+        }
+    }
+    field_str(&mut out, "repairs", &join_constraint_names(dpm, record.operation.repairs()));
+    field_u64(&mut out, "evaluations", record.evaluations as u64);
+    field_u64(&mut out, "violations_after", record.violations_after as u64);
+    field_str(
+        &mut out,
+        "new_violations",
+        &join_constraint_names(dpm, &record.new_violations),
+    );
+    field_bool(&mut out, "spin", record.spin);
+    out.push_str("}\n");
+    out
+}
+
+/// Parses one journal line; `Err` messages describe what's malformed.
+fn parse_journal_line(text: &str) -> Result<JournalLine, String> {
+    let fields = parse_object(text, 0).map_err(|e| e.message)?;
+    let Some((first_key, first_value)) = fields.first() else {
+        return Err("empty journal line".into());
+    };
+    if first_key != "t" {
+        return Err("first field must be the \"t\" tag".into());
+    }
+    let Some(tag) = first_value.as_str() else {
+        return Err("\"t\" tag must be a string".into());
+    };
+    let get = |key: &str| -> Option<&JsonValue> {
+        fields.iter().skip(1).find(|(k, _)| k == key).map(|(_, v)| v)
+    };
+    let need_str = |key: &str| -> Result<String, String> {
+        get(key)
+            .and_then(|v| v.as_str())
+            .map(str::to_owned)
+            .ok_or_else(|| format!("`{tag}` line needs string `{key}`"))
+    };
+    let need_u64 = |key: &str| -> Result<u64, String> {
+        get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("`{tag}` line needs integer `{key}`"))
+    };
+    let need_bool = |key: &str| -> Result<bool, String> {
+        get(key)
+            .and_then(|v| v.as_bool())
+            .ok_or_else(|| format!("`{tag}` line needs boolean `{key}`"))
+    };
+    match tag {
+        "jmeta" => {
+            let version = need_u64("version")?;
+            if version != JOURNAL_VERSION {
+                return Err(format!("unsupported journal version {version}"));
+            }
+            Ok(JournalLine::Meta)
+        }
+        "jck" => {
+            let hex = need_str("fingerprint")?;
+            let fingerprint = u64::from_str_radix(&hex, 16)
+                .map_err(|_| format!("`jck` fingerprint `{hex}` is not hex"))?;
+            // seq is informational but must at least be present and valid.
+            need_u64("seq")?;
+            Ok(JournalLine::Checkpoint { fingerprint })
+        }
+        "jop" => {
+            let op = need_str("op")?;
+            let value = match get("vk").and_then(|v| v.as_str()) {
+                None => None,
+                Some("num") => Some(ParsedValue::Number(match get("value") {
+                    Some(JsonValue::Num(x)) => *x,
+                    _ => return Err("`jop` numeric value missing".into()),
+                })),
+                Some("text") => Some(ParsedValue::Text(need_str("value")?)),
+                Some("bool") => Some(ParsedValue::Bool(need_bool("value")?)),
+                Some(other) => return Err(format!("unknown value kind `{other}`")),
+            };
+            Ok(JournalLine::Op(ParsedOp {
+                seq: need_u64("seq")?,
+                designer: need_u64("designer")?
+                    .try_into()
+                    .map_err(|_| "`designer` out of range".to_string())?,
+                problem: need_u64("problem")?
+                    .try_into()
+                    .map_err(|_| "`problem` out of range".to_string())?,
+                op,
+                property: get("property")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_owned),
+                value,
+                constraints: get("constraints")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_owned),
+                subproblems: get("subproblems")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_owned),
+                repairs: need_str("repairs")?,
+                evaluations: need_u64("evaluations")?,
+                violations_after: need_u64("violations_after")?
+                    .try_into()
+                    .map_err(|_| "`violations_after` out of range".to_string())?,
+                new_violations: need_str("new_violations")?,
+                spin: need_bool("spin")?,
+            }))
+        }
+        other => Err(format!("unknown journal tag `{other}`")),
+    }
+}
+
+fn resolve_property(dpm: &DesignProcessManager, full: &str) -> Result<PropertyId, JournalError> {
+    let (object, name) = full
+        .split_once('.')
+        .ok_or_else(|| JournalError::Mismatch(format!("property `{full}` is not object.name")))?;
+    dpm.network()
+        .property_by_name(object, name)
+        .ok_or_else(|| JournalError::Mismatch(format!("unknown property `{full}`")))
+}
+
+fn resolve_constraints(
+    dpm: &DesignProcessManager,
+    joined: &str,
+) -> Result<Vec<ConstraintId>, JournalError> {
+    joined
+        .split(',')
+        .filter(|n| !n.is_empty())
+        .map(|name| {
+            dpm.network()
+                .constraint_ids()
+                .find(|c| dpm.network().constraint(*c).name() == name)
+                .ok_or_else(|| JournalError::Mismatch(format!("unknown constraint `{name}`")))
+        })
+        .collect()
+}
+
+/// Resolves a parsed `jop` line into a replayable [`OperationRecord`].
+fn resolve_op(parsed: &ParsedOp, dpm: &DesignProcessManager) -> Result<OperationRecord, JournalError> {
+    let designer = DesignerId::new(parsed.designer);
+    let problem = ProblemId::new(parsed.problem);
+    let operator = match parsed.op.as_str() {
+        "assign" => {
+            let property = parsed.property.as_deref().ok_or_else(|| {
+                JournalError::Mismatch("`assign` line without a property".into())
+            })?;
+            let value = match &parsed.value {
+                Some(ParsedValue::Number(x)) => Value::Number(*x),
+                Some(ParsedValue::Text(s)) => Value::Text(s.clone()),
+                Some(ParsedValue::Bool(b)) => Value::Bool(*b),
+                None => {
+                    return Err(JournalError::Mismatch("`assign` line without a value".into()))
+                }
+            };
+            Operator::Assign {
+                property: resolve_property(dpm, property)?,
+                value,
+            }
+        }
+        "unbind" => {
+            let property = parsed.property.as_deref().ok_or_else(|| {
+                JournalError::Mismatch("`unbind` line without a property".into())
+            })?;
+            Operator::Unbind {
+                property: resolve_property(dpm, property)?,
+            }
+        }
+        "verify" => Operator::Verify {
+            constraints: resolve_constraints(dpm, parsed.constraints.as_deref().unwrap_or(""))?,
+        },
+        "decompose" => Operator::Decompose {
+            subproblems: parsed
+                .subproblems
+                .as_deref()
+                .unwrap_or("")
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect(),
+        },
+        other => {
+            return Err(JournalError::Mismatch(format!("unknown operator `{other}`")))
+        }
+    };
+    let operation = Operation::new(designer, problem, operator)
+        .with_repairs(resolve_constraints(dpm, &parsed.repairs)?);
+    Ok(OperationRecord {
+        sequence: parsed.seq as usize,
+        operation,
+        evaluations: parsed.evaluations as usize,
+        violations_after: parsed.violations_after as usize,
+        new_violations: resolve_constraints(dpm, &parsed.new_violations)?,
+        spin: parsed.spin,
+    })
+}
+
+/// The append half: owned by the session loop, one `append` per executed
+/// operation.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    config: JournalConfig,
+    /// Operations appended by *this* writer (drives fsync/checkpoint cadence).
+    appended: u64,
+    /// Appends since the last fsync.
+    unsynced: u32,
+}
+
+impl JournalWriter {
+    /// Opens (creating if needed) the journal for appending. A fresh/empty
+    /// file gets its `jmeta` header; `resume_at` truncates first — pass
+    /// [`RecoveryReport::journal_bytes`] so a torn suffix the recovery
+    /// discarded is also physically removed before new lines land.
+    pub fn open(
+        config: JournalConfig,
+        dpm: &DesignProcessManager,
+        resume_at: Option<u64>,
+    ) -> Result<JournalWriter, JournalError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&config.path)?;
+        if let Some(valid) = resume_at {
+            file.set_len(valid)?;
+        }
+        let mut writer = JournalWriter {
+            file,
+            config,
+            appended: 0,
+            unsynced: 0,
+        };
+        if writer.file.metadata()?.len() == 0 {
+            let mut line = String::from("{\"t\":\"jmeta\"");
+            field_u64(&mut line, "version", JOURNAL_VERSION);
+            field_str(&mut line, "mode", dpm.mode().as_str());
+            field_u64(&mut line, "properties", dpm.network().property_count() as u64);
+            field_u64(&mut line, "constraints", dpm.network().constraint_count() as u64);
+            field_u64(&mut line, "problems", dpm.problems().len() as u64);
+            line.push_str("}\n");
+            writer.write_line(&line, dpm.metrics_sink().as_ref())?;
+            writer.file.sync_data()?;
+        }
+        Ok(writer)
+    }
+
+    fn write_line(&mut self, line: &str, sink: &dyn MetricsSink) -> std::io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        sink.incr(Counter::JournalBytes, line.len() as u64);
+        Ok(())
+    }
+
+    /// Appends one executed operation (and, on cadence, a checkpoint),
+    /// then applies the fsync policy. `dpm` must be the state *after* the
+    /// operation — its fingerprint is what checkpoints record.
+    pub fn append(
+        &mut self,
+        record: &OperationRecord,
+        dpm: &DesignProcessManager,
+    ) -> Result<(), JournalError> {
+        let sink = dpm.metrics_sink().clone();
+        let line = op_line(record, dpm);
+        self.write_line(&line, sink.as_ref())?;
+        self.appended += 1;
+        if self.config.checkpoint_every > 0
+            && self.appended.is_multiple_of(self.config.checkpoint_every)
+        {
+            let mut ck = String::from("{\"t\":\"jck\"");
+            field_u64(&mut ck, "seq", record.sequence as u64);
+            field_str(&mut ck, "fingerprint", &format!("{:016x}", state_fingerprint(dpm)));
+            ck.push_str("}\n");
+            self.write_line(&ck, sink.as_ref())?;
+        }
+        self.unsynced += 1;
+        let sync_now = match self.config.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n,
+            FsyncPolicy::Never => false,
+        };
+        if sync_now {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Flushes and syncs whatever is buffered (used at orderly shutdown).
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// Scans the raw journal, returning the parsed longest valid prefix.
+///
+/// A line belongs to the valid prefix iff it is newline-terminated *and*
+/// parses completely; the first line failing either test ends the prefix,
+/// and everything from its first byte on is counted as truncated.
+fn scan(path: &Path) -> Result<(Vec<JournalLine>, u64, u64), JournalError> {
+    let mut file = File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    drop(file);
+    let mut lines = Vec::new();
+    let mut valid: u64 = 0;
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let Some(nl) = bytes[offset..].iter().position(|b| *b == b'\n') else {
+            break; // torn final line: not newline-terminated
+        };
+        let end = offset + nl;
+        let Ok(text) = std::str::from_utf8(&bytes[offset..end]) else {
+            break;
+        };
+        if text.trim().is_empty() {
+            // Blank lines are valid padding.
+            offset = end + 1;
+            valid = offset as u64;
+            continue;
+        }
+        let Ok(line) = parse_journal_line(text) else {
+            break;
+        };
+        lines.push(line);
+        offset = end + 1;
+        valid = offset as u64;
+    }
+    let truncated = bytes.len() as u64 - valid;
+    Ok((lines, valid, truncated))
+}
+
+/// Recovers a crashed session: replays the journal's longest valid prefix
+/// onto `dpm` (which must be freshly built for the same scenario and
+/// [`initialize`](DesignProcessManager::initialize)d), verifying recorded
+/// outcomes and checkpoint fingerprints along the way.
+///
+/// Emits a `recover` span and [`TraceEvent::Recovery`] through the DPM's
+/// sink and counts replayed operations into `recovery_ops`.
+///
+/// # Errors
+///
+/// [`JournalError`] when the file is unreadable, a valid-prefix line names
+/// entities the scenario lacks, or replay fails outright. A torn/corrupt
+/// *suffix* is not an error — that is the crash the journal exists for.
+pub fn recover(path: &Path, dpm: &mut DesignProcessManager) -> Result<RecoveryReport, JournalError> {
+    let clock = MonotonicClock::new();
+    let start = clock.now_us();
+    let (lines, journal_bytes, truncated_bytes) = scan(path)?;
+    let mut ops: u64 = 0;
+    let mut checkpoints: u64 = 0;
+    let mut checkpoints_verified: u64 = 0;
+    let mut faithful = true;
+    // Replay segment-wise so each checkpoint fingerprint is compared
+    // against the state at exactly its point in the history.
+    let mut segment: Vec<OperationRecord> = Vec::new();
+    let flush = |segment: &mut Vec<OperationRecord>,
+                     dpm: &mut DesignProcessManager,
+                     faithful: &mut bool|
+     -> Result<(), JournalError> {
+        if segment.is_empty() {
+            return Ok(());
+        }
+        let outcome = adpm_core::replay_history(segment, dpm).map_err(JournalError::Replay)?;
+        *faithful = *faithful && outcome.faithful;
+        segment.clear();
+        Ok(())
+    };
+    for line in &lines {
+        match line {
+            JournalLine::Meta => {}
+            JournalLine::Op(parsed) => {
+                let record = resolve_op(parsed, dpm)?;
+                segment.push(record);
+                ops += 1;
+            }
+            JournalLine::Checkpoint { fingerprint } => {
+                flush(&mut segment, dpm, &mut faithful)?;
+                checkpoints += 1;
+                if state_fingerprint(dpm) == *fingerprint {
+                    checkpoints_verified += 1;
+                } else {
+                    faithful = false;
+                }
+            }
+        }
+    }
+    flush(&mut segment, dpm, &mut faithful)?;
+    let dur_us = clock.now_us().saturating_sub(start);
+    let sink = dpm.metrics_sink().clone();
+    sink.incr(Counter::RecoveryOps, ops);
+    sink.time(SpanKind::Recover, dur_us);
+    if sink.is_enabled() {
+        sink.record(&TraceEvent::Recovery {
+            ops,
+            checkpoints,
+            journal_bytes,
+            truncated_bytes,
+            faithful,
+            dur_us,
+        });
+    }
+    Ok(RecoveryReport {
+        ops,
+        checkpoints,
+        checkpoints_verified,
+        faithful,
+        journal_bytes,
+        truncated_bytes,
+    })
+}
+
+/// Length in bytes of the journal's longest valid prefix — what [`recover`]
+/// would keep. Exposed for tests and tooling.
+pub fn valid_prefix_bytes(path: &Path) -> Result<u64, JournalError> {
+    scan(path).map(|(_, valid, _)| valid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adpm_scenarios::lna_walkthrough;
+    use adpm_teamsim::{Simulation, SimulationConfig, StepOutcome};
+
+    /// Runs the walkthrough sequentially to get a real history, then
+    /// re-executes it on a fresh DPM while journaling each step (so every
+    /// checkpoint fingerprints the state at its own point in time).
+    fn journaled_run(dir: &Path, checkpoint_every: u64) -> (DesignProcessManager, PathBuf) {
+        let scenario = lna_walkthrough();
+        let config = SimulationConfig::adpm(5);
+        let mut sim = Simulation::new(&scenario, config);
+        while matches!(sim.step(), StepOutcome::Executed(_)) {}
+        let history: Vec<Operation> = sim
+            .dpm()
+            .history()
+            .iter()
+            .map(|r| r.operation.clone())
+            .collect();
+        assert!(history.len() > 3, "walkthrough too short to exercise");
+        let mut dpm = fresh_dpm();
+        let path = dir.join("session.journal");
+        let mut writer = JournalWriter::open(
+            JournalConfig {
+                path: path.clone(),
+                fsync: FsyncPolicy::Never,
+                checkpoint_every,
+            },
+            &dpm,
+            None,
+        )
+        .expect("open journal");
+        for op in history {
+            let record = dpm.execute(op).expect("execute");
+            writer.append(&record, &dpm).expect("journal append");
+        }
+        writer.sync().expect("sync");
+        (dpm, path)
+    }
+
+    fn fresh_dpm() -> DesignProcessManager {
+        let scenario = lna_walkthrough();
+        let mut dpm = scenario.build_dpm(SimulationConfig::adpm(5).dpm_config());
+        dpm.initialize();
+        dpm
+    }
+
+    #[test]
+    fn write_then_recover_round_trips_the_full_history() {
+        let dir = tempdir();
+        let (original, path) = journaled_run(&dir, 4);
+        let mut recovered = fresh_dpm();
+        let report = recover(&path, &mut recovered).expect("recover");
+        assert!(report.faithful, "report: {report:?}");
+        assert_eq!(report.ops as usize, original.history().len());
+        assert!(report.checkpoints > 0);
+        assert_eq!(report.checkpoints_verified, report.checkpoints);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(state_fingerprint(&recovered), state_fingerprint(&original));
+        assert_eq!(
+            format!("{:?}", recovered.history()),
+            format!("{:?}", original.history())
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_counted() {
+        let dir = tempdir();
+        let (_, path) = journaled_run(&dir, 0);
+        // Tear the file mid-line: drop the trailing newline plus some.
+        let bytes = std::fs::read(&path).expect("read journal");
+        let torn_at = bytes.len() - 7;
+        std::fs::write(&path, &bytes[..torn_at]).expect("tear");
+        let mut recovered = fresh_dpm();
+        let report = recover(&path, &mut recovered).expect("recover");
+        assert!(report.faithful);
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(
+            report.journal_bytes + report.truncated_bytes,
+            torn_at as u64
+        );
+    }
+
+    #[test]
+    fn corrupt_middle_line_ends_the_valid_prefix() {
+        let dir = tempdir();
+        let (_, path) = journaled_run(&dir, 0);
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 3);
+        // Corrupt the third line; everything after it must be discarded
+        // even though it is well-formed.
+        let mut mangled: Vec<String> = lines.iter().map(|l| (*l).to_string()).collect();
+        mangled[2] = mangled[2].replace("\"t\"", "\"x\"");
+        std::fs::write(&path, mangled.join("\n") + "\n").expect("write");
+        let mut recovered = fresh_dpm();
+        let report = recover(&path, &mut recovered).expect("recover");
+        // jmeta + one op survive.
+        assert_eq!(report.ops, 1);
+        assert!(report.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn resume_truncates_the_torn_suffix_before_appending() {
+        let dir = tempdir();
+        let (_, path) = journaled_run(&dir, 0);
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("tear");
+        let mut dpm = fresh_dpm();
+        let report = recover(&path, &mut dpm).expect("recover");
+        let _writer = JournalWriter::open(
+            JournalConfig::new(&path),
+            &dpm,
+            Some(report.journal_bytes),
+        )
+        .expect("resume");
+        assert_eq!(
+            std::fs::metadata(&path).expect("meta").len(),
+            report.journal_bytes
+        );
+        // The truncated journal is now fully valid again.
+        assert_eq!(
+            valid_prefix_bytes(&path).expect("scan"),
+            report.journal_bytes
+        );
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!("always".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Always));
+        assert_eq!("never".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Never));
+        assert_eq!("16".parse::<FsyncPolicy>(), Ok(FsyncPolicy::EveryN(16)));
+        assert!("0".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+    }
+
+    /// Unique-per-test scratch dir under the target-adjacent temp dir.
+    fn tempdir() -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let id = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "adpm-journal-test-{}-{id}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+}

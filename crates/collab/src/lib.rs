@@ -28,6 +28,24 @@
 //!   real threads against one session, deterministic under a seeded
 //!   per-designer RNG plus an optional turn barrier.
 //!
+//! Fault tolerance is layered on top (this is where the collaborative
+//! story earns the word *robust*):
+//!
+//! - [`journal`] — an append-only JSONL operation journal with periodic
+//!   fingerprint checkpoints; `adpm serve --journal` recovers a crashed
+//!   session by replaying the longest valid prefix through
+//!   [`replay_history`](adpm_core::replay_history).
+//! - [`resilient`] — [`ResilientClient`]: automatic reconnect with capped
+//!   exponential backoff and seeded jitter, exactly-once resubmission via
+//!   client operation ids, and subscription resume that redelivers the
+//!   missed event gap exactly once.
+//! - [`fault`] — deterministic seeded fault injection ([`FaultPlan`])
+//!   that drops, delays, duplicates, truncates, and corrupts frames at
+//!   the write path, for chaos tests that demand bit-identical final
+//!   state from faulty and clean runs.
+//! - [`error`] — the retryable-vs-fatal [`CollabError`] taxonomy backing
+//!   `adpm submit`'s distinct exit codes.
+//!
 //! Observability is threaded through from day one: session commands and
 //! notification fan-out emit `session` / `notify` spans and the
 //! `session_ops` / `inbox_delivered` / `inbox_dropped` counters through
@@ -39,16 +57,30 @@
 
 pub mod client;
 pub mod concurrent;
+pub mod error;
+pub mod fault;
+pub mod journal;
 pub mod notify;
+pub mod resilient;
 pub mod server;
 pub mod session;
 pub mod wire;
 
 pub use client::CollabClient;
-pub use concurrent::{run_concurrent, run_concurrent_dpm, ConcurrentOutcome};
-pub use notify::{Inbox, InboxEntry, InterestSet};
-pub use server::CollabServer;
-pub use session::{
-    OpOutcome, RejectReason, SessionClosed, SessionEngine, SessionHandle, DEFAULT_INBOX_CAPACITY,
+pub use concurrent::{run_concurrent, run_concurrent_dpm, run_concurrent_remote, ConcurrentOutcome};
+pub use error::CollabError;
+pub use fault::{FaultAction, FaultInjector, FaultPlan};
+pub use journal::{
+    recover, valid_prefix_bytes, FsyncPolicy, JournalConfig, JournalError, JournalWriter,
+    RecoveryReport,
 };
-pub use wire::{read_frame, Frame, WireError, WireOp, MAX_LINE_BYTES};
+pub use notify::{Inbox, InboxEntry, InterestSet};
+pub use resilient::{ReconnectConfig, ResilientClient};
+pub use server::{CollabServer, ServerOptions};
+pub use session::{
+    OpOutcome, RejectReason, SessionClosed, SessionEngine, SessionHandle, SessionOptions,
+    DEFAULT_INBOX_CAPACITY,
+};
+pub use wire::{
+    read_frame, BufferedLine, Frame, LineBuffer, WireError, WireErrorKind, WireOp, MAX_LINE_BYTES,
+};

@@ -133,6 +133,11 @@ impl InterestSet {
 pub struct InboxEntry {
     /// Sequence number (design-history position) of the producing operation.
     pub seq: u64,
+    /// Per-designer monotonic delivery index (1-based): the position of
+    /// this event in everything ever routed to this subscriber's designer.
+    /// A resuming subscriber names the last `idx` it saw and the session
+    /// redelivers only what came after.
+    pub idx: u64,
     /// The routed event.
     pub event: Event,
 }
@@ -269,6 +274,7 @@ mod tests {
     fn entry(seq: u64) -> InboxEntry {
         InboxEntry {
             seq,
+            idx: seq,
             event: Event::ProblemSolved {
                 problem: ProblemId::new(0),
             },

@@ -1,0 +1,600 @@
+//! A self-healing wrapper around [`CollabClient`]: reconnect with capped
+//! exponential backoff, exactly-once resubmission, and subscription
+//! resume.
+//!
+//! The plain client treats every transport hiccup as the caller's
+//! problem. [`ResilientClient`] instead classifies failures with
+//! [`CollabError`]: *retryable* ones (dead socket, timeout) trigger an
+//! automatic reconnect — capped exponential backoff with seeded jitter —
+//! followed by a transparent retry of the interrupted exchange; *fatal*
+//! ones (protocol misuse, invalid operations) surface immediately.
+//!
+//! Two protocol features make the retries safe:
+//!
+//! - **Client operation ids.** Every submission carries a fresh `cid`.
+//!   If the response is lost, the resubmission after reconnect presents
+//!   the same `cid` and the session answers from its dedup window instead
+//!   of executing twice — at-most-once execution, at-least-once delivery,
+//!   so exactly-once effect.
+//! - **Subscription resume.** The client remembers the highest delivery
+//!   index it has seen; on reconnect it resubscribes with
+//!   `resume_from = last_seen` and the server redelivers exactly the gap.
+//!   Duplicates that slip through anyway (e.g. a fault plan duplicating
+//!   frames) are dropped by an index check in
+//!   [`next_event`](ResilientClient::next_event).
+
+use crate::client::CollabClient;
+use crate::error::CollabError;
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::wire::{Frame, WireError, WireOp};
+use adpm_observe::{Counter, MetricsSink, SpanKind, TraceEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Reconnect/backoff policy for a [`ResilientClient`].
+#[derive(Debug, Clone)]
+pub struct ReconnectConfig {
+    /// Attempts per exchange before giving up (connect + retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling for the exponential schedule.
+    pub max_backoff: Duration,
+    /// How long one submission waits for its verdict before the exchange
+    /// is declared lost and retried (possibly over a reconnect).
+    pub request_timeout: Duration,
+    /// Seed for the jitter RNG (deterministic retry schedules in tests).
+    pub seed: u64,
+}
+
+impl Default for ReconnectConfig {
+    fn default() -> Self {
+        ReconnectConfig {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(30),
+            seed: 0,
+        }
+    }
+}
+
+impl ReconnectConfig {
+    /// The jittered backoff before retry `attempt` (1-based): the capped
+    /// exponential `base * 2^(attempt-1)` scaled by a factor drawn
+    /// uniformly from `[0.5, 1.5)`.
+    fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.max_backoff);
+        exp.mul_f64(rng.gen_range(0.5..1.5))
+    }
+}
+
+/// A [`CollabClient`] that survives connection loss.
+pub struct ResilientClient {
+    addr: SocketAddr,
+    designer: u32,
+    config: ReconnectConfig,
+    rng: StdRng,
+    client: Option<CollabClient>,
+    /// Whether the current connection has an active subscription, and if
+    /// so whether it covers everything or derived interests.
+    subscribed: Option<bool>,
+    /// Highest event delivery index seen (0 = none) — the resume cursor.
+    last_seen_idx: u64,
+    /// Next client operation id.
+    next_cid: u64,
+    /// Total reconnects performed.
+    reconnects: u64,
+    /// Connections opened so far (fault injector stream selector).
+    connections: u64,
+    fault_plan: Option<FaultPlan>,
+    sink: Option<Arc<dyn MetricsSink>>,
+}
+
+impl std::fmt::Debug for ResilientClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientClient")
+            .field("addr", &self.addr)
+            .field("designer", &self.designer)
+            .field("last_seen_idx", &self.last_seen_idx)
+            .field("reconnects", &self.reconnects)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResilientClient {
+    /// Connects and performs the hello handshake as `designer`.
+    ///
+    /// # Errors
+    ///
+    /// [`CollabError::Retryable`] when the server stayed unreachable
+    /// through every attempt; [`CollabError::Fatal`] when it answered the
+    /// hello with an error (e.g. unknown designer).
+    pub fn connect(
+        addr: SocketAddr,
+        designer: u32,
+        config: ReconnectConfig,
+    ) -> Result<ResilientClient, CollabError> {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let mut client = ResilientClient {
+            addr,
+            designer,
+            config,
+            rng,
+            client: None,
+            subscribed: None,
+            last_seen_idx: 0,
+            next_cid: 1,
+            reconnects: 0,
+            connections: 0,
+            fault_plan: None,
+            sink: None,
+        };
+        // The initial connect gets the same retry budget as a reconnect:
+        // under fault injection even the handshake can be lost in transit.
+        client.reconnect_with_backoff()?;
+        Ok(client)
+    }
+
+    /// Counts reconnects and emits `reconnect` spans/events into `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Injects `plan` faults into every *outgoing* frame; each reconnect
+    /// uses the next per-connection fault stream.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        if let Some(client) = self.client.as_mut() {
+            client.set_fault_injector(FaultInjector::new(
+                self.fault_plan.as_ref().expect("just set"),
+                self.connections.saturating_sub(1),
+            ));
+        }
+        self
+    }
+
+    /// Total reconnects performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// The highest event delivery index seen (the resume cursor).
+    pub fn last_seen_idx(&self) -> u64 {
+        self.last_seen_idx
+    }
+
+    /// Drops the current connection so the next exchange must reconnect —
+    /// a test hook for the resume path. The subscription *intent* survives:
+    /// the next connection re-subscribes and resumes from the last seen
+    /// delivery index.
+    pub fn force_disconnect(&mut self) {
+        self.client = None;
+    }
+
+    /// Subscribes (`all` = everything vs connectivity-derived interests).
+    /// After a reconnect the subscription is re-established automatically,
+    /// resuming from the last seen delivery index.
+    ///
+    /// # Errors
+    ///
+    /// [`CollabError`] per the retryable/fatal taxonomy.
+    pub fn subscribe(&mut self, all: bool) -> Result<(), CollabError> {
+        self.subscribed = Some(all);
+        self.with_retries(|client, _cid, last_seen| {
+            let resume_from = if last_seen > 0 { Some(last_seen) } else { None };
+            match client.request(&Frame::Subscribe { all, resume_from })? {
+                Frame::Subscribed { .. } => Ok(()),
+                Frame::Error { message } => Err(WireError::protocol(message)),
+                other => Err(WireError::protocol(format!(
+                    "expected subscribed, got `{}`",
+                    other.tag()
+                ))),
+            }
+        })
+    }
+
+    /// Submits an operation with exactly-once semantics and returns the
+    /// server's verdict frame (`executed` or `rejected`).
+    ///
+    /// # Errors
+    ///
+    /// [`CollabError::Retryable`] when every attempt failed on transport;
+    /// [`CollabError::Fatal`] for name-resolution/protocol errors.
+    pub fn submit(&mut self, op: WireOp) -> Result<Frame, CollabError> {
+        let cid = self.next_cid;
+        self.next_cid += 1;
+        let request_timeout = self.config.request_timeout;
+        let mut exchange = move |client: &mut CollabClient, cid: u64, _last: u64| {
+            client.send(&Frame::Submit {
+                op: op.clone(),
+                cid: Some(cid),
+            })
+            .map_err(|e| WireError::io(format!("send failed: {e}")))?;
+            // Wait for *this* submission's verdict: responses to earlier,
+            // abandoned submissions (a duplicate delivered by the network,
+            // a response lost mid-read) carry a different cid and are
+            // discarded instead of being mistaken for ours.
+            let deadline = Instant::now() + request_timeout;
+            loop {
+                match client.recv(deadline.saturating_duration_since(Instant::now()))? {
+                    None => return Err(WireError::timeout("timed out waiting for the verdict")),
+                    Some(frame @ (Frame::Executed { .. } | Frame::Rejected { .. })) => {
+                        let frame_cid = match &frame {
+                            Frame::Executed { cid, .. } | Frame::Rejected { cid, .. } => *cid,
+                            _ => unreachable!(),
+                        };
+                        if frame_cid == Some(cid) {
+                            return Ok(frame);
+                        }
+                        // A stale verdict from a superseded exchange.
+                    }
+                    Some(Frame::Error { message }) => return Err(WireError::protocol(message)),
+                    Some(_other) => {
+                        // Snapshot fragments or misdelivered frames from an
+                        // interrupted exchange; skip to the verdict.
+                    }
+                }
+            }
+        };
+        self.with_retries_cid(&mut exchange, cid)
+    }
+
+    /// Returns the next *new* notification frame, waiting up to `timeout`.
+    /// Events already seen (by delivery index) are dropped silently, so a
+    /// resumed or duplicate-prone stream yields each event exactly once.
+    /// `Ok(None)` means the wait elapsed.
+    ///
+    /// # Errors
+    ///
+    /// [`CollabError`] per the retryable/fatal taxonomy; connection loss
+    /// here triggers a reconnect (with resubscribe) and returns `Ok(None)`
+    /// for the caller to re-poll.
+    pub fn next_event(&mut self, timeout: Duration) -> Result<Option<Frame>, CollabError> {
+        self.ensure_connected()?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let client = self.client.as_mut().expect("just connected");
+            let window = deadline.saturating_duration_since(Instant::now());
+            match client.next_event(window) {
+                Ok(None) => return Ok(None),
+                Ok(Some(frame)) => {
+                    if let Frame::Event { idx, .. } = &frame {
+                        if *idx > 0 && *idx <= self.last_seen_idx {
+                            continue; // duplicate delivery
+                        }
+                        if *idx > 0 {
+                            self.last_seen_idx = *idx;
+                        }
+                    }
+                    return Ok(Some(frame));
+                }
+                Err(e) if e.is_retryable() => {
+                    self.client = None;
+                    self.reconnect_with_backoff()?;
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Requests a state snapshot, retrying over reconnects.
+    ///
+    /// # Errors
+    ///
+    /// [`CollabError`] per the retryable/fatal taxonomy.
+    pub fn read_snapshot(&mut self) -> Result<(Frame, Vec<Frame>), CollabError> {
+        self.with_retries(|client, _, _| client.read_snapshot())
+    }
+
+    /// Drains the non-fatal server warnings collected so far.
+    pub fn take_warnings(&mut self) -> Vec<String> {
+        self.client
+            .as_mut()
+            .map(CollabClient::take_warnings)
+            .unwrap_or_default()
+    }
+
+    /// Sends `shutdown`, asking the server to stop. Best-effort: transport
+    /// errors after the send are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`CollabError`] when the shutdown frame could not be delivered.
+    pub fn shutdown_server(&mut self) -> Result<(), CollabError> {
+        self.ensure_connected()?;
+        let client = self.client.as_mut().expect("just connected");
+        client
+            .send(&Frame::Shutdown)
+            .map_err(|e| CollabError::Retryable(format!("send failed: {e}")))?;
+        let _ = client.recv(Duration::from_secs(2));
+        Ok(())
+    }
+
+    fn with_retries<T>(
+        &mut self,
+        mut exchange: impl FnMut(&mut CollabClient, u64, u64) -> Result<T, WireError>,
+    ) -> Result<T, CollabError> {
+        self.with_retries_cid(&mut exchange, 0)
+    }
+
+    /// `with_retries` for exchanges that carry a client operation id.
+    fn with_retries_cid<T>(
+        &mut self,
+        exchange: &mut impl FnMut(&mut CollabClient, u64, u64) -> Result<T, WireError>,
+        cid: u64,
+    ) -> Result<T, CollabError> {
+        let mut last_error = CollabError::Retryable("no attempt made".into());
+        for attempt in 1..=self.config.max_attempts {
+            if attempt > 1 {
+                let backoff = self.config.backoff(attempt - 1, &mut self.rng);
+                std::thread::sleep(backoff);
+            }
+            if let Err(e) = self.ensure_connected() {
+                last_error = e;
+                if last_error.is_retryable() {
+                    continue;
+                }
+                return Err(last_error);
+            }
+            let last_seen = self.last_seen_idx;
+            let client = self.client.as_mut().expect("just connected");
+            match exchange(client, cid, last_seen) {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_retryable() => {
+                    // The connection is suspect; rebuild it next attempt.
+                    self.client = None;
+                    last_error = e.into();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(last_error)
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), CollabError> {
+        if self.client.is_some() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let first_connection = self.connections == 0;
+        let mut client = CollabClient::connect(self.addr)
+            .map_err(|e| CollabError::Retryable(format!("connect failed: {e}")))?;
+        client.set_request_timeout(self.config.request_timeout);
+        if let Some(plan) = &self.fault_plan {
+            client.set_fault_injector(FaultInjector::new(plan, self.connections));
+        }
+        self.connections += 1;
+        match client.request(&Frame::Hello {
+            designer: self.designer,
+        }) {
+            Ok(Frame::Welcome { .. }) => {}
+            Ok(Frame::Error { message }) => return Err(CollabError::Fatal(message)),
+            Ok(other) => {
+                return Err(CollabError::Fatal(format!(
+                    "expected welcome, got `{}`",
+                    other.tag()
+                )))
+            }
+            Err(e) => return Err(e.into()),
+        }
+        // Re-establish the subscription, resuming after what we've seen.
+        if let Some(all) = self.subscribed {
+            let resume_from = if self.last_seen_idx > 0 {
+                Some(self.last_seen_idx)
+            } else {
+                None
+            };
+            match client.request(&Frame::Subscribe { all, resume_from }) {
+                Ok(Frame::Subscribed { .. }) => {}
+                Ok(Frame::Error { message }) => return Err(CollabError::Fatal(message)),
+                Ok(other) => {
+                    return Err(CollabError::Fatal(format!(
+                        "expected subscribed, got `{}`",
+                        other.tag()
+                    )))
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.client = Some(client);
+        if !first_connection {
+            self.reconnects += 1;
+            if let Some(sink) = &self.sink {
+                let dur_us = started.elapsed().as_micros() as u64;
+                sink.incr(Counter::Reconnects, 1);
+                sink.time(SpanKind::Reconnect, dur_us);
+                if sink.is_enabled() {
+                    sink.record(&TraceEvent::Reconnect {
+                        designer: self.designer,
+                        attempt: self.reconnects as u32,
+                        resumed_from: self.last_seen_idx,
+                        dur_us,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconnects (used by the event path, where there is no exchange to
+    /// retry) honouring the backoff schedule.
+    fn reconnect_with_backoff(&mut self) -> Result<(), CollabError> {
+        let mut last_error = CollabError::Retryable("no attempt made".into());
+        for attempt in 1..=self.config.max_attempts {
+            if attempt > 1 {
+                let backoff = self.config.backoff(attempt - 1, &mut self.rng);
+                std::thread::sleep(backoff);
+            }
+            match self.ensure_connected() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() => last_error = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::CollabServer;
+    use adpm_scenarios::sensing_system;
+    use adpm_teamsim::SimulationConfig;
+
+    fn serve_sensing() -> CollabServer {
+        let scenario = sensing_system();
+        let config = SimulationConfig::adpm(7);
+        let mut dpm = scenario.build_dpm(config.dpm_config());
+        dpm.initialize();
+        CollabServer::bind(dpm, 0).expect("bind")
+    }
+
+    fn fast_config() -> ReconnectConfig {
+        ReconnectConfig {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            seed: 11,
+            ..ReconnectConfig::default()
+        }
+    }
+
+    #[test]
+    fn submit_survives_a_forced_disconnect() {
+        let server = serve_sensing();
+        let mut client =
+            ResilientClient::connect(server.local_addr(), 1, fast_config()).expect("connect");
+        client.force_disconnect();
+        let verdict = client
+            .submit(WireOp::Assign {
+                problem: "pressure-sensor".into(),
+                property: "sensor.s-area".into(),
+                value: 4.0,
+            })
+            .expect("submit across reconnect");
+        assert!(matches!(verdict, Frame::Executed { .. }), "{verdict:?}");
+        assert_eq!(client.reconnects(), 1, "re-established connections count as reconnects");
+        client.force_disconnect();
+        let verdict = client
+            .submit(WireOp::Verify {
+                problem: "sensing-system".into(),
+                constraints: String::new(),
+            })
+            .expect("second submit");
+        assert!(matches!(verdict, Frame::Executed { .. }), "{verdict:?}");
+        let dpm = server.shutdown();
+        assert_eq!(dpm.history().len(), 2);
+    }
+
+    #[test]
+    fn unknown_designer_is_fatal_not_retried() {
+        let server = serve_sensing();
+        let err = ResilientClient::connect(server.local_addr(), 99, fast_config())
+            .expect_err("hello must fail");
+        assert!(!err.is_retryable(), "{err:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unreachable_server_exhausts_retries_as_retryable() {
+        // Bind-then-drop guarantees a port with nothing listening.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+            listener.local_addr().expect("addr")
+        };
+        let config = ReconnectConfig {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            seed: 3,
+            ..ReconnectConfig::default()
+        };
+        let err = ResilientClient::connect(addr, 0, config).expect_err("must fail");
+        assert!(err.is_retryable(), "{err:?}");
+    }
+
+    #[test]
+    fn events_resume_across_reconnect_without_duplicates() {
+        let server = serve_sensing();
+        let addr = server.local_addr();
+        let mut watcher = ResilientClient::connect(addr, 2, fast_config()).expect("watcher");
+        watcher.subscribe(true).expect("subscribe");
+        let mut actor = ResilientClient::connect(addr, 1, fast_config()).expect("actor");
+        let assign = |actor: &mut ResilientClient, property: &str, value: f64| {
+            let verdict = actor
+                .submit(WireOp::Assign {
+                    problem: "pressure-sensor".into(),
+                    property: property.into(),
+                    value,
+                })
+                .expect("submit");
+            assert!(matches!(verdict, Frame::Executed { .. }), "{verdict:?}");
+        };
+        assign(&mut actor, "sensor.s-area", 4.0);
+        let mut indices = Vec::new();
+        while let Some(Frame::Event { idx, .. }) = watcher
+            .next_event(Duration::from_millis(if indices.is_empty() { 5000 } else { 300 }))
+            .expect("event")
+        {
+            indices.push(idx);
+        }
+        assert!(!indices.is_empty(), "the first bind must produce events");
+
+        // Connection dies; the gap happens while we're away. s-drive
+        // couples to interface.i-vref (VrefDrive), so the gap produces
+        // events routed to the watching designer.
+        watcher.force_disconnect();
+        assign(&mut actor, "sensor.s-drive", 8.0);
+
+        // The resumed stream delivers exactly the gap: strictly ascending
+        // indices continuing from where we stopped, no repeats.
+        let before_gap = indices.len();
+        while let Some(Frame::Event { idx, .. }) = watcher
+            .next_event(Duration::from_millis(if indices.len() == before_gap {
+                5000
+            } else {
+                300
+            }))
+            .expect("resumed event")
+        {
+            indices.push(idx);
+        }
+        assert!(indices.len() > before_gap, "the gap must be redelivered");
+        assert_eq!(watcher.reconnects(), 1);
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(indices, sorted, "indices must be strictly ascending: {indices:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped_and_jittered() {
+        let config = ReconnectConfig {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(400),
+            seed: 5,
+            ..ReconnectConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        for attempt in 1..=8 {
+            let b = config.backoff(attempt, &mut rng);
+            let uncapped = Duration::from_millis(100 * (1 << (attempt - 1).min(16)));
+            let cap = uncapped.min(config.max_backoff);
+            assert!(b >= cap.mul_f64(0.5) && b < cap.mul_f64(1.5), "attempt {attempt}: {b:?}");
+        }
+    }
+}

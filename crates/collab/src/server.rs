@@ -13,23 +13,74 @@
 //! are fixed after scenario setup; only bindings and feasible subspaces
 //! change) and resolves both directions on the connection threads without
 //! consulting the session.
+//!
+//! Fault tolerance ([`ServerOptions`]):
+//!
+//! - **Heartbeats.** Connection reads run on a short poll timeout; after
+//!   [`heartbeat`](ServerOptions::heartbeat) of silence the server sends a
+//!   `ping` frame, counts unanswered pings into `heartbeats_missed`, and
+//!   after [`idle_timeout`](ServerOptions::idle_timeout) declares the peer
+//!   half-open and drops it — the failure a plain blocking read can never
+//!   detect.
+//! - **Write deadlines.** Every connection socket gets
+//!   [`write_deadline`](ServerOptions::write_deadline) as its write
+//!   timeout, so one stalled client cannot wedge a pusher thread forever;
+//!   the bounded inbox in front of it sheds load first.
+//! - **Resynchronization.** Oversized or undecodable lines are skipped to
+//!   the next newline; skipped bytes count into `wire_bytes_skipped`, emit
+//!   a `wire_skip` trace event, and the peer is told with a `warn` frame.
+//! - **Fault injection.** With a [`FaultPlan`](crate::fault::FaultPlan)
+//!   installed, every outgoing
+//!   frame passes through a per-connection deterministic
+//!   [`FaultInjector`] — chaos tests run against real torn bytes.
 
-use crate::notify::{InboxEntry, InterestSet};
-use crate::session::{OpOutcome, RejectReason, SessionEngine, SessionHandle, DEFAULT_INBOX_CAPACITY};
-use crate::wire::{read_frame, Frame, WireOp};
+use crate::fault::{FaultAction, FaultInjector};
+use crate::notify::{Inbox, InboxEntry, InterestSet};
+use crate::session::{
+    OpOutcome, RejectReason, SessionEngine, SessionHandle, SessionOptions, DEFAULT_INBOX_CAPACITY,
+};
+use crate::wire::{BufferedLine, Frame, LineBuffer, WireOp};
 use adpm_constraint::{ConstraintId, PropertyId};
 use adpm_core::{DesignProcessManager, DesignerId, Event, Operation, Operator, ProblemId};
+use adpm_observe::{Counter, MetricsSink, TraceEvent};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io::{self, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a notification pusher thread sleeps between inbox polls.
 const PUSH_POLL: Duration = Duration::from_millis(50);
+
+/// Connection read poll interval — the heartbeat bookkeeping granularity.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Liveness and degradation policy for served connections.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Silence before the server pings a quiet peer (and between pings).
+    pub heartbeat: Duration,
+    /// Total silence after which a peer is declared half-open and dropped.
+    pub idle_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_deadline: Duration,
+    /// Inject these faults into every outgoing frame (chaos testing).
+    pub fault_plan: Option<crate::fault::FaultPlan>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            heartbeat: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            write_deadline: Duration::from_secs(5),
+            fault_plan: None,
+        }
+    }
+}
 
 /// Name tables snapshot, shared read-only across connection threads.
 struct NameMaps {
@@ -104,6 +155,7 @@ impl NameMaps {
                     .collect::<Vec<_>>()
                     .join(","),
                 relative_size: 0.0,
+                idx: entry.idx,
             },
             Event::ViolationResolved { constraint } => Frame::Event {
                 seq: entry.seq,
@@ -111,6 +163,7 @@ impl NameMaps {
                 subject: self.constraint_name(*constraint).to_owned(),
                 properties: String::new(),
                 relative_size: 0.0,
+                idx: entry.idx,
             },
             Event::FeasibleReduced {
                 property,
@@ -121,6 +174,7 @@ impl NameMaps {
                 subject: self.property_name(*property).to_owned(),
                 properties: String::new(),
                 relative_size: *relative_size,
+                idx: entry.idx,
             },
             Event::FeasibleEmptied { property } => Frame::Event {
                 seq: entry.seq,
@@ -128,6 +182,7 @@ impl NameMaps {
                 subject: self.property_name(*property).to_owned(),
                 properties: String::new(),
                 relative_size: 0.0,
+                idx: entry.idx,
             },
             Event::ProblemSolved { problem } => Frame::Event {
                 seq: entry.seq,
@@ -135,6 +190,7 @@ impl NameMaps {
                 subject: self.problem_names[problem.index()].clone(),
                 properties: String::new(),
                 relative_size: 0.0,
+                idx: entry.idx,
             },
         }
     }
@@ -174,8 +230,25 @@ impl CollabServer {
     ///
     /// Propagates the listener's bind error.
     pub fn bind(dpm: DesignProcessManager, port: u16) -> io::Result<CollabServer> {
+        CollabServer::bind_with(dpm, port, ServerOptions::default(), SessionOptions::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit liveness policy and session
+    /// extras (e.g. an operation journal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener's bind error.
+    pub fn bind_with(
+        dpm: DesignProcessManager,
+        port: u16,
+        options: ServerOptions,
+        session: SessionOptions,
+    ) -> io::Result<CollabServer> {
         let names = Arc::new(NameMaps::build(&dpm));
-        let engine = SessionEngine::spawn(dpm);
+        let sink = dpm.metrics_sink().clone();
+        let options = Arc::new(options);
+        let engine = SessionEngine::spawn_with(dpm, session);
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -192,6 +265,7 @@ impl CollabServer {
             thread::Builder::new()
                 .name("adpm-accept".into())
                 .spawn(move || {
+                    let mut conn_index: u64 = 0;
                     for incoming in listener.incoming() {
                         if stop.load(Ordering::SeqCst) {
                             break;
@@ -203,9 +277,17 @@ impl CollabServer {
                         let handle = handle.clone();
                         let names = names.clone();
                         let signal = signal.clone();
-                        let worker = thread::Builder::new()
-                            .name("adpm-conn".into())
-                            .spawn(move || serve_connection(stream, handle, names, signal));
+                        let options = options.clone();
+                        let sink = sink.clone();
+                        let index = conn_index;
+                        conn_index += 1;
+                        let worker = thread::Builder::new().name("adpm-conn".into()).spawn(
+                            move || {
+                                serve_connection(
+                                    stream, handle, names, signal, options, sink, index,
+                                )
+                            },
+                        );
                         if let Ok(worker) = worker {
                             lock(&threads).push(worker);
                         }
@@ -283,15 +365,52 @@ fn lock_flag(m: &Mutex<bool>) -> std::sync::MutexGuard<'_, bool> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// The write half of one connection: the socket plus the optional fault
+/// injector every outgoing frame passes through.
+struct ConnWriter {
+    stream: TcpStream,
+    injector: Option<FaultInjector>,
+}
+
+impl ConnWriter {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        match self
+            .injector
+            .as_mut()
+            .map(|injector| injector.transform(line.as_bytes()))
+        {
+            None => {
+                self.stream.write_all(line.as_bytes())?;
+                self.stream.flush()
+            }
+            Some(FaultAction::Kill) => {
+                let _ = self.stream.shutdown(NetShutdown::Both);
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "connection killed by fault plan",
+                ))
+            }
+            Some(FaultAction::Write(chunks)) => {
+                for (bytes, delay) in chunks {
+                    if !delay.is_zero() {
+                        thread::sleep(delay);
+                    }
+                    self.stream.write_all(&bytes)?;
+                }
+                self.stream.flush()
+            }
+        }
+    }
+}
+
 /// Writes one frame under the connection's writer lock, so concurrently
 /// pushed notification lines never interleave with response lines.
-fn write_frame(writer: &Mutex<TcpStream>, frame: &Frame) -> io::Result<()> {
+fn write_frame(writer: &Mutex<ConnWriter>, frame: &Frame) -> io::Result<()> {
     let line = frame.to_line();
-    let mut stream = writer
+    writer
         .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    stream.write_all(line.as_bytes())?;
-    stream.flush()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .write_line(&line)
 }
 
 fn reject_reason(reason: &RejectReason) -> String {
@@ -303,22 +422,89 @@ fn serve_connection(
     handle: SessionHandle,
     names: Arc<NameMaps>,
     shutdown_signal: Arc<(Mutex<bool>, Condvar)>,
+    options: Arc<ServerOptions>,
+    sink: Arc<dyn MetricsSink>,
+    conn_index: u64,
 ) {
-    let Ok(read_half) = stream.try_clone() else {
+    let Ok(mut read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let writer = Arc::new(Mutex::new(stream));
+    let _ = read_half.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(options.write_deadline));
+    let injector = options
+        .fault_plan
+        .as_ref()
+        .map(|plan| FaultInjector::new(plan, conn_index).with_sink(sink.clone()));
+    let writer = Arc::new(Mutex::new(ConnWriter { stream, injector }));
+    let mut buffer = LineBuffer::new();
+    let mut chunk = [0u8; 4096];
+    let mut last_activity = Instant::now();
+    let mut pending_ping: Option<Instant> = None;
+    let mut ping_nonce: u64 = 0;
     let mut designer: Option<DesignerId> = None;
-    let mut pusher: Option<thread::JoinHandle<()>> = None;
+    let mut subscription: Option<Inbox> = None;
+    let mut pushers: Vec<thread::JoinHandle<()>> = Vec::new();
     let conn_done = Arc::new(AtomicBool::new(false));
-    loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => break,
+    'conn: loop {
+        // Assemble the next complete line, interleaving heartbeat
+        // bookkeeping with short-timeout reads.
+        let line = 'line: loop {
+            match buffer.take() {
+                Some(BufferedLine::Line(line)) => break 'line line,
+                Some(BufferedLine::Skipped { bytes }) => {
+                    sink.incr(Counter::WireBytesSkipped, bytes);
+                    if sink.is_enabled() {
+                        sink.record(&TraceEvent::WireSkip { bytes });
+                    }
+                    let warning = Frame::Warning {
+                        message: format!("{bytes} bytes discarded resynchronizing the stream"),
+                    };
+                    if write_frame(&writer, &warning).is_err() {
+                        break 'conn;
+                    }
+                }
+                None => match read_half.read(&mut chunk) {
+                    Ok(0) => break 'conn,
+                    Ok(n) => {
+                        buffer.push(&chunk[..n]);
+                        last_activity = Instant::now();
+                        pending_ping = None;
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        let now = Instant::now();
+                        let idle = now.duration_since(last_activity);
+                        if idle >= options.idle_timeout {
+                            // Half-open peer: nothing (not even pongs) for
+                            // the whole idle window.
+                            sink.incr(Counter::HeartbeatsMissed, 1);
+                            break 'conn;
+                        }
+                        let since_ping = pending_ping.map_or(idle, |at| now.duration_since(at));
+                        if idle >= options.heartbeat && since_ping >= options.heartbeat {
+                            if pending_ping.is_some() {
+                                sink.incr(Counter::HeartbeatsMissed, 1);
+                            }
+                            ping_nonce += 1;
+                            if write_frame(&writer, &Frame::Ping { nonce: ping_nonce }).is_err() {
+                                break 'conn;
+                            }
+                            pending_ping = Some(now);
+                        }
+                    }
+                    Err(_) => break 'conn,
+                },
+            }
+        };
+        let frame = match Frame::parse_line(&line) {
+            Ok(frame) => frame,
             Err(err) => {
                 // Parse errors keep the line-synchronized connection open;
-                // I/O errors end the read loop on the next iteration.
+                // I/O errors end the loop at the next write or read.
                 if write_frame(
                     &writer,
                     &Frame::Error {
@@ -351,33 +537,41 @@ fn serve_connection(
                     }
                 }
             }
-            Frame::Subscribe { all } => match designer {
+            Frame::Subscribe { all, resume_from } => match designer {
                 None => Frame::Error {
                     message: "subscribe requires a hello first".into(),
                 },
-                Some(d) => match subscribe(&handle, d, all) {
+                Some(d) => match subscribe(&handle, d, all, resume_from) {
                     Err(_) => Frame::Error {
                         message: "session is shut down".into(),
                     },
-                    Ok(inbox) => {
+                    Ok((inbox, last_idx)) => {
+                        // A re-subscribe (resume) supersedes the previous
+                        // inbox; closing it lets the session GC it.
+                        if let Some(old) = subscription.replace(inbox.clone()) {
+                            old.close();
+                        }
                         let writer = writer.clone();
                         let names = names.clone();
                         let done = conn_done.clone();
                         let worker = thread::Builder::new()
                             .name("adpm-push".into())
                             .spawn(move || push_events(inbox, writer, names, done));
-                        pusher = worker.ok();
+                        if let Ok(worker) = worker {
+                            pushers.push(worker);
+                        }
                         Frame::Subscribed {
                             designer: d.index() as u32,
+                            last_idx,
                         }
                     }
                 },
             },
-            Frame::Submit(op) => match designer {
+            Frame::Submit { op, cid } => match designer {
                 None => Frame::Error {
                     message: "submit requires a hello first".into(),
                 },
-                Some(d) => submit(&handle, &names, d, op),
+                Some(d) => submit(&handle, &names, d, op, cid),
             },
             Frame::Snapshot => match handle.snapshot() {
                 Err(_) => Frame::Error {
@@ -390,6 +584,10 @@ fn serve_connection(
                     continue;
                 }
             },
+            Frame::Ping { nonce } => Frame::Pong { nonce },
+            // Any traffic already refreshed `last_activity`; a pong needs
+            // no reply.
+            Frame::Pong { .. } => continue,
             Frame::Shutdown => {
                 let _ = write_frame(&writer, &Frame::Bye);
                 let (flag, cvar) = &*shutdown_signal;
@@ -411,29 +609,39 @@ fn serve_connection(
             break;
         }
     }
+    // Closing the inbox both stops the pusher and lets the session's
+    // fan-out GC the dead subscription.
+    if let Some(inbox) = subscription.take() {
+        inbox.close();
+    }
     conn_done.store(true, Ordering::SeqCst);
-    if let Some(p) = pusher {
+    for p in pushers {
         let _ = p.join();
     }
+    // The accept loop retains a clone of this socket (to unblock readers
+    // at server shutdown), so dropping our halves is not enough to close
+    // it — shut the underlying socket down so the peer sees EOF now.
+    let _ = read_half.shutdown(NetShutdown::Both);
 }
 
 fn subscribe(
     handle: &SessionHandle,
     designer: DesignerId,
     all: bool,
-) -> Result<crate::notify::Inbox, crate::session::SessionClosed> {
-    if all {
-        handle.subscribe(designer, InterestSet::everything(), DEFAULT_INBOX_CAPACITY)
+    resume_from: Option<u64>,
+) -> Result<(Inbox, u64), crate::session::SessionClosed> {
+    let interests = if all {
+        InterestSet::everything()
     } else {
         let snapshot = handle.snapshot()?;
-        let interests = InterestSet::for_designer(&snapshot, designer);
-        handle.subscribe(designer, interests, DEFAULT_INBOX_CAPACITY)
-    }
+        InterestSet::for_designer(&snapshot, designer)
+    };
+    handle.subscribe_from(designer, interests, DEFAULT_INBOX_CAPACITY, resume_from)
 }
 
 fn push_events(
-    inbox: crate::notify::Inbox,
-    writer: Arc<Mutex<TcpStream>>,
+    inbox: Inbox,
+    writer: Arc<Mutex<ConnWriter>>,
     names: Arc<NameMaps>,
     done: Arc<AtomicBool>,
 ) {
@@ -455,17 +663,19 @@ fn submit(
     names: &NameMaps,
     designer: DesignerId,
     op: WireOp,
+    cid: Option<u64>,
 ) -> Frame {
     let operation = match resolve_operation(names, designer, op) {
         Ok(operation) => operation,
         Err(message) => return Frame::Error { message },
     };
-    match handle.submit(operation) {
+    match handle.submit_with_cid(operation, cid) {
         Err(_) => Frame::Error {
             message: "session is shut down".into(),
         },
         Ok(OpOutcome::Rejected(reason)) => Frame::Rejected {
             reason: reject_reason(&reason),
+            cid,
         },
         Ok(OpOutcome::Executed(record)) => Frame::Executed {
             seq: record.sequence as u64,
@@ -478,6 +688,7 @@ fn submit(
                 .collect::<Vec<_>>()
                 .join(","),
             spin: record.spin,
+            cid,
         },
     }
 }
@@ -550,7 +761,7 @@ fn resolve_operation(
 }
 
 fn stream_snapshot(
-    writer: &Mutex<TcpStream>,
+    writer: &Mutex<ConnWriter>,
     names: &NameMaps,
     dpm: &DesignProcessManager,
 ) -> io::Result<()> {
@@ -590,16 +801,21 @@ fn stream_snapshot(
 mod tests {
     use super::*;
     use crate::client::CollabClient;
+    use adpm_observe::InMemorySink;
     use adpm_scenarios::sensing_system;
     use adpm_teamsim::SimulationConfig;
     use std::time::Duration;
 
-    fn serve_sensing() -> CollabServer {
+    fn sensing_dpm() -> DesignProcessManager {
         let scenario = sensing_system();
         let config = SimulationConfig::adpm(7);
         let mut dpm = scenario.build_dpm(config.dpm_config());
         dpm.initialize();
-        CollabServer::bind(dpm, 0).expect("bind")
+        dpm
+    }
+
+    fn serve_sensing() -> CollabServer {
+        CollabServer::bind(sensing_dpm(), 0).expect("bind")
     }
 
     #[test]
@@ -638,9 +854,18 @@ mod tests {
         let welcome = watcher.request(&Frame::Hello { designer: 2 }).expect("hello");
         assert!(matches!(welcome, Frame::Welcome { .. }));
         let subscribed = watcher
-            .request(&Frame::Subscribe { all: false })
+            .request(&Frame::Subscribe {
+                all: false,
+                resume_from: None,
+            })
             .expect("subscribe");
-        assert_eq!(subscribed, Frame::Subscribed { designer: 2 });
+        assert_eq!(
+            subscribed,
+            Frame::Subscribed {
+                designer: 2,
+                last_idx: 0
+            }
+        );
 
         // Designer 1 binds a sensor output that shares a cross constraint
         // with the interface circuit; propagation narrows interface
@@ -648,11 +873,14 @@ mod tests {
         let mut actor = CollabClient::connect(addr).expect("connect actor");
         actor.request(&Frame::Hello { designer: 1 }).expect("hello");
         let outcome = actor
-            .request(&Frame::Submit(WireOp::Assign {
-                problem: "pressure-sensor".into(),
-                property: "sensor.s-area".into(),
-                value: 4.0,
-            }))
+            .request(&Frame::Submit {
+                op: WireOp::Assign {
+                    problem: "pressure-sensor".into(),
+                    property: "sensor.s-area".into(),
+                    value: 4.0,
+                },
+                cid: None,
+            })
             .expect("submit");
         assert!(
             matches!(outcome, Frame::Executed { .. }),
@@ -663,10 +891,11 @@ mod tests {
             .next_event(Duration::from_secs(5))
             .expect("event wait")
             .expect("an interest-filtered event should arrive");
-        let Frame::Event { seq, kind, .. } = &event else {
+        let Frame::Event { seq, kind, idx, .. } = &event else {
             panic!("expected event, got {event:?}");
         };
         assert_eq!(*seq, 1);
+        assert!(*idx >= 1, "delivery indices are 1-based");
         assert!(
             kind == "feasible_reduced" || kind == "violation_detected",
             "unexpected kind {kind}"
@@ -680,10 +909,13 @@ mod tests {
         let mut client = CollabClient::connect(server.local_addr()).expect("connect");
         // Submit before hello.
         let err = client
-            .request(&Frame::Submit(WireOp::Verify {
-                problem: "sensing-system".into(),
-                constraints: String::new(),
-            }))
+            .request(&Frame::Submit {
+                op: WireOp::Verify {
+                    problem: "sensing-system".into(),
+                    constraints: String::new(),
+                },
+                cid: None,
+            })
             .expect("reply");
         assert!(matches!(err, Frame::Error { .. }));
         // Unknown designer.
@@ -692,11 +924,14 @@ mod tests {
         // Unknown names after a valid hello.
         client.request(&Frame::Hello { designer: 0 }).expect("hello");
         let err = client
-            .request(&Frame::Submit(WireOp::Assign {
-                problem: "no-such-problem".into(),
-                property: "sensor.s-area".into(),
-                value: 1.0,
-            }))
+            .request(&Frame::Submit {
+                op: WireOp::Assign {
+                    problem: "no-such-problem".into(),
+                    property: "sensor.s-area".into(),
+                    value: 1.0,
+                },
+                cid: None,
+            })
             .expect("reply");
         assert!(matches!(err, Frame::Error { .. }));
         // Malformed line: connection survives, next request works.
@@ -729,7 +964,10 @@ mod tests {
             let mut client = CollabClient::connect(addr).expect("connect");
             client.request(&Frame::Hello { designer: 0 }).expect("hello");
             client
-                .request(&Frame::Subscribe { all: true })
+                .request(&Frame::Subscribe {
+                    all: true,
+                    resume_from: None,
+                })
                 .expect("subscribe");
             // Dropped here with an active subscription: the pusher thread
             // must notice the dead socket or the closing inbox and exit.
@@ -740,5 +978,182 @@ mod tests {
         // shutdown() joins every connection thread; a wedged pusher would
         // hang the test here.
         server.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_is_skipped_counted_and_warned() {
+        let mut dpm = sensing_dpm();
+        let sink = Arc::new(InMemorySink::new());
+        dpm.set_sink(sink.clone());
+        let server = CollabServer::bind(dpm, 0).expect("bind");
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        // A single line far beyond the frame limit: the server must skip
+        // to the next newline, count the bytes, and warn us.
+        let huge = "x".repeat(crate::wire::MAX_LINE_BYTES + 100);
+        client.send_raw(&huge).expect("send oversized");
+        client.send_raw("\n").expect("terminate");
+        // The connection stays usable.
+        let welcome = client.request(&Frame::Hello { designer: 0 }).expect("hello");
+        assert!(matches!(welcome, Frame::Welcome { .. }));
+        let warnings = client.take_warnings();
+        assert!(
+            warnings.iter().any(|w| w.contains("discarded")),
+            "expected a resync warning, got {warnings:?}"
+        );
+        assert!(
+            sink.get(Counter::WireBytesSkipped) as usize > crate::wire::MAX_LINE_BYTES,
+            "skipped bytes must be counted"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_open_client_is_detected_and_dropped() {
+        let mut dpm = sensing_dpm();
+        let sink = Arc::new(InMemorySink::new());
+        dpm.set_sink(sink.clone());
+        let options = ServerOptions {
+            heartbeat: Duration::from_millis(50),
+            idle_timeout: Duration::from_millis(250),
+            ..ServerOptions::default()
+        };
+        let server =
+            CollabServer::bind_with(dpm, 0, options, SessionOptions::default()).expect("bind");
+        // A raw socket that says hello and then goes silent — it never
+        // answers pings (a CollabClient would auto-pong).
+        let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+        raw.write_all(b"{\"t\":\"hello\",\"designer\":0}\n")
+            .expect("hello");
+        raw.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        // Drain until the server gives up on us: EOF proves the
+        // disconnect; the counter proves it was heartbeat-driven.
+        let mut sunk = Vec::new();
+        let mut buf = [0u8; 1024];
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match raw.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => sunk.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    assert!(Instant::now() < deadline, "server never dropped us");
+                }
+                Err(_) => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&sunk);
+        assert!(text.contains("\"t\":\"ping\""), "server must have pinged: {text}");
+        assert!(sink.get(Counter::HeartbeatsMissed) >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn resubscribe_with_resume_redelivers_the_gap_exactly_once() {
+        let server = serve_sensing();
+        let addr = server.local_addr();
+
+        // Watcher subscribes to everything, sees the first bind's events.
+        let mut watcher = CollabClient::connect(addr).expect("connect watcher");
+        watcher.request(&Frame::Hello { designer: 2 }).expect("hello");
+        let sub = watcher
+            .request(&Frame::Subscribe {
+                all: true,
+                resume_from: None,
+            })
+            .expect("subscribe");
+        assert!(matches!(sub, Frame::Subscribed { last_idx: 0, .. }));
+
+        let mut actor = CollabClient::connect(addr).expect("connect actor");
+        actor.request(&Frame::Hello { designer: 1 }).expect("hello");
+        let mut assign = |property: &str, value: f64| {
+            let outcome = actor
+                .request(&Frame::Submit {
+                    op: WireOp::Assign {
+                        problem: "pressure-sensor".into(),
+                        property: property.into(),
+                        value,
+                    },
+                    cid: None,
+                })
+                .expect("submit");
+            assert!(matches!(outcome, Frame::Executed { .. }), "{outcome:?}");
+        };
+        assign("sensor.s-area", 4.0);
+        let mut seen = Vec::new();
+        while let Some(Frame::Event { idx, .. }) = watcher
+            .next_event(Duration::from_millis(if seen.is_empty() { 5000 } else { 400 }))
+            .expect("event wait")
+        {
+            seen.push(idx);
+        }
+        let last_seen = *seen.iter().max().expect("at least one event");
+
+        // Watcher drops; the actor keeps designing (the gap).
+        // s-drive couples to interface.i-vref (VrefDrive), so the gap
+        // produces events routed to the watching designer.
+        drop(watcher);
+        assign("sensor.s-drive", 8.0);
+
+        // Reconnect and resume from the last seen index: the gap arrives,
+        // nothing before it is repeated.
+        let mut watcher = CollabClient::connect(addr).expect("reconnect watcher");
+        watcher.request(&Frame::Hello { designer: 2 }).expect("hello");
+        let sub = watcher
+            .request(&Frame::Subscribe {
+                all: true,
+                resume_from: Some(last_seen),
+            })
+            .expect("resubscribe");
+        let Frame::Subscribed { last_idx, .. } = sub else {
+            panic!("expected subscribed, got {sub:?}");
+        };
+        assert!(last_idx > last_seen, "the gap must have advanced the log");
+        let mut redelivered = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while (redelivered.len() as u64) < last_idx - last_seen {
+            assert!(Instant::now() < deadline, "gap never arrived: {redelivered:?}");
+            if let Some(Frame::Event { idx, .. }) =
+                watcher.next_event(Duration::from_millis(200)).expect("wait")
+            {
+                redelivered.push(idx);
+            }
+        }
+        let expected: Vec<u64> = (last_seen + 1..=last_idx).collect();
+        assert_eq!(redelivered, expected, "gap redelivered exactly once, in order");
+        server.shutdown();
+    }
+
+    #[test]
+    fn duplicate_cid_is_answered_without_reexecution() {
+        let server = serve_sensing();
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        client.request(&Frame::Hello { designer: 1 }).expect("hello");
+        let submit = Frame::Submit {
+            op: WireOp::Assign {
+                problem: "pressure-sensor".into(),
+                property: "sensor.s-area".into(),
+                value: 4.0,
+            },
+            cid: Some(77),
+        };
+        let first = client.request(&submit).expect("first submit");
+        let Frame::Executed { seq, cid, .. } = first else {
+            panic!("expected executed, got {first:?}");
+        };
+        assert_eq!(cid, Some(77));
+        // The retry (same cid) gets the remembered outcome — same seq, no
+        // second history entry.
+        let second = client.request(&submit).expect("retried submit");
+        let Frame::Executed { seq: seq2, cid, .. } = second else {
+            panic!("expected executed, got {second:?}");
+        };
+        assert_eq!(cid, Some(77));
+        assert_eq!(seq2, seq);
+        let dpm = server.shutdown();
+        assert_eq!(dpm.history().len(), 1, "the operation ran exactly once");
     }
 }

@@ -17,10 +17,12 @@
 //! drops its reply receiver (or dies mid-call) never wedges the session
 //! thread.
 
+use crate::journal::JournalWriter;
 use crate::notify::{Inbox, InboxEntry, InterestSet};
 use adpm_core::{DesignProcessManager, DesignerId, Operation, OperationError, OperationRecord};
 use adpm_constraint::NetworkError;
 use adpm_observe::{Counter, MetricsSink, SpanKind, TraceEvent};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -28,6 +30,14 @@ use std::time::Instant;
 
 /// Default per-subscription inbox capacity.
 pub const DEFAULT_INBOX_CAPACITY: usize = 256;
+
+/// Per-designer events retained for reconnect redelivery.
+const RETAINED_EVENTS: usize = 1024;
+
+/// Per-designer remembered `(cid, outcome)` pairs for exactly-once
+/// resubmission; a reconnecting client retries at most its last in-flight
+/// operation, so a window this deep is effectively unbounded in practice.
+const DEDUP_WINDOW: usize = 128;
 
 /// What became of a submitted operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,13 +97,19 @@ impl std::error::Error for SessionClosed {}
 enum Command {
     Submit {
         operation: Operation,
+        /// Client operation id for exactly-once resubmission; `None`
+        /// bypasses deduplication entirely.
+        cid: Option<u64>,
         reply: Sender<OpOutcome>,
     },
     Subscribe {
         designer: DesignerId,
         interests: InterestSet,
         capacity: usize,
-        reply: Sender<Inbox>,
+        /// Redeliver retained events with delivery index > this (`None`
+        /// = fresh subscription, nothing redelivered).
+        resume_from: Option<u64>,
+        reply: Sender<(Inbox, u64)>,
     },
     Snapshot {
         reply: Sender<DesignProcessManager>,
@@ -143,6 +159,30 @@ impl SessionHandle {
         self.submit_async(operation)?.recv().map_err(|_| SessionClosed)
     }
 
+    /// Submits with a client operation id: if the session has already
+    /// answered this `(designer, cid)` pair, the remembered outcome is
+    /// returned without executing again — the exactly-once guarantee a
+    /// client resubmitting after a lost response relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionClosed`] when the session thread has already exited.
+    pub fn submit_with_cid(
+        &self,
+        operation: Operation,
+        cid: Option<u64>,
+    ) -> Result<OpOutcome, SessionClosed> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Command::Submit {
+                operation,
+                cid,
+                reply,
+            })
+            .map_err(|_| SessionClosed)?;
+        rx.recv().map_err(|_| SessionClosed)
+    }
+
     /// Submits an operation without waiting; the returned receiver yields
     /// the outcome. Dropping the receiver abandons the call — the session
     /// still executes the operation but discards the reply.
@@ -156,7 +196,11 @@ impl SessionHandle {
     ) -> Result<Receiver<OpOutcome>, SessionClosed> {
         let (reply, rx) = mpsc::channel();
         self.tx
-            .send(Command::Submit { operation, reply })
+            .send(Command::Submit {
+                operation,
+                cid: None,
+                reply,
+            })
             .map_err(|_| SessionClosed)?;
         Ok(rx)
     }
@@ -174,12 +218,33 @@ impl SessionHandle {
         interests: InterestSet,
         capacity: usize,
     ) -> Result<Inbox, SessionClosed> {
+        self.subscribe_from(designer, interests, capacity, None)
+            .map(|(inbox, _)| inbox)
+    }
+
+    /// Like [`subscribe`](SessionHandle::subscribe), optionally resuming:
+    /// with `resume_from = Some(n)` every retained event routed to
+    /// `designer` with delivery index `> n` and matching `interests` is
+    /// pre-queued into the inbox, exactly once. Also returns the highest
+    /// delivery index the session has assigned for this designer so far.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionClosed`] when the session thread has already exited.
+    pub fn subscribe_from(
+        &self,
+        designer: DesignerId,
+        interests: InterestSet,
+        capacity: usize,
+        resume_from: Option<u64>,
+    ) -> Result<(Inbox, u64), SessionClosed> {
         let (reply, rx) = mpsc::channel();
         self.tx
             .send(Command::Subscribe {
                 designer,
                 interests,
                 capacity,
+                resume_from,
                 reply,
             })
             .map_err(|_| SessionClosed)?;
@@ -207,6 +272,59 @@ struct SubscriptionEntry {
     inbox: Inbox,
 }
 
+/// Per-designer delivery bookkeeping: the monotonic delivery index and the
+/// bounded tail of recent events kept for reconnect redelivery.
+struct EventLog {
+    /// Highest delivery index assigned (0 = nothing routed yet).
+    last_idx: u64,
+    retained: VecDeque<InboxEntry>,
+}
+
+impl EventLog {
+    fn new() -> Self {
+        EventLog {
+            last_idx: 0,
+            retained: VecDeque::new(),
+        }
+    }
+}
+
+/// Per-designer exactly-once memory: recently answered `(cid, outcome)`.
+struct DedupWindow {
+    answered: VecDeque<(u64, OpOutcome)>,
+}
+
+impl DedupWindow {
+    fn new() -> Self {
+        DedupWindow {
+            answered: VecDeque::new(),
+        }
+    }
+
+    fn lookup(&self, cid: u64) -> Option<&OpOutcome> {
+        self.answered
+            .iter()
+            .find(|(c, _)| *c == cid)
+            .map(|(_, outcome)| outcome)
+    }
+
+    fn remember(&mut self, cid: u64, outcome: OpOutcome) {
+        if self.answered.len() >= DEDUP_WINDOW {
+            self.answered.pop_front();
+        }
+        self.answered.push_back((cid, outcome));
+    }
+}
+
+/// Extras a session can be spawned with; [`Default`] is a plain in-memory
+/// session, exactly what [`SessionEngine::spawn`] gives.
+#[derive(Debug, Default)]
+pub struct SessionOptions {
+    /// Journal every executed operation through this writer (opened by the
+    /// caller, possibly resumed after a [`recover`](crate::journal::recover)).
+    pub journal: Option<JournalWriter>,
+}
+
 /// A running collaboration session: the command-loop thread plus a
 /// [`SessionHandle`] factory.
 ///
@@ -225,10 +343,16 @@ impl SessionEngine {
     /// [`initialize`](DesignProcessManager::initialize) first so the
     /// session starts from the propagated initial state.
     pub fn spawn(dpm: DesignProcessManager) -> Self {
+        SessionEngine::spawn_with(dpm, SessionOptions::default())
+    }
+
+    /// [`spawn`](SessionEngine::spawn) with extras — currently an
+    /// operation journal for durability.
+    pub fn spawn_with(dpm: DesignProcessManager, options: SessionOptions) -> Self {
         let (tx, rx) = mpsc::channel::<Command>();
         let thread = std::thread::Builder::new()
             .name("adpm-session".into())
-            .spawn(move || session_loop(dpm, rx))
+            .spawn(move || session_loop(dpm, rx, options))
             .expect("spawn session thread");
         SessionEngine {
             handle: SessionHandle { tx },
@@ -266,8 +390,15 @@ impl Drop for SessionEngine {
     }
 }
 
-fn session_loop(mut dpm: DesignProcessManager, rx: Receiver<Command>) -> DesignProcessManager {
+fn session_loop(
+    mut dpm: DesignProcessManager,
+    rx: Receiver<Command>,
+    options: SessionOptions,
+) -> DesignProcessManager {
     let mut subscriptions: Vec<SubscriptionEntry> = Vec::new();
+    let mut logs: Vec<EventLog> = dpm.designers().iter().map(|_| EventLog::new()).collect();
+    let mut dedup: Vec<DedupWindow> = dpm.designers().iter().map(|_| DedupWindow::new()).collect();
+    let mut journal = options.journal;
     let mut seq: u64 = 0;
     while let Ok(command) = rx.recv() {
         seq += 1;
@@ -277,11 +408,37 @@ fn session_loop(mut dpm: DesignProcessManager, rx: Receiver<Command>) -> DesignP
         let sink = dpm.metrics_sink().clone();
         sink.incr(Counter::SessionOps, 1);
         let outcome = match command {
-            Command::Submit { operation, reply } => {
-                let outcome = execute_submission(&mut dpm, &mut subscriptions, operation);
-                let label = match &outcome {
-                    OpOutcome::Executed(_) => "executed",
-                    OpOutcome::Rejected(_) => "rejected",
+            Command::Submit {
+                operation,
+                cid,
+                reply,
+            } => {
+                let window = dedup.get_mut(operation.designer().index());
+                let remembered = match (&window, cid) {
+                    (Some(w), Some(cid)) => w.lookup(cid).cloned(),
+                    _ => None,
+                };
+                let (outcome, label) = match remembered {
+                    // Exactly-once: a resubmission after a lost response
+                    // gets the remembered answer, not a second execution.
+                    Some(outcome) => (outcome, "deduplicated"),
+                    None => {
+                        let outcome = execute_submission(
+                            &mut dpm,
+                            &mut subscriptions,
+                            &mut logs,
+                            &mut journal,
+                            operation,
+                        );
+                        let label = match &outcome {
+                            OpOutcome::Executed(_) => "executed",
+                            OpOutcome::Rejected(_) => "rejected",
+                        };
+                        if let (Some(w), Some(cid)) = (dedup.get_mut(designer as usize), cid) {
+                            w.remember(cid, outcome.clone());
+                        }
+                        (outcome, label)
+                    }
                 };
                 // A dropped client must never wedge the session thread.
                 let _ = reply.send(outcome);
@@ -291,15 +448,30 @@ fn session_loop(mut dpm: DesignProcessManager, rx: Receiver<Command>) -> DesignP
                 designer,
                 interests,
                 capacity,
+                resume_from,
                 reply,
             } => {
                 let inbox = Inbox::bounded(capacity);
+                let last_idx = logs.get(designer.index()).map_or(0, |l| l.last_idx);
+                if let (Some(after), Some(log)) = (resume_from, logs.get(designer.index())) {
+                    let mut redelivered: u32 = 0;
+                    for entry in log.retained.iter().filter(|e| e.idx > after) {
+                        if interests.matches(&entry.event, dpm.network())
+                            && inbox.push(entry.clone())
+                        {
+                            redelivered += 1;
+                        }
+                    }
+                    if redelivered > 0 {
+                        sink.incr(Counter::InboxDelivered, redelivered.into());
+                    }
+                }
                 subscriptions.push(SubscriptionEntry {
                     designer,
                     interests,
                     inbox: inbox.clone(),
                 });
-                let _ = reply.send(inbox);
+                let _ = reply.send((inbox, last_idx));
                 "ok"
             }
             Command::Snapshot { reply } => {
@@ -325,6 +497,11 @@ fn session_loop(mut dpm: DesignProcessManager, rx: Receiver<Command>) -> DesignP
                 for sub in &subscriptions {
                     sub.inbox.close();
                 }
+                if let Some(journal) = journal.as_mut() {
+                    if let Err(error) = journal.sync() {
+                        eprintln!("adpm: journal sync at shutdown failed: {error}");
+                    }
+                }
                 let _ = reply.send(());
                 record_session_event(&*sink, seq, kind, designer, "ok", started);
                 return dpm;
@@ -336,6 +513,11 @@ fn session_loop(mut dpm: DesignProcessManager, rx: Receiver<Command>) -> DesignP
     // session any more, so close the inboxes and exit.
     for sub in &subscriptions {
         sub.inbox.close();
+    }
+    if let Some(journal) = journal.as_mut() {
+        if let Err(error) = journal.sync() {
+            eprintln!("adpm: journal sync at shutdown failed: {error}");
+        }
     }
     dpm
 }
@@ -363,7 +545,9 @@ fn record_session_event(
 
 fn execute_submission(
     dpm: &mut DesignProcessManager,
-    subscriptions: &mut [SubscriptionEntry],
+    subscriptions: &mut Vec<SubscriptionEntry>,
+    logs: &mut [EventLog],
+    journal: &mut Option<JournalWriter>,
     operation: Operation,
 ) -> OpOutcome {
     if let Err(error) = dpm.validate_operation(&operation) {
@@ -371,7 +555,15 @@ fn execute_submission(
     }
     match dpm.execute(operation) {
         Ok(record) => {
-            fan_out(dpm, subscriptions, record.sequence as u64);
+            if let Some(writer) = journal.as_mut() {
+                if let Err(error) = writer.append(&record, dpm) {
+                    // Graceful degradation: a failing journal (disk full,
+                    // permissions yanked) stops journaling, not the session.
+                    eprintln!("adpm: journal append failed, journaling disabled: {error}");
+                    *journal = None;
+                }
+            }
+            fan_out(dpm, subscriptions, logs, record.sequence as u64);
             OpOutcome::Executed(record)
         }
         Err(error) => OpOutcome::Rejected(RejectReason::Network(error)),
@@ -381,10 +573,21 @@ fn execute_submission(
 /// Drains the DPM's pending notifications for every designer and delivers
 /// the interest-matching events into the subscribed inboxes. Draining
 /// unconditionally (even with no subscriptions) keeps the DPM's pending
-/// queues from growing without bound over a long session.
-fn fan_out(dpm: &mut DesignProcessManager, subscriptions: &mut [SubscriptionEntry], seq: u64) {
+/// queues from growing without bound over a long session. Each routed
+/// event gets the designer's next monotonic delivery index and is retained
+/// (bounded) for reconnect redelivery *before* interest filtering, so a
+/// resumed subscription sees the same indices as the original one.
+fn fan_out(
+    dpm: &mut DesignProcessManager,
+    subscriptions: &mut Vec<SubscriptionEntry>,
+    logs: &mut [EventLog],
+    seq: u64,
+) {
     let started = Instant::now();
     let sink = dpm.metrics_sink().clone();
+    // Subscriptions whose inbox was closed (connection gone) are dead
+    // weight; collect them before fanning out.
+    subscriptions.retain(|s| !s.inbox.is_closed());
     let mut delivered: u32 = 0;
     let mut dropped: u32 = 0;
     for designer in dpm.designers().to_vec() {
@@ -392,13 +595,30 @@ fn fan_out(dpm: &mut DesignProcessManager, subscriptions: &mut [SubscriptionEntr
         if events.is_empty() {
             continue;
         }
-        for sub in subscriptions.iter().filter(|s| s.designer == designer) {
-            for event in &events {
+        for event in &events {
+            let idx = match logs.get_mut(designer.index()) {
+                Some(log) => {
+                    log.last_idx += 1;
+                    let entry = InboxEntry {
+                        seq,
+                        idx: log.last_idx,
+                        event: event.clone(),
+                    };
+                    if log.retained.len() >= RETAINED_EVENTS {
+                        log.retained.pop_front();
+                    }
+                    log.retained.push_back(entry);
+                    log.last_idx
+                }
+                None => 0,
+            };
+            for sub in subscriptions.iter().filter(|s| s.designer == designer) {
                 if !sub.interests.matches(event, dpm.network()) {
                     continue;
                 }
                 if sub.inbox.push(InboxEntry {
                     seq,
+                    idx,
                     event: event.clone(),
                 }) {
                     delivered += 1;

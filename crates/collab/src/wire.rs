@@ -67,9 +67,22 @@ pub enum Frame {
         /// `true` for the firehose, `false` for connectivity-derived
         /// interests.
         all: bool,
+        /// Resume marker: `Some(idx)` asks the server to redeliver every
+        /// retained event for this designer with a delivery index greater
+        /// than `idx` (the last one the client saw), exactly once. `None`
+        /// is a fresh subscription — no redelivery.
+        resume_from: Option<u64>,
     },
     /// Client submits one design operation.
-    Submit(WireOp),
+    Submit {
+        /// The operation, by name.
+        op: WireOp,
+        /// Client-chosen operation id, echoed on the `executed`/`rejected`
+        /// response. A resubmission after a lost response reuses the same
+        /// `cid`; the server deduplicates per designer, replying with the
+        /// remembered outcome instead of executing twice.
+        cid: Option<u64>,
+    },
     /// Client requests the current design state.
     Snapshot,
     /// Client asks the server to shut the whole session down.
@@ -91,6 +104,10 @@ pub enum Frame {
     Subscribed {
         /// Designer index the subscription is filtered for.
         designer: u32,
+        /// Highest delivery index the server has recorded for this
+        /// designer (0 when nothing has ever been routed to them) — lets a
+        /// resuming client detect how far behind it was.
+        last_idx: u64,
     },
     /// The submitted operation executed.
     Executed {
@@ -104,11 +121,15 @@ pub enum Frame {
         new_violations: String,
         /// Whether the operation was a design spin.
         spin: bool,
+        /// Echo of the submission's client operation id, if it carried one.
+        cid: Option<u64>,
     },
     /// The submitted operation was rejected; design state unchanged.
     Rejected {
         /// Human-readable reason.
         reason: String,
+        /// Echo of the submission's client operation id, if it carried one.
+        cid: Option<u64>,
     },
     /// Protocol-level error (bad frame, unknown name, no hello yet...).
     /// The connection stays open.
@@ -155,14 +176,54 @@ pub enum Frame {
         properties: String,
         /// Remaining feasible fraction (feasible_reduced only; 0 otherwise).
         relative_size: f64,
+        /// Per-designer monotonic delivery index (1-based). A subscriber
+        /// that reconnects resumes from the last `idx` it saw; duplicates
+        /// redelivered across a resume are detectable by index.
+        idx: u64,
+    },
+    /// Liveness probe. Either side may send one at any time; the peer
+    /// answers with a [`Frame::Pong`] echoing the nonce.
+    Ping {
+        /// Opaque echo token.
+        nonce: u64,
+    },
+    /// Answer to a [`Frame::Ping`].
+    Pong {
+        /// The ping's nonce, echoed.
+        nonce: u64,
+    },
+    /// Non-fatal diagnostic pushed by the server (e.g. "skipped N bytes
+    /// resynchronizing past an oversized line"). Clients surface it but
+    /// need not act on it.
+    Warning {
+        /// What happened.
+        message: String,
     },
 }
 
-/// Why a wire line could not be turned into a [`Frame`].
+/// Coarse classification of a [`WireError`], the ground truth the
+/// retryable-vs-fatal [`CollabError`](crate::CollabError) taxonomy is
+/// built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireErrorKind {
+    /// The transport failed (connection refused/reset/closed, write
+    /// error). Retrying against a live server can succeed.
+    Io,
+    /// A deadline elapsed waiting for the peer. Retrying can succeed.
+    Timeout,
+    /// The bytes themselves are wrong (malformed frame, unknown tag,
+    /// protocol misuse). Retrying the same exchange cannot succeed.
+    Protocol,
+}
+
+/// Why a wire exchange failed: a malformed line, a dead transport, or an
+/// expired deadline — see [`WireError::kind`] for which.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireError {
     /// Human-readable description.
     pub message: String,
+    /// What failed, for retry decisions.
+    pub kind: WireErrorKind,
 }
 
 impl fmt::Display for WireError {
@@ -174,14 +235,41 @@ impl fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 impl WireError {
-    fn new(message: impl Into<String>) -> Self {
+    /// A [`WireErrorKind::Protocol`] error (malformed or unexpected bytes).
+    pub fn protocol(message: impl Into<String>) -> Self {
         WireError {
             message: message.into(),
+            kind: WireErrorKind::Protocol,
         }
+    }
+
+    /// A [`WireErrorKind::Io`] error (dead or failing transport).
+    pub fn io(message: impl Into<String>) -> Self {
+        WireError {
+            message: message.into(),
+            kind: WireErrorKind::Io,
+        }
+    }
+
+    /// A [`WireErrorKind::Timeout`] error (the peer did not answer in time).
+    pub fn timeout(message: impl Into<String>) -> Self {
+        WireError {
+            message: message.into(),
+            kind: WireErrorKind::Timeout,
+        }
+    }
+
+    /// Whether a retry (possibly after reconnecting) could succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self.kind, WireErrorKind::Io | WireErrorKind::Timeout)
+    }
+
+    fn new(message: impl Into<String>) -> Self {
+        WireError::protocol(message)
     }
 }
 
-fn field_str(out: &mut String, key: &str, value: &str) {
+pub(crate) fn field_str(out: &mut String, key: &str, value: &str) {
     out.push_str(",\"");
     out.push_str(key);
     out.push_str("\":\"");
@@ -189,21 +277,21 @@ fn field_str(out: &mut String, key: &str, value: &str) {
     out.push('"');
 }
 
-fn field_u64(out: &mut String, key: &str, value: u64) {
+pub(crate) fn field_u64(out: &mut String, key: &str, value: u64) {
     out.push_str(",\"");
     out.push_str(key);
     out.push_str("\":");
     out.push_str(&value.to_string());
 }
 
-fn field_bool(out: &mut String, key: &str, value: bool) {
+pub(crate) fn field_bool(out: &mut String, key: &str, value: bool) {
     out.push_str(",\"");
     out.push_str(key);
     out.push_str("\":");
     out.push_str(if value { "true" } else { "false" });
 }
 
-fn field_f64(out: &mut String, key: &str, value: f64) {
+pub(crate) fn field_f64(out: &mut String, key: &str, value: f64) {
     out.push_str(",\"");
     out.push_str(key);
     out.push_str("\":");
@@ -212,15 +300,30 @@ fn field_f64(out: &mut String, key: &str, value: f64) {
     out.push_str(&format!("{value:?}"));
 }
 
+fn field_opt_u64(out: &mut String, key: &str, value: Option<u64>) {
+    if let Some(value) = value {
+        field_u64(out, key, value);
+    }
+}
+
 impl Frame {
     /// The `"t"` tag of the serialized frame.
     pub fn tag(&self) -> &'static str {
         match self {
             Frame::Hello { .. } => "hello",
             Frame::Subscribe { .. } => "subscribe",
-            Frame::Submit(WireOp::Assign { .. }) => "assign",
-            Frame::Submit(WireOp::Unbind { .. }) => "unbind",
-            Frame::Submit(WireOp::Verify { .. }) => "verify",
+            Frame::Submit {
+                op: WireOp::Assign { .. },
+                ..
+            } => "assign",
+            Frame::Submit {
+                op: WireOp::Unbind { .. },
+                ..
+            } => "unbind",
+            Frame::Submit {
+                op: WireOp::Verify { .. },
+                ..
+            } => "verify",
             Frame::Snapshot => "snapshot",
             Frame::Shutdown => "shutdown",
             Frame::Bye => "bye",
@@ -233,6 +336,9 @@ impl Frame {
             Frame::Prop { .. } => "prop",
             Frame::End => "end",
             Frame::Event { .. } => "event",
+            Frame::Ping { .. } => "ping",
+            Frame::Pong { .. } => "pong",
+            Frame::Warning { .. } => "warn",
         }
     }
 
@@ -244,26 +350,34 @@ impl Frame {
         out.push('"');
         match self {
             Frame::Hello { designer } => field_u64(&mut out, "designer", (*designer).into()),
-            Frame::Subscribe { all } => field_bool(&mut out, "all", *all),
-            Frame::Submit(WireOp::Assign {
-                problem,
-                property,
-                value,
-            }) => {
-                field_str(&mut out, "problem", problem);
-                field_str(&mut out, "property", property);
-                field_f64(&mut out, "value", *value);
+            Frame::Subscribe { all, resume_from } => {
+                field_bool(&mut out, "all", *all);
+                field_opt_u64(&mut out, "resume_from", *resume_from);
             }
-            Frame::Submit(WireOp::Unbind { problem, property }) => {
-                field_str(&mut out, "problem", problem);
-                field_str(&mut out, "property", property);
-            }
-            Frame::Submit(WireOp::Verify {
-                problem,
-                constraints,
-            }) => {
-                field_str(&mut out, "problem", problem);
-                field_str(&mut out, "constraints", constraints);
+            Frame::Submit { op, cid } => {
+                match op {
+                    WireOp::Assign {
+                        problem,
+                        property,
+                        value,
+                    } => {
+                        field_str(&mut out, "problem", problem);
+                        field_str(&mut out, "property", property);
+                        field_f64(&mut out, "value", *value);
+                    }
+                    WireOp::Unbind { problem, property } => {
+                        field_str(&mut out, "problem", problem);
+                        field_str(&mut out, "property", property);
+                    }
+                    WireOp::Verify {
+                        problem,
+                        constraints,
+                    } => {
+                        field_str(&mut out, "problem", problem);
+                        field_str(&mut out, "constraints", constraints);
+                    }
+                }
+                field_opt_u64(&mut out, "cid", *cid);
             }
             Frame::Snapshot | Frame::Shutdown | Frame::Bye | Frame::End => {}
             Frame::Welcome {
@@ -277,8 +391,9 @@ impl Frame {
                 field_u64(&mut out, "properties", (*properties).into());
                 field_u64(&mut out, "constraints", (*constraints).into());
             }
-            Frame::Subscribed { designer } => {
-                field_u64(&mut out, "designer", (*designer).into())
+            Frame::Subscribed { designer, last_idx } => {
+                field_u64(&mut out, "designer", (*designer).into());
+                field_u64(&mut out, "last_idx", *last_idx);
             }
             Frame::Executed {
                 seq,
@@ -286,14 +401,19 @@ impl Frame {
                 violations_after,
                 new_violations,
                 spin,
+                cid,
             } => {
                 field_u64(&mut out, "seq", *seq);
                 field_u64(&mut out, "evaluations", *evaluations);
                 field_u64(&mut out, "violations_after", (*violations_after).into());
                 field_str(&mut out, "new_violations", new_violations);
                 field_bool(&mut out, "spin", *spin);
+                field_opt_u64(&mut out, "cid", *cid);
             }
-            Frame::Rejected { reason } => field_str(&mut out, "reason", reason),
+            Frame::Rejected { reason, cid } => {
+                field_str(&mut out, "reason", reason);
+                field_opt_u64(&mut out, "cid", *cid);
+            }
             Frame::Error { message } => field_str(&mut out, "message", message),
             Frame::State {
                 operations,
@@ -321,13 +441,18 @@ impl Frame {
                 subject,
                 properties,
                 relative_size,
+                idx,
             } => {
                 field_u64(&mut out, "seq", *seq);
                 field_str(&mut out, "kind", kind);
                 field_str(&mut out, "subject", subject);
                 field_str(&mut out, "properties", properties);
                 field_f64(&mut out, "relative_size", *relative_size);
+                field_u64(&mut out, "idx", *idx);
             }
+            Frame::Ping { nonce } => field_u64(&mut out, "nonce", *nonce),
+            Frame::Pong { nonce } => field_u64(&mut out, "nonce", *nonce),
+            Frame::Warning { message } => field_str(&mut out, "message", message),
         }
         out.push_str("}\n");
         out
@@ -378,6 +503,17 @@ impl Frame {
                 .and_then(|v| v.as_u64())
                 .ok_or_else(|| WireError::new(format!("`{tag}` frame needs integer `{key}`")))
         };
+        // Optional integer: absent is `None`, present-but-mistyped is an
+        // error (silently swallowing a mistyped `cid` would defeat the
+        // dedup it exists for).
+        let opt_u64 = |key: &str| -> Result<Option<u64>, WireError> {
+            match get(key) {
+                None => Ok(None),
+                Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                    WireError::new(format!("`{key}` must be a non-negative integer in `{tag}` frame"))
+                }),
+            }
+        };
         let need_u32 = |key: &str| -> Result<u32, WireError> {
             need_u64(key)?
                 .try_into()
@@ -402,20 +538,30 @@ impl Frame {
             }),
             "subscribe" => Ok(Frame::Subscribe {
                 all: need_bool("all")?,
+                resume_from: opt_u64("resume_from")?,
             }),
-            "assign" => Ok(Frame::Submit(WireOp::Assign {
-                problem: need_str("problem")?,
-                property: need_str("property")?,
-                value: need_f64("value")?,
-            })),
-            "unbind" => Ok(Frame::Submit(WireOp::Unbind {
-                problem: need_str("problem")?,
-                property: need_str("property")?,
-            })),
-            "verify" => Ok(Frame::Submit(WireOp::Verify {
-                problem: need_str("problem")?,
-                constraints: need_str("constraints")?,
-            })),
+            "assign" => Ok(Frame::Submit {
+                op: WireOp::Assign {
+                    problem: need_str("problem")?,
+                    property: need_str("property")?,
+                    value: need_f64("value")?,
+                },
+                cid: opt_u64("cid")?,
+            }),
+            "unbind" => Ok(Frame::Submit {
+                op: WireOp::Unbind {
+                    problem: need_str("problem")?,
+                    property: need_str("property")?,
+                },
+                cid: opt_u64("cid")?,
+            }),
+            "verify" => Ok(Frame::Submit {
+                op: WireOp::Verify {
+                    problem: need_str("problem")?,
+                    constraints: need_str("constraints")?,
+                },
+                cid: opt_u64("cid")?,
+            }),
             "snapshot" => Ok(Frame::Snapshot),
             "shutdown" => Ok(Frame::Shutdown),
             "bye" => Ok(Frame::Bye),
@@ -427,6 +573,7 @@ impl Frame {
             }),
             "subscribed" => Ok(Frame::Subscribed {
                 designer: need_u32("designer")?,
+                last_idx: opt_u64("last_idx")?.unwrap_or(0),
             }),
             "executed" => Ok(Frame::Executed {
                 seq: need_u64("seq")?,
@@ -434,9 +581,11 @@ impl Frame {
                 violations_after: need_u32("violations_after")?,
                 new_violations: need_str("new_violations")?,
                 spin: need_bool("spin")?,
+                cid: opt_u64("cid")?,
             }),
             "rejected" => Ok(Frame::Rejected {
                 reason: need_str("reason")?,
+                cid: opt_u64("cid")?,
             }),
             "err" => Ok(Frame::Error {
                 message: need_str("message")?,
@@ -459,6 +608,16 @@ impl Frame {
                 subject: need_str("subject")?,
                 properties: need_str("properties")?,
                 relative_size: need_f64("relative_size")?,
+                idx: opt_u64("idx")?.unwrap_or(0),
+            }),
+            "ping" => Ok(Frame::Ping {
+                nonce: need_u64("nonce")?,
+            }),
+            "pong" => Ok(Frame::Pong {
+                nonce: need_u64("nonce")?,
+            }),
+            "warn" => Ok(Frame::Warning {
+                message: need_str("message")?,
             }),
             other => Err(WireError::new(format!("unknown frame tag `{other}`"))),
         }
@@ -478,11 +637,12 @@ impl Frame {
 /// the connection is done.
 pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<Frame>, WireError> {
     let mut line: Vec<u8> = Vec::new();
+    let mut discarded: usize = 0;
     let mut oversized = false;
     loop {
         let buf = reader
             .fill_buf()
-            .map_err(|e| WireError::new(format!("read failed: {e}")))?;
+            .map_err(|e| WireError::io(format!("read failed: {e}")))?;
         if buf.is_empty() {
             // End of stream.
             if line.is_empty() && !oversized {
@@ -492,13 +652,14 @@ pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<Frame>, WireError>
         }
         let newline = buf.iter().position(|b| *b == b'\n');
         let take = newline.map_or(buf.len(), |i| i + 1);
-        if !oversized {
-            if line.len() + take > MAX_LINE_BYTES {
-                oversized = true;
-                line.clear();
-            } else {
-                line.extend_from_slice(&buf[..take]);
-            }
+        if oversized {
+            discarded += take;
+        } else if line.len() + take > MAX_LINE_BYTES {
+            oversized = true;
+            discarded = line.len() + take;
+            line.clear();
+        } else {
+            line.extend_from_slice(&buf[..take]);
         }
         reader.consume(take);
         if newline.is_some() {
@@ -506,8 +667,9 @@ pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<Frame>, WireError>
         }
     }
     if oversized {
-        return Err(WireError::new(format!(
-            "line exceeds the {MAX_LINE_BYTES} byte limit"
+        return Err(WireError::protocol(format!(
+            "line exceeds the {MAX_LINE_BYTES} byte limit \
+             ({discarded} bytes discarded resynchronizing)"
         )));
     }
     let text = std::str::from_utf8(&line)
@@ -519,6 +681,113 @@ pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<Frame>, WireError>
     Frame::parse_line(text).map(Some)
 }
 
+/// Outcome of draining one line from a [`LineBuffer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BufferedLine {
+    /// One complete line, line terminator stripped.
+    Line(String),
+    /// Bytes discarded resynchronizing past an oversized or non-UTF-8
+    /// line (terminator included) — the caller should count them into
+    /// `wire_bytes_skipped` and may warn the peer.
+    Skipped {
+        /// How many bytes were thrown away.
+        bytes: u64,
+    },
+}
+
+/// Incremental line assembler for non-blocking reads, with bounded memory
+/// and skip accounting.
+///
+/// Unlike [`read_frame`], which blocks on a [`BufRead`], a `LineBuffer`
+/// accepts whatever bytes a short-timeout read produced ([`LineBuffer::push`])
+/// and hands back complete lines as they form ([`LineBuffer::take`]) — the
+/// shape a connection loop that interleaves reading with heartbeats needs.
+/// A line that exceeds [`MAX_LINE_BYTES`] before its newline arrives is
+/// dropped, the buffer resynchronizes at the next newline, and the count
+/// of discarded bytes is reported as [`BufferedLine::Skipped`]; buffered
+/// memory never exceeds the line limit plus one push.
+#[derive(Debug, Default)]
+pub struct LineBuffer {
+    pending: Vec<u8>,
+    skipping: bool,
+    skipped: u64,
+}
+
+impl LineBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        LineBuffer::default()
+    }
+
+    /// Feeds bytes read from the transport into the buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.pending.extend_from_slice(bytes);
+    }
+
+    /// Whether any unconsumed bytes are buffered.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Drains the next complete line, if one has formed. Blank
+    /// (whitespace-only) keep-alive lines are swallowed silently.
+    pub fn take(&mut self) -> Option<BufferedLine> {
+        loop {
+            if self.skipping {
+                match self.pending.iter().position(|b| *b == b'\n') {
+                    Some(i) => {
+                        self.skipped += (i + 1) as u64;
+                        self.pending.drain(..=i);
+                        self.skipping = false;
+                        return Some(BufferedLine::Skipped {
+                            bytes: std::mem::take(&mut self.skipped),
+                        });
+                    }
+                    None => {
+                        self.skipped += self.pending.len() as u64;
+                        self.pending.clear();
+                        return None;
+                    }
+                }
+            }
+            match self.pending.iter().position(|b| *b == b'\n') {
+                Some(i) => {
+                    let line: Vec<u8> = self.pending.drain(..=i).collect();
+                    if line.len() > MAX_LINE_BYTES {
+                        return Some(BufferedLine::Skipped {
+                            bytes: line.len() as u64,
+                        });
+                    }
+                    let mut slice = &line[..line.len() - 1];
+                    if slice.last() == Some(&b'\r') {
+                        slice = &slice[..slice.len() - 1];
+                    }
+                    if slice.iter().all(u8::is_ascii_whitespace) {
+                        continue;
+                    }
+                    match std::str::from_utf8(slice) {
+                        Ok(text) => return Some(BufferedLine::Line(text.to_owned())),
+                        Err(_) => {
+                            return Some(BufferedLine::Skipped {
+                                bytes: line.len() as u64,
+                            })
+                        }
+                    }
+                }
+                None => {
+                    if self.pending.len() > MAX_LINE_BYTES {
+                        self.skipping = true;
+                        self.skipped = self.pending.len() as u64;
+                        self.pending.clear();
+                        continue;
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -527,20 +796,36 @@ mod tests {
     fn every_frame_kind_round_trips() {
         let frames = vec![
             Frame::Hello { designer: 2 },
-            Frame::Subscribe { all: false },
-            Frame::Submit(WireOp::Assign {
-                problem: "pressure-sensor".into(),
-                property: "sensor.s-area".into(),
-                value: 4.0,
-            }),
-            Frame::Submit(WireOp::Unbind {
-                problem: "p".into(),
-                property: "o.x".into(),
-            }),
-            Frame::Submit(WireOp::Verify {
-                problem: "top".into(),
-                constraints: "MeetArea,TotalNoise".into(),
-            }),
+            Frame::Subscribe {
+                all: false,
+                resume_from: None,
+            },
+            Frame::Subscribe {
+                all: true,
+                resume_from: Some(17),
+            },
+            Frame::Submit {
+                op: WireOp::Assign {
+                    problem: "pressure-sensor".into(),
+                    property: "sensor.s-area".into(),
+                    value: 4.0,
+                },
+                cid: None,
+            },
+            Frame::Submit {
+                op: WireOp::Unbind {
+                    problem: "p".into(),
+                    property: "o.x".into(),
+                },
+                cid: Some(3),
+            },
+            Frame::Submit {
+                op: WireOp::Verify {
+                    problem: "top".into(),
+                    constraints: "MeetArea,TotalNoise".into(),
+                },
+                cid: Some(u64::MAX),
+            },
             Frame::Snapshot,
             Frame::Shutdown,
             Frame::Bye,
@@ -550,16 +835,33 @@ mod tests {
                 properties: 26,
                 constraints: 21,
             },
-            Frame::Subscribed { designer: 1 },
+            Frame::Subscribed {
+                designer: 1,
+                last_idx: 9,
+            },
             Frame::Executed {
                 seq: 7,
                 evaluations: 42,
                 violations_after: 1,
                 new_violations: "MeetArea".into(),
                 spin: true,
+                cid: Some(12),
+            },
+            Frame::Executed {
+                seq: 8,
+                evaluations: 0,
+                violations_after: 0,
+                new_violations: String::new(),
+                spin: false,
+                cid: None,
             },
             Frame::Rejected {
                 reason: "value outside E_i".into(),
+                cid: None,
+            },
+            Frame::Rejected {
+                reason: "stale".into(),
+                cid: Some(4),
             },
             Frame::Error {
                 message: "unknown frame tag `wat`".into(),
@@ -582,6 +884,12 @@ mod tests {
                 subject: "interface.i-area".into(),
                 properties: String::new(),
                 relative_size: 0.625,
+                idx: 11,
+            },
+            Frame::Ping { nonce: 99 },
+            Frame::Pong { nonce: 99 },
+            Frame::Warning {
+                message: "skipped 70000 bytes".into(),
             },
         ];
         for frame in frames {
@@ -593,11 +901,14 @@ mod tests {
 
     #[test]
     fn adversarial_names_survive_escaping() {
-        let frame = Frame::Submit(WireOp::Assign {
-            problem: "a\"b\\c\nd\te\u{1}f λ".into(),
-            property: "obj.\u{7f}prop".into(),
-            value: -1.25e-3,
-        });
+        let frame = Frame::Submit {
+            op: WireOp::Assign {
+                problem: "a\"b\\c\nd\te\u{1}f λ".into(),
+                property: "obj.\u{7f}prop".into(),
+                value: -1.25e-3,
+            },
+            cid: None,
+        };
         let line = frame.to_line();
         assert_eq!(Frame::parse_line(&line), Ok(frame));
     }
@@ -615,6 +926,11 @@ mod tests {
             ("{\"t\":\"assign\",\"problem\":\"p\",\"property\":\"o.x\",\"value\":\"high\"}",
              "needs number"),
             ("{\"t\":\"hello\",\"designer\":{}}", "nested"),
+            ("{\"t\":\"unbind\",\"problem\":\"p\",\"property\":\"o.x\",\"cid\":\"x\"}",
+             "non-negative integer"),
+            ("{\"t\":\"subscribe\",\"all\":true,\"resume_from\":-3}",
+             "non-negative integer"),
+            ("{\"t\":\"ping\"}", "needs integer `nonce`"),
             ("not json", "expected"),
             ("{}", "empty frame"),
         ] {
@@ -664,5 +980,78 @@ mod tests {
         let mut reader = std::io::BufReader::new(line.trim_end().as_bytes());
         assert_eq!(read_frame(&mut reader).unwrap(), Some(Frame::Snapshot));
         assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn optional_fields_are_omitted_from_the_line_when_absent() {
+        let line = Frame::Submit {
+            op: WireOp::Unbind {
+                problem: "p".into(),
+                property: "o.x".into(),
+            },
+            cid: None,
+        }
+        .to_line();
+        assert!(!line.contains("cid"), "line: {line}");
+        let line = Frame::Subscribe {
+            all: true,
+            resume_from: None,
+        }
+        .to_line();
+        assert!(!line.contains("resume_from"), "line: {line}");
+        // Pre-resilience peers omit idx/last_idx entirely; both default 0.
+        assert_eq!(
+            Frame::parse_line("{\"t\":\"subscribed\",\"designer\":1}"),
+            Ok(Frame::Subscribed {
+                designer: 1,
+                last_idx: 0
+            })
+        );
+    }
+
+    #[test]
+    fn line_buffer_assembles_lines_across_partial_pushes() {
+        let mut buffer = LineBuffer::new();
+        let line = Frame::Hello { designer: 4 }.to_line();
+        let (a, b) = line.as_bytes().split_at(line.len() / 2);
+        buffer.push(a);
+        assert_eq!(buffer.take(), None);
+        buffer.push(b);
+        buffer.push(Frame::Bye.to_line().as_bytes());
+        assert_eq!(
+            buffer.take(),
+            Some(BufferedLine::Line(line.trim_end().to_owned()))
+        );
+        assert_eq!(buffer.take(), Some(BufferedLine::Line("{\"t\":\"bye\"}".into())));
+        assert_eq!(buffer.take(), None);
+    }
+
+    #[test]
+    fn line_buffer_skips_oversized_lines_and_counts_the_bytes() {
+        let mut buffer = LineBuffer::new();
+        let garbage = "x".repeat(MAX_LINE_BYTES + 10);
+        buffer.push(garbage.as_bytes());
+        // Oversized before any newline: memory is released immediately.
+        assert_eq!(buffer.take(), None);
+        buffer.push(b"tail\n");
+        buffer.push(Frame::Bye.to_line().as_bytes());
+        assert_eq!(
+            buffer.take(),
+            Some(BufferedLine::Skipped {
+                bytes: (MAX_LINE_BYTES + 10 + 5) as u64
+            })
+        );
+        assert_eq!(buffer.take(), Some(BufferedLine::Line("{\"t\":\"bye\"}".into())));
+    }
+
+    #[test]
+    fn line_buffer_skips_invalid_utf8_and_blank_lines() {
+        let mut buffer = LineBuffer::new();
+        buffer.push(b"  \r\n");
+        buffer.push(&[0xff, 0xfe, b'\n']);
+        buffer.push(Frame::End.to_line().as_bytes());
+        assert_eq!(buffer.take(), Some(BufferedLine::Skipped { bytes: 3 }));
+        assert_eq!(buffer.take(), Some(BufferedLine::Line("{\"t\":\"end\"}".into())));
+        assert_eq!(buffer.take(), None);
     }
 }

@@ -1,0 +1,178 @@
+//! Property-based tests of the operation journal's crash-recovery
+//! contract: truncating the file at *any* byte offset recovers exactly
+//! the longest valid prefix (never more, never garbage), and a full
+//! write→recover round trip reproduces the design state bit-for-bit.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use adpm_collab::{
+    recover, valid_prefix_bytes, FsyncPolicy, JournalConfig, JournalWriter,
+};
+use adpm_core::{state_fingerprint, DesignProcessManager, Operation};
+use adpm_scenarios::lna_walkthrough;
+use adpm_teamsim::{Simulation, SimulationConfig, StepOutcome};
+use proptest::prelude::*;
+
+fn fresh_dpm() -> DesignProcessManager {
+    let scenario = lna_walkthrough();
+    let mut dpm = scenario.build_dpm(SimulationConfig::adpm(5).dpm_config());
+    dpm.initialize();
+    dpm
+}
+
+/// The walkthrough's operation history plus the bytes of a journal
+/// produced by re-executing it under a `JournalWriter` — computed once,
+/// shared across proptest cases.
+fn fixture() -> &'static (Vec<Operation>, Vec<u8>) {
+    static FIXTURE: OnceLock<(Vec<Operation>, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let scenario = lna_walkthrough();
+        let mut sim = Simulation::new(&scenario, SimulationConfig::adpm(5));
+        while matches!(sim.step(), StepOutcome::Executed(_)) {}
+        let history: Vec<Operation> = sim
+            .dpm()
+            .history()
+            .iter()
+            .map(|r| r.operation.clone())
+            .collect();
+        assert!(history.len() > 3, "walkthrough too short to exercise");
+        let dir = scratch_dir();
+        let path = dir.join("fixture.journal");
+        let mut dpm = fresh_dpm();
+        let mut writer = JournalWriter::open(
+            JournalConfig {
+                path: path.clone(),
+                fsync: FsyncPolicy::Never,
+                checkpoint_every: 3,
+            },
+            &dpm,
+            None,
+        )
+        .expect("open journal");
+        for op in &history {
+            let record = dpm.execute(op.clone()).expect("execute");
+            writer.append(&record, &dpm).expect("append");
+        }
+        writer.sync().expect("sync");
+        let bytes = std::fs::read(&path).expect("read journal");
+        (history, bytes)
+    })
+}
+
+/// Unique-per-case scratch dir under the system temp dir.
+fn scratch_dir() -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "adpm-journal-prop-{}-{id}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Longest prefix of `bytes[..cut]` that ends on a line boundary — the
+/// independent oracle for what recovery must keep, valid because every
+/// line the fixture writer produced is well-formed.
+fn line_boundary_prefix(bytes: &[u8], cut: usize) -> usize {
+    bytes[..cut]
+        .iter()
+        .rposition(|b| *b == b'\n')
+        .map_or(0, |p| p + 1)
+}
+
+/// Number of `jop` lines within the first `prefix` bytes.
+fn ops_in_prefix(bytes: &[u8], prefix: usize) -> usize {
+    bytes[..prefix]
+        .split(|b| *b == b'\n')
+        .filter(|line| line.starts_with(b"{\"t\":\"jop\""))
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chopping the journal at an arbitrary byte offset — a crash mid-write
+    /// — recovers exactly the operations whose lines survived in full.
+    #[test]
+    fn truncation_recovers_exactly_the_longest_valid_prefix(cut_frac in 0.0f64..1.25) {
+        let (history, bytes) = fixture();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = ((bytes.len() as f64) * cut_frac).round() as usize;
+        let cut = cut.min(bytes.len());
+        let dir = scratch_dir();
+        let path = dir.join("torn.journal");
+        std::fs::write(&path, &bytes[..cut]).expect("write torn journal");
+
+        let expected_prefix = line_boundary_prefix(bytes, cut);
+        let expected_ops = ops_in_prefix(bytes, expected_prefix);
+
+        let mut recovered = fresh_dpm();
+        let report = recover(&path, &mut recovered).expect("recover");
+
+        prop_assert_eq!(report.journal_bytes, expected_prefix as u64);
+        prop_assert_eq!(report.truncated_bytes, (cut - expected_prefix) as u64);
+        prop_assert_eq!(report.ops, expected_ops as u64);
+        prop_assert!(report.faithful, "report: {:?}", report);
+        prop_assert_eq!(report.checkpoints_verified, report.checkpoints);
+        prop_assert_eq!(
+            valid_prefix_bytes(&path).expect("scan"),
+            expected_prefix as u64
+        );
+
+        // The recovered state is the state after exactly those operations.
+        let mut expected = fresh_dpm();
+        for op in &history[..expected_ops] {
+            expected.execute(op.clone()).expect("re-execute prefix");
+        }
+        prop_assert_eq!(state_fingerprint(&recovered), state_fingerprint(&expected));
+    }
+
+    /// Journaling any history prefix under any fsync/checkpoint cadence and
+    /// recovering it reproduces the design state exactly.
+    #[test]
+    fn write_then_recover_round_trips(
+        take_frac in 0.0f64..1.25,
+        checkpoint_every in 0u64..5,
+        fsync_every in 1u32..4,
+    ) {
+        let (history, _) = fixture();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let take = ((history.len() as f64) * take_frac).round() as usize;
+        let take = take.min(history.len());
+        let dir = scratch_dir();
+        let path = dir.join("roundtrip.journal");
+
+        let mut original = fresh_dpm();
+        let mut writer = JournalWriter::open(
+            JournalConfig {
+                path: path.clone(),
+                fsync: FsyncPolicy::EveryN(fsync_every),
+                checkpoint_every,
+            },
+            &original,
+            None,
+        )
+        .expect("open journal");
+        for op in &history[..take] {
+            let record = original.execute(op.clone()).expect("execute");
+            writer.append(&record, &original).expect("append");
+        }
+        writer.sync().expect("sync");
+        drop(writer);
+
+        let mut recovered = fresh_dpm();
+        let report = recover(&path, &mut recovered).expect("recover");
+        prop_assert_eq!(report.ops, take as u64);
+        prop_assert_eq!(report.truncated_bytes, 0);
+        prop_assert!(report.faithful, "report: {:?}", report);
+        prop_assert_eq!(report.checkpoints_verified, report.checkpoints);
+        prop_assert_eq!(state_fingerprint(&recovered), state_fingerprint(&original));
+        prop_assert_eq!(
+            format!("{:?}", recovered.history()),
+            format!("{:?}", original.history())
+        );
+    }
+}

@@ -42,4 +42,4 @@ pub use events::{Event, Notification, NotificationManager};
 pub use ids::{DesignerId, ProblemId};
 pub use operation::{Operation, OperationRecord, Operator};
 pub use problem::{DesignProblem, ProblemSet, ProblemStatus};
-pub use replay::{audit_trace, replay_history, ReplayOutcome, TraceAudit};
+pub use replay::{audit_trace, replay_history, state_fingerprint, ReplayOutcome, TraceAudit};

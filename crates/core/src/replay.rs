@@ -84,6 +84,58 @@ pub fn replay_history(
     Ok(ReplayOutcome { records, faithful })
 }
 
+/// A deterministic 64-bit digest of the *design state*: every property's
+/// binding and feasible subspace plus the set of violated constraints and
+/// the history length.
+///
+/// The digest deliberately excludes spin flags and repair attribution —
+/// operations submitted over the collaboration wire carry no `repairs`
+/// list, so a remote run's spin accounting can differ from an in-process
+/// run while the design states are identical. Two runs with equal
+/// fingerprints agree on everything a designer can observe: which
+/// properties are bound to what, how far every feasible subspace has
+/// narrowed, and which constraints are violated.
+pub fn state_fingerprint(dpm: &DesignProcessManager) -> u64 {
+    // FNV-1a over the state's canonical byte encoding: stable across runs
+    // and platforms, no hasher-randomization surprises.
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    let network = dpm.network();
+    eat(&(dpm.history().len() as u64).to_le_bytes());
+    for pid in network.property_ids() {
+        match network.assignment(pid) {
+            None => eat(&[0]),
+            Some(adpm_constraint::Value::Number(x)) => {
+                eat(&[1]);
+                eat(&x.to_bits().to_le_bytes());
+            }
+            Some(adpm_constraint::Value::Bool(b)) => eat(&[2, u8::from(*b)]),
+            Some(adpm_constraint::Value::Text(s)) => {
+                eat(&[3]);
+                eat(s.as_bytes());
+            }
+        }
+        match network.feasible(pid).enclosing_interval() {
+            None => eat(&[4]),
+            Some(iv) => {
+                eat(&iv.lo().to_bits().to_le_bytes());
+                eat(&iv.hi().to_bits().to_le_bytes());
+            }
+        }
+    }
+    for cid in network.violated_constraints() {
+        eat(&(cid.index() as u64).to_le_bytes());
+    }
+    hash
+}
+
 /// Result of auditing a JSONL trace against a design history.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceAudit {

@@ -32,11 +32,15 @@ pub enum SpanKind {
     Session,
     /// One notification-router fanout into subscriber inboxes.
     Notify,
+    /// One journal recovery (read + replay) on session restart.
+    Recover,
+    /// One resilient-client reconnect (first failure to restored link).
+    Reconnect,
 }
 
 impl SpanKind {
     /// Every span kind, in index order.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 9] = [
         SpanKind::Tick,
         SpanKind::Operation,
         SpanKind::Propagation,
@@ -44,6 +48,8 @@ impl SpanKind {
         SpanKind::Fanout,
         SpanKind::Session,
         SpanKind::Notify,
+        SpanKind::Recover,
+        SpanKind::Reconnect,
     ];
 
     /// Number of span kinds (the size of a dense histogram array).
@@ -65,6 +71,8 @@ impl SpanKind {
             SpanKind::Fanout => "fanout",
             SpanKind::Session => "session",
             SpanKind::Notify => "notify",
+            SpanKind::Recover => "recover",
+            SpanKind::Reconnect => "reconnect",
         }
     }
 }

@@ -23,6 +23,12 @@ use crate::json::escape_into;
 /// | `SessionOps` | a collaboration session's command loop processes a command |
 /// | `InboxDelivered` | an interest-filtered event lands in a subscriber's inbox |
 /// | `InboxDropped` | a full inbox drops an incoming event (overflow accounting) |
+/// | `WireBytesSkipped` | the wire reader discards bytes resynchronizing past an oversized line |
+/// | `Reconnects` | a resilient client re-establishes a lost collaboration connection |
+/// | `HeartbeatsMissed` | a server connection passes its idle timeout without any client frame |
+/// | `JournalBytes` | bytes appended to a session's operation journal |
+/// | `RecoveryOps` | an operation is re-executed from a journal during crash recovery |
+/// | `FaultsInjected` | the deterministic fault layer perturbs (drops, delays, corrupts...) a frame |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Counter {
     /// Executed design operations.
@@ -56,11 +62,26 @@ pub enum Counter {
     InboxDelivered,
     /// Events dropped by full subscriber inboxes (overflow accounting).
     InboxDropped,
+    /// Bytes the wire reader discarded while resynchronizing past an
+    /// oversized line (never silent: surfaced as a warning frame too).
+    WireBytesSkipped,
+    /// Connections re-established by a resilient client after a loss.
+    Reconnects,
+    /// Server-side idle timeouts: a connection produced no frame (not even
+    /// a heartbeat reply) for the whole idle window and was disconnected.
+    HeartbeatsMissed,
+    /// Bytes appended to a session's operation journal.
+    JournalBytes,
+    /// Operations re-executed from a journal during crash recovery.
+    RecoveryOps,
+    /// Frames perturbed (dropped, delayed, duplicated, corrupted,
+    /// truncated, or killed) by the deterministic fault-injection layer.
+    FaultsInjected,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 21] = [
         Counter::Operations,
         Counter::Evaluations,
         Counter::Propagations,
@@ -76,6 +97,12 @@ impl Counter {
         Counter::SessionOps,
         Counter::InboxDelivered,
         Counter::InboxDropped,
+        Counter::WireBytesSkipped,
+        Counter::Reconnects,
+        Counter::HeartbeatsMissed,
+        Counter::JournalBytes,
+        Counter::RecoveryOps,
+        Counter::FaultsInjected,
     ];
 
     /// Number of counters (the size of a dense counter array).
@@ -104,6 +131,12 @@ impl Counter {
             Counter::SessionOps => "session_ops",
             Counter::InboxDelivered => "inbox_delivered",
             Counter::InboxDropped => "inbox_dropped",
+            Counter::WireBytesSkipped => "wire_bytes_skipped",
+            Counter::Reconnects => "reconnects",
+            Counter::HeartbeatsMissed => "heartbeats_missed",
+            Counter::JournalBytes => "journal_bytes",
+            Counter::RecoveryOps => "recovery_ops",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 }
@@ -273,6 +306,41 @@ pub enum TraceEvent<'a> {
         /// Duration of the fanout, µs.
         dur_us: u64,
     },
+    /// A session recovered its history from an operation journal. The
+    /// line doubles as the `recover` span carrier (its `dur_us`).
+    Recovery {
+        /// Operations re-executed from the journal.
+        ops: u64,
+        /// Snapshot checkpoints verified during the replay.
+        checkpoints: u64,
+        /// Journal bytes read (valid prefix only).
+        journal_bytes: u64,
+        /// Trailing bytes discarded as a torn/invalid suffix.
+        truncated_bytes: u64,
+        /// Whether the replay reproduced every recorded outcome.
+        faithful: bool,
+        /// Duration of the recovery, µs.
+        dur_us: u64,
+    },
+    /// A resilient client re-established a lost connection. The line
+    /// doubles as the `reconnect` span carrier (its `dur_us`).
+    Reconnect {
+        /// Designer index the client acts for.
+        designer: u32,
+        /// 1-based reconnect attempt that finally succeeded.
+        attempt: u32,
+        /// Event index the client resumed its subscription from (0 when
+        /// it had no subscription or had seen nothing).
+        resumed_from: u64,
+        /// Duration from first failure to restored connection, µs.
+        dur_us: u64,
+    },
+    /// The wire reader discarded bytes while resynchronizing past an
+    /// oversized line.
+    WireSkip {
+        /// Bytes discarded (delimiter included).
+        bytes: u64,
+    },
     /// Final line of a simulation run.
     RunSummary {
         /// Executed operations.
@@ -303,6 +371,9 @@ impl TraceEvent<'_> {
             TraceEvent::Tick { .. } => "tick",
             TraceEvent::SessionCommand { .. } => "session",
             TraceEvent::InboxFanout { .. } => "notify",
+            TraceEvent::Recovery { .. } => "recover",
+            TraceEvent::Reconnect { .. } => "reconnect",
+            TraceEvent::WireSkip { .. } => "wire_skip",
             TraceEvent::RunSummary { .. } => "summary",
         }
     }
@@ -450,6 +521,35 @@ impl TraceEvent<'_> {
                 field_u64(out, "delivered", delivered.into());
                 field_u64(out, "dropped", dropped.into());
                 field_u64(out, "dur_us", dur_us);
+            }
+            TraceEvent::Recovery {
+                ops,
+                checkpoints,
+                journal_bytes,
+                truncated_bytes,
+                faithful,
+                dur_us,
+            } => {
+                field_u64(out, "ops", ops);
+                field_u64(out, "checkpoints", checkpoints);
+                field_u64(out, "journal_bytes", journal_bytes);
+                field_u64(out, "truncated_bytes", truncated_bytes);
+                field_bool(out, "faithful", faithful);
+                field_u64(out, "dur_us", dur_us);
+            }
+            TraceEvent::Reconnect {
+                designer,
+                attempt,
+                resumed_from,
+                dur_us,
+            } => {
+                field_u64(out, "designer", designer.into());
+                field_u64(out, "attempt", attempt.into());
+                field_u64(out, "resumed_from", resumed_from);
+                field_u64(out, "dur_us", dur_us);
+            }
+            TraceEvent::WireSkip { bytes } => {
+                field_u64(out, "bytes", bytes);
             }
             TraceEvent::RunSummary {
                 operations,

@@ -62,7 +62,54 @@ grep -q '"t":"event"' "$CLIENT_LOG"
 "$ADPM_RELEASE" submit "$ADDR" --shutdown >/dev/null
 wait "$SERVE_PID"    # serve must exit cleanly after the shutdown frame
 grep -q 'session closed' "$SERVE_LOG"
-rm -f "$SERVE_LOG" "$CLIENT_LOG" /tmp/verify_rx.dddl /tmp/verify_mini.dddl
+rm -f "$SERVE_LOG" "$CLIENT_LOG"
+
+echo "==> chaos equivalence smoke (faulty remote run converges to the clean digest)"
+FAULT_PLAN='seed=5,drop=0.08,dup=0.1,corrupt=0.05,truncate=0.05,delay=0.2:2ms,kill=9'
+CLEAN_DIGEST=$("$ADPM_RELEASE" run /tmp/verify_mini.dddl --remote --seed 7 \
+  | sed -n 's/^state digest: //p')
+CHAOS_DIGEST=$("$ADPM_RELEASE" run /tmp/verify_mini.dddl --remote --seed 7 \
+  --fault-plan "$FAULT_PLAN" | sed -n 's/^state digest: //p')
+[ -n "$CLEAN_DIGEST" ] || { echo "clean remote run printed no state digest"; exit 1; }
+[ "$CLEAN_DIGEST" = "$CHAOS_DIGEST" ] || {
+  echo "chaos run diverged: clean=$CLEAN_DIGEST chaotic=$CHAOS_DIGEST"; exit 1; }
+
+echo "==> crash-recovery smoke (kill -9 the server, restart, replay the journal)"
+JOURNAL=/tmp/verify_journal.jsonl
+rm -f "$JOURNAL"
+SERVE_LOG=$(mktemp)
+"$ADPM_RELEASE" serve /tmp/verify_rx.dddl --port 0 \
+  --journal "$JOURNAL" --fsync always > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve never announced an address"; kill "$SERVE_PID"; exit 1; }
+"$ADPM_RELEASE" submit "$ADDR" --designer 1 --problem analog-front-end \
+  --assign lna-mixer.lna-gain=20 | grep -q '"t":"executed"'
+"$ADPM_RELEASE" submit "$ADDR" --designer 1 --problem analog-front-end \
+  --verify | grep -q '"t":"executed"'
+kill -9 "$SERVE_PID"     # simulated crash: no shutdown frame, no fsync window
+wait "$SERVE_PID" 2>/dev/null || true
+"$ADPM_RELEASE" serve /tmp/verify_rx.dddl --port 0 --journal "$JOURNAL" > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted serve never announced"; kill "$SERVE_PID"; exit 1; }
+grep -q '^recovered 2 operations from' "$SERVE_LOG" || {
+  echo "restart did not replay the journal"; cat "$SERVE_LOG"; kill "$SERVE_PID"; exit 1; }
+"$ADPM_RELEASE" submit "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+grep -q 'session closed: 2 operations' "$SERVE_LOG" || {
+  echo "recovered history does not match"; cat "$SERVE_LOG"; exit 1; }
+rm -f "$SERVE_LOG" "$JOURNAL" /tmp/verify_rx.dddl /tmp/verify_mini.dddl
 
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

@@ -61,11 +61,17 @@ fn wire_op() -> impl Strategy<Value = WireOp> {
     ]
 }
 
+/// Optional wire counters: absent half the time, exact when present.
+fn opt_u64() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), exact_u64().prop_map(Some)]
+}
+
 fn frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         any::<u32>().prop_map(|designer| Frame::Hello { designer }),
-        any::<bool>().prop_map(|all| Frame::Subscribe { all }),
-        wire_op().prop_map(Frame::Submit),
+        (any::<bool>(), opt_u64())
+            .prop_map(|(all, resume_from)| Frame::Subscribe { all, resume_from }),
+        (wire_op(), opt_u64()).prop_map(|(op, cid)| Frame::Submit { op, cid }),
         Just(Frame::Snapshot),
         Just(Frame::Shutdown),
         Just(Frame::Bye),
@@ -77,17 +83,19 @@ fn frame() -> impl Strategy<Value = Frame> {
                 constraints,
             }
         ),
-        any::<u32>().prop_map(|designer| Frame::Subscribed { designer }),
-        (exact_u64(), exact_u64(), any::<u32>(), name(), any::<bool>()).prop_map(
-            |(seq, evaluations, violations_after, new_violations, spin)| Frame::Executed {
+        (any::<u32>(), exact_u64())
+            .prop_map(|(designer, last_idx)| Frame::Subscribed { designer, last_idx }),
+        (exact_u64(), exact_u64(), any::<u32>(), name(), any::<bool>(), opt_u64()).prop_map(
+            |(seq, evaluations, violations_after, new_violations, spin, cid)| Frame::Executed {
                 seq,
                 evaluations,
                 violations_after,
                 new_violations,
                 spin,
+                cid,
             }
         ),
-        name().prop_map(|reason| Frame::Rejected { reason }),
+        (name(), opt_u64()).prop_map(|(reason, cid)| Frame::Rejected { reason, cid }),
         name().prop_map(|message| Frame::Error { message }),
         (exact_u64(), any::<u32>(), any::<u32>()).prop_map(|(operations, bound, violations)| {
             Frame::State { operations, bound, violations }
@@ -95,15 +103,19 @@ fn frame() -> impl Strategy<Value = Frame> {
         (name(), value(), value(), any::<bool>())
             .prop_map(|(name, lo, hi, bound)| Frame::Prop { name, lo, hi, bound }),
         Just(Frame::End),
-        (exact_u64(), name(), name(), name(), value()).prop_map(
-            |(seq, kind, subject, properties, relative_size)| Frame::Event {
+        (exact_u64(), name(), name(), name(), value(), exact_u64()).prop_map(
+            |(seq, kind, subject, properties, relative_size, idx)| Frame::Event {
                 seq,
                 kind,
                 subject,
                 properties,
                 relative_size,
+                idx,
             }
         ),
+        exact_u64().prop_map(|nonce| Frame::Ping { nonce }),
+        exact_u64().prop_map(|nonce| Frame::Pong { nonce }),
+        name().prop_map(|message| Frame::Warning { message }),
     ]
 }
 
