@@ -15,6 +15,7 @@
 //! | `fig10_tightness` | Fig. 10: operations vs gain-requirement tightness |
 //! | `ablation_heuristics` | ablation of the §2.3 heuristics (design-choice study) |
 //! | `fig_incremental` | incremental vs full DCM propagation: cost + equivalence oracle |
+//! | `bench_propagation` | interp vs compiled vs compiled-parallel engines: wall-clock + equivalence oracle |
 //!
 //! Criterion benches (`cargo bench -p adpm-bench`) measure the propagation
 //! engine and end-to-end simulation throughput.

@@ -30,7 +30,8 @@ use adpm_collab::{
     WireError, WireOp,
 };
 use adpm_constraint::{
-    explain_all_violations, propagate, NetworkError, PropagationConfig, PropagationKind, Value,
+    explain_all_violations, propagate, NetworkError, PropagationConfig, PropagationEngine,
+    PropagationKind, Value,
 };
 use adpm_core::{state_fingerprint, DpmConfig, ManagementMode};
 use adpm_dddl::{compile_source, parse, to_source, CompiledScenario};
@@ -150,13 +151,20 @@ USAGE:
 COMMANDS:
     check   <file.dddl>                    compile, propagate, report feasibility
     run     <file.dddl> [--mode adpm|conventional] [--seed N] [--max-ops N]
-            [--propagation full|incremental] [--csv] [--trace FILE] [--metrics]
+            [--propagation full|incremental]
+            [--engine interp|compiled|compiled-parallel]
+            [--csv] [--trace FILE] [--metrics]
             [--concurrent] [--turn-barrier] [--remote] [--fault-plan PLAN]
                                            simulate one TeamSim run
                                            (--propagation picks the DCM path:
                                             full re-propagation after every
                                             operation, or incremental dirty-set
-                                            propagation; --csv prints the
+                                            propagation; --engine picks the
+                                            revision engine — AST interpreter,
+                                            compiled flat interval programs, or
+                                            compiled + parallel across
+                                            connected components; see
+                                            docs/PERFORMANCE.md; --csv prints the
                                             per-operation table, --trace streams
                                             a JSONL event trace to FILE,
                                             --metrics appends the aggregate
@@ -294,6 +302,12 @@ pub struct RunOptions {
     pub max_operations: usize,
     /// Which DCM propagation path ADPM runs after each operation.
     pub propagation: PropagationKind,
+    /// Which revision engine runs the DCM hot path: the AST interpreter
+    /// (the default), the compiled flat-program engine, or the compiled
+    /// engine parallelized across connected components. All engines reach
+    /// identical fixed points (`adpm diff-trace` between engines is
+    /// clean); only wall-clock differs.
+    pub engine: PropagationEngine,
     /// Emit the per-operation capture as CSV instead of the summary.
     pub csv: bool,
     /// Stream a JSONL trace of the run (see `docs/OBSERVABILITY.md` for the
@@ -322,6 +336,7 @@ impl Default for RunOptions {
             seed: 0,
             max_operations: 5_000,
             propagation: PropagationKind::Full,
+            engine: PropagationEngine::Interp,
             csv: false,
             trace: None,
             metrics: false,
@@ -343,6 +358,7 @@ pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
     let mut config = SimulationConfig::for_mode(options.mode, options.seed);
     config.max_operations = options.max_operations;
     config.propagation_kind = options.propagation;
+    config.propagation.engine = options.engine;
 
     let metrics = options.metrics.then(|| Arc::new(InMemorySink::new()));
     let trace = options
@@ -1125,13 +1141,26 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
                     .parse()
                     .map_err(|e| CliError::Usage(format!("--propagation: {e}")))?;
             }
-            other => match other.strip_prefix("--propagation=") {
-                Some(v) => {
+            "--engine" => {
+                options.engine = value(&mut it)?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--engine: {e}")))?;
+            }
+            other => match (
+                other.strip_prefix("--propagation="),
+                other.strip_prefix("--engine="),
+            ) {
+                (Some(v), _) => {
                     options.propagation = v
                         .parse()
                         .map_err(|e| CliError::Usage(format!("--propagation: {e}")))?;
                 }
-                None => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                (None, Some(v)) => {
+                    options.engine = v
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--engine: {e}")))?;
+                }
+                (None, None) => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
             },
         }
     }
@@ -1607,6 +1636,48 @@ mod tests {
             parse_run_options(&["--propagation=".into()]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn run_option_parsing_accepts_engine_in_both_forms() {
+        let options =
+            parse_run_options(&["--engine".into(), "compiled".into()]).expect("valid options");
+        assert_eq!(options.engine, PropagationEngine::Compiled);
+        let options = parse_run_options(&["--engine=compiled-parallel".into()])
+            .expect("valid options");
+        assert_eq!(options.engine, PropagationEngine::CompiledParallel);
+        let options = parse_run_options(&[]).expect("valid options");
+        assert_eq!(options.engine, PropagationEngine::Interp);
+        let err = parse_run_options(&["--engine".into(), "jit".into()]).unwrap_err();
+        assert!(err.to_string().contains("--engine"), "{err}");
+        assert!(matches!(
+            parse_run_options(&["--engine=".into()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn run_reports_identical_statistics_across_engines() {
+        let base = RunOptions {
+            seed: 3,
+            max_operations: 150,
+            ..RunOptions::default()
+        };
+        let interp = run(MINI, &base).expect("interp run");
+        for engine in [
+            PropagationEngine::Compiled,
+            PropagationEngine::CompiledParallel,
+        ] {
+            let out = run(
+                MINI,
+                &RunOptions {
+                    engine,
+                    ..base.clone()
+                },
+            )
+            .expect("compiled run");
+            assert_eq!(out, interp, "engine {engine} diverged from interp");
+        }
     }
 
     /// Runs the mini scenario with a trace sink and returns the trace text.

@@ -1,0 +1,606 @@
+//! Compilation of constraints to flat interval programs — the compiled
+//! propagation engine's lowering pass.
+//!
+//! The AST interpreter behind [`hc4_revise`](crate::hc4_revise) re-walks
+//! each constraint's [`Expr`] tree on every HC4 revision, allocating a
+//! boxed node tree for the forward values and a `HashMap` for the narrowed
+//! arguments. This module lowers each constraint **once**
+//! into a flat array of [`Op`] instructions whose operands are instruction
+//! indices, evaluated against an [`IntervalArena`] with a reusable
+//! [`ReviseScratch`] — no per-revise allocation, no hashing, no pointer
+//! chasing on the hot path.
+//!
+//! ## Instruction order
+//!
+//! Programs are emitted in *reverse preorder*: the right-hand side's tree
+//! before the left-hand side's, and within every binary node the second
+//! child's subtree before the first's, each node after its children.
+//! Consequently
+//!
+//! * ascending index order is a valid **forward** evaluation order (every
+//!   child precedes its parent), and
+//! * descending index order visits nodes in exactly the preorder the AST
+//!   interpreter uses for its **backward** pass (left side before right,
+//!   first child before second, parent before children).
+//!
+//! The backward visit order matters: repeated variable occurrences
+//! accumulate through tolerant intersections whose
+//! floating-point results depend on operand order, and the engine-equality
+//! gate (`adpm diff-trace`) requires the compiled engine to reproduce the
+//! interpreter's fixed points bit-for-bit.
+
+use crate::arena::IntervalArena;
+use crate::constraint::{Constraint, Relation, EQ_TOL};
+use crate::expr::Expr;
+use crate::ids::{ConstraintId, PropertyId};
+use crate::interval::Interval;
+use crate::network::ConstraintNetwork;
+use crate::propagate::{root_even, signed_root, tolerant_intersect, ReviseResult};
+
+/// One flat-program instruction. Operands are indices of earlier
+/// instructions in the same [`CompiledConstraint`]; `Var` operands index
+/// the program's variable-slot table instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push the constant `[x, x]`.
+    Const(f64),
+    /// Load variable slot `k` from the arena.
+    Var(u32),
+    /// Negate instruction `a`'s value.
+    Neg(u32),
+    /// Absolute value of instruction `a`'s value.
+    Abs(u32),
+    /// Square root of instruction `a`'s value.
+    Sqrt(u32),
+    /// Natural exponential of instruction `a`'s value.
+    Exp(u32),
+    /// Natural logarithm of instruction `a`'s value.
+    Ln(u32),
+    /// Instruction `a`'s value raised to the integer power `n`.
+    Powi(u32, i32),
+    /// Sum of instructions `a` and `b`.
+    Add(u32, u32),
+    /// Difference of instructions `a` and `b`.
+    Sub(u32, u32),
+    /// Product of instructions `a` and `b`.
+    Mul(u32, u32),
+    /// Quotient of instructions `a` and `b`.
+    Div(u32, u32),
+    /// Pointwise minimum of instructions `a` and `b`.
+    Min(u32, u32),
+    /// Pointwise maximum of instructions `a` and `b`.
+    Max(u32, u32),
+}
+
+/// One constraint lowered to a flat interval program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledConstraint {
+    ops: Vec<Op>,
+    lhs_root: u32,
+    rhs_root: u32,
+    relation: Relation,
+    /// The constraint's distinct arguments, ascending — variable slot `k`
+    /// in [`Op::Var`] refers to `vars[k]`.
+    vars: Vec<PropertyId>,
+}
+
+/// Reusable scratch buffers for [`CompiledConstraint::revise`] — the
+/// "reusable scratch stack" of the performance model. One instance serves
+/// any number of revisions of any number of programs; each call resizes
+/// the buffers to the program at hand without freeing capacity.
+#[derive(Debug, Clone, Default)]
+pub struct ReviseScratch {
+    /// Forward value of each instruction.
+    vals: Vec<Interval>,
+    /// Pending backward target per instruction (`None` = not visited).
+    targets: Vec<Option<Interval>>,
+    /// Accumulated narrowing per variable slot.
+    acc: Vec<Interval>,
+    /// Whether a variable slot was visited by the backward pass.
+    touched: Vec<bool>,
+}
+
+impl ReviseScratch {
+    /// Empty scratch buffers (they grow to the largest program revised).
+    pub fn new() -> Self {
+        ReviseScratch::default()
+    }
+}
+
+impl CompiledConstraint {
+    /// Lowers `constraint` to a flat program.
+    pub fn compile(constraint: &Constraint) -> Self {
+        let vars = constraint.argument_slice().to_vec();
+        let mut ops = Vec::with_capacity(constraint.lhs().node_count() + constraint.rhs().node_count());
+        // Reverse preorder: rhs first, and second children first — see the
+        // module docs for why descending index order must equal the
+        // interpreter's backward visit order.
+        let rhs_root = lower(constraint.rhs(), &vars, &mut ops);
+        let lhs_root = lower(constraint.lhs(), &vars, &mut ops);
+        CompiledConstraint {
+            ops,
+            lhs_root,
+            rhs_root,
+            relation: constraint.relation(),
+            vars,
+        }
+    }
+
+    /// Number of instructions in the program.
+    pub fn instruction_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The constraint's distinct arguments, ascending.
+    pub fn vars(&self) -> &[PropertyId] {
+        &self.vars
+    }
+
+    /// One HC4 revision against the intervals in `arena`, equivalent to
+    /// [`hc4_revise`](crate::hc4_revise) on the original constraint —
+    /// interval for interval, including the accumulation order of repeated
+    /// variable occurrences.
+    pub fn revise(&self, arena: &IntervalArena, scratch: &mut ReviseScratch) -> ReviseResult {
+        let n = self.ops.len();
+
+        // Forward pass: one ascending sweep fills every instruction's value.
+        scratch.vals.clear();
+        scratch.vals.reserve(n);
+        for op in &self.ops {
+            let v = match *op {
+                Op::Const(x) => Interval::singleton(x),
+                Op::Var(slot) => arena.get(self.vars[slot as usize]),
+                Op::Neg(a) => scratch.vals[a as usize].neg(),
+                Op::Abs(a) => scratch.vals[a as usize].abs(),
+                Op::Sqrt(a) => scratch.vals[a as usize].sqrt(),
+                Op::Exp(a) => scratch.vals[a as usize].exp(),
+                Op::Ln(a) => scratch.vals[a as usize].ln(),
+                Op::Powi(a, k) => scratch.vals[a as usize].powi(k),
+                Op::Add(a, b) => scratch.vals[a as usize] + scratch.vals[b as usize],
+                Op::Sub(a, b) => scratch.vals[a as usize] - scratch.vals[b as usize],
+                Op::Mul(a, b) => scratch.vals[a as usize] * scratch.vals[b as usize],
+                Op::Div(a, b) => scratch.vals[a as usize] / scratch.vals[b as usize],
+                Op::Min(a, b) => scratch.vals[a as usize].min(&scratch.vals[b as usize]),
+                Op::Max(a, b) => scratch.vals[a as usize].max(&scratch.vals[b as usize]),
+            };
+            scratch.vals.push(v);
+        }
+
+        let lhs_iv = scratch.vals[self.lhs_root as usize];
+        let rhs_iv = scratch.vals[self.rhs_root as usize];
+        if lhs_iv.is_empty() || rhs_iv.is_empty() {
+            return ReviseResult {
+                narrowed: Vec::new(),
+                conflict: true,
+            };
+        }
+
+        let gap_target = match self.relation {
+            Relation::Le | Relation::Lt => Interval::NON_POSITIVE,
+            Relation::Ge | Relation::Gt => Interval::NON_NEGATIVE,
+            Relation::Eq => Interval::new(-EQ_TOL, EQ_TOL),
+        };
+        let gap = lhs_iv - rhs_iv;
+        let gap = tolerant_intersect(&gap, &gap_target);
+        if gap.is_empty() {
+            return ReviseResult {
+                narrowed: Vec::new(),
+                conflict: true,
+            };
+        }
+        let lhs_target = (gap + rhs_iv).intersect(&lhs_iv);
+        let rhs_target = (lhs_iv - gap).intersect(&rhs_iv);
+
+        // Backward pass: one descending sweep. Instructions without a
+        // pending target were cut off upstream (a conflicted subtree or a
+        // `x^0` node) and are skipped, exactly like the interpreter's
+        // early returns.
+        scratch.targets.clear();
+        scratch.targets.resize(n, None);
+        scratch.targets[self.lhs_root as usize] = Some(lhs_target);
+        scratch.targets[self.rhs_root as usize] = Some(rhs_target);
+        scratch.acc.clear();
+        scratch
+            .acc
+            .extend(self.vars.iter().map(|pid| arena.get(*pid)));
+        scratch.touched.clear();
+        scratch.touched.resize(self.vars.len(), false);
+
+        let mut conflict = false;
+        for i in (0..n).rev() {
+            let Some(target) = scratch.targets[i].take() else {
+                continue;
+            };
+            let t = tolerant_intersect(&scratch.vals[i], &target);
+            if t.is_empty() {
+                conflict = true;
+                continue;
+            }
+            match self.ops[i] {
+                Op::Const(_) => {}
+                Op::Var(slot) => {
+                    let slot = slot as usize;
+                    scratch.acc[slot] = tolerant_intersect(&scratch.acc[slot], &t);
+                    scratch.touched[slot] = true;
+                    if scratch.acc[slot].is_empty() {
+                        conflict = true;
+                    }
+                }
+                Op::Neg(a) => scratch.targets[a as usize] = Some(t.neg()),
+                Op::Abs(a) => {
+                    let tt = t.intersect(&Interval::NON_NEGATIVE);
+                    if tt.is_empty() {
+                        conflict = true;
+                        continue;
+                    }
+                    scratch.targets[a as usize] = Some(tt.hull(&tt.neg()));
+                }
+                Op::Sqrt(a) => {
+                    let tt = t.intersect(&Interval::NON_NEGATIVE);
+                    if tt.is_empty() {
+                        conflict = true;
+                        continue;
+                    }
+                    scratch.targets[a as usize] = Some(tt.powi(2));
+                }
+                Op::Exp(a) => {
+                    let tt = t.intersect(&Interval::new(0.0, f64::INFINITY));
+                    if tt.is_empty() {
+                        conflict = true;
+                        continue;
+                    }
+                    scratch.targets[a as usize] = Some(tt.ln());
+                }
+                Op::Ln(a) => scratch.targets[a as usize] = Some(t.exp()),
+                Op::Powi(a, k) => {
+                    if k == 0 {
+                        if !t.contains(1.0) {
+                            conflict = true;
+                        }
+                        continue;
+                    }
+                    let child_target = if k % 2 == 1 {
+                        Interval::new(signed_root(t.lo(), k), signed_root(t.hi(), k))
+                    } else {
+                        let tt = t.intersect(&Interval::NON_NEGATIVE);
+                        if tt.is_empty() {
+                            conflict = true;
+                            continue;
+                        }
+                        let r = Interval::new(root_even(tt.lo(), k), root_even(tt.hi(), k));
+                        r.hull(&r.neg())
+                    };
+                    scratch.targets[a as usize] = Some(child_target);
+                }
+                Op::Add(a, b) => {
+                    let (ia, ib) = (scratch.vals[a as usize], scratch.vals[b as usize]);
+                    scratch.targets[a as usize] = Some(t - ib);
+                    scratch.targets[b as usize] = Some(t - ia);
+                }
+                Op::Sub(a, b) => {
+                    let (ia, ib) = (scratch.vals[a as usize], scratch.vals[b as usize]);
+                    scratch.targets[a as usize] = Some(t + ib);
+                    scratch.targets[b as usize] = Some(ia - t);
+                }
+                Op::Mul(a, b) => {
+                    let (ia, ib) = (scratch.vals[a as usize], scratch.vals[b as usize]);
+                    scratch.targets[a as usize] = Some(t / ib);
+                    scratch.targets[b as usize] = Some(t / ia);
+                }
+                Op::Div(a, b) => {
+                    let (ia, ib) = (scratch.vals[a as usize], scratch.vals[b as usize]);
+                    scratch.targets[a as usize] = Some(t * ib);
+                    scratch.targets[b as usize] = Some(ia / t);
+                }
+                Op::Min(a, b) => {
+                    let (ia, ib) = (scratch.vals[a as usize], scratch.vals[b as usize]);
+                    let mut ta = Interval::new(t.lo(), f64::INFINITY);
+                    if ib.lo() > t.hi() {
+                        // b cannot supply the minimum, so a must.
+                        ta = ta.intersect(&Interval::new(f64::NEG_INFINITY, t.hi()));
+                    }
+                    let mut tb = Interval::new(t.lo(), f64::INFINITY);
+                    if ia.lo() > t.hi() {
+                        tb = tb.intersect(&Interval::new(f64::NEG_INFINITY, t.hi()));
+                    }
+                    scratch.targets[a as usize] = Some(ta);
+                    scratch.targets[b as usize] = Some(tb);
+                }
+                Op::Max(a, b) => {
+                    let (ia, ib) = (scratch.vals[a as usize], scratch.vals[b as usize]);
+                    let mut ta = Interval::new(f64::NEG_INFINITY, t.hi());
+                    if ib.hi() < t.lo() {
+                        ta = ta.intersect(&Interval::new(t.lo(), f64::INFINITY));
+                    }
+                    let mut tb = Interval::new(f64::NEG_INFINITY, t.hi());
+                    if ia.hi() < t.lo() {
+                        tb = tb.intersect(&Interval::new(t.lo(), f64::INFINITY));
+                    }
+                    scratch.targets[a as usize] = Some(ta);
+                    scratch.targets[b as usize] = Some(tb);
+                }
+            }
+        }
+
+        let mut narrowed: Vec<(PropertyId, Interval)> = self
+            .vars
+            .iter()
+            .zip(scratch.touched.iter())
+            .zip(scratch.acc.iter())
+            .filter(|((_, touched), _)| **touched)
+            .map(|((pid, _), iv)| (*pid, *iv))
+            .collect();
+        if narrowed.iter().any(|(_, iv)| iv.is_empty()) {
+            conflict = true;
+        }
+        if conflict {
+            narrowed = Vec::new();
+        }
+        ReviseResult { narrowed, conflict }
+    }
+}
+
+/// Emits `expr`'s instructions in reverse preorder and returns the index
+/// of the node's own instruction.
+fn lower(expr: &Expr, vars: &[PropertyId], ops: &mut Vec<Op>) -> u32 {
+    let op = match expr {
+        Expr::Const(x) => Op::Const(*x),
+        Expr::Var(pid) => {
+            let slot = vars
+                .binary_search(pid)
+                .expect("every variable occurs in the argument table");
+            Op::Var(slot as u32)
+        }
+        Expr::Neg(e) => Op::Neg(lower(e, vars, ops)),
+        Expr::Abs(e) => Op::Abs(lower(e, vars, ops)),
+        Expr::Sqrt(e) => Op::Sqrt(lower(e, vars, ops)),
+        Expr::Exp(e) => Op::Exp(lower(e, vars, ops)),
+        Expr::Ln(e) => Op::Ln(lower(e, vars, ops)),
+        Expr::Powi(e, n) => Op::Powi(lower(e, vars, ops), *n),
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b)
+        | Expr::Min(a, b) | Expr::Max(a, b) => {
+            let ib = lower(b, vars, ops);
+            let ia = lower(a, vars, ops);
+            match expr {
+                Expr::Add(_, _) => Op::Add(ia, ib),
+                Expr::Sub(_, _) => Op::Sub(ia, ib),
+                Expr::Mul(_, _) => Op::Mul(ia, ib),
+                Expr::Div(_, _) => Op::Div(ia, ib),
+                Expr::Min(_, _) => Op::Min(ia, ib),
+                Expr::Max(_, _) => Op::Max(ia, ib),
+                _ => unreachable!(),
+            }
+        }
+    };
+    ops.push(op);
+    (ops.len() - 1) as u32
+}
+
+/// Every constraint of a network lowered to flat programs, indexed by
+/// [`ConstraintId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledNetwork {
+    constraints: Vec<CompiledConstraint>,
+}
+
+impl CompiledNetwork {
+    /// Lowers every constraint of `net`.
+    pub fn compile(net: &ConstraintNetwork) -> Self {
+        CompiledNetwork {
+            constraints: net
+                .constraint_ids()
+                .map(|cid| CompiledConstraint::compile(net.constraint(cid)))
+                .collect(),
+        }
+    }
+
+    /// Number of compiled constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Total instructions across all programs (the `compile` trace line's
+    /// `instructions` field).
+    pub fn instruction_count(&self) -> usize {
+        self.constraints
+            .iter()
+            .map(CompiledConstraint::instruction_count)
+            .sum()
+    }
+
+    /// The compiled program of constraint `cid`.
+    pub fn constraint(&self, cid: ConstraintId) -> &CompiledConstraint {
+        &self.constraints[cid.index()]
+    }
+
+    /// One HC4 revision of constraint `cid` against `arena` (see
+    /// [`CompiledConstraint::revise`]).
+    pub fn revise(
+        &self,
+        cid: ConstraintId,
+        arena: &IntervalArena,
+        scratch: &mut ReviseScratch,
+    ) -> ReviseResult {
+        self.constraints[cid.index()].revise(arena, scratch)
+    }
+
+    /// An arena snapshot of `net`'s current effective intervals — the
+    /// compiled engine's starting box.
+    pub fn load_arena(net: &ConstraintNetwork) -> IntervalArena {
+        let mut arena = IntervalArena::new(net.property_count());
+        for pid in net.property_ids() {
+            arena.set(pid, net.effective_interval(pid));
+        }
+        arena
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{cst, var};
+    use crate::hc4_revise;
+
+    fn p(i: u32) -> PropertyId {
+        PropertyId::new(i)
+    }
+
+    fn arena_from(domains: &[Interval]) -> IntervalArena {
+        let mut arena = IntervalArena::new(domains.len());
+        for (i, iv) in domains.iter().enumerate() {
+            arena.set(p(i as u32), *iv);
+        }
+        arena
+    }
+
+    fn assert_revise_matches(c: &Constraint, arena: &IntervalArena) {
+        let compiled = CompiledConstraint::compile(c);
+        let mut scratch = ReviseScratch::new();
+        let got = compiled.revise(arena, &mut scratch);
+        let want = hc4_revise(c, &|pid| arena.get(pid));
+        assert_eq!(got.conflict, want.conflict, "conflict flag for {c}");
+        assert_eq!(got.narrowed.len(), want.narrowed.len(), "arity for {c}");
+        for ((gp, gi), (wp, wi)) in got.narrowed.iter().zip(want.narrowed.iter()) {
+            assert_eq!(gp, wp, "property order for {c}");
+            assert_eq!(
+                gi.is_empty(),
+                wi.is_empty(),
+                "emptiness of {gp} for {c}: {gi} vs {wi}"
+            );
+            if !gi.is_empty() {
+                assert_eq!(gi.lo().to_bits(), wi.lo().to_bits(), "lo of {gp} for {c}");
+                assert_eq!(gi.hi().to_bits(), wi.hi().to_bits(), "hi of {gp} for {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_cap_matches_interpreter_bitwise() {
+        let c = Constraint::new(
+            ConstraintId::new(0),
+            "cap",
+            var(p(0)) + var(p(1)),
+            Relation::Le,
+            cst(5.0),
+        );
+        let arena = arena_from(&[Interval::new(0.0, 10.0), Interval::new(3.0, 10.0)]);
+        assert_revise_matches(&c, &arena);
+    }
+
+    #[test]
+    fn repeated_variable_accumulates_in_interpreter_order() {
+        // x occurs on both sides and twice on the left: the narrowing is
+        // the ordered tolerant-intersection chain of all three visits.
+        let c = Constraint::new(
+            ConstraintId::new(0),
+            "mixed",
+            var(p(0)) * var(p(0)) + var(p(1)),
+            Relation::Le,
+            var(p(0)) + cst(6.0),
+        );
+        let arena = arena_from(&[Interval::new(0.5, 4.0), Interval::new(-3.0, 9.0)]);
+        assert_revise_matches(&c, &arena);
+    }
+
+    #[test]
+    fn unary_chain_and_powi_zero_match() {
+        let c = Constraint::new(
+            ConstraintId::new(0),
+            "chain",
+            -var(p(0)).sqrt().ln(),
+            Relation::Ge,
+            var(p(1)).powi(0) - cst(2.0),
+        );
+        let arena = arena_from(&[Interval::new(0.1, 50.0), Interval::new(-4.0, 4.0)]);
+        assert_revise_matches(&c, &arena);
+    }
+
+    #[test]
+    fn min_max_and_division_match() {
+        let c = Constraint::new(
+            ConstraintId::new(0),
+            "mm",
+            var(p(0)).min(var(p(1))) / var(p(2)),
+            Relation::Eq,
+            var(p(0)).max(cst(2.0)),
+        );
+        let arena = arena_from(&[
+            Interval::new(1.0, 8.0),
+            Interval::new(-2.0, 6.0),
+            Interval::new(0.5, 3.0),
+        ]);
+        assert_revise_matches(&c, &arena);
+    }
+
+    #[test]
+    fn conflict_is_detected_like_the_interpreter() {
+        let c = Constraint::new(
+            ConstraintId::new(0),
+            "impossible",
+            var(p(0)),
+            Relation::Ge,
+            cst(100.0),
+        );
+        let arena = arena_from(&[Interval::new(0.0, 1.0)]);
+        assert_revise_matches(&c, &arena);
+        let compiled = CompiledConstraint::compile(&c);
+        let r = compiled.revise(&arena, &mut ReviseScratch::new());
+        assert!(r.conflict);
+        assert!(r.narrowed.is_empty());
+    }
+
+    #[test]
+    fn empty_input_interval_is_a_conflict() {
+        let c = Constraint::new(
+            ConstraintId::new(0),
+            "empty-arg",
+            var(p(0)) + cst(1.0),
+            Relation::Le,
+            cst(5.0),
+        );
+        let arena = arena_from(&[Interval::EMPTY]);
+        let r = CompiledConstraint::compile(&c).revise(&arena, &mut ReviseScratch::new());
+        assert!(r.conflict);
+    }
+
+    #[test]
+    fn programs_count_one_instruction_per_expr_node() {
+        let c = Constraint::new(
+            ConstraintId::new(0),
+            "count",
+            var(p(0)) + var(p(1)) * cst(2.0),
+            Relation::Le,
+            cst(5.0),
+        );
+        let compiled = CompiledConstraint::compile(&c);
+        assert_eq!(
+            compiled.instruction_count(),
+            c.lhs().node_count() + c.rhs().node_count()
+        );
+        assert_eq!(compiled.vars(), &[p(0), p(1)]);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_programs() {
+        let small = Constraint::new(ConstraintId::new(0), "s", var(p(0)), Relation::Le, cst(1.0));
+        let big = Constraint::new(
+            ConstraintId::new(1),
+            "b",
+            var(p(0)) + var(p(1)) + var(p(2)),
+            Relation::Le,
+            cst(9.0),
+        );
+        let arena = arena_from(&[
+            Interval::new(0.0, 5.0),
+            Interval::new(0.0, 5.0),
+            Interval::new(0.0, 5.0),
+        ]);
+        let mut scratch = ReviseScratch::new();
+        for c in [&big, &small, &big] {
+            let compiled = CompiledConstraint::compile(c);
+            let got = compiled.revise(&arena, &mut scratch);
+            let want = hc4_revise(c, &|pid| arena.get(pid));
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -27,6 +27,12 @@
 //! * [`propagate_incremental`] — dirty-set propagation that narrows from
 //!   the last fixed point, seeding only constraints adjacent to the changed
 //!   properties (falling back to a full run when reuse would be unsound);
+//! * [`CompiledNetwork`] / [`IntervalArena`] — the compiled propagation
+//!   engine: each constraint lowered once to a flat postfix program revised
+//!   against dense structure-of-arrays interval storage, selected per run
+//!   via [`PropagationConfig::engine`] ([`PropagationEngine`]), with the
+//!   parallel variant fanning full propagation out across independent
+//!   connected components;
 //! * [`helps_direction`] — constraint monotonicity (declared or inferred);
 //! * [`HeuristicReport`] — the mined per-property heuristic support data
 //!   (`v_F` size, `β_i`, `α_i`, repair directions) of the paper's §2.3.
@@ -57,6 +63,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
+mod compile;
 mod constraint;
 mod domain;
 mod error;
@@ -70,6 +78,8 @@ mod network;
 mod propagate;
 mod value;
 
+pub use arena::IntervalArena;
+pub use compile::{CompiledConstraint, CompiledNetwork, Op, ReviseScratch};
 pub use constraint::{Constraint, ConstraintStatus, Relation, EQ_TOL};
 pub use domain::Domain;
 pub use error::NetworkError;
@@ -82,7 +92,7 @@ pub use monotone::{helps_direction, local_helps_direction};
 pub use network::{ConstraintNetwork, HelpsDirection, Property};
 pub use propagate::{
     hc4_revise, propagate, propagate_incremental, propagate_incremental_profiled,
-    propagate_observed, propagate_profiled, PropagationConfig, PropagationKind,
-    PropagationOutcome, ReviseResult,
+    propagate_observed, propagate_profiled, PropagationConfig, PropagationEngine,
+    PropagationKind, PropagationOutcome, ReviseResult,
 };
 pub use value::{Value, VALUE_EPS};

@@ -13,7 +13,7 @@ use crate::expr::Expr;
 use crate::ids::{ConstraintId, PropertyId};
 use crate::interval::Interval;
 use crate::value::Value;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// Static description of a design property.
@@ -328,6 +328,46 @@ impl ConstraintNetwork {
     /// The constraints where property `id` appears (the basis of `β_i`).
     pub fn constraints_of(&self, id: PropertyId) -> &[ConstraintId] {
         &self.prop_constraints[id.index()]
+    }
+
+    /// Partitions the constraints into connected components of the
+    /// constraint hypergraph: two constraints are connected when they share
+    /// a property.
+    ///
+    /// Components are the unit of parallelism for the compiled propagation
+    /// engine — no property crosses a component, so components can be
+    /// propagated on independent workers without coordination. Each inner
+    /// vector lists its constraint ids in ascending order, and the outer
+    /// vector is sorted by each component's smallest constraint id, making
+    /// the partition deterministic for a given network.
+    pub fn constraint_components(&self) -> Vec<Vec<ConstraintId>> {
+        let n = self.constraints.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]]; // path halving
+                i = parent[i];
+            }
+            i
+        }
+        for members in &self.prop_constraints {
+            let Some((first, rest)) = members.split_first() else {
+                continue;
+            };
+            let root = find(&mut parent, first.index());
+            for cid in rest {
+                let other = find(&mut parent, cid.index());
+                parent[other] = root;
+            }
+        }
+        let mut groups: BTreeMap<usize, Vec<ConstraintId>> = BTreeMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(ConstraintId::new(i as u32));
+        }
+        let mut components: Vec<Vec<ConstraintId>> = groups.into_values().collect();
+        components.sort_by_key(|c| c[0].index());
+        components
     }
 
     /// The paper's `β_i`: number of constraints where `id` appears.
@@ -689,6 +729,40 @@ mod tests {
             .add_constraint("sum", var(a) + var(b), Relation::Le, cst(12.0))
             .unwrap();
         (net, a, b, c)
+    }
+
+    #[test]
+    fn constraint_components_partition_by_shared_properties() {
+        let mut net = ConstraintNetwork::new();
+        let ids: Vec<PropertyId> = (0..5)
+            .map(|i| {
+                net.add_property(Property::new(
+                    format!("p{i}"),
+                    "obj",
+                    Domain::interval(0.0, 10.0),
+                ))
+                .unwrap()
+            })
+            .collect();
+        // Component A: c0 and c2 share p1; component B: c1 alone on p3/p4.
+        let c0 = net
+            .add_constraint("c0", var(ids[0]) + var(ids[1]), Relation::Le, cst(9.0))
+            .unwrap();
+        let c1 = net
+            .add_constraint("c1", var(ids[3]), Relation::Le, var(ids[4]))
+            .unwrap();
+        let c2 = net
+            .add_constraint("c2", var(ids[1]), Relation::Ge, var(ids[2]))
+            .unwrap();
+        assert_eq!(net.constraint_components(), vec![vec![c0, c2], vec![c1]]);
+
+        // Bridging the two with a constraint over p2 and p3 merges them.
+        let c3 = net
+            .add_constraint("bridge", var(ids[2]), Relation::Le, var(ids[3]))
+            .unwrap();
+        assert_eq!(net.constraint_components(), vec![vec![c0, c1, c2, c3]]);
+
+        assert!(ConstraintNetwork::new().constraint_components().is_empty());
     }
 
     #[test]

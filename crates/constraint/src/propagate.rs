@@ -17,6 +17,8 @@
 //! (each queue pass can narrow a domain by at least the configured minimum
 //! fraction), matching the complexity remark in the paper's §3.2.
 
+use crate::arena::IntervalArena;
+use crate::compile::{CompiledNetwork, ReviseScratch};
 use crate::constraint::{Constraint, Relation, EQ_TOL};
 use crate::domain::Domain;
 use crate::expr::Expr;
@@ -40,6 +42,10 @@ pub struct PropagationConfig {
     /// Minimum relative width reduction for a narrowing to count (and
     /// trigger re-queuing of dependent constraints).
     pub min_relative_narrowing: f64,
+    /// Which revision implementation the propagator runs (the default
+    /// AST interpreter, or the compiled flat-program engine, optionally
+    /// parallelized across connected components).
+    pub engine: PropagationEngine,
 }
 
 impl Default for PropagationConfig {
@@ -47,7 +53,60 @@ impl Default for PropagationConfig {
         PropagationConfig {
             max_evaluations: 10_000,
             min_relative_narrowing: 1e-6,
+            engine: PropagationEngine::Interp,
         }
+    }
+}
+
+/// Which revision implementation the propagator uses. All three compute
+/// the same fixed points, conflict sets, and evaluation counts — the
+/// engines differ only in wall-clock cost (see `docs/PERFORMANCE.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PropagationEngine {
+    /// Per-revise AST interpretation (the default; golden traces pin it).
+    #[default]
+    Interp,
+    /// Flat interval programs over an [`IntervalArena`], compiled once per
+    /// propagation run and revised with a reusable scratch stack.
+    Compiled,
+    /// [`PropagationEngine::Compiled`], plus `std::thread::scope` workers
+    /// propagating independent connected components of the constraint
+    /// graph concurrently on full runs. Incremental runs and
+    /// single-component networks fall back to the sequential compiled
+    /// path.
+    CompiledParallel,
+}
+
+impl PropagationEngine {
+    /// Stable lowercase name, used in traces and on the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PropagationEngine::Interp => "interp",
+            PropagationEngine::Compiled => "compiled",
+            PropagationEngine::CompiledParallel => "compiled-parallel",
+        }
+    }
+}
+
+impl std::str::FromStr for PropagationEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" => Ok(PropagationEngine::Interp),
+            "compiled" => Ok(PropagationEngine::Compiled),
+            "compiled-parallel" | "parallel" => Ok(PropagationEngine::CompiledParallel),
+            other => Err(format!(
+                "unknown propagation engine `{other}` \
+                 (expected `interp`, `compiled`, or `compiled-parallel`)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for PropagationEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -203,15 +262,34 @@ pub fn propagate_profiled(
     let seeds: Vec<ConstraintId> = net.constraint_ids().collect();
     // Reserve the final full status sweep inside the cap.
     let budget = config.max_evaluations.saturating_sub(net.constraint_count());
-    let mut run = run_worklist(
-        net,
-        &seeds,
-        budget,
-        config.min_relative_narrowing,
-        false,
-        trace,
-        clock,
-    );
+    let mut engine = EngineState::prepare(net, config.engine, sink, trace, clock);
+    let parallel = config.engine == PropagationEngine::CompiledParallel;
+    let mut run = match parallel
+        .then(|| {
+            run_worklist_parallel(
+                net,
+                budget,
+                config.min_relative_narrowing,
+                trace,
+                sink,
+                clock,
+                &engine,
+            )
+        })
+        .flatten()
+    {
+        Some(run) => run,
+        None => run_worklist(
+            net,
+            &seeds,
+            budget,
+            config.min_relative_narrowing,
+            false,
+            trace,
+            clock,
+            &mut engine,
+        ),
+    };
 
     let mut outcome = PropagationOutcome {
         kind: PropagationKind::Full,
@@ -343,6 +421,9 @@ pub fn propagate_incremental_profiled(
         .into_iter()
         .collect();
     let budget = config.max_evaluations.saturating_sub(net.constraint_count());
+    // Incremental waves are small and component-local by construction, so
+    // `CompiledParallel` runs the sequential compiled path here.
+    let mut engine = EngineState::prepare(net, config.engine, sink, trace, clock);
     let mut run = run_worklist(
         net,
         &seeds,
@@ -351,6 +432,7 @@ pub fn propagate_incremental_profiled(
         true,
         trace,
         clock,
+        &mut engine,
     );
 
     if run.aborted_on_conflict {
@@ -358,6 +440,9 @@ pub fn propagate_incremental_profiled(
         // scratch, charging the aborted revisions against the cap.
         let wasted = run.evaluations;
         sink.incr(Counter::Evaluations, wasted as u64);
+        if run.compiled_evals > 0 {
+            sink.incr(Counter::CompiledEvals, run.compiled_evals);
+        }
         let inner = PropagationConfig {
             max_evaluations: config.max_evaluations.saturating_sub(wasted),
             ..config.clone()
@@ -433,12 +518,67 @@ struct WorklistRun {
     /// Narrowing events per property (indexed by `PropertyId::index`);
     /// populated only when `record_waves` is set.
     property_narrowings: Vec<u64>,
+    /// Flat-program revisions performed (0 under the AST interpreter).
+    compiled_evals: u64,
+    /// Connected components propagated by parallel workers (0 when the
+    /// run was sequential).
+    components_parallel: u64,
+}
+
+/// Revision-engine state for one propagation run.
+enum EngineState {
+    /// AST interpretation straight off the network.
+    Interp,
+    /// Compiled flat programs plus an arena mirror of the effective box.
+    Compiled {
+        programs: CompiledNetwork,
+        arena: IntervalArena,
+        scratch: ReviseScratch,
+    },
+}
+
+impl EngineState {
+    /// Lowers the network for the compiled engines (timing the pass and
+    /// emitting the `compile` trace line), or returns the zero-cost
+    /// interpreter state. Must be called after bound properties are
+    /// pinned so the arena snapshot matches the starting box.
+    fn prepare(
+        net: &ConstraintNetwork,
+        engine: PropagationEngine,
+        sink: &dyn MetricsSink,
+        trace: bool,
+        clock: &dyn Clock,
+    ) -> EngineState {
+        match engine {
+            PropagationEngine::Interp => EngineState::Interp,
+            PropagationEngine::Compiled | PropagationEngine::CompiledParallel => {
+                let started = if trace { clock.now_us() } else { 0 };
+                let programs = CompiledNetwork::compile(net);
+                let arena = CompiledNetwork::load_arena(net);
+                if trace {
+                    let dur_us = clock.now_us().saturating_sub(started);
+                    sink.record(&TraceEvent::CompileDone {
+                        constraints: programs.constraint_count() as u32,
+                        instructions: programs.instruction_count() as u64,
+                        dur_us,
+                    });
+                    sink.time(SpanKind::Compile, dur_us);
+                }
+                EngineState::Compiled {
+                    programs,
+                    arena,
+                    scratch: ReviseScratch::new(),
+                }
+            }
+        }
+    }
 }
 
 /// Drains an AC-3 worklist seeded with `seeds` to a fixed point (or until
 /// `budget` HC4 revisions), narrowing feasible subspaces in place. With
 /// `abort_on_conflict` the first conflict stops the run immediately —
 /// the incremental path's cue to restart from scratch.
+#[allow(clippy::too_many_arguments)]
 fn run_worklist(
     net: &mut ConstraintNetwork,
     seeds: &[ConstraintId],
@@ -447,6 +587,7 @@ fn run_worklist(
     abort_on_conflict: bool,
     record_waves: bool,
     clock: &dyn Clock,
+    engine: &mut EngineState,
 ) -> WorklistRun {
     let mut run = WorklistRun {
         evaluations: 0,
@@ -467,6 +608,8 @@ fn run_worklist(
         } else {
             Vec::new()
         },
+        compiled_evals: 0,
+        components_parallel: 0,
     };
     let mut queue: VecDeque<ConstraintId> = seeds.iter().copied().collect();
     let mut in_queue = vec![false; net.constraint_count()];
@@ -495,9 +638,19 @@ fn run_worklist(
             run.constraint_evals[cid.index()] += 1;
         }
 
-        let revise = {
-            let lookup = |pid: PropertyId| net.effective_interval(pid);
-            hc4_revise(net.constraint(cid), &lookup)
+        let revise = match engine {
+            EngineState::Interp => {
+                let lookup = |pid: PropertyId| net.effective_interval(pid);
+                hc4_revise(net.constraint(cid), &lookup)
+            }
+            EngineState::Compiled {
+                programs,
+                arena,
+                scratch,
+            } => {
+                run.compiled_evals += 1;
+                programs.revise(cid, arena, scratch)
+            }
         };
         if revise.conflict {
             if !conflicted[cid.index()] {
@@ -517,6 +670,9 @@ fn run_worklist(
                 let new = old.narrow_to_interval(&narrowed_iv);
                 if significant_narrowing(&old, &new, min_relative_narrowing) {
                     net.set_feasible(pid, new);
+                    if let EngineState::Compiled { arena, .. } = engine {
+                        arena.set(pid, net.effective_interval(pid));
+                    }
                     run.narrowing_events += 1;
                     run.changed.insert(pid);
                     wave_narrowings += 1;
@@ -567,6 +723,364 @@ fn run_worklist(
         run.waves += 1;
     }
     run
+}
+
+/// Result of propagating one connected component on a worker thread.
+struct ComponentRun {
+    evaluations: usize,
+    waves: usize,
+    conflicts: Vec<ConstraintId>,
+    narrowing_events: u64,
+    /// Final feasible subspace of every property the worker narrowed.
+    changed: Vec<(PropertyId, Domain)>,
+    reached_fixpoint: bool,
+    wave_records: Vec<WaveRecord>,
+    /// Sparse (constraint, revisions) pairs; populated only when traced.
+    constraint_evals: Vec<(ConstraintId, u64)>,
+    /// Sparse (property, narrowings) pairs; populated only when traced.
+    property_narrowings: Vec<(PropertyId, u64)>,
+    compiled_evals: u64,
+    dur_us: u64,
+}
+
+/// Drains one connected component's AC-3 worklist against a private arena
+/// snapshot and a private copy of the component's feasible subspaces.
+///
+/// The loop is a line-for-line mirror of [`run_worklist`] restricted to the
+/// component: because a component's constraints are only ever re-enqueued by
+/// narrowings of the component's own properties, the sequential FIFO order
+/// restricted to this component is exactly the order produced here, so the
+/// revisions, narrowings, wave indices, and conflicts all match the
+/// sequential compiled run.
+#[allow(clippy::too_many_arguments)]
+fn run_component(
+    net: &ConstraintNetwork,
+    programs: &CompiledNetwork,
+    mut arena: IntervalArena,
+    cids: &[ConstraintId],
+    pids: &[PropertyId],
+    mut domains: Vec<Domain>,
+    bound: &[bool],
+    budget: usize,
+    min_relative_narrowing: f64,
+    record_waves: bool,
+    clock: &dyn Clock,
+) -> ComponentRun {
+    let started = if record_waves { clock.now_us() } else { 0 };
+    let mut scratch = ReviseScratch::new();
+    let mut evaluations: usize = 0;
+    let mut waves: usize = 0;
+    let mut conflicts: Vec<ConstraintId> = Vec::new();
+    let mut narrowing_events: u64 = 0;
+    let mut changed: BTreeSet<PropertyId> = BTreeSet::new();
+    let mut reached_fixpoint = true;
+    let mut wave_records: Vec<WaveRecord> = Vec::new();
+    let mut compiled_evals: u64 = 0;
+    let mut constraint_evals = if record_waves {
+        vec![0u64; cids.len()]
+    } else {
+        Vec::new()
+    };
+    let mut property_narrowings = if record_waves {
+        vec![0u64; pids.len()]
+    } else {
+        Vec::new()
+    };
+
+    let mut queue: VecDeque<ConstraintId> = cids.iter().copied().collect();
+    let mut in_queue = vec![false; net.constraint_count()];
+    for cid in cids {
+        in_queue[cid.index()] = true;
+    }
+    let mut conflicted = vec![false; net.constraint_count()];
+
+    let mut wave_remaining = queue.len();
+    let mut wave_queue_len = queue.len();
+    let mut wave_evaluations: u64 = 0;
+    let mut wave_narrowings: u32 = 0;
+    let mut wave_started = started;
+
+    while let Some(cid) = queue.pop_front() {
+        in_queue[cid.index()] = false;
+        if evaluations >= budget {
+            reached_fixpoint = false;
+            break;
+        }
+        evaluations += 1;
+        wave_evaluations += 1;
+        if record_waves {
+            let k = cids.binary_search(&cid).expect("component constraint");
+            constraint_evals[k] += 1;
+        }
+        compiled_evals += 1;
+        let revise = programs.revise(cid, &arena, &mut scratch);
+        if revise.conflict {
+            if !conflicted[cid.index()] {
+                conflicted[cid.index()] = true;
+                conflicts.push(cid);
+            }
+        } else {
+            for (pid, narrowed_iv) in revise.narrowed {
+                let k = pids.binary_search(&pid).expect("component property");
+                if bound[k] {
+                    continue; // bound properties stay pinned to their value
+                }
+                let old = domains[k].clone();
+                let new = old.narrow_to_interval(&narrowed_iv);
+                if significant_narrowing(&old, &new, min_relative_narrowing) {
+                    // Mirror of the sequential arena sync: for an unbound
+                    // property `effective_interval` is exactly the feasible
+                    // subspace's enclosing interval (UNIVERSE for symbolic).
+                    arena.set(pid, new.enclosing_interval().unwrap_or(Interval::UNIVERSE));
+                    domains[k] = new;
+                    narrowing_events += 1;
+                    changed.insert(pid);
+                    wave_narrowings += 1;
+                    if record_waves {
+                        property_narrowings[k] += 1;
+                    }
+                    for dep in net.constraints_of(pid) {
+                        if !in_queue[dep.index()] {
+                            in_queue[dep.index()] = true;
+                            queue.push_back(*dep);
+                        }
+                    }
+                }
+            }
+        }
+
+        wave_remaining -= 1;
+        if wave_remaining == 0 {
+            if record_waves {
+                let now = clock.now_us();
+                wave_records.push(WaveRecord {
+                    wave: waves as u32,
+                    queue_len: wave_queue_len as u32,
+                    evaluations: wave_evaluations,
+                    narrowed: wave_narrowings,
+                    dur_us: now.saturating_sub(wave_started),
+                });
+                wave_started = now;
+            }
+            waves += 1;
+            wave_remaining = queue.len();
+            wave_queue_len = queue.len();
+            wave_evaluations = 0;
+            wave_narrowings = 0;
+        }
+    }
+    if wave_evaluations > 0 {
+        if record_waves {
+            wave_records.push(WaveRecord {
+                wave: waves as u32,
+                queue_len: wave_queue_len as u32,
+                evaluations: wave_evaluations,
+                narrowed: wave_narrowings,
+                dur_us: clock.now_us().saturating_sub(wave_started),
+            });
+        }
+        waves += 1;
+    }
+
+    ComponentRun {
+        evaluations,
+        waves,
+        conflicts,
+        narrowing_events,
+        changed: changed
+            .into_iter()
+            .map(|pid| {
+                let k = pids.binary_search(&pid).expect("component property");
+                (pid, domains[k].clone())
+            })
+            .collect(),
+        reached_fixpoint,
+        wave_records,
+        constraint_evals: cids
+            .iter()
+            .zip(constraint_evals)
+            .filter(|(_, e)| *e > 0)
+            .map(|(c, e)| (*c, e))
+            .collect(),
+        property_narrowings: pids
+            .iter()
+            .zip(property_narrowings)
+            .filter(|(_, n)| *n > 0)
+            .map(|(p, n)| (*p, n))
+            .collect(),
+        compiled_evals,
+        dur_us: if record_waves {
+            clock.now_us().saturating_sub(started)
+        } else {
+            0
+        },
+    }
+}
+
+/// Full propagation parallelized across independent connected components.
+///
+/// Each component gets a worker thread with a clone of the compiled arena
+/// and private copies of its feasible subspaces; the shared network is only
+/// read (adjacency, constraint metadata). Because components share no
+/// properties, the merged result — domains, conflicts, evaluation counts,
+/// wave structure — is identical to the sequential compiled run.
+///
+/// Returns `None` (network untouched — workers operate on clones) when the
+/// parallel path cannot guarantee that equivalence: fewer than two
+/// components, any worker hitting the revision budget on its own, or the
+/// summed revisions exceeding the budget. The caller then falls back to the
+/// sequential compiled worklist, which owns the exact cap semantics.
+#[allow(clippy::too_many_arguments)]
+fn run_worklist_parallel(
+    net: &mut ConstraintNetwork,
+    budget: usize,
+    min_relative_narrowing: f64,
+    record_waves: bool,
+    sink: &dyn MetricsSink,
+    clock: &dyn Clock,
+    engine: &EngineState,
+) -> Option<WorklistRun> {
+    let EngineState::Compiled {
+        programs, arena, ..
+    } = engine
+    else {
+        return None;
+    };
+    let components = net.constraint_components();
+    if components.len() < 2 {
+        return None;
+    }
+
+    let net_ref: &ConstraintNetwork = net;
+    let mut inputs = Vec::with_capacity(components.len());
+    for cids in &components {
+        let mut pid_set: BTreeSet<PropertyId> = BTreeSet::new();
+        for cid in cids {
+            pid_set.extend(net_ref.constraint(*cid).argument_slice().iter().copied());
+        }
+        let pids: Vec<PropertyId> = pid_set.into_iter().collect();
+        let domains: Vec<Domain> = pids.iter().map(|p| net_ref.feasible(*p).clone()).collect();
+        let bound: Vec<bool> = pids.iter().map(|p| net_ref.is_bound(*p)).collect();
+        inputs.push((cids.as_slice(), pids, domains, bound));
+    }
+
+    let runs: Vec<ComponentRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .map(|(cids, pids, domains, bound)| {
+                let arena = arena.clone();
+                scope.spawn(move || {
+                    run_component(
+                        net_ref,
+                        programs,
+                        arena,
+                        cids,
+                        &pids,
+                        domains,
+                        &bound,
+                        budget,
+                        min_relative_narrowing,
+                        record_waves,
+                        clock,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("component worker panicked"))
+            .collect()
+    });
+
+    let total_evals: usize = runs.iter().map(|r| r.evaluations).sum();
+    if total_evals > budget || runs.iter().any(|r| !r.reached_fixpoint) {
+        // The sequential run checks the cap before every revision; replaying
+        // that exactly across workers is not possible, so hand the whole run
+        // back to the sequential compiled path (still pristine: the workers
+        // only touched clones).
+        return None;
+    }
+
+    let mut run = WorklistRun {
+        evaluations: total_evals,
+        waves: runs.iter().map(|r| r.waves).max().unwrap_or(0),
+        conflicts: Vec::new(),
+        narrowing_events: runs.iter().map(|r| r.narrowing_events).sum(),
+        changed: BTreeSet::new(),
+        reached_fixpoint: true,
+        aborted_on_conflict: false,
+        wave_records: Vec::new(),
+        constraint_evals: if record_waves {
+            vec![0; net.constraint_count()]
+        } else {
+            Vec::new()
+        },
+        property_narrowings: if record_waves {
+            vec![0; net.property_count()]
+        } else {
+            Vec::new()
+        },
+        compiled_evals: runs.iter().map(|r| r.compiled_evals).sum(),
+        components_parallel: runs.len() as u64,
+    };
+
+    for (idx, (component, comp_run)) in components.iter().zip(&runs).enumerate() {
+        for (pid, domain) in &comp_run.changed {
+            net.set_feasible(*pid, domain.clone());
+            run.changed.insert(*pid);
+        }
+        for cid in &comp_run.conflicts {
+            run.conflicts.push(*cid);
+        }
+        if record_waves {
+            for (cid, evals) in &comp_run.constraint_evals {
+                run.constraint_evals[cid.index()] += evals;
+            }
+            for (pid, narrowings) in &comp_run.property_narrowings {
+                run.property_narrowings[pid.index()] += narrowings;
+            }
+            sink.record(&TraceEvent::ParallelComponent {
+                component: idx as u32,
+                constraints: component.len() as u32,
+                evaluations: comp_run.evaluations as u64,
+                waves: comp_run.waves as u32,
+                dur_us: comp_run.dur_us,
+            });
+            sink.time(SpanKind::ParWave, comp_run.dur_us);
+        }
+    }
+    // Deterministic conflict order (sequential order interleaves components
+    // by FIFO position; ascending constraint id is the stable equivalent).
+    run.conflicts.sort_by_key(|c| c.index());
+
+    if record_waves {
+        // Merge per-component BFS levels: level `i` of the global run is the
+        // union of every component's level `i`, so the counts sum and the
+        // wall-clock is the slowest worker's level.
+        for i in 0..run.waves {
+            let mut queue_len: u32 = 0;
+            let mut evaluations: u64 = 0;
+            let mut narrowed: u32 = 0;
+            let mut dur_us: u64 = 0;
+            for comp_run in &runs {
+                if let Some(w) = comp_run.wave_records.get(i) {
+                    queue_len += w.queue_len;
+                    evaluations += w.evaluations;
+                    narrowed += w.narrowed;
+                    dur_us = dur_us.max(w.dur_us);
+                }
+            }
+            run.wave_records.push(WaveRecord {
+                wave: i as u32,
+                queue_len,
+                evaluations,
+                narrowed,
+                dur_us,
+            });
+        }
+    }
+
+    Some(run)
 }
 
 /// Properties whose feasible subspace sits strictly inside their `E_i`.
@@ -630,6 +1144,12 @@ fn emit_run(
     sink.incr(Counter::Narrowings, run.narrowing_events);
     sink.incr(Counter::Conflicts, outcome.conflicts.len() as u64);
     sink.incr(Counter::SeedConstraints, outcome.seeded as u64);
+    if run.compiled_evals > 0 {
+        sink.incr(Counter::CompiledEvals, run.compiled_evals);
+    }
+    if run.components_parallel > 0 {
+        sink.incr(Counter::ComponentsParallel, run.components_parallel);
+    }
     if trace {
         sink.record(&TraceEvent::PropagationDone {
             kind: outcome.kind.as_str(),
@@ -655,7 +1175,7 @@ const TOUCH_EPS: f64 = 1e-9;
 /// Intersection that forgives floating-point slop: an exact-empty result
 /// whose inputs miss by at most [`TOUCH_EPS`] (relative) becomes the
 /// single touching point.
-fn tolerant_intersect(a: &Interval, b: &Interval) -> Interval {
+pub(crate) fn tolerant_intersect(a: &Interval, b: &Interval) -> Interval {
     let met = a.intersect(b);
     if !met.is_empty() || a.is_empty() || b.is_empty() {
         return met;
@@ -924,14 +1444,14 @@ fn backward(
     }
 }
 
-fn signed_root(x: f64, n: i32) -> f64 {
+pub(crate) fn signed_root(x: f64, n: i32) -> f64 {
     if x.is_infinite() {
         return x;
     }
     x.signum() * x.abs().powf(1.0 / n as f64)
 }
 
-fn root_even(x: f64, n: i32) -> f64 {
+pub(crate) fn root_even(x: f64, n: i32) -> f64 {
     if x.is_infinite() {
         return f64::INFINITY;
     }
@@ -1476,6 +1996,224 @@ mod tests {
         // After a conflicted fixed point the next run is full again.
         let out = propagate_incremental(&mut inc, &[], &config, &NoopSink);
         assert_eq!(out.kind, PropagationKind::Full);
+    }
+
+    #[test]
+    fn engine_parses_and_displays() {
+        assert_eq!("interp".parse(), Ok(PropagationEngine::Interp));
+        assert_eq!("compiled".parse(), Ok(PropagationEngine::Compiled));
+        assert_eq!(
+            "compiled-parallel".parse(),
+            Ok(PropagationEngine::CompiledParallel)
+        );
+        assert_eq!("parallel".parse(), Ok(PropagationEngine::CompiledParallel));
+        assert!("jit".parse::<PropagationEngine>().is_err());
+        assert_eq!(PropagationEngine::Compiled.to_string(), "compiled");
+        assert_eq!(PropagationEngine::default(), PropagationEngine::Interp);
+    }
+
+    /// Every engine must land on the same fixed point: identical feasible
+    /// subspaces, statuses, conflicts, and work counts.
+    fn assert_outcomes_match(
+        a: &ConstraintNetwork,
+        oa: &PropagationOutcome,
+        b: &ConstraintNetwork,
+        ob: &PropagationOutcome,
+    ) {
+        assert_eq!(oa.evaluations, ob.evaluations);
+        assert_eq!(oa.waves, ob.waves);
+        assert_eq!(oa.narrowed, ob.narrowed);
+        assert_eq!(oa.conflicts, ob.conflicts);
+        assert_eq!(oa.reached_fixpoint, ob.reached_fixpoint);
+        for pid in a.property_ids() {
+            assert_eq!(a.feasible(pid), b.feasible(pid), "feasible({pid:?})");
+        }
+        for cid in a.constraint_ids() {
+            assert_eq!(a.status(cid), b.status(cid), "status({cid:?})");
+        }
+    }
+
+    /// A network with several interacting constraints exercising the whole
+    /// operator repertoire in one component.
+    fn dense_net() -> (ConstraintNetwork, Vec<PropertyId>) {
+        let (mut net, ids) = net_with(&[(0.0, 300.0), (0.0, 300.0), (1.0, 16.0), (-50.0, 50.0)]);
+        net.add_constraint(
+            "power",
+            var(ids[0]) + var(ids[1]),
+            Relation::Le,
+            cst(200.0),
+        )
+        .unwrap();
+        net.add_constraint("sqrt", var(ids[2]).sqrt(), Relation::Le, cst(3.0))
+            .unwrap();
+        net.add_constraint(
+            "mix",
+            var(ids[0]) - var(ids[2]).powi(2),
+            Relation::Ge,
+            var(ids[3]),
+        )
+        .unwrap();
+        net.add_constraint("abs", var(ids[3]).abs(), Relation::Le, cst(30.0))
+            .unwrap();
+        (net, ids)
+    }
+
+    #[test]
+    fn compiled_engine_matches_interp_fixpoint() {
+        let interp_cfg = PropagationConfig::default();
+        let compiled_cfg = PropagationConfig {
+            engine: PropagationEngine::Compiled,
+            ..PropagationConfig::default()
+        };
+        let (mut a, ids) = dense_net();
+        let (mut b, _) = dense_net();
+        a.bind(ids[0], Value::number(150.0)).unwrap();
+        b.bind(ids[0], Value::number(150.0)).unwrap();
+        let oa = propagate(&mut a, &interp_cfg);
+        let ob = propagate(&mut b, &compiled_cfg);
+        assert!(oa.reached_fixpoint);
+        assert_outcomes_match(&a, &oa, &b, &ob);
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_on_multi_component() {
+        use adpm_observe::{Counter, InMemorySink};
+
+        // Three independent components: a three-constraint chain, the
+        // receiver power budget, and a deliberately conflicted cap pair.
+        let build = || {
+            let (mut net, ids) = net_with(&[
+                (0.0, 10.0),
+                (0.0, 10.0),
+                (0.0, 10.0),
+                (0.0, 300.0),
+                (0.0, 300.0),
+                (0.0, 10.0),
+            ]);
+            net.add_constraint("xy", var(ids[0]), Relation::Le, var(ids[1]))
+                .unwrap();
+            net.add_constraint("yz", var(ids[1]), Relation::Le, var(ids[2]))
+                .unwrap();
+            net.add_constraint("z3", var(ids[2]), Relation::Le, cst(3.0))
+                .unwrap();
+            net.add_constraint(
+                "power",
+                var(ids[3]) + var(ids[4]),
+                Relation::Le,
+                cst(200.0),
+            )
+            .unwrap();
+            net.add_constraint("hi", var(ids[5]), Relation::Ge, cst(8.0))
+                .unwrap();
+            net.add_constraint("lo", var(ids[5]), Relation::Le, cst(2.0))
+                .unwrap();
+            net
+        };
+        let seq_cfg = PropagationConfig {
+            engine: PropagationEngine::Compiled,
+            ..PropagationConfig::default()
+        };
+        let par_cfg = PropagationConfig {
+            engine: PropagationEngine::CompiledParallel,
+            ..PropagationConfig::default()
+        };
+        let mut seq = build();
+        let mut par = build();
+        assert_eq!(seq.constraint_components().len(), 3);
+        let oseq = propagate(&mut seq, &seq_cfg);
+        let sink = InMemorySink::new();
+        let opar = propagate_observed(&mut par, &par_cfg, &sink);
+        assert_outcomes_match(&seq, &oseq, &par, &opar);
+        assert!(!opar.conflicts.is_empty());
+        assert_eq!(sink.get(Counter::ComponentsParallel), 3);
+        assert_eq!(
+            sink.get(Counter::CompiledEvals),
+            // Worklist revisions only; the status sweep is interpreted.
+            (opar.evaluations - par.constraint_count()) as u64
+        );
+    }
+
+    #[test]
+    fn single_component_runs_sequential_under_parallel_engine() {
+        use adpm_observe::{Counter, InMemorySink};
+
+        let (mut net, ids) = dense_net();
+        let _ = ids;
+        assert_eq!(net.constraint_components().len(), 1);
+        let cfg = PropagationConfig {
+            engine: PropagationEngine::CompiledParallel,
+            ..PropagationConfig::default()
+        };
+        let sink = InMemorySink::new();
+        let out = propagate_observed(&mut net, &cfg, &sink);
+        assert!(out.reached_fixpoint);
+        assert_eq!(sink.get(Counter::ComponentsParallel), 0);
+        assert!(sink.get(Counter::CompiledEvals) > 0);
+    }
+
+    #[test]
+    fn compiled_engine_honours_evaluation_cap() {
+        let mk = |engine| PropagationConfig {
+            max_evaluations: 8,
+            engine,
+            ..PropagationConfig::default()
+        };
+        let (mut a, _) = dense_net();
+        let (mut b, _) = dense_net();
+        let oa = propagate(&mut a, &mk(PropagationEngine::Interp));
+        let ob = propagate(&mut b, &mk(PropagationEngine::Compiled));
+        assert!(!oa.reached_fixpoint);
+        assert_outcomes_match(&a, &oa, &b, &ob);
+    }
+
+    #[test]
+    fn traced_compiled_run_emits_compile_and_par_wave_lines() {
+        use adpm_observe::JsonlSink;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        // Two independent sum constraints → two components.
+        let (mut net, ids) = net_with(&[(0.0, 10.0), (0.0, 10.0), (0.0, 10.0), (0.0, 10.0)]);
+        net.add_constraint("s1", var(ids[0]) + var(ids[1]), Relation::Le, cst(5.0))
+            .unwrap();
+        net.add_constraint("s2", var(ids[2]) + var(ids[3]), Relation::Le, cst(7.0))
+            .unwrap();
+        let cfg = PropagationConfig {
+            engine: PropagationEngine::CompiledParallel,
+            ..PropagationConfig::default()
+        };
+        let buf = Buf::default();
+        let sink = JsonlSink::new(Box::new(buf.clone()));
+        let out = propagate_observed(&mut net, &cfg, &sink);
+        sink.finish().unwrap();
+        drop(sink);
+        assert!(out.reached_fixpoint);
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines = adpm_observe::parse_trace(&text).unwrap();
+        let compile = lines.iter().find(|l| l.tag() == "compile").unwrap();
+        assert_eq!(compile.u64_field("constraints"), Some(2));
+        assert!(compile.u64_field("instructions").unwrap() > 0);
+        let par: Vec<_> = lines.iter().filter(|l| l.tag() == "par_wave").collect();
+        assert_eq!(par.len(), 2);
+        let par_evals: u64 = par.iter().map(|l| l.u64_field("evaluations").unwrap()).sum();
+        let counters = lines.iter().find(|l| l.tag() == "counters").unwrap();
+        assert_eq!(counters.u64_field("compiled_evals"), Some(par_evals));
+        assert_eq!(counters.u64_field("components_parallel"), Some(2));
+        // Per-wave lines are still the merged BFS levels.
+        let waves: Vec<_> = lines.iter().filter(|l| l.tag() == "wave").collect();
+        assert_eq!(waves.len(), out.waves);
     }
 
     /// Statuses set out-of-band (the conventional flow's verify path) are

@@ -1,0 +1,182 @@
+//! Property-based equivalence between the propagation engines: the compiled
+//! flat-program engine must match the AST interpreter interval for interval
+//! on random expression trees, and the component-parallel engine must reach
+//! exactly the sequential fixed point on random multi-component networks.
+
+use adpm_constraint::expr::{cst, var, Expr};
+use adpm_constraint::{
+    hc4_revise, propagate, CompiledConstraint, Constraint, ConstraintId, ConstraintNetwork,
+    Domain, Interval, IntervalArena, Property, PropagationConfig, PropagationEngine, PropertyId,
+    Relation, ReviseScratch,
+};
+use proptest::prelude::*;
+
+/// Number of distinct properties random expressions draw from.
+const VARS: u32 = 4;
+
+fn p(i: u32) -> PropertyId {
+    PropertyId::new(i)
+}
+
+/// Bitwise interval equality, treating every empty interval as equal (the
+/// canonical empty interval is NaN-bounded, so plain `==` rejects it).
+fn iv_eq(a: &Interval, b: &Interval) -> bool {
+    (a.is_empty() && b.is_empty())
+        || (a.lo().to_bits() == b.lo().to_bits() && a.hi().to_bits() == b.hi().to_bits())
+}
+
+/// Finite intervals in [-20, 20].
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (-20.0f64..20.0, -20.0f64..20.0).prop_map(|(a, b)| {
+        if a <= b {
+            Interval::new(a, b)
+        } else {
+            Interval::new(b, a)
+        }
+    })
+}
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    prop_oneof![
+        Just(Relation::Le),
+        Just(Relation::Lt),
+        Just(Relation::Ge),
+        Just(Relation::Gt),
+        Just(Relation::Eq),
+    ]
+}
+
+/// Random expression trees over the whole operator repertoire, including
+/// repeated variable occurrences (the accumulation-order stress case).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..VARS).prop_map(|i| var(p(i))),
+        (-10.0f64..10.0).prop_map(cst),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| -e),
+            inner.clone().prop_map(|e| e.abs()),
+            inner.clone().prop_map(|e| e.sqrt()),
+            inner.clone().prop_map(|e| e.exp()),
+            inner.clone().prop_map(|e| e.ln()),
+            (inner.clone(), 0i32..4).prop_map(|(e, n)| e.powi(n)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a / b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.max(b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One compiled revision equals one interpreted HC4 revision bit for
+    /// bit: same conflict flag, same narrowed arguments in the same order,
+    /// same interval bounds.
+    #[test]
+    fn compiled_revise_matches_interp(
+        lhs in arb_expr(),
+        rhs in arb_expr(),
+        rel in arb_relation(),
+        ivs in proptest::collection::vec(arb_interval(), VARS as usize..VARS as usize + 1),
+    ) {
+        let c = Constraint::new(ConstraintId::new(0), "c", lhs, rel, rhs);
+        let mut arena = IntervalArena::new(VARS as usize);
+        for (i, iv) in ivs.iter().enumerate() {
+            arena.set(p(i as u32), *iv);
+        }
+        let compiled = CompiledConstraint::compile(&c);
+        let mut scratch = ReviseScratch::default();
+        let got = compiled.revise(&arena, &mut scratch);
+        let want = hc4_revise(&c, &|pid| arena.get(pid));
+        prop_assert_eq!(got.conflict, want.conflict);
+        prop_assert_eq!(got.narrowed.len(), want.narrowed.len());
+        for ((gp, gi), (wp, wi)) in got.narrowed.iter().zip(&want.narrowed) {
+            prop_assert_eq!(gp, wp);
+            prop_assert!(iv_eq(gi, wi), "narrowed {:?}: {:?} vs {:?}", gp, gi, wi);
+        }
+    }
+}
+
+/// One generated component: property bounds (lo, hi) for a `Le` chain,
+/// plus upper-bound caps applied round-robin over those properties.
+type ComponentSpec = (Vec<(f64, f64)>, Vec<f64>);
+
+/// A random network of `comps` independent chain-plus-caps components.
+fn build_net(comps: &[ComponentSpec]) -> ConstraintNetwork {
+    let mut net = ConstraintNetwork::new();
+    for (k, (bounds, caps)) in comps.iter().enumerate() {
+        let ids: Vec<PropertyId> = bounds
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, hi))| {
+                net.add_property(Property::new(
+                    format!("x{k}_{i}"),
+                    format!("o{k}"),
+                    Domain::interval(*lo, *hi),
+                ))
+                .unwrap()
+            })
+            .collect();
+        for w in ids.windows(2) {
+            net.add_constraint(format!("ord{k}"), var(w[0]), Relation::Le, var(w[1]))
+                .unwrap();
+        }
+        for (i, cap) in caps.iter().enumerate() {
+            net.add_constraint(
+                format!("cap{k}_{i}"),
+                var(ids[i % ids.len()]),
+                Relation::Le,
+                cst(*cap),
+            )
+            .unwrap();
+        }
+    }
+    net
+}
+
+fn engine_config(engine: PropagationEngine) -> PropagationConfig {
+    PropagationConfig {
+        engine,
+        ..PropagationConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full propagation under every engine lands on the same fixed point —
+    /// same feasible subspaces, statuses, conflicts, and work counts.
+    #[test]
+    fn engines_reach_identical_fixed_points(
+        comps in proptest::collection::vec(
+            (
+                proptest::collection::vec((0.0f64..10.0, 10.0f64..30.0), 2..5),
+                proptest::collection::vec(5.0f64..40.0, 1..4),
+            ),
+            2..5,
+        )
+    ) {
+        let mut interp = build_net(&comps);
+        let baseline = propagate(&mut interp, &engine_config(PropagationEngine::Interp));
+        for engine in [PropagationEngine::Compiled, PropagationEngine::CompiledParallel] {
+            let mut net = build_net(&comps);
+            let out = propagate(&mut net, &engine_config(engine));
+            prop_assert_eq!(out.evaluations, baseline.evaluations, "{}", engine);
+            prop_assert_eq!(out.waves, baseline.waves, "{}", engine);
+            prop_assert_eq!(&out.conflicts, &baseline.conflicts, "{}", engine);
+            prop_assert_eq!(&out.narrowed, &baseline.narrowed, "{}", engine);
+            prop_assert_eq!(out.reached_fixpoint, baseline.reached_fixpoint, "{}", engine);
+            for pid in interp.property_ids() {
+                prop_assert_eq!(net.feasible(pid), interp.feasible(pid), "{} {:?}", engine, pid);
+            }
+            for cid in interp.constraint_ids() {
+                prop_assert_eq!(net.status(cid), interp.status(cid), "{} {:?}", engine, cid);
+            }
+        }
+    }
+}

@@ -98,7 +98,11 @@ impl ManagementMode {
 pub struct DpmConfig {
     /// Transition model selector (`λ`).
     pub mode: ManagementMode,
-    /// Propagation settings used in ADPM mode.
+    /// Propagation settings used in ADPM mode, including the revision
+    /// engine ([`PropagationConfig::engine`]): the AST interpreter (the
+    /// default), the compiled flat-program engine, or the compiled engine
+    /// parallelized across connected components. All engines reach the
+    /// same fixed points; only the wall-clock differs.
     pub propagation: PropagationConfig,
     /// Which DCM propagation path runs after each ADPM operation:
     /// from-scratch [`PropagationKind::Full`] (the default) or dirty-set
@@ -760,6 +764,24 @@ mod tests {
         PropertyId,
         ConstraintId,
     ) {
+        let config = match mode {
+            ManagementMode::Adpm => DpmConfig::adpm(),
+            ManagementMode::Conventional => DpmConfig::conventional(),
+        };
+        fixture_with(config)
+    }
+
+    fn fixture_with(config: DpmConfig) -> (
+        DesignProcessManager,
+        DesignerId,
+        DesignerId,
+        ProblemId,
+        ProblemId,
+        ProblemId,
+        PropertyId,
+        PropertyId,
+        ConstraintId,
+    ) {
         let mut net = ConstraintNetwork::new();
         let pf = net
             .add_property(Property::new("P-front", "frontend", Domain::interval(0.0, 300.0)))
@@ -770,10 +792,6 @@ mod tests {
         let budget = net
             .add_constraint("power", var(pf) + var(ps), Relation::Le, cst(200.0))
             .unwrap();
-        let config = match mode {
-            ManagementMode::Adpm => DpmConfig::adpm(),
-            ManagementMode::Conventional => DpmConfig::conventional(),
-        };
         let mut dpm = DesignProcessManager::new(net, config);
         let d0 = dpm.add_designer();
         let d1 = dpm.add_designer();
@@ -810,6 +828,23 @@ mod tests {
         let feasible = dpm.network().feasible(ps).enclosing_interval().unwrap();
         assert!((feasible.hi() - 50.0).abs() < 1e-9);
         assert!(dpm.heuristics().is_some());
+    }
+
+    #[test]
+    fn compiled_engine_flows_through_dpm_config() {
+        use adpm_constraint::PropagationEngine;
+
+        let mut config = DpmConfig::adpm();
+        config.propagation.engine = PropagationEngine::Compiled;
+        let (mut dpm, d0, _, _, front, _, pf, ps, _) = fixture_with(config);
+        let record = dpm
+            .execute(Operation::assign(d0, front, pf, Value::number(150.0)))
+            .unwrap();
+        assert!(record.evaluations > 0);
+        // Same fixed point as the interpreter reaches in
+        // `adpm_assign_triggers_propagation_and_narrows_neighbour`.
+        let feasible = dpm.network().feasible(ps).enclosing_interval().unwrap();
+        assert!((feasible.hi() - 50.0).abs() < 1e-9);
     }
 
     #[test]

@@ -154,11 +154,13 @@ impl AnalysisReport {
 }
 
 /// Span tags in nesting order for the timing rollup.
-const SPAN_TAGS: [&str; 7] = [
+const SPAN_TAGS: [&str; 9] = [
     "tick",
     "session",
     "op",
     "propagation",
+    "compile",
+    "par_wave",
     "wave",
     "fanout",
     "notify",

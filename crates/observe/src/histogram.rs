@@ -36,11 +36,15 @@ pub enum SpanKind {
     Recover,
     /// One resilient-client reconnect (first failure to restored link).
     Reconnect,
+    /// One lowering of a constraint network to flat interval programs.
+    Compile,
+    /// One connected-component worker inside a parallel propagation run.
+    ParWave,
 }
 
 impl SpanKind {
     /// Every span kind, in index order.
-    pub const ALL: [SpanKind; 9] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::Tick,
         SpanKind::Operation,
         SpanKind::Propagation,
@@ -50,6 +54,8 @@ impl SpanKind {
         SpanKind::Notify,
         SpanKind::Recover,
         SpanKind::Reconnect,
+        SpanKind::Compile,
+        SpanKind::ParWave,
     ];
 
     /// Number of span kinds (the size of a dense histogram array).
@@ -73,6 +79,8 @@ impl SpanKind {
             SpanKind::Notify => "notify",
             SpanKind::Recover => "recover",
             SpanKind::Reconnect => "reconnect",
+            SpanKind::Compile => "compile",
+            SpanKind::ParWave => "par_wave",
         }
     }
 }
@@ -87,8 +95,11 @@ const BUCKETS: usize = 65;
 ///
 /// `record` is wait-free (three relaxed atomic RMWs); `p50`/`p90`/`p99`
 /// report the upper bound of the bucket where the cumulative count crosses
-/// the quantile, clamped to the observed maximum — exact `count`, `sum`,
-/// `max` and ≤2× relative error on percentiles.
+/// the quantile — exact `count`, `sum`, `max` and ≤2× relative error on
+/// percentiles. Percentiles are pure bucket bounds: two histograms with
+/// the same per-bucket occupancy report identical quantiles even when
+/// their exact samples differ, which is what keeps `adpm analyze --vs`
+/// timing comparisons deterministic across engines.
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
@@ -173,8 +184,13 @@ impl Histogram {
     }
 
     /// The `p`-th percentile (`0.0 ..= 100.0`): the upper bound of the
-    /// bucket where the cumulative sample count reaches `p`% of the total,
-    /// clamped to the observed maximum. Returns 0 when empty.
+    /// bucket where the cumulative sample count reaches `p`% of the total.
+    /// Returns 0 when empty.
+    ///
+    /// The answer is always a bucket bound (0, `2^i - 1`, or `u64::MAX`),
+    /// never the noisy observed maximum, so quantiles depend only on bucket
+    /// occupancy — deterministic across runs whose samples land in the same
+    /// buckets.
     pub fn percentile(&self, p: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -185,10 +201,10 @@ impl Histogram {
         for (i, bucket) in self.buckets.iter().enumerate() {
             cumulative += bucket.load(Ordering::Relaxed);
             if cumulative >= rank {
-                return Histogram::bucket_upper(i).min(self.max());
+                return Histogram::bucket_upper(i);
             }
         }
-        self.max()
+        Histogram::bucket_upper(Histogram::bucket_of(self.max()))
     }
 
     /// Median (see [`percentile`](Histogram::percentile)).
@@ -276,12 +292,32 @@ mod tests {
             h.record(v);
         }
         // p50's true value is 500; a log2 bucket answer must be in
-        // [500, 1023] (the upper bound of 500's bucket), clamped to max.
+        // [500, 1023] (the upper bound of 500's bucket).
         let p50 = h.p50();
         assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        // p99's true value is 990, which lands in the [512, 1023] bucket;
+        // the reported bound is that bucket's upper edge, not the max.
         let p99 = h.p99();
-        assert!((990..=1000).contains(&p99), "p99 = {p99}");
-        assert_eq!(h.percentile(100.0), 1000);
+        assert!((990..=1023).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.percentile(100.0), 1023);
+    }
+
+    #[test]
+    fn percentiles_depend_only_on_bucket_occupancy() {
+        // Same buckets, different exact samples (and maxima): quantiles
+        // must agree — the determinism contract `adpm analyze --vs`
+        // relies on when comparing interp vs compiled timing columns.
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for v in [3, 70, 130] {
+            a.record(v);
+        }
+        for v in [2, 100, 255] {
+            b.record(v);
+        }
+        assert_ne!(a.max(), b.max());
+        for p in [50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), b.percentile(p), "p{p}");
+        }
     }
 
     #[test]
