@@ -1,0 +1,266 @@
+//! Load-generates the multi-tenant collaboration server: hundreds of
+//! [`ResilientClient`]s spread across named sessions, each driving a
+//! seeded operation mix (assign / unbind / verify) with periodic forced
+//! disconnects, against one in-process [`CollabServer`] whose factory
+//! clones the paper's sensing-system scenario per session.
+//!
+//! Reported per session and overall: submit-latency p50/p90/p99 (µs,
+//! wall-clock around each exactly-once `submit`, reconnects included —
+//! that is what a designer at a terminal experiences), executed vs
+//! rejected verdicts, and reconnect counts. The machine-readable twin
+//! `results/BENCH_collab.json` carries one `bench_case` row per session
+//! plus one `bench_summary` row; `scripts/verify.sh` gates on its schema.
+//!
+//! Usage: `bench_collab [clients] [sessions] [ops_per_client] [seed]`
+//! (defaults 120 clients over 6 sessions, 8 ops each, seed 7), or
+//! `bench_collab --smoke` for a small CI run that skips writing the
+//! results twin (the checked-in file stays a full-scale capture).
+
+use adpm_bench::{write_results_json, JsonRow};
+use adpm_collab::{
+    CollabServer, Frame, ReconnectConfig, ResilientClient, ServerOptions, SessionFactory,
+    SessionOptions, WireOp,
+};
+use adpm_core::DesignProcessManager;
+use adpm_observe::{Counter, Histogram, InMemorySink, MetricsSink};
+use adpm_scenarios::sensing_system;
+use adpm_teamsim::SimulationConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Force a disconnect before every `CHURN_EVERY`-th operation, so the
+/// latency distribution includes reconnect + session reattach tails.
+const CHURN_EVERY: usize = 4;
+
+struct Params {
+    clients: usize,
+    sessions: usize,
+    ops_per_client: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+fn parse_args() -> Params {
+    let mut positional = Vec::new();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            positional.push(
+                arg.parse::<u64>()
+                    .unwrap_or_else(|_| panic!("expected a number, got `{arg}`")),
+            );
+        }
+    }
+    let get = |i: usize, default: u64| positional.get(i).copied().unwrap_or(default);
+    if smoke {
+        // Small enough for CI, still multi-session and churning.
+        Params {
+            clients: get(0, 16) as usize,
+            sessions: get(1, 4) as usize,
+            ops_per_client: get(2, 3) as usize,
+            seed: get(3, 7),
+            smoke,
+        }
+    } else {
+        Params {
+            clients: get(0, 120) as usize,
+            sessions: get(1, 6) as usize,
+            ops_per_client: get(2, 8) as usize,
+            seed: get(3, 7),
+            smoke,
+        }
+    }
+}
+
+fn sensing_dpm() -> DesignProcessManager {
+    let scenario = sensing_system();
+    let config = SimulationConfig::adpm(7);
+    let mut dpm = scenario.build_dpm(config.dpm_config());
+    dpm.initialize();
+    dpm
+}
+
+/// One client's next operation: mostly assign/unbind cycles on the MEMS
+/// sensing area (they stay executable under contention), plus occasional
+/// full verifications.
+fn next_op(rng: &mut StdRng) -> WireOp {
+    let r: f64 = rng.gen_range(0.0..1.0);
+    if r < 0.6 {
+        WireOp::Assign {
+            problem: "pressure-sensor".into(),
+            property: "sensor.s-area".into(),
+            value: rng.gen_range(1.0..5.0),
+        }
+    } else if r < 0.85 {
+        WireOp::Unbind {
+            problem: "pressure-sensor".into(),
+            property: "sensor.s-area".into(),
+        }
+    } else {
+        WireOp::Verify {
+            problem: "sensing-system".into(),
+            constraints: String::new(),
+        }
+    }
+}
+
+fn main() {
+    let params = parse_args();
+    let Params {
+        clients,
+        sessions,
+        ops_per_client,
+        seed,
+        smoke,
+    } = params;
+    assert!(clients > 0 && sessions > 0 && ops_per_client > 0);
+
+    let sink: Arc<InMemorySink> = Arc::new(InMemorySink::new());
+    let mut default_dpm = sensing_dpm();
+    default_dpm.set_sink(sink.clone() as Arc<dyn MetricsSink>);
+    let factory: SessionFactory = Box::new(|_name| Ok((sensing_dpm(), SessionOptions::default())));
+    let precreate: Vec<String> = (1..=sessions).map(|i| format!("s{i}")).collect();
+    let server = CollabServer::bind_registry(
+        default_dpm,
+        0,
+        ServerOptions::default(),
+        SessionOptions::default(),
+        Some(factory),
+        &precreate,
+    )
+    .expect("bind registry");
+    let addr = server.local_addr();
+
+    println!("=== collaboration load: {clients} clients, {sessions} sessions, {ops_per_client} ops each (seed {seed}) ===");
+    println!("(latency = wall-clock around exactly-once submit, reconnects included)\n");
+
+    let overall = Arc::new(Histogram::new());
+    let per_session: Vec<Arc<Histogram>> =
+        (0..sessions).map(|_| Arc::new(Histogram::new())).collect();
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let session_idx = i % sessions;
+            let session = format!("s{}", session_idx + 1);
+            let overall = overall.clone();
+            let hist = per_session[session_idx].clone();
+            std::thread::spawn(move || {
+                let config = ReconnectConfig {
+                    request_timeout: Duration::from_secs(10),
+                    seed: seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                    ..ReconnectConfig::default()
+                };
+                let mut client = ResilientClient::connect(addr, (i % 3) as u32, config)
+                    .expect("connect")
+                    .with_session(&session)
+                    .expect("session attach");
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(1000) + i as u64);
+                let (mut executed, mut rejected) = (0u64, 0u64);
+                for j in 0..ops_per_client {
+                    if j > 0 && j % CHURN_EVERY == 0 {
+                        client.force_disconnect();
+                    }
+                    let op = next_op(&mut rng);
+                    let t0 = Instant::now();
+                    let verdict = client.submit(op).expect("submit");
+                    let us = t0.elapsed().as_micros() as u64;
+                    overall.record(us);
+                    hist.record(us);
+                    match verdict {
+                        Frame::Executed { .. } => executed += 1,
+                        Frame::Rejected { .. } => rejected += 1,
+                        other => panic!("unexpected verdict `{}`", other.tag()),
+                    }
+                }
+                (executed, rejected, client.reconnects())
+            })
+        })
+        .collect();
+
+    let (mut executed, mut rejected, mut reconnects) = (0u64, 0u64, 0u64);
+    for worker in workers {
+        let (e, r, rc) = worker.join().expect("client thread");
+        executed += e;
+        rejected += r;
+        reconnects += rc;
+    }
+    let elapsed = started.elapsed();
+    let snapshot = sink.snapshot();
+    let _ = server.shutdown();
+
+    println!(
+        "{:<9} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "session", "clients", "ops", "p50", "p90", "p99"
+    );
+    let mut json = Vec::new();
+    for (idx, hist) in per_session.iter().enumerate() {
+        let name = format!("s{}", idx + 1);
+        let session_clients = (clients + sessions - 1 - idx) / sessions;
+        println!(
+            "{:<9} {:>8} {:>8} {:>7}us {:>7}us {:>7}us",
+            name,
+            session_clients,
+            hist.count(),
+            hist.p50(),
+            hist.p90(),
+            hist.p99()
+        );
+        json.push(
+            JsonRow::new("bench_case", "bench_collab")
+                .str("session", &name)
+                .u64("clients", session_clients as u64)
+                .u64("ops", hist.count())
+                .u64("p50_us", hist.p50())
+                .u64("p90_us", hist.p90())
+                .u64("p99_us", hist.p99())
+                .finish(),
+        );
+    }
+
+    let ops_total = (clients * ops_per_client) as u64;
+    println!(
+        "\ntotal: {ops_total} ops in {:.2}s — {executed} executed, {rejected} rejected, {reconnects} reconnects",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "latency: p50 {}us, p90 {}us, p99 {}us",
+        overall.p50(),
+        overall.p90(),
+        overall.p99()
+    );
+    json.push(
+        JsonRow::new("bench_summary", "bench_collab")
+            .u64("clients", clients as u64)
+            .u64("sessions", sessions as u64)
+            .u64("ops_total", ops_total)
+            .u64("executed", executed)
+            .u64("rejected", rejected)
+            .u64("reconnects", reconnects)
+            .u64("p50_us", overall.p50())
+            .u64("p90_us", overall.p90())
+            .u64("p99_us", overall.p99())
+            .u64("sessions_active", snapshot.get(Counter::SessionsActive))
+            .u64("sessions_created", snapshot.get(Counter::SessionsCreated))
+            .f64("elapsed_s", elapsed.as_secs_f64())
+            .finish(),
+    );
+
+    if smoke {
+        println!("\n--smoke: results twin not written (checked-in file is a full-scale capture)");
+    } else {
+        write_results_json("BENCH_collab", &json);
+    }
+
+    assert_eq!(overall.count(), ops_total, "every op must be measured");
+    assert!(executed > 0, "load must execute at least one operation");
+    assert_eq!(
+        snapshot.get(Counter::SessionsActive),
+        sessions as u64 + 1,
+        "registry must host every pre-created session plus the default"
+    );
+}

@@ -26,14 +26,14 @@
 
 use adpm_collab::{
     recover, run_concurrent_dpm, run_concurrent_remote, CollabClient, CollabServer, FaultInjector,
-    FaultPlan, Frame, FsyncPolicy, JournalConfig, JournalWriter, ServerOptions, SessionOptions,
-    WireError, WireOp,
+    FaultPlan, Frame, FsyncPolicy, JournalConfig, JournalWriter, ServerOptions, SessionFactory,
+    SessionOptions, WireError, WireOp,
 };
 use adpm_constraint::{
     explain_all_violations, propagate, NetworkError, PropagationConfig, PropagationEngine,
     PropagationKind, Value,
 };
-use adpm_core::{state_fingerprint, DpmConfig, ManagementMode};
+use adpm_core::{state_fingerprint, DesignProcessManager, DpmConfig, ManagementMode};
 use adpm_dddl::{compile_source, parse, to_source, CompiledScenario};
 use adpm_observe::analyze::{analyze_trace, diff_traces, render_comparison, DiffThresholds};
 use adpm_observe::{parse_trace, InMemorySink, JsonlSink, MetricsSink, TeeSink};
@@ -194,8 +194,10 @@ COMMANDS:
             [--propagation full|incremental] [--journal FILE]
             [--fsync always|never|N] [--checkpoint-every N]
             [--fault-plan PLAN] [--heartbeat-ms T] [--idle-timeout-ms T]
-                                           host a collaboration session over the
-                                           JSONL wire protocol; prints
+            [--sessions N] [--allow-create]
+                                           host a registry of collaboration
+                                           sessions over the JSONL wire
+                                           protocol; prints
                                            `listening on 127.0.0.1:PORT` up
                                            front (port 0 = ephemeral) and runs
                                            until a client sends shutdown.
@@ -210,19 +212,31 @@ COMMANDS:
                                            kill=20`) injects deterministic
                                            faults into outgoing frames;
                                            --heartbeat-ms / --idle-timeout-ms
-                                           tune half-open peer detection
+                                           tune half-open peer detection.
+                                           --sessions N pre-creates named
+                                           sessions s1..sN (fresh copies of the
+                                           scenario, with per-session journals
+                                           FILE.s1..FILE.sN); --allow-create
+                                           lets clients create further sessions
+                                           with a `create` frame
     client  <addr> [--designer N] [--subscribe | --subscribe-all]
             [--expect-events K] [--timeout-ms T] [--fault-plan PLAN]
+            [--session NAME]
                                            connect as designer N, optionally
+                                           bind to session NAME (creating it
+                                           where the server allows), optionally
                                            subscribe to notifications, and print
                                            received frames as JSONL; exits
                                            non-zero if fewer than K events
                                            arrive within T ms (default 5000)
     submit  <addr> [--designer N] [--problem NAME] [--assign obj.prop=V]
             [--unbind obj.prop] [--verify] [--constraints c1,c2] [--shutdown]
+            [--session NAME]
                                            one-shot scripted request: submit a
-                                           design operation (or shut the session
-                                           down) and print the response frames.
+                                           design operation (or shut the whole
+                                           server down) into session NAME (the
+                                           default session if omitted) and
+                                           print the response frames.
                                            Exit codes: 75 = retryable transport
                                            failure (connection, timeout), 65 =
                                            fatal (rejected operation, protocol
@@ -623,6 +637,11 @@ pub struct ServeOptions {
     /// Silence after which a connection is declared half-open and dropped
     /// (milliseconds).
     pub idle_timeout_ms: u64,
+    /// Pre-create this many named sessions (`s1`..`sN`), each a fresh copy
+    /// of the scenario with its own journal at `FILE.sK`.
+    pub sessions: u32,
+    /// Let clients create further named sessions with a `create` frame.
+    pub allow_create: bool,
 }
 
 impl Default for ServeOptions {
@@ -637,6 +656,8 @@ impl Default for ServeOptions {
             fault_plan: None,
             heartbeat_ms: 10_000,
             idle_timeout_ms: 30_000,
+            sessions: 0,
+            allow_create: false,
         }
     }
 }
@@ -699,9 +720,26 @@ pub fn serve(
         heartbeat: std::time::Duration::from_millis(options.heartbeat_ms),
         idle_timeout: std::time::Duration::from_millis(options.idle_timeout_ms),
         fault_plan: options.fault_plan.clone(),
+        allow_create: options.allow_create,
         ..ServerOptions::default()
     };
-    let server = CollabServer::bind_with(dpm, options.port, server_options, session)?;
+    let factory: SessionFactory = {
+        let source = source.to_owned();
+        let options = options.clone();
+        Box::new(move |name| {
+            named_session_state(&source, &options, name)
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        })
+    };
+    let precreate: Vec<String> = (1..=options.sessions).map(|i| format!("s{i}")).collect();
+    let server = CollabServer::bind_registry(
+        dpm,
+        options.port,
+        server_options,
+        session,
+        Some(factory),
+        &precreate,
+    )?;
     announce(&format!("listening on {}", server.local_addr()));
     let dpm = server.wait();
     let network = dpm.network();
@@ -720,6 +758,42 @@ pub fn serve(
     Ok(out)
 }
 
+/// Builds the state for one named session hosted by [`serve`]: a fresh
+/// initialized copy of the scenario, plus — when a journal is configured —
+/// a per-session journal at the sibling path `FILE.<name>`, recovered
+/// first if it already exists.
+fn named_session_state(
+    source: &str,
+    options: &ServeOptions,
+    name: &str,
+) -> Result<(DesignProcessManager, SessionOptions), CliError> {
+    let scenario = compile_source(source)?;
+    let mut config = SimulationConfig::for_mode(options.mode, 0);
+    config.propagation_kind = options.propagation;
+    let mut dpm = scenario.build_dpm(config.dpm_config());
+    dpm.initialize();
+    let mut session = SessionOptions::default();
+    if let Some(base) = &options.journal {
+        let path = PathBuf::from(format!("{}.{name}", base.display()));
+        let resumed = if path.exists() {
+            Some(recover(&path, &mut dpm)?.journal_bytes)
+        } else {
+            None
+        };
+        let writer = JournalWriter::open(
+            JournalConfig {
+                path,
+                fsync: options.fsync,
+                checkpoint_every: options.checkpoint_every,
+            },
+            &dpm,
+            resumed,
+        )?;
+        session.journal = Some(writer);
+    }
+    Ok((dpm, session))
+}
+
 /// Options for [`client`].
 #[derive(Debug, Clone)]
 pub struct ClientOptions {
@@ -736,6 +810,9 @@ pub struct ClientOptions {
     pub timeout_ms: u64,
     /// Deterministic faults injected into this client's *outgoing* frames.
     pub fault_plan: Option<FaultPlan>,
+    /// Bind to this named session after the hello (creating it where the
+    /// server allows); `None` stays in the default session.
+    pub session: Option<String>,
 }
 
 impl Default for ClientOptions {
@@ -747,6 +824,7 @@ impl Default for ClientOptions {
             expect_events: 0,
             timeout_ms: 5_000,
             fault_plan: None,
+            session: None,
         }
     }
 }
@@ -764,6 +842,17 @@ fn expect_ok(frame: Frame) -> Result<Frame, CliError> {
     match frame {
         Frame::Error { message } => Err(CliError::Wire(WireError::protocol(message))),
         other => Ok(other),
+    }
+}
+
+/// Like [`expect_ok`], but also fails on the typed `attach_rejected`
+/// reply to a session bind.
+fn expect_session(frame: Frame) -> Result<Frame, CliError> {
+    match frame {
+        Frame::AttachRejected { name, reason } => Err(CliError::Wire(WireError::protocol(
+            format!("session `{name}` rejected: {reason}"),
+        ))),
+        other => expect_ok(other),
     }
 }
 
@@ -794,6 +883,12 @@ pub fn client(addr: &str, options: &ClientOptions) -> Result<String, CliError> {
         designer: options.designer,
     })?)?;
     out.push_str(&welcome.to_line());
+    if let Some(name) = &options.session {
+        let attached = expect_session(connection.request(&Frame::CreateSession {
+            name: name.clone(),
+        })?)?;
+        out.push_str(&attached.to_line());
+    }
     if options.subscribe || options.subscribe_all {
         let subscribed = expect_ok(connection.request(&Frame::Subscribe {
             all: options.subscribe_all,
@@ -853,7 +948,8 @@ pub enum SubmitAction {
 }
 
 /// `adpm submit`: one scripted request against a collaboration server —
-/// hello, submit (or shutdown), print the response frames in wire format.
+/// hello, optionally bind to a named `session`, submit (or shutdown),
+/// print the response frames in wire format.
 ///
 /// # Errors
 ///
@@ -865,6 +961,7 @@ pub fn submit_request(
     addr: &str,
     designer: u32,
     problem: Option<&str>,
+    session: Option<&str>,
     action: &SubmitAction,
 ) -> Result<String, CliError> {
     let mut connection = connect_wire(addr)?;
@@ -894,6 +991,12 @@ pub fn submit_request(
     };
     let welcome = expect_ok(connection.request(&Frame::Hello { designer })?)?;
     out.push_str(&welcome.to_line());
+    if let Some(name) = session {
+        let attached = expect_session(connection.request(&Frame::CreateSession {
+            name: name.to_owned(),
+        })?)?;
+        out.push_str(&attached.to_line());
+    }
     let outcome = expect_ok(connection.request(&Frame::Submit { op, cid: None })?)?;
     out.push_str(&outcome.to_line());
     let _ = connection.send(&Frame::Bye);
@@ -1025,8 +1128,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .next()
                 .ok_or_else(|| CliError::Usage("submit needs a server address".into()))?;
             let rest: Vec<String> = it.cloned().collect();
-            let (designer, problem, action) = parse_submit_options(&rest)?;
-            submit_request(addr, designer, problem.as_deref(), &action)
+            let (designer, problem, session, action) = parse_submit_options(&rest)?;
+            submit_request(addr, designer, problem.as_deref(), session.as_deref(), &action)
         }
         "check" | "fmt" | "run" | "compare" | "explain" => {
             let path = it
@@ -1230,6 +1333,13 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
                     CliError::Usage(format!("--idle-timeout-ms expects a number, got `{v}`"))
                 })?;
             }
+            "--sessions" => {
+                let v = value(&mut it)?;
+                options.sessions = v.parse().map_err(|_| {
+                    CliError::Usage(format!("--sessions expects a number, got `{v}`"))
+                })?;
+            }
+            "--allow-create" => options.allow_create = true,
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -1255,6 +1365,7 @@ fn parse_client_options(args: &[String]) -> Result<ClientOptions, CliError> {
             "--subscribe-all" => options.subscribe_all = true,
             "--expect-events" => options.expect_events = number(value(&mut it)?)? as usize,
             "--timeout-ms" => options.timeout_ms = number(value(&mut it)?)?,
+            "--session" => options.session = Some(value(&mut it)?),
             "--fault-plan" => {
                 options.fault_plan = Some(
                     value(&mut it)?
@@ -1270,9 +1381,10 @@ fn parse_client_options(args: &[String]) -> Result<ClientOptions, CliError> {
 
 fn parse_submit_options(
     args: &[String],
-) -> Result<(u32, Option<String>, SubmitAction), CliError> {
+) -> Result<(u32, Option<String>, Option<String>, SubmitAction), CliError> {
     let mut designer = 0u32;
     let mut problem: Option<String> = None;
+    let mut session: Option<String> = None;
     let mut action: Option<SubmitAction> = None;
     let mut constraints = String::new();
     let mut it = args.iter();
@@ -1299,6 +1411,7 @@ fn parse_submit_options(
                 })?;
             }
             "--problem" => problem = Some(value(&mut it)?),
+            "--session" => session = Some(value(&mut it)?),
             "--assign" => {
                 let binding = value(&mut it)?;
                 let (property, raw) = binding.split_once('=').ok_or_else(|| {
@@ -1343,7 +1456,7 @@ fn parse_submit_options(
             "--constraints only applies to --verify".into(),
         ));
     }
-    Ok((designer, problem, action))
+    Ok((designer, problem, session, action))
 }
 
 /// Compiles a scenario for callers embedding the CLI as a library.
@@ -1857,6 +1970,7 @@ mod tests {
             &addr,
             0,
             Some("fe"),
+            None,
             &SubmitAction::Assign {
                 property: "rx.P-front".into(),
                 value: 150.0,
@@ -1868,25 +1982,84 @@ mod tests {
         let watched = watcher.join().expect("watcher join").expect("event arrives");
         assert!(watched.contains("\"t\":\"event\""), "{watched}");
 
-        let bye = submit_request(&addr, 0, None, &SubmitAction::Shutdown).expect("shutdown");
+        let bye = submit_request(&addr, 0, None, None, &SubmitAction::Shutdown).expect("shutdown");
         assert!(bye.contains("\"t\":\"bye\""), "{bye}");
         let summary = server.join().expect("server join").expect("serve returns");
         assert!(summary.contains("session closed: 1 operations"), "{summary}");
     }
 
     #[test]
+    fn serve_hosts_isolated_named_sessions() {
+        let (addr, _lines, server) = spawn_serve(ServeOptions {
+            sessions: 2,
+            ..ServeOptions::default()
+        });
+        // The same property binds to *different* values in s1 and s2, and
+        // both land as history seq 1 — each session owns a fresh copy of
+        // the scenario.
+        let out = submit_request(
+            &addr,
+            0,
+            Some("fe"),
+            Some("s1"),
+            &SubmitAction::Assign {
+                property: "rx.P-front".into(),
+                value: 150.0,
+            },
+        )
+        .expect("s1 submit");
+        assert!(out.contains("\"t\":\"session\",\"name\":\"s1\""), "{out}");
+        assert!(out.contains("\"t\":\"executed\",\"seq\":1"), "{out}");
+        let out = submit_request(
+            &addr,
+            0,
+            Some("fe"),
+            Some("s2"),
+            &SubmitAction::Assign {
+                property: "rx.P-front".into(),
+                value: 100.0,
+            },
+        )
+        .expect("s2 submit");
+        assert!(out.contains("\"t\":\"executed\",\"seq\":1"), "{out}");
+        // Without --allow-create, an unknown session name is a typed
+        // rejection — fatal for scripting, exit 65.
+        let err = submit_request(
+            &addr,
+            0,
+            Some("fe"),
+            Some("ghost"),
+            &SubmitAction::Assign {
+                property: "rx.P-front".into(),
+                value: 1.0,
+            },
+        )
+        .expect_err("server does not create sessions");
+        assert_eq!(err.exit_code(), 65);
+        assert!(err.to_string().contains("ghost"), "{err}");
+        submit_request(&addr, 0, None, None, &SubmitAction::Shutdown).expect("shutdown");
+        // Both operations landed in named sessions, so the default
+        // session's closing summary stays empty.
+        let summary = server.join().expect("join").expect("serve returns");
+        assert!(summary.contains("session closed: 0 operations"), "{summary}");
+    }
+
+    #[test]
     fn submit_option_parsing() {
-        let (designer, problem, action) = parse_submit_options(&[
+        let (designer, problem, session, action) = parse_submit_options(&[
             "--designer".into(),
             "1".into(),
             "--problem".into(),
             "fe".into(),
+            "--session".into(),
+            "team-a".into(),
             "--assign".into(),
             "rx.P-front=150".into(),
         ])
         .expect("valid options");
         assert_eq!(designer, 1);
         assert_eq!(problem.as_deref(), Some("fe"));
+        assert_eq!(session.as_deref(), Some("team-a"));
         assert_eq!(
             action,
             SubmitAction::Assign {
@@ -1894,7 +2067,7 @@ mod tests {
                 value: 150.0
             }
         );
-        let (_, _, action) = parse_submit_options(&[
+        let (_, _, _, action) = parse_submit_options(&[
             "--verify".into(),
             "--constraints".into(),
             "power".into(),
@@ -1955,15 +2128,23 @@ mod tests {
             parse_client_options(&["--wat".into()]),
             Err(CliError::Usage(_))
         ));
+        let options = parse_client_options(&["--session".into(), "team-a".into()])
+            .expect("valid options");
+        assert_eq!(options.session.as_deref(), Some("team-a"));
         let options = parse_serve_options(&[
             "--port".into(),
             "0".into(),
             "--mode".into(),
             "conventional".into(),
+            "--sessions".into(),
+            "3".into(),
+            "--allow-create".into(),
         ])
         .expect("valid options");
         assert_eq!(options.port, 0);
         assert_eq!(options.mode, ManagementMode::Conventional);
+        assert_eq!(options.sessions, 3);
+        assert!(options.allow_create);
         assert!(matches!(
             parse_serve_options(&["--port".into(), "banana".into()]),
             Err(CliError::Usage(_))
@@ -2030,6 +2211,7 @@ mod tests {
             &addr,
             0,
             Some("fe"),
+            None,
             &SubmitAction::Assign {
                 property: "rx.P-front".into(),
                 value: 150.0,
@@ -2037,7 +2219,7 @@ mod tests {
         )
         .expect("submit works");
         assert!(out.contains("\"t\":\"executed\""), "{out}");
-        submit_request(&addr, 0, None, &SubmitAction::Shutdown).expect("shutdown");
+        submit_request(&addr, 0, None, None, &SubmitAction::Shutdown).expect("shutdown");
         let summary = server.join().expect("join").expect("serve returns");
         assert!(summary.contains("session closed: 1 operations"), "{summary}");
 
@@ -2062,7 +2244,7 @@ mod tests {
             .strip_prefix("listening on ")
             .expect("announce shape")
             .to_owned();
-        submit_request(&addr, 0, None, &SubmitAction::Shutdown).expect("shutdown");
+        submit_request(&addr, 0, None, None, &SubmitAction::Shutdown).expect("shutdown");
         let summary = reborn.join().expect("join").expect("serve returns");
         assert!(summary.contains("session closed: 1 operations"), "{summary}");
         std::fs::remove_file(&journal).ok();
@@ -2079,6 +2261,7 @@ mod tests {
             &format!("127.0.0.1:{port}"),
             0,
             Some("fe"),
+            None,
             &SubmitAction::Assign {
                 property: "rx.P-front".into(),
                 value: 150.0,
@@ -2094,6 +2277,7 @@ mod tests {
             &addr,
             0,
             Some("fe"),
+            None,
             &SubmitAction::Assign {
                 property: "rx.P-front".into(),
                 value: 500.0, // outside interval(0, 300)
@@ -2105,7 +2289,7 @@ mod tests {
         assert!(err.to_string().contains("rejected"), "{err}");
         // Usage mistakes are neither: conventional exit 2.
         assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
-        submit_request(&addr, 0, None, &SubmitAction::Shutdown).expect("shutdown");
+        submit_request(&addr, 0, None, None, &SubmitAction::Shutdown).expect("shutdown");
         server.join().expect("join").expect("serve returns");
     }
 

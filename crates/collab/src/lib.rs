@@ -21,9 +21,12 @@
 //! - [`wire`] — a line-delimited JSONL protocol (one flat object per
 //!   line, same escaping and parser as `adpm-observe` traces) spoken by
 //!   `adpm serve` / `adpm client`.
-//! - [`server`] / [`client`] — a `std::net` TCP server hosting one
-//!   session for many connections, and a small blocking client used by
-//!   the CLI and the concurrent TeamSim driver.
+//! - [`server`] / [`client`] — a `std::net` TCP server hosting a
+//!   **registry of named sessions** (each with its own engine, journal,
+//!   event log, and name tables; every connection starts in the default
+//!   session and may rebind with `create`/`attach`/`detach` frames), and
+//!   a small blocking client used by the CLI and the concurrent TeamSim
+//!   driver.
 //! - [`concurrent`] — `teamsim --concurrent`: simulated designers as
 //!   real threads against one session, deterministic under a seeded
 //!   per-designer RNG plus an optional turn barrier.
@@ -76,7 +79,7 @@ pub use journal::{
 };
 pub use notify::{Inbox, InboxEntry, InterestSet};
 pub use resilient::{ReconnectConfig, ResilientClient};
-pub use server::{CollabServer, ServerOptions};
+pub use server::{CollabServer, ServerOptions, SessionFactory, DEFAULT_SESSION};
 pub use session::{
     OpOutcome, RejectReason, SessionClosed, SessionEngine, SessionHandle, SessionOptions,
     DEFAULT_INBOX_CAPACITY,

@@ -89,6 +89,9 @@ pub struct ResilientClient {
     last_seen_idx: u64,
     /// Next client operation id.
     next_cid: u64,
+    /// Named session to bind to on every (re)connection; `None` stays in
+    /// the server's default session.
+    session: Option<String>,
     /// Total reconnects performed.
     reconnects: u64,
     /// Connections opened so far (fault injector stream selector).
@@ -131,6 +134,7 @@ impl ResilientClient {
             subscribed: None,
             last_seen_idx: 0,
             next_cid: 1,
+            session: None,
             reconnects: 0,
             connections: 0,
             fault_plan: None,
@@ -146,6 +150,27 @@ impl ResilientClient {
     pub fn with_sink(mut self, sink: Arc<dyn MetricsSink>) -> Self {
         self.sink = Some(sink);
         self
+    }
+
+    /// Binds every (re)connection to the named session (via a `create`
+    /// frame, so the session comes into being on servers that allow
+    /// dynamic creation and is an idempotent attach everywhere else).
+    /// Reattachment happens transparently on reconnect, *before* the
+    /// subscription is re-established, so gap redelivery stays scoped to
+    /// the named session's event log.
+    ///
+    /// # Errors
+    ///
+    /// [`CollabError`] when the session handshake on the live connection
+    /// fails (a typed `attach_rejected` is fatal).
+    pub fn with_session(mut self, name: impl Into<String>) -> Result<Self, CollabError> {
+        self.session = Some(name.into());
+        // Rebind the live connection now instead of waiting for the next
+        // reconnect — callers expect submissions to land in the session.
+        if let Some(client) = self.client.as_mut() {
+            attach_session(client, self.session.as_deref().expect("just set"))?;
+        }
+        Ok(self)
     }
 
     /// Injects `plan` faults into every *outgoing* frame; each reconnect
@@ -388,6 +413,11 @@ impl ResilientClient {
             }
             Err(e) => return Err(e.into()),
         }
+        // Rebind to the named session before resubscribing, so the resume
+        // cursor applies to that session's event log.
+        if let Some(name) = self.session.as_deref() {
+            attach_session(&mut client, name)?;
+        }
         // Re-establish the subscription, resuming after what we've seen.
         if let Some(all) = self.subscribed {
             let resume_from = if self.last_seen_idx > 0 {
@@ -427,6 +457,11 @@ impl ResilientClient {
         Ok(())
     }
 
+    /// The named session this client binds to, if any.
+    pub fn session(&self) -> Option<&str> {
+        self.session.as_deref()
+    }
+
     /// Reconnects (used by the event path, where there is no exchange to
     /// retry) honouring the backoff schedule.
     fn reconnect_with_backoff(&mut self) -> Result<(), CollabError> {
@@ -446,10 +481,28 @@ impl ResilientClient {
     }
 }
 
+/// Runs the session `create` handshake on a fresh connection. A typed
+/// rejection (or protocol error) is fatal: retrying the same name against
+/// the same server cannot succeed.
+fn attach_session(client: &mut CollabClient, name: &str) -> Result<(), CollabError> {
+    match client.request(&Frame::CreateSession { name: name.into() }) {
+        Ok(Frame::SessionAttached { .. }) => Ok(()),
+        Ok(Frame::AttachRejected { reason, .. }) => Err(CollabError::Fatal(format!(
+            "session `{name}` rejected: {reason}"
+        ))),
+        Ok(Frame::Error { message }) => Err(CollabError::Fatal(message)),
+        Ok(other) => Err(CollabError::Fatal(format!(
+            "expected session frame, got `{}`",
+            other.tag()
+        ))),
+        Err(e) => Err(e.into()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::CollabServer;
+    use crate::server::{CollabServer, SessionFactory};
     use adpm_scenarios::sensing_system;
     use adpm_teamsim::SimulationConfig;
 
@@ -577,6 +630,101 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(indices, sorted, "indices must be strictly ascending: {indices:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn named_session_reattaches_across_reconnect_with_gap_redelivery() {
+        let scenario = sensing_system();
+        let config = SimulationConfig::adpm(7);
+        let mut dpm = scenario.build_dpm(config.dpm_config());
+        dpm.initialize();
+        let factory: SessionFactory = Box::new(|_name| {
+            let scenario = sensing_system();
+            let config = SimulationConfig::adpm(7);
+            let mut dpm = scenario.build_dpm(config.dpm_config());
+            dpm.initialize();
+            Ok((dpm, crate::session::SessionOptions::default()))
+        });
+        let server = CollabServer::bind_registry(
+            dpm,
+            0,
+            crate::server::ServerOptions {
+                allow_create: true,
+                ..crate::server::ServerOptions::default()
+            },
+            crate::session::SessionOptions::default(),
+            Some(factory),
+            &[],
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let mut watcher = ResilientClient::connect(addr, 2, fast_config())
+            .expect("watcher")
+            .with_session("team-a")
+            .expect("attach");
+        watcher.subscribe(true).expect("subscribe");
+        let mut actor = ResilientClient::connect(addr, 1, fast_config())
+            .expect("actor")
+            .with_session("team-a")
+            .expect("attach");
+        let assign = |actor: &mut ResilientClient, property: &str, value: f64| {
+            let verdict = actor
+                .submit(WireOp::Assign {
+                    problem: "pressure-sensor".into(),
+                    property: property.into(),
+                    value,
+                })
+                .expect("submit");
+            assert!(matches!(verdict, Frame::Executed { .. }), "{verdict:?}");
+        };
+        assign(&mut actor, "sensor.s-area", 4.0);
+        let mut indices = Vec::new();
+        while let Some(Frame::Event { idx, .. }) = watcher
+            .next_event(Duration::from_millis(if indices.is_empty() { 5000 } else { 300 }))
+            .expect("event")
+        {
+            indices.push(idx);
+        }
+        assert!(!indices.is_empty(), "the first bind must produce events");
+
+        // The gap happens in `team-a` while the watcher is away; its
+        // reconnect must reattach to `team-a` *then* resume.
+        watcher.force_disconnect();
+        assign(&mut actor, "sensor.s-drive", 8.0);
+        let before_gap = indices.len();
+        while let Some(Frame::Event { idx, .. }) = watcher
+            .next_event(Duration::from_millis(if indices.len() == before_gap {
+                5000
+            } else {
+                300
+            }))
+            .expect("resumed event")
+        {
+            indices.push(idx);
+        }
+        assert!(indices.len() > before_gap, "the gap must be redelivered");
+        assert_eq!(watcher.reconnects(), 1);
+        assert_eq!(watcher.session(), Some("team-a"));
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(indices, sorted, "indices must be strictly ascending: {indices:?}");
+
+        // Both operations landed in the named session, not the default.
+        let dpm = server.shutdown();
+        assert_eq!(dpm.history().len(), 0, "the default session saw nothing");
+    }
+
+    #[test]
+    fn rejected_session_attach_is_fatal() {
+        let server = serve_sensing(); // no factory, no allow_create
+        let err = ResilientClient::connect(server.local_addr(), 1, fast_config())
+            .expect("connect")
+            .with_session("ghost")
+            .expect_err("attach must fail");
+        assert!(!err.is_retryable(), "{err:?}");
         server.shutdown();
     }
 

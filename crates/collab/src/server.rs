@@ -1,12 +1,26 @@
-//! The collaboration server: one session, many TCP connections.
+//! The collaboration server: a registry of named sessions, many TCP
+//! connections.
 //!
 //! [`CollabServer::bind`] takes ownership of a configured
 //! [`DesignProcessManager`], moves it into a [`SessionEngine`], and
 //! accepts JSONL wire-protocol connections on a loopback TCP listener.
-//! Each connection runs on its own thread; all of them funnel into the
-//! single session command loop, so concurrent clients interleave exactly
-//! like concurrent [`SessionHandle`] users — linearized, with one
-//! authoritative history.
+//! Each connection runs on its own thread; connections bound to the same
+//! session funnel into that session's command loop, so concurrent clients
+//! interleave exactly like concurrent [`SessionHandle`] users —
+//! linearized, with one authoritative history per session.
+//!
+//! Multi-tenancy ([`CollabServer::bind_registry`]): the server hosts a
+//! **registry of named sessions**, each owning its own [`SessionEngine`]
+//! (and therefore its own design state, event log, journal, and name
+//! tables). Every connection starts bound to the default session
+//! ([`DEFAULT_SESSION`]) — single-session clients never notice the
+//! registry — and may rebind with the `create`/`attach`/`detach` handshake
+//! frames. New sessions are built by a caller-supplied [`SessionFactory`];
+//! `create` on an existing name is an idempotent attach, `create` on a
+//! missing name requires [`ServerOptions::allow_create`], and `attach`
+//! always rejects missing names with a typed `attach_rejected` frame. The
+//! factory runs under the registry lock, so concurrent creates of the same
+//! name yield exactly one session.
 //!
 //! Wire frames carry names, not ids: the server snapshots the network's
 //! name tables once at bind time (the property/constraint/problem *sets*
@@ -58,6 +72,14 @@ const PUSH_POLL: Duration = Duration::from_millis(50);
 /// Connection read poll interval — the heartbeat bookkeeping granularity.
 const READ_POLL: Duration = Duration::from_millis(25);
 
+/// Backoff after an `accept(2)` error. Persistent failures (e.g. EMFILE)
+/// otherwise turn the accept loop into a 100% CPU spin.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Name of the session every connection starts bound to. It always exists:
+/// [`CollabServer::bind`] seeds it from the DPM it is given.
+pub const DEFAULT_SESSION: &str = "default";
+
 /// Liveness and degradation policy for served connections.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
@@ -69,6 +91,10 @@ pub struct ServerOptions {
     pub write_deadline: Duration,
     /// Inject these faults into every outgoing frame (chaos testing).
     pub fault_plan: Option<crate::fault::FaultPlan>,
+    /// Whether a client's `create` frame may create a session that does
+    /// not exist yet (it needs a [`SessionFactory`] to do so). `create` on
+    /// an existing name is an idempotent attach regardless of this flag.
+    pub allow_create: bool,
 }
 
 impl Default for ServerOptions {
@@ -78,6 +104,7 @@ impl Default for ServerOptions {
             idle_timeout: Duration::from_secs(30),
             write_deadline: Duration::from_secs(5),
             fault_plan: None,
+            allow_create: false,
         }
     }
 }
@@ -196,18 +223,131 @@ impl NameMaps {
     }
 }
 
-/// A TCP server hosting one collaboration session.
+/// Builds the design state for a freshly created named session: a
+/// configured, initialized [`DesignProcessManager`] plus the session
+/// extras (journal, …) it should run with. Called with the session name,
+/// under the registry lock, so one name never races into two engines.
+pub type SessionFactory =
+    Box<dyn Fn(&str) -> io::Result<(DesignProcessManager, SessionOptions)> + Send + Sync>;
+
+/// One hosted session: its engine plus the name tables snapshot shared by
+/// every connection bound to it.
+struct SessionSlot {
+    engine: SessionEngine,
+    names: Arc<NameMaps>,
+}
+
+/// The registry of named sessions a [`CollabServer`] hosts.
+struct Registry {
+    slots: Mutex<BTreeMap<String, SessionSlot>>,
+    factory: Option<SessionFactory>,
+    allow_create: bool,
+    sink: Arc<dyn MetricsSink>,
+}
+
+/// Session names double as journal-path suffixes, so keep them to a
+/// filesystem- and wire-safe alphabet.
+fn validate_session_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err(format!(
+            "session name must be 1-64 characters, got {}",
+            name.len()
+        ));
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err(format!(
+            "session name `{name}` may only contain letters, digits, `-`, and `_`"
+        ));
+    }
+    Ok(())
+}
+
+impl Registry {
+    /// Spawns an engine for `dpm` and registers it under `name`.
+    fn insert(&self, name: &str, dpm: DesignProcessManager, session: SessionOptions) {
+        let names = Arc::new(NameMaps::build(&dpm));
+        let engine = SessionEngine::spawn_with(dpm, session);
+        lock(&self.slots).insert(name.to_owned(), SessionSlot { engine, names });
+        self.sink.incr(Counter::SessionsActive, 1);
+    }
+
+    /// The session every connection starts in.
+    fn default_session(&self) -> (SessionHandle, Arc<NameMaps>) {
+        let slots = lock(&self.slots);
+        let slot = slots
+            .get(DEFAULT_SESSION)
+            .expect("the default session always exists");
+        (slot.engine.handle(), slot.names.clone())
+    }
+
+    /// Resolves a session `create`/`attach` request to a handle, creating
+    /// the session when `create` is set and the server allows it. The
+    /// returned flag says whether this request created the session.
+    fn attach(
+        &self,
+        name: &str,
+        create: bool,
+    ) -> Result<(SessionHandle, Arc<NameMaps>, bool), String> {
+        let reject = |reason: String| {
+            self.sink.incr(Counter::AttachRejected, 1);
+            reason
+        };
+        validate_session_name(name).map_err(reject)?;
+        let mut slots = lock(&self.slots);
+        if let Some(slot) = slots.get(name) {
+            return Ok((slot.engine.handle(), slot.names.clone(), false));
+        }
+        if !create {
+            return Err(reject(format!("unknown session `{name}`")));
+        }
+        if !self.allow_create {
+            return Err(reject(format!(
+                "unknown session `{name}` (dynamic session creation is disabled)"
+            )));
+        }
+        let Some(factory) = &self.factory else {
+            return Err(reject(format!(
+                "cannot create session `{name}`: the server has no session factory"
+            )));
+        };
+        // The factory runs while we hold the slots lock: a concurrent
+        // create of the same name waits here and then finds the slot.
+        let (mut dpm, session) = factory(name)
+            .map_err(|e| reject(format!("could not create session `{name}`: {e}")))?;
+        dpm.set_sink(self.sink.clone());
+        let names = Arc::new(NameMaps::build(&dpm));
+        let engine = SessionEngine::spawn_with(dpm, session);
+        let handle = engine.handle();
+        slots.insert(name.to_owned(), SessionSlot { engine, names: names.clone() });
+        self.sink.incr(Counter::SessionsActive, 1);
+        self.sink.incr(Counter::SessionsCreated, 1);
+        Ok((handle, names, true))
+    }
+
+    /// Sorted comma-joined session names plus their count.
+    fn list(&self) -> (String, u32) {
+        let slots = lock(&self.slots);
+        let names: Vec<&str> = slots.keys().map(String::as_str).collect();
+        (names.join(","), names.len() as u32)
+    }
+}
+
+/// A TCP server hosting a registry of named collaboration sessions.
 ///
 /// Created by [`CollabServer::bind`]; torn down by [`CollabServer::wait`]
 /// (block until a client sends `shutdown`) or [`CollabServer::shutdown`]
-/// (immediate). Both return the final [`DesignProcessManager`] so callers
-/// can inspect or persist the end state.
+/// (immediate). Both shut every hosted session down and return the
+/// *default* session's final [`DesignProcessManager`] so callers can
+/// inspect or persist the end state.
 pub struct CollabServer {
     addr: SocketAddr,
-    engine: SessionEngine,
+    registry: Arc<Registry>,
     accept_thread: Option<thread::JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
-    conn_streams: Arc<Mutex<Vec<TcpStream>>>,
+    conn_streams: Arc<Mutex<BTreeMap<u64, TcpStream>>>,
     stop: Arc<AtomicBool>,
     shutdown_signal: Arc<(Mutex<bool>, Condvar)>,
 }
@@ -245,23 +385,62 @@ impl CollabServer {
         options: ServerOptions,
         session: SessionOptions,
     ) -> io::Result<CollabServer> {
-        let names = Arc::new(NameMaps::build(&dpm));
+        CollabServer::bind_registry(dpm, port, options, session, None, &[])
+    }
+
+    /// [`bind_with`](Self::bind_with) plus multi-tenancy: `dpm`/`session`
+    /// seed the default session, `factory` builds the state for any other
+    /// session (each `precreate` name immediately, plus dynamic `create`
+    /// frames when [`ServerOptions::allow_create`] is set).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener's bind error, a factory failure on a
+    /// pre-created session, or an invalid pre-create name.
+    pub fn bind_registry(
+        dpm: DesignProcessManager,
+        port: u16,
+        options: ServerOptions,
+        session: SessionOptions,
+        factory: Option<SessionFactory>,
+        precreate: &[String],
+    ) -> io::Result<CollabServer> {
         let sink = dpm.metrics_sink().clone();
+        let registry = Arc::new(Registry {
+            slots: Mutex::new(BTreeMap::new()),
+            factory,
+            allow_create: options.allow_create,
+            sink: sink.clone(),
+        });
+        registry.insert(DEFAULT_SESSION, dpm, session);
+        for name in precreate {
+            let invalid = |m: String| io::Error::new(io::ErrorKind::InvalidInput, m);
+            validate_session_name(name).map_err(invalid)?;
+            if name == DEFAULT_SESSION {
+                continue; // already seeded above
+            }
+            let factory = registry.factory.as_ref().ok_or_else(|| {
+                invalid("pre-creating sessions requires a session factory".into())
+            })?;
+            let (mut session_dpm, session_options) = factory(name)?;
+            session_dpm.set_sink(sink.clone());
+            registry.insert(name, session_dpm, session_options);
+        }
         let options = Arc::new(options);
-        let engine = SessionEngine::spawn_with(dpm, session);
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let shutdown_signal = Arc::new((Mutex::new(false), Condvar::new()));
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
-        let conn_streams = Arc::new(Mutex::new(Vec::new()));
+        let conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let conn_streams: Arc<Mutex<BTreeMap<u64, TcpStream>>> =
+            Arc::new(Mutex::new(BTreeMap::new()));
         let accept_thread = {
-            let handle = engine.handle();
+            let registry = registry.clone();
             let stop = stop.clone();
             let signal = shutdown_signal.clone();
             let threads = conn_threads.clone();
             let streams = conn_streams.clone();
-            let names = names.clone();
             thread::Builder::new()
                 .name("adpm-accept".into())
                 .spawn(move || {
@@ -270,12 +449,36 @@ impl CollabServer {
                         if stop.load(Ordering::SeqCst) {
                             break;
                         }
-                        let Ok(stream) = incoming else { continue };
-                        if let Ok(clone) = stream.try_clone() {
-                            lock(&streams).push(clone);
+                        let stream = match incoming {
+                            Ok(stream) => stream,
+                            Err(_) => {
+                                // Persistent accept errors (EMFILE, …)
+                                // must not turn into a busy spin.
+                                sink.incr(Counter::AcceptErrors, 1);
+                                thread::sleep(ACCEPT_ERROR_BACKOFF);
+                                continue;
+                            }
+                        };
+                        // Reap workers that already finished, so
+                        // connect/disconnect churn cannot grow the thread
+                        // and stream registries without bound.
+                        let finished: Vec<_> = {
+                            let mut guard = lock(&threads);
+                            let (finished, live) =
+                                guard.drain(..).partition(|t: &thread::JoinHandle<()>| {
+                                    t.is_finished()
+                                });
+                            *guard = live;
+                            finished
+                        };
+                        for t in finished {
+                            let _ = t.join();
                         }
-                        let handle = handle.clone();
-                        let names = names.clone();
+                        if let Ok(clone) = stream.try_clone() {
+                            lock(&streams).insert(conn_index, clone);
+                        }
+                        let registry = registry.clone();
+                        let streams = streams.clone();
                         let signal = signal.clone();
                         let options = options.clone();
                         let sink = sink.clone();
@@ -284,7 +487,7 @@ impl CollabServer {
                         let worker = thread::Builder::new().name("adpm-conn".into()).spawn(
                             move || {
                                 serve_connection(
-                                    stream, handle, names, signal, options, sink, index,
+                                    stream, registry, streams, signal, options, sink, index,
                                 )
                             },
                         );
@@ -297,7 +500,7 @@ impl CollabServer {
         };
         Ok(CollabServer {
             addr,
-            engine,
+            registry,
             accept_thread: Some(accept_thread),
             conn_threads,
             conn_streams,
@@ -311,10 +514,24 @@ impl CollabServer {
         self.addr
     }
 
-    /// A handle onto the hosted session, for in-process submitters that
-    /// want to skip the socket (the concurrent TeamSim driver).
+    /// A handle onto the hosted *default* session, for in-process
+    /// submitters that want to skip the socket (the concurrent TeamSim
+    /// driver).
     pub fn handle(&self) -> SessionHandle {
-        self.engine.handle()
+        self.registry.default_session().0
+    }
+
+    /// Sorted names of the sessions currently hosted.
+    pub fn session_names(&self) -> Vec<String> {
+        lock(&self.registry.slots).keys().cloned().collect()
+    }
+
+    /// How many connection streams and worker threads the server is
+    /// currently tracking — `(streams, threads)`. Exposed so churn tests
+    /// can prove the registries stay bounded: workers deregister their
+    /// stream on exit, and finished threads are reaped by the accept loop.
+    pub fn connection_counts(&self) -> (usize, usize) {
+        (lock(&self.conn_streams).len(), lock(&self.conn_threads).len())
     }
 
     /// Blocks until some client sends a `shutdown` frame, then tears the
@@ -322,7 +539,7 @@ impl CollabServer {
     pub fn wait(self) -> DesignProcessManager {
         {
             let (flag, cvar) = &*self.shutdown_signal;
-            let mut requested = lock_flag(flag);
+            let mut requested = lock(flag);
             while !*requested {
                 requested = cvar
                     .wait(requested)
@@ -346,22 +563,27 @@ impl CollabServer {
             let _ = t.join();
         }
         // Unblock connection readers; their clients are done either way.
-        for stream in lock(&self.conn_streams).drain(..) {
+        for (_, stream) in std::mem::take(&mut *lock(&self.conn_streams)) {
             let _ = stream.shutdown(NetShutdown::Both);
         }
         let threads: Vec<_> = lock(&self.conn_threads).drain(..).collect();
         for t in threads {
             let _ = t.join();
         }
-        self.engine.shutdown()
+        // Shut every hosted session down; hand back the default one.
+        let slots = std::mem::take(&mut *lock(&self.registry.slots));
+        let mut default_dpm = None;
+        for (name, slot) in slots {
+            let dpm = slot.engine.shutdown();
+            if name == DEFAULT_SESSION {
+                default_dpm = Some(dpm);
+            }
+        }
+        default_dpm.expect("the default session always exists")
     }
 }
 
-fn lock<T>(m: &Mutex<Vec<T>>) -> std::sync::MutexGuard<'_, Vec<T>> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-fn lock_flag(m: &Mutex<bool>) -> std::sync::MutexGuard<'_, bool> {
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -417,16 +639,42 @@ fn reject_reason(reason: &RejectReason) -> String {
     reason.to_string()
 }
 
+/// Rebinds a connection's mutable session state after a successful
+/// `create`/`attach`/`detach`: the old subscription is closed (its pusher
+/// exits; the old session GCs it) and a designer index that does not exist
+/// in the new session is forgotten, forcing a fresh `hello`.
+fn switch_session(
+    new_handle: SessionHandle,
+    new_names: Arc<NameMaps>,
+    handle: &mut SessionHandle,
+    names: &mut Arc<NameMaps>,
+    designer: &mut Option<DesignerId>,
+    subscription: &mut Option<Inbox>,
+) {
+    if let Some(old) = subscription.take() {
+        old.close();
+    }
+    if let Some(d) = *designer {
+        if d.index() as u32 >= new_names.designers {
+            *designer = None;
+        }
+    }
+    *handle = new_handle;
+    *names = new_names;
+}
+
 fn serve_connection(
     stream: TcpStream,
-    handle: SessionHandle,
-    names: Arc<NameMaps>,
+    registry: Arc<Registry>,
+    streams: Arc<Mutex<BTreeMap<u64, TcpStream>>>,
     shutdown_signal: Arc<(Mutex<bool>, Condvar)>,
     options: Arc<ServerOptions>,
     sink: Arc<dyn MetricsSink>,
     conn_index: u64,
 ) {
+    let (mut handle, mut names) = registry.default_session();
     let Ok(mut read_half) = stream.try_clone() else {
+        lock(&streams).remove(&conn_index);
         return;
     };
     let _ = read_half.set_read_timeout(Some(READ_POLL));
@@ -591,13 +839,60 @@ fn serve_connection(
             Frame::Shutdown => {
                 let _ = write_frame(&writer, &Frame::Bye);
                 let (flag, cvar) = &*shutdown_signal;
-                *lock_flag(flag) = true;
+                *lock(flag) = true;
                 cvar.notify_all();
                 break;
             }
             Frame::Bye => {
                 let _ = write_frame(&writer, &Frame::Bye);
                 break;
+            }
+            Frame::CreateSession { name } => match registry.attach(&name, true) {
+                Err(reason) => Frame::AttachRejected { name, reason },
+                Ok((new_handle, new_names, created)) => {
+                    switch_session(
+                        new_handle,
+                        new_names,
+                        &mut handle,
+                        &mut names,
+                        &mut designer,
+                        &mut subscription,
+                    );
+                    Frame::SessionAttached { name, created }
+                }
+            },
+            Frame::AttachSession { name } => match registry.attach(&name, false) {
+                Err(reason) => Frame::AttachRejected { name, reason },
+                Ok((new_handle, new_names, _)) => {
+                    switch_session(
+                        new_handle,
+                        new_names,
+                        &mut handle,
+                        &mut names,
+                        &mut designer,
+                        &mut subscription,
+                    );
+                    Frame::SessionAttached { name, created: false }
+                }
+            },
+            Frame::DetachSession => {
+                let (new_handle, new_names) = registry.default_session();
+                switch_session(
+                    new_handle,
+                    new_names,
+                    &mut handle,
+                    &mut names,
+                    &mut designer,
+                    &mut subscription,
+                );
+                Frame::SessionAttached {
+                    name: DEFAULT_SESSION.into(),
+                    created: false,
+                }
+            }
+            Frame::ListSessions => {
+                let (names, count) = registry.list();
+                Frame::SessionList { names, count }
             }
             // Response-only frames arriving from a client are protocol
             // misuse, but harmless: name them and carry on.
@@ -620,8 +915,10 @@ fn serve_connection(
     }
     // The accept loop retains a clone of this socket (to unblock readers
     // at server shutdown), so dropping our halves is not enough to close
-    // it — shut the underlying socket down so the peer sees EOF now.
+    // it — shut the underlying socket down so the peer sees EOF now, and
+    // deregister the clone so churn cannot accumulate dead streams.
     let _ = read_half.shutdown(NetShutdown::Both);
+    lock(&streams).remove(&conn_index);
 }
 
 fn subscribe(
@@ -816,6 +1113,40 @@ mod tests {
 
     fn serve_sensing() -> CollabServer {
         CollabServer::bind(sensing_dpm(), 0).expect("bind")
+    }
+
+    /// A multi-tenant server whose factory clones the sensing scenario
+    /// for every named session.
+    fn serve_multi(allow_create: bool, precreate: &[&str]) -> CollabServer {
+        let options = ServerOptions {
+            allow_create,
+            ..ServerOptions::default()
+        };
+        let factory: SessionFactory =
+            Box::new(|_name| Ok((sensing_dpm(), SessionOptions::default())));
+        let precreate: Vec<String> = precreate.iter().map(|s| (*s).to_owned()).collect();
+        CollabServer::bind_registry(
+            sensing_dpm(),
+            0,
+            options,
+            SessionOptions::default(),
+            Some(factory),
+            &precreate,
+        )
+        .expect("bind registry")
+    }
+
+    fn assign_s_area(client: &mut CollabClient, value: f64) -> Frame {
+        client
+            .request(&Frame::Submit {
+                op: WireOp::Assign {
+                    problem: "pressure-sensor".into(),
+                    property: "sensor.s-area".into(),
+                    value,
+                },
+                cid: None,
+            })
+            .expect("submit")
     }
 
     #[test]
@@ -1124,6 +1455,225 @@ mod tests {
         }
         let expected: Vec<u64> = (last_seen + 1..=last_idx).collect();
         assert_eq!(redelivered, expected, "gap redelivered exactly once, in order");
+        server.shutdown();
+    }
+
+    #[test]
+    fn create_attach_list_and_detach_round_trip() {
+        let server = serve_multi(true, &[]);
+        let addr = server.local_addr();
+        let mut client = CollabClient::connect(addr).expect("connect");
+        client.request(&Frame::Hello { designer: 0 }).expect("hello");
+
+        // Create binds the connection to the new session.
+        let created = client
+            .request(&Frame::CreateSession { name: "alpha".into() })
+            .expect("create");
+        assert_eq!(
+            created,
+            Frame::SessionAttached {
+                name: "alpha".into(),
+                created: true
+            }
+        );
+        // Creating the same name again is an idempotent attach.
+        let again = client
+            .request(&Frame::CreateSession { name: "alpha".into() })
+            .expect("re-create");
+        assert_eq!(
+            again,
+            Frame::SessionAttached {
+                name: "alpha".into(),
+                created: false
+            }
+        );
+        // List sees both sessions, sorted.
+        let list = client.request(&Frame::ListSessions).expect("list");
+        assert_eq!(
+            list,
+            Frame::SessionList {
+                names: "alpha,default".into(),
+                count: 2
+            }
+        );
+        // A second connection attaches to the existing session.
+        let mut other = CollabClient::connect(addr).expect("connect other");
+        let attached = other
+            .request(&Frame::AttachSession { name: "alpha".into() })
+            .expect("attach");
+        assert_eq!(
+            attached,
+            Frame::SessionAttached {
+                name: "alpha".into(),
+                created: false
+            }
+        );
+        // Detach returns to the default session.
+        let detached = client.request(&Frame::DetachSession).expect("detach");
+        assert_eq!(
+            detached,
+            Frame::SessionAttached {
+                name: DEFAULT_SESSION.into(),
+                created: false
+            }
+        );
+        assert_eq!(server.session_names(), vec!["alpha", "default"]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_sessions_are_fully_isolated() {
+        let server = serve_multi(false, &["s1", "s2"]);
+        let addr = server.local_addr();
+
+        // Watcher subscribes to *everything* in s2.
+        let mut watcher = CollabClient::connect(addr).expect("connect watcher");
+        watcher
+            .request(&Frame::AttachSession { name: "s2".into() })
+            .expect("attach");
+        watcher.request(&Frame::Hello { designer: 2 }).expect("hello");
+        watcher
+            .request(&Frame::Subscribe {
+                all: true,
+                resume_from: None,
+            })
+            .expect("subscribe");
+
+        // An operation in s1 must not produce any event in s2...
+        let mut actor = CollabClient::connect(addr).expect("connect actor");
+        actor
+            .request(&Frame::AttachSession { name: "s1".into() })
+            .expect("attach");
+        actor.request(&Frame::Hello { designer: 1 }).expect("hello");
+        assert!(matches!(assign_s_area(&mut actor, 4.0), Frame::Executed { .. }));
+        assert_eq!(
+            watcher.next_event(Duration::from_millis(400)).expect("wait"),
+            None,
+            "an operation in s1 leaked an event into s2"
+        );
+
+        // ...while the same operation in s2 reaches the watcher, and the
+        // sessions' histories stay independent (seq restarts at 1).
+        let mut actor2 = CollabClient::connect(addr).expect("connect actor2");
+        actor2
+            .request(&Frame::AttachSession { name: "s2".into() })
+            .expect("attach");
+        actor2.request(&Frame::Hello { designer: 1 }).expect("hello");
+        let Frame::Executed { seq, .. } = assign_s_area(&mut actor2, 4.0) else {
+            panic!("expected executed");
+        };
+        assert_eq!(seq, 1, "s2's history is independent of s1's");
+        let event = watcher
+            .next_event(Duration::from_secs(5))
+            .expect("wait")
+            .expect("the s2 operation must notify the s2 watcher");
+        assert!(matches!(event, Frame::Event { seq: 1, .. }));
+
+        // The default session saw none of it.
+        let dpm = server.shutdown();
+        assert_eq!(dpm.history().len(), 0);
+    }
+
+    #[test]
+    fn attach_to_missing_session_yields_typed_reject() {
+        let server = serve_multi(false, &[]);
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        let reply = client
+            .request(&Frame::AttachSession { name: "ghost".into() })
+            .expect("attach");
+        let Frame::AttachRejected { name, reason } = reply else {
+            panic!("expected attach_rejected, got {reply:?}");
+        };
+        assert_eq!(name, "ghost");
+        assert!(reason.contains("unknown session"), "reason: {reason}");
+        // Creation is disabled on this server, so `create` rejects too.
+        let reply = client
+            .request(&Frame::CreateSession { name: "ghost".into() })
+            .expect("create");
+        assert!(matches!(reply, Frame::AttachRejected { .. }), "{reply:?}");
+        // Invalid names are rejected before touching the registry.
+        let reply = client
+            .request(&Frame::CreateSession { name: "no/slashes".into() })
+            .expect("create");
+        assert!(matches!(reply, Frame::AttachRejected { .. }), "{reply:?}");
+        // The connection survives and stays bound to the default session.
+        let welcome = client.request(&Frame::Hello { designer: 0 }).expect("hello");
+        assert!(matches!(welcome, Frame::Welcome { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_creates_of_same_name_yield_exactly_one_session() {
+        let mut dpm = sensing_dpm();
+        let sink = Arc::new(InMemorySink::new());
+        dpm.set_sink(sink.clone());
+        let factory: SessionFactory =
+            Box::new(|_name| Ok((sensing_dpm(), SessionOptions::default())));
+        let server = CollabServer::bind_registry(
+            dpm,
+            0,
+            ServerOptions {
+                allow_create: true,
+                ..ServerOptions::default()
+            },
+            SessionOptions::default(),
+            Some(factory),
+            &[],
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                thread::spawn(move || {
+                    let mut client = CollabClient::connect(addr).expect("connect");
+                    let reply = client
+                        .request(&Frame::CreateSession { name: "shared".into() })
+                        .expect("create");
+                    match reply {
+                        Frame::SessionAttached { created, .. } => created,
+                        other => panic!("expected session frame, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        let created: usize = workers
+            .into_iter()
+            .map(|w| usize::from(w.join().expect("join")))
+            .sum();
+        assert_eq!(created, 1, "exactly one create must win the race");
+        assert_eq!(server.session_names(), vec!["default", "shared"]);
+        assert_eq!(sink.get(Counter::SessionsCreated), 1);
+        assert_eq!(sink.get(Counter::SessionsActive), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_churn_keeps_registries_bounded() {
+        let server = serve_sensing();
+        let addr = server.local_addr();
+        for _ in 0..40 {
+            let mut client = CollabClient::connect(addr).expect("connect");
+            client.request(&Frame::Hello { designer: 0 }).expect("hello");
+            // Dropped here: the worker sees EOF and must deregister itself.
+        }
+        // One more connection triggers the accept loop's reap of finished
+        // workers; poll until the registries settle.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut client = CollabClient::connect(addr).expect("connect");
+            client.request(&Frame::Hello { designer: 0 }).expect("hello");
+            drop(client);
+            let (streams, threads) = server.connection_counts();
+            if streams <= 4 && threads <= 4 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "connection registries never shrank: {streams} streams, {threads} threads \
+                 after 40 churned connections"
+            );
+            thread::sleep(Duration::from_millis(50));
+        }
         server.shutdown();
     }
 

@@ -199,6 +199,49 @@ pub enum Frame {
         /// What happened.
         message: String,
     },
+    /// Client asks to bind this connection to the named session, creating
+    /// it if it does not exist yet. Creating an *existing* name is an
+    /// idempotent attach; creating a *missing* name requires the server to
+    /// allow dynamic creation (`--allow-create`), else the request is
+    /// answered with [`Frame::AttachRejected`].
+    CreateSession {
+        /// Session name: 1–64 chars of `[A-Za-z0-9_-]`.
+        name: String,
+    },
+    /// Client asks to bind this connection to an *existing* named session.
+    /// Unlike [`Frame::CreateSession`], a missing name is always rejected.
+    AttachSession {
+        /// Session name.
+        name: String,
+    },
+    /// Client asks for the names of the sessions currently hosted.
+    ListSessions,
+    /// Client asks to return this connection to the default session.
+    DetachSession,
+    /// Server confirms the connection is now bound to `name` (the answer
+    /// to `create`, `attach`, and `detach`).
+    SessionAttached {
+        /// The session the connection is bound to from now on.
+        name: String,
+        /// Whether this request created the session (always `false` for
+        /// `attach`/`detach`).
+        created: bool,
+    },
+    /// Server's answer to [`Frame::ListSessions`].
+    SessionList {
+        /// Comma-joined session names, sorted.
+        names: String,
+        /// How many sessions are hosted.
+        count: u32,
+    },
+    /// Typed rejection of a session `create`/`attach` request. The
+    /// connection stays open and stays bound to its previous session.
+    AttachRejected {
+        /// The name the request asked for.
+        name: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 /// Coarse classification of a [`WireError`], the ground truth the
@@ -339,6 +382,13 @@ impl Frame {
             Frame::Ping { .. } => "ping",
             Frame::Pong { .. } => "pong",
             Frame::Warning { .. } => "warn",
+            Frame::CreateSession { .. } => "create",
+            Frame::AttachSession { .. } => "attach",
+            Frame::ListSessions => "list",
+            Frame::DetachSession => "detach",
+            Frame::SessionAttached { .. } => "session",
+            Frame::SessionList { .. } => "sessions",
+            Frame::AttachRejected { .. } => "attach_rejected",
         }
     }
 
@@ -453,6 +503,22 @@ impl Frame {
             Frame::Ping { nonce } => field_u64(&mut out, "nonce", *nonce),
             Frame::Pong { nonce } => field_u64(&mut out, "nonce", *nonce),
             Frame::Warning { message } => field_str(&mut out, "message", message),
+            Frame::CreateSession { name } | Frame::AttachSession { name } => {
+                field_str(&mut out, "name", name)
+            }
+            Frame::ListSessions | Frame::DetachSession => {}
+            Frame::SessionAttached { name, created } => {
+                field_str(&mut out, "name", name);
+                field_bool(&mut out, "created", *created);
+            }
+            Frame::SessionList { names, count } => {
+                field_str(&mut out, "names", names);
+                field_u64(&mut out, "count", (*count).into());
+            }
+            Frame::AttachRejected { name, reason } => {
+                field_str(&mut out, "name", name);
+                field_str(&mut out, "reason", reason);
+            }
         }
         out.push_str("}\n");
         out
@@ -618,6 +684,26 @@ impl Frame {
             }),
             "warn" => Ok(Frame::Warning {
                 message: need_str("message")?,
+            }),
+            "create" => Ok(Frame::CreateSession {
+                name: need_str("name")?,
+            }),
+            "attach" => Ok(Frame::AttachSession {
+                name: need_str("name")?,
+            }),
+            "list" => Ok(Frame::ListSessions),
+            "detach" => Ok(Frame::DetachSession),
+            "session" => Ok(Frame::SessionAttached {
+                name: need_str("name")?,
+                created: need_bool("created")?,
+            }),
+            "sessions" => Ok(Frame::SessionList {
+                names: need_str("names")?,
+                count: need_u32("count")?,
+            }),
+            "attach_rejected" => Ok(Frame::AttachRejected {
+                name: need_str("name")?,
+                reason: need_str("reason")?,
             }),
             other => Err(WireError::new(format!("unknown frame tag `{other}`"))),
         }
@@ -891,6 +977,30 @@ mod tests {
             Frame::Warning {
                 message: "skipped 70000 bytes".into(),
             },
+            Frame::CreateSession {
+                name: "team-alpha".into(),
+            },
+            Frame::AttachSession {
+                name: "s2".into(),
+            },
+            Frame::ListSessions,
+            Frame::DetachSession,
+            Frame::SessionAttached {
+                name: "team-alpha".into(),
+                created: true,
+            },
+            Frame::SessionAttached {
+                name: "default".into(),
+                created: false,
+            },
+            Frame::SessionList {
+                names: "default,s1,s2".into(),
+                count: 3,
+            },
+            Frame::AttachRejected {
+                name: "ghost".into(),
+                reason: "unknown session `ghost`".into(),
+            },
         ];
         for frame in frames {
             let line = frame.to_line();
@@ -931,6 +1041,11 @@ mod tests {
             ("{\"t\":\"subscribe\",\"all\":true,\"resume_from\":-3}",
              "non-negative integer"),
             ("{\"t\":\"ping\"}", "needs integer `nonce`"),
+            ("{\"t\":\"create\"}", "needs string `name`"),
+            ("{\"t\":\"attach\",\"name\":7}", "needs string `name`"),
+            ("{\"t\":\"session\",\"name\":\"s1\"}", "needs boolean `created`"),
+            ("{\"t\":\"sessions\",\"names\":\"a,b\"}", "needs integer `count`"),
+            ("{\"t\":\"attach_rejected\",\"name\":\"x\"}", "needs string `reason`"),
             ("not json", "expected"),
             ("{}", "empty frame"),
         ] {

@@ -31,6 +31,10 @@ use crate::json::escape_into;
 /// | `FaultsInjected` | the deterministic fault layer perturbs (drops, delays, corrupts...) a frame |
 /// | `CompiledEvals` | a flat-program HC4 revision runs on the compiled propagation engine |
 /// | `ComponentsParallel` | a connected component is propagated by a parallel worker |
+/// | `SessionsActive` | a named session is added to a collaboration server's registry |
+/// | `SessionsCreated` | a client's `create` frame dynamically creates a new named session |
+/// | `AttachRejected` | a session `create`/`attach` request is rejected (unknown name, creation disabled...) |
+/// | `AcceptErrors` | the server's accept loop hits an `accept(2)` error and backs off |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Counter {
     /// Executed design operations.
@@ -85,11 +89,22 @@ pub enum Counter {
     /// Connected components handed to `std::thread::scope` workers by a
     /// parallel propagation run.
     ComponentsParallel,
+    /// Named sessions added to a collaboration server's registry (the
+    /// default session, `--sessions N` pre-creates, and dynamic creates).
+    SessionsActive,
+    /// Named sessions created dynamically by a client's `create` frame.
+    SessionsCreated,
+    /// Session `create`/`attach` requests the registry rejected (unknown
+    /// name, dynamic creation disabled, invalid name, or factory failure).
+    AttachRejected,
+    /// `accept(2)` errors hit by the server's accept loop (each one also
+    /// triggers a short backoff sleep so persistent errors cannot busy-spin).
+    AcceptErrors,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 27] = [
         Counter::Operations,
         Counter::Evaluations,
         Counter::Propagations,
@@ -113,6 +128,10 @@ impl Counter {
         Counter::FaultsInjected,
         Counter::CompiledEvals,
         Counter::ComponentsParallel,
+        Counter::SessionsActive,
+        Counter::SessionsCreated,
+        Counter::AttachRejected,
+        Counter::AcceptErrors,
     ];
 
     /// Number of counters (the size of a dense counter array).
@@ -149,6 +168,10 @@ impl Counter {
             Counter::FaultsInjected => "faults_injected",
             Counter::CompiledEvals => "compiled_evals",
             Counter::ComponentsParallel => "components_parallel",
+            Counter::SessionsActive => "sessions_active",
+            Counter::SessionsCreated => "sessions_created",
+            Counter::AttachRejected => "attach_rejected",
+            Counter::AcceptErrors => "accept_errors",
         }
     }
 }

@@ -156,7 +156,64 @@ grep -q '^recovered 2 operations from' "$SERVE_LOG" || {
 wait "$SERVE_PID"
 grep -q 'session closed: 2 operations' "$SERVE_LOG" || {
   echo "recovered history does not match"; cat "$SERVE_LOG"; exit 1; }
-rm -f "$SERVE_LOG" "$JOURNAL" /tmp/verify_rx.dddl /tmp/verify_mini.dddl
+rm -f "$SERVE_LOG" "$JOURNAL"
+
+echo "==> multi-session smoke (2 named sessions, isolated state + per-session journals)"
+MS_JOURNAL=/tmp/verify_ms_journal.jsonl
+rm -f "$MS_JOURNAL" "$MS_JOURNAL.s1" "$MS_JOURNAL.s2"
+SERVE_LOG=$(mktemp)
+"$ADPM_RELEASE" serve /tmp/verify_rx.dddl --port 0 --sessions 2 \
+  --journal "$MS_JOURNAL" --fsync always > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "multi-session serve never announced"; kill "$SERVE_PID"; exit 1; }
+# The same property binds in both sessions independently — each is seq 1.
+"$ADPM_RELEASE" submit "$ADDR" --designer 1 --problem analog-front-end --session s1 \
+  --assign lna-mixer.lna-gain=20 | grep -q '"t":"executed","seq":1'
+"$ADPM_RELEASE" submit "$ADDR" --designer 1 --problem analog-front-end --session s2 \
+  --assign lna-mixer.lna-gain=20 | grep -q '"t":"executed","seq":1'
+# Without --allow-create, an unknown session is a typed rejection: exit 65.
+set +e
+"$ADPM_RELEASE" submit "$ADDR" --designer 1 --problem analog-front-end --session ghost \
+  --assign lna-mixer.lna-gain=20 >/dev/null 2>&1
+GHOST_RC=$?
+set -e
+[ "$GHOST_RC" -eq 65 ] || { echo "unknown session: expected exit 65, got $GHOST_RC"; exit 1; }
+# Each session journaled exactly its own operation.
+[ "$(grep -c '"t":"jop"' "$MS_JOURNAL.s1")" -eq 1 ] || { echo "s1 journal wrong"; exit 1; }
+[ "$(grep -c '"t":"jop"' "$MS_JOURNAL.s2")" -eq 1 ] || { echo "s2 journal wrong"; exit 1; }
+"$ADPM_RELEASE" submit "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+# Both operations landed in named sessions; the default session stayed empty.
+grep -q 'session closed: 0 operations' "$SERVE_LOG" || {
+  echo "default session was not isolated"; cat "$SERVE_LOG"; exit 1; }
+rm -f "$SERVE_LOG" "$MS_JOURNAL" "$MS_JOURNAL.s1" "$MS_JOURNAL.s2" \
+      /tmp/verify_rx.dddl /tmp/verify_mini.dddl
+
+echo "==> bench_collab smoke run (multi-session load generator)"
+cargo run --release -q -p adpm-bench --bin bench_collab -- --smoke >/dev/null
+
+echo "==> results/BENCH_collab.json schema gate"
+COLLAB_JSON=results/BENCH_collab.json
+[ -f "$COLLAB_JSON" ] || { echo "$COLLAB_JSON missing — run bench_collab"; exit 1; }
+grep -q '"t":"bench_case"' "$COLLAB_JSON" || { echo "$COLLAB_JSON has no bench_case rows"; exit 1; }
+grep -q '"t":"bench_summary"' "$COLLAB_JSON" || { echo "$COLLAB_JSON has no bench_summary row"; exit 1; }
+awk '
+/"t":"bench_summary"/ {
+  seen = 1
+  if (match($0, /"clients":[0-9]+/)) clients = substr($0, RSTART + 10, RLENGTH - 10) + 0
+  if (match($0, /"sessions":[0-9]+/)) sessions = substr($0, RSTART + 11, RLENGTH - 11) + 0
+  if (clients < 100) { printf "clients %d < 100\n", clients; exit 1 }
+  if (sessions < 4) { printf "sessions %d < 4\n", sessions; exit 1 }
+  if ($0 !~ /"p99_us":[0-9]+/) { print "no p99_us in summary"; exit 1 }
+  printf "clients %d, sessions %d, p99_us present ok\n", clients, sessions
+}
+END { if (!seen) { print "no parseable bench_summary"; exit 1 } }' "$COLLAB_JSON"
 
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
