@@ -7,9 +7,14 @@
 //! Reported per session and overall: submit-latency p50/p90/p99 (µs,
 //! wall-clock around each exactly-once `submit`, reconnects included —
 //! that is what a designer at a terminal experiences), executed vs
-//! rejected verdicts, and reconnect counts. The machine-readable twin
-//! `results/BENCH_collab.json` carries one `bench_case` row per session
-//! plus one `bench_summary` row; `scripts/verify.sh` gates on its schema.
+//! rejected verdicts, and reconnect counts. The overall distribution is
+//! the [`Histogram::merge`] of the per-session histograms — exact bucket
+//! arithmetic, not an average of per-session percentiles. The server also
+//! exposes its live metrics on an ephemeral scrape port, which the bench
+//! scrapes itself to cross-check the wire exposition against its own
+//! counts. The machine-readable twin `results/BENCH_collab.json` carries
+//! one `bench_case` row per session plus one `bench_summary` row;
+//! `scripts/verify.sh` gates on its schema.
 //!
 //! Usage: `bench_collab [clients] [sessions] [ops_per_client] [seed]`
 //! (defaults 120 clients over 6 sessions, 8 ops each, seed 7), or
@@ -22,7 +27,7 @@ use adpm_collab::{
     SessionOptions, WireOp,
 };
 use adpm_core::DesignProcessManager;
-use adpm_observe::{Counter, Histogram, InMemorySink, MetricsSink};
+use adpm_observe::{parse_exposition, Counter, Histogram, InMemorySink, MetricsSink};
 use adpm_scenarios::sensing_system;
 use adpm_teamsim::SimulationConfig;
 use rand::rngs::StdRng;
@@ -127,7 +132,10 @@ fn main() {
     let server = CollabServer::bind_registry(
         default_dpm,
         0,
-        ServerOptions::default(),
+        ServerOptions {
+            metrics_addr: Some("127.0.0.1:0".parse().expect("scrape addr")),
+            ..ServerOptions::default()
+        },
         SessionOptions::default(),
         Some(factory),
         &precreate,
@@ -138,7 +146,6 @@ fn main() {
     println!("=== collaboration load: {clients} clients, {sessions} sessions, {ops_per_client} ops each (seed {seed}) ===");
     println!("(latency = wall-clock around exactly-once submit, reconnects included)\n");
 
-    let overall = Arc::new(Histogram::new());
     let per_session: Vec<Arc<Histogram>> =
         (0..sessions).map(|_| Arc::new(Histogram::new())).collect();
 
@@ -147,7 +154,6 @@ fn main() {
         .map(|i| {
             let session_idx = i % sessions;
             let session = format!("s{}", session_idx + 1);
-            let overall = overall.clone();
             let hist = per_session[session_idx].clone();
             std::thread::spawn(move || {
                 let config = ReconnectConfig {
@@ -169,7 +175,6 @@ fn main() {
                     let t0 = Instant::now();
                     let verdict = client.submit(op).expect("submit");
                     let us = t0.elapsed().as_micros() as u64;
-                    overall.record(us);
                     hist.record(us);
                     match verdict {
                         Frame::Executed { .. } => executed += 1,
@@ -191,6 +196,38 @@ fn main() {
     }
     let elapsed = started.elapsed();
     let snapshot = sink.snapshot();
+
+    // The exact overall distribution: merged per-session log₂ buckets.
+    // Percentiles over the merge equal percentiles over one histogram
+    // that had recorded every sample — no averaging of percentiles.
+    let overall = Histogram::new();
+    for hist in &per_session {
+        overall.merge(hist);
+    }
+
+    // Self-scrape: the load just generated must be visible, per session,
+    // on the plaintext metrics endpoint — the same path `adpm top` and an
+    // external scraper consume.
+    let scrape_addr = server.metrics_addr().expect("scrape listener");
+    let mut scrape_body = String::new();
+    std::io::Read::read_to_string(
+        &mut std::net::TcpStream::connect(scrape_addr).expect("connect scrape"),
+        &mut scrape_body,
+    )
+    .expect("read scrape");
+    let scraped = parse_exposition(&scrape_body);
+    let mut scraped_ops = 0u64;
+    for idx in 0..sessions {
+        let name = format!("s{}", idx + 1);
+        let counters = scraped
+            .get(&name)
+            .unwrap_or_else(|| panic!("session {name} missing from the scrape"));
+        scraped_ops += counters.get(Counter::SessionOps);
+    }
+    assert!(
+        scraped.contains_key("*"),
+        "the scrape must expose the `*` rollup"
+    );
     let _ = server.shutdown();
 
     println!(
@@ -228,10 +265,14 @@ fn main() {
         elapsed.as_secs_f64()
     );
     println!(
-        "latency: p50 {}us, p90 {}us, p99 {}us",
+        "latency (merged): p50 {}us, p90 {}us, p99 {}us",
         overall.p50(),
         overall.p90(),
         overall.p99()
+    );
+    println!(
+        "self-scrape: {} sessions exposed, {scraped_ops} session ops visible on {scrape_addr}",
+        scraped.len()
     );
     json.push(
         JsonRow::new("bench_summary", "bench_collab")
@@ -258,6 +299,12 @@ fn main() {
 
     assert_eq!(overall.count(), ops_total, "every op must be measured");
     assert!(executed > 0, "load must execute at least one operation");
+    // Reconnect churn can resubmit a duplicate cid (answered from the
+    // dedup cache), so the wire-visible count is a lower bound.
+    assert!(
+        scraped_ops >= ops_total,
+        "the scrape must account for every measured op ({scraped_ops} < {ops_total})"
+    );
     assert_eq!(
         snapshot.get(Counter::SessionsActive),
         sessions as u64 + 1,

@@ -36,7 +36,7 @@ use adpm_constraint::{
 use adpm_core::{state_fingerprint, DesignProcessManager, DpmConfig, ManagementMode};
 use adpm_dddl::{compile_source, parse, to_source, CompiledScenario};
 use adpm_observe::analyze::{analyze_trace, diff_traces, render_comparison, DiffThresholds};
-use adpm_observe::{parse_trace, InMemorySink, JsonlSink, MetricsSink, TeeSink};
+use adpm_observe::{parse_trace, Counter, InMemorySink, JsonlSink, MetricsSink, TeeSink};
 use adpm_teamsim::{run_once, run_once_with_sink, Batch, SimulationConfig};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -194,7 +194,7 @@ COMMANDS:
             [--propagation full|incremental] [--journal FILE]
             [--fsync always|never|N] [--checkpoint-every N]
             [--fault-plan PLAN] [--heartbeat-ms T] [--idle-timeout-ms T]
-            [--sessions N] [--allow-create]
+            [--sessions N] [--allow-create] [--metrics-addr HOST:PORT]
                                            host a registry of collaboration
                                            sessions over the JSONL wire
                                            protocol; prints
@@ -218,7 +218,25 @@ COMMANDS:
                                            scenario, with per-session journals
                                            FILE.s1..FILE.sN); --allow-create
                                            lets clients create further sessions
-                                           with a `create` frame
+                                           with a `create` frame.
+                                           --metrics-addr additionally serves a
+                                           plaintext per-session metrics
+                                           exposition on HOST:PORT (port 0 =
+                                           ephemeral; prints `metrics on ADDR`)
+                                           — scrape it with nc/curl
+    top     <addr> [--session NAME] [--interval MS] [--json] [--count N]
+                                           live per-session telemetry: arms the
+                                           server's `watch` stats push and
+                                           renders each report as a table
+                                           (connections, ops/s, p99 submit
+                                           latency, inbox drops, reconnects,
+                                           journal bytes) — or as raw
+                                           stats_reply JSONL with --json.
+                                           Without --session it watches every
+                                           session plus the `*` rollup (an
+                                           operator view); --count N exits
+                                           after N reports (0 = until the
+                                           server goes away)
     client  <addr> [--designer N] [--subscribe | --subscribe-all]
             [--expect-events K] [--timeout-ms T] [--fault-plan PLAN]
             [--session NAME]
@@ -642,6 +660,9 @@ pub struct ServeOptions {
     pub sessions: u32,
     /// Let clients create further named sessions with a `create` frame.
     pub allow_create: bool,
+    /// Also serve a plaintext metrics exposition on this address (the
+    /// `metrics on HOST:PORT` announce line carries the bound address).
+    pub metrics_addr: Option<std::net::SocketAddr>,
 }
 
 impl Default for ServeOptions {
@@ -658,6 +679,7 @@ impl Default for ServeOptions {
             idle_timeout_ms: 30_000,
             sessions: 0,
             allow_create: false,
+            metrics_addr: None,
         }
     }
 }
@@ -721,6 +743,7 @@ pub fn serve(
         idle_timeout: std::time::Duration::from_millis(options.idle_timeout_ms),
         fault_plan: options.fault_plan.clone(),
         allow_create: options.allow_create,
+        metrics_addr: options.metrics_addr,
         ..ServerOptions::default()
     };
     let factory: SessionFactory = {
@@ -741,6 +764,9 @@ pub fn serve(
         &precreate,
     )?;
     announce(&format!("listening on {}", server.local_addr()));
+    if let Some(addr) = server.metrics_addr() {
+        announce(&format!("metrics on {addr}"));
+    }
     let dpm = server.wait();
     let network = dpm.network();
     let bound = network
@@ -1010,6 +1036,162 @@ pub fn submit_request(
     Ok(out)
 }
 
+/// Options for [`top`].
+#[derive(Debug, Clone)]
+pub struct TopOptions {
+    /// Watch only this session (attaching to it). `None` watches every
+    /// hosted session plus the `*` rollup — the operator view a fresh
+    /// (default-session) connection is entitled to.
+    pub session: Option<String>,
+    /// Refresh interval in milliseconds.
+    pub interval_ms: u64,
+    /// Emit raw `stats_reply` frames as JSONL instead of a table.
+    pub json: bool,
+    /// Stop after this many reports; 0 keeps watching until the server
+    /// goes away.
+    pub count: u64,
+}
+
+impl Default for TopOptions {
+    fn default() -> Self {
+        TopOptions {
+            session: None,
+            interval_ms: 1000,
+            json: false,
+            count: 0,
+        }
+    }
+}
+
+/// `adpm top`: subscribe to a server's `watch` stats push and render each
+/// report as a per-session table (or as raw `stats_reply` JSONL with
+/// `--json`). Each report is handed to `emit`; ops/s is computed
+/// client-side from successive `session_ops` samples.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for connection failures, a rejected session
+/// attach, or a server-side error reply (e.g. watching all sessions from
+/// a non-operator connection).
+pub fn top(
+    addr: &str,
+    options: &TopOptions,
+    emit: &mut dyn FnMut(&str),
+) -> Result<String, CliError> {
+    let mut connection = connect_wire(addr)?;
+    if let Some(name) = &options.session {
+        expect_session(connection.request(&Frame::AttachSession { name: name.clone() })?)?;
+    }
+    let all = options.session.is_none();
+    let interval_ms = options.interval_ms.max(1);
+    connection
+        .send(&Frame::Watch { all, interval_ms })
+        .map_err(CliError::Io)?;
+    // Reports arrive at the watch cadence; allow a few missed beats
+    // before declaring the server gone.
+    let report_timeout = std::time::Duration::from_millis(interval_ms.saturating_mul(4) + 5_000);
+    let mut previous: std::collections::BTreeMap<String, (u64, std::time::Instant)> =
+        std::collections::BTreeMap::new();
+    let mut reports = 0u64;
+    loop {
+        let batch = match read_stats_batch(&mut connection, report_timeout) {
+            Ok(batch) => batch,
+            // After at least one report, a dropped connection is the
+            // server shutting down — a clean exit for a watcher.
+            Err(_) if reports > 0 => break,
+            Err(e) => return Err(e),
+        };
+        reports += 1;
+        if options.json {
+            for frame in &batch {
+                emit(frame.to_line().trim_end());
+            }
+        } else {
+            emit(&render_top_table(&batch, &mut previous));
+        }
+        if options.count != 0 && reports >= options.count {
+            break;
+        }
+    }
+    Ok(String::new())
+}
+
+/// Collects one pushed stats report: every `stats_reply` up to the
+/// terminating `end`. Event frames interleaved by a subscription are
+/// ignored; an `err` frame fails the watch.
+fn read_stats_batch(
+    connection: &mut CollabClient,
+    timeout: std::time::Duration,
+) -> Result<Vec<Frame>, CliError> {
+    let deadline = std::time::Instant::now() + timeout;
+    let mut batch = Vec::new();
+    loop {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return Err(CliError::Wire(WireError::timeout(
+                "timed out waiting for a stats report",
+            )));
+        }
+        match connection.recv(deadline - now)? {
+            None => continue,
+            Some(Frame::End) => return Ok(batch),
+            Some(reply @ Frame::StatsReply { .. }) => batch.push(reply),
+            Some(Frame::Error { message }) => {
+                return Err(CliError::Wire(WireError::protocol(message)))
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Renders one watch report as a fixed-width table. `previous` carries
+/// each session's last `session_ops` sample for the ops/s column.
+fn render_top_table(
+    batch: &[Frame],
+    previous: &mut std::collections::BTreeMap<String, (u64, std::time::Instant)>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>5} {:>8} {:>9} {:>7} {:>7} {:>11} {:>8}",
+        "SESSION", "CONN", "OPS/S", "P99(US)", "DROPS", "RECONN", "JOURNAL(B)", "EVENTS"
+    );
+    let now = std::time::Instant::now();
+    for frame in batch {
+        let Frame::StatsReply {
+            session,
+            connections,
+            counters,
+            events,
+            p99_us,
+            ..
+        } = frame
+        else {
+            continue;
+        };
+        let ops = counters.get(Counter::SessionOps);
+        let rate = match previous.insert(session.clone(), (ops, now)) {
+            None => 0.0,
+            Some((prev_ops, prev_at)) => {
+                let dt = now.duration_since(prev_at).as_secs_f64();
+                if dt > 0.0 {
+                    ops.saturating_sub(prev_ops) as f64 / dt
+                } else {
+                    0.0
+                }
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{session:<16} {connections:>5} {rate:>8.1} {p99_us:>9} {:>7} {:>7} {:>11} {events:>8}",
+            counters.get(Counter::InboxDropped),
+            counters.get(Counter::Reconnects),
+            counters.get(Counter::JournalBytes),
+        );
+    }
+    out
+}
+
 /// Parses and dispatches a full argument vector (without the program
 /// name). Returns the text to print.
 ///
@@ -1130,6 +1312,18 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             let rest: Vec<String> = it.cloned().collect();
             let (designer, problem, session, action) = parse_submit_options(&rest)?;
             submit_request(addr, designer, problem.as_deref(), session.as_deref(), &action)
+        }
+        "top" => {
+            let addr = it
+                .next()
+                .ok_or_else(|| CliError::Usage("top needs a server address".into()))?;
+            let rest: Vec<String> = it.cloned().collect();
+            let options = parse_top_options(&rest)?;
+            top(addr, &options, &mut |report| {
+                use std::io::Write as _;
+                println!("{report}");
+                let _ = std::io::stdout().flush();
+            })
         }
         "check" | "fmt" | "run" | "compare" | "explain" => {
             let path = it
@@ -1340,6 +1534,31 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
                 })?;
             }
             "--allow-create" => options.allow_create = true,
+            "--metrics-addr" => options.metrics_addr = Some(parse_addr(&value(&mut it)?)?),
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_top_options(args: &[String]) -> Result<TopOptions, CliError> {
+    let mut options = TopOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        let number = |v: String| {
+            v.parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("{flag} expects a number, got `{v}`")))
+        };
+        match flag.as_str() {
+            "--session" => options.session = Some(value(&mut it)?),
+            "--interval" => options.interval_ms = number(value(&mut it)?)?,
+            "--json" => options.json = true,
+            "--count" => options.count = number(value(&mut it)?)?,
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -2191,6 +2410,154 @@ mod tests {
             }
         };
         (addr, line_rx, server)
+    }
+
+    #[test]
+    fn top_json_reports_per_session_counters_over_loopback() {
+        let (addr, _lines, server) = spawn_serve(ServeOptions {
+            sessions: 3,
+            ..ServeOptions::default()
+        });
+        // One operation in s1, two in s2, none in s3.
+        for (designer, problem, session, property, value) in [
+            (0, "fe", "s1", "rx.P-front", 150.0),
+            (0, "fe", "s2", "rx.P-front", 100.0),
+            (1, "de", "s2", "rx.P-ser", 50.0),
+        ] {
+            submit_request(
+                &addr,
+                designer,
+                Some(problem),
+                Some(session),
+                &SubmitAction::Assign {
+                    property: property.into(),
+                    value,
+                },
+            )
+            .expect("submit");
+        }
+        let mut lines: Vec<String> = Vec::new();
+        top(
+            &addr,
+            &TopOptions {
+                json: true,
+                count: 1,
+                interval_ms: 50,
+                ..TopOptions::default()
+            },
+            &mut |line| lines.push(line.to_owned()),
+        )
+        .expect("top");
+        let mut ops = std::collections::BTreeMap::new();
+        for line in &lines {
+            let frame = Frame::parse_line(&format!("{line}\n")).expect("stats_reply parses");
+            let Frame::StatsReply {
+                session, counters, ..
+            } = frame
+            else {
+                panic!("expected stats_reply, got {line}");
+            };
+            ops.insert(session, counters.get(Counter::SessionOps));
+        }
+        let sessions: Vec<&str> = ops.keys().map(String::as_str).collect();
+        assert_eq!(sessions, vec!["*", "default", "s1", "s2", "s3"]);
+        assert_eq!(ops["s1"], 1);
+        assert_eq!(ops["s2"], 2);
+        assert_eq!(ops["s3"], 0);
+        assert!(ops["*"] >= 3, "the rollup aggregates every session");
+        submit_request(&addr, 0, None, None, &SubmitAction::Shutdown).expect("shutdown");
+        server.join().expect("join").expect("serve returns");
+    }
+
+    #[test]
+    fn serve_announces_and_serves_the_metrics_exposition() {
+        let (addr, lines, server) = spawn_serve(ServeOptions {
+            metrics_addr: Some("127.0.0.1:0".parse().expect("addr")),
+            ..ServeOptions::default()
+        });
+        // `metrics on` is announced right after `listening on`, which
+        // spawn_serve already consumed.
+        let metrics = loop {
+            let line = lines
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("metrics announce");
+            if let Some(a) = line.strip_prefix("metrics on ") {
+                break a.to_owned();
+            }
+        };
+        submit_request(
+            &addr,
+            0,
+            Some("fe"),
+            None,
+            &SubmitAction::Assign {
+                property: "rx.P-front".into(),
+                value: 150.0,
+            },
+        )
+        .expect("submit");
+        let mut body = String::new();
+        let mut scrape = std::net::TcpStream::connect(&metrics).expect("connect scrape");
+        std::io::Read::read_to_string(&mut scrape, &mut body).expect("read scrape");
+        let parsed = adpm_observe::parse_exposition(&body);
+        assert_eq!(parsed["default"].get(Counter::SessionOps), 1, "{body}");
+        assert!(parsed.contains_key("*"), "the rollup is exposed");
+        submit_request(&addr, 0, None, None, &SubmitAction::Shutdown).expect("shutdown");
+        server.join().expect("join").expect("serve returns");
+    }
+
+    #[test]
+    fn top_option_parsing() {
+        let options = parse_top_options(&[
+            "--session".into(),
+            "s1".into(),
+            "--interval".into(),
+            "250".into(),
+            "--json".into(),
+            "--count".into(),
+            "3".into(),
+        ])
+        .expect("valid options");
+        assert_eq!(options.session.as_deref(), Some("s1"));
+        assert_eq!(options.interval_ms, 250);
+        assert!(options.json);
+        assert_eq!(options.count, 3);
+        assert!(parse_top_options(&["--bogus".into()]).is_err());
+        let defaults = parse_top_options(&[]).expect("empty is fine");
+        assert_eq!(defaults.interval_ms, 1000);
+        assert_eq!(defaults.count, 0);
+    }
+
+    #[test]
+    fn top_table_renders_per_session_rows() {
+        use adpm_observe::CounterSnapshot;
+        let reply = Frame::StatsReply {
+            session: "default".into(),
+            connections: 2,
+            watch: true,
+            counters: CounterSnapshot::from_fn(|c| match c {
+                Counter::SessionOps => 10,
+                Counter::InboxDropped => 3,
+                Counter::JournalBytes => 4096,
+                _ => 0,
+            }),
+            events: 7,
+            p50_us: 10,
+            p90_us: 20,
+            p99_us: 30,
+        };
+        let mut previous = std::collections::BTreeMap::new();
+        let table = render_top_table(std::slice::from_ref(&reply), &mut previous);
+        let header = table.lines().next().expect("header");
+        for column in ["SESSION", "CONN", "OPS/S", "P99(US)", "DROPS", "JOURNAL(B)"] {
+            assert!(header.contains(column), "{header}");
+        }
+        let row = table.lines().nth(1).expect("row");
+        for cell in ["default", "2", "30", "3", "4096", "7"] {
+            assert!(row.contains(cell), "{row}");
+        }
+        // The first sample has no predecessor: rate renders as 0.0.
+        assert!(row.contains("0.0"), "{row}");
     }
 
     #[test]

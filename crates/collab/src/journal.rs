@@ -466,6 +466,19 @@ impl JournalWriter {
         Ok(writer)
     }
 
+    /// Test seam: wraps an already-open file handle without writing the
+    /// `jmeta` header. Handing in a read-only handle makes every append
+    /// fail deterministically — how the degradation path is exercised.
+    #[cfg(test)]
+    pub(crate) fn from_file_for_tests(file: File, config: JournalConfig) -> JournalWriter {
+        JournalWriter {
+            file,
+            config,
+            appended: 0,
+            unsynced: 0,
+        }
+    }
+
     fn write_line(&mut self, line: &str, sink: &dyn MetricsSink) -> std::io::Result<()> {
         self.file.write_all(line.as_bytes())?;
         sink.incr(Counter::JournalBytes, line.len() as u64);

@@ -56,7 +56,10 @@ use crate::session::{
 use crate::wire::{BufferedLine, Frame, LineBuffer, WireOp};
 use adpm_constraint::{ConstraintId, PropertyId};
 use adpm_core::{DesignProcessManager, DesignerId, Event, Operation, Operator, ProblemId};
-use adpm_observe::{Counter, MetricsSink, TraceEvent};
+use adpm_observe::{
+    write_exposition, Counter, FlightRecorder, MetricsHub, MetricsSink, Snapshot, SpanKind,
+    TeeSink, TraceEvent, ROLLUP_SESSION,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -75,6 +78,10 @@ const READ_POLL: Duration = Duration::from_millis(25);
 /// Backoff after an `accept(2)` error. Persistent failures (e.g. EMFILE)
 /// otherwise turn the accept loop into a 100% CPU spin.
 const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
+
+/// How often the (non-blocking) scrape listener polls for a connection
+/// and for the stop flag.
+const SCRAPE_POLL: Duration = Duration::from_millis(25);
 
 /// Name of the session every connection starts bound to. It always exists:
 /// [`CollabServer::bind`] seeds it from the DPM it is given.
@@ -95,6 +102,10 @@ pub struct ServerOptions {
     /// not exist yet (it needs a [`SessionFactory`] to do so). `create` on
     /// an existing name is an idempotent attach regardless of this flag.
     pub allow_create: bool,
+    /// Additionally serve a plaintext metrics exposition on this address:
+    /// each accepted connection gets the full per-session scrape body (see
+    /// [`write_exposition`]) and is closed. `None` disables the listener.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl Default for ServerOptions {
@@ -105,6 +116,7 @@ impl Default for ServerOptions {
             write_deadline: Duration::from_secs(5),
             fault_plan: None,
             allow_create: false,
+            metrics_addr: None,
         }
     }
 }
@@ -230,11 +242,12 @@ impl NameMaps {
 pub type SessionFactory =
     Box<dyn Fn(&str) -> io::Result<(DesignProcessManager, SessionOptions)> + Send + Sync>;
 
-/// One hosted session: its engine plus the name tables snapshot shared by
-/// every connection bound to it.
+/// One hosted session: its engine, the name tables snapshot shared by
+/// every connection bound to it, and its flight recorder.
 struct SessionSlot {
     engine: SessionEngine,
     names: Arc<NameMaps>,
+    recorder: Arc<FlightRecorder>,
 }
 
 /// The registry of named sessions a [`CollabServer`] hosts.
@@ -242,7 +255,19 @@ struct Registry {
     slots: Mutex<BTreeMap<String, SessionSlot>>,
     factory: Option<SessionFactory>,
     allow_create: bool,
+    /// Server-level counters (accept errors, session churn, wire skips):
+    /// the caller's sink teed with the hub rollup.
     sink: Arc<dyn MetricsSink>,
+    /// The caller's original sink, before any telemetry tee — the base
+    /// every per-session tee is built on.
+    base: Arc<dyn MetricsSink>,
+    /// Per-session telemetry: one [`InMemorySink`](adpm_observe::InMemorySink)
+    /// per hosted session plus a server-wide rollup, all fed off the hot
+    /// path by the per-session sink tees.
+    hub: Arc<MetricsHub>,
+    /// Which session each live connection is currently bound to, by
+    /// connection index — the source of `stats_reply.connections`.
+    conn_sessions: Mutex<BTreeMap<u64, String>>,
 }
 
 /// Session names double as journal-path suffixes, so keep them to a
@@ -266,12 +291,42 @@ fn validate_session_name(name: &str) -> Result<(), String> {
 }
 
 impl Registry {
-    /// Spawns an engine for `dpm` and registers it under `name`.
-    fn insert(&self, name: &str, dpm: DesignProcessManager, session: SessionOptions) {
+    /// Wires a session's telemetry and spawns its engine: the DPM's sink
+    /// becomes a tee of the caller's base sink, the hub rollup, the
+    /// session's own hub entry, and a fresh flight recorder (which the
+    /// engine also dumps on panic). None of this touches the submit path
+    /// beyond the counter increments the session already makes.
+    fn build_slot(
+        &self,
+        name: &str,
+        mut dpm: DesignProcessManager,
+        mut session: SessionOptions,
+    ) -> SessionSlot {
+        let recorder = Arc::new(FlightRecorder::default());
+        let children: Vec<Arc<dyn MetricsSink>> = vec![
+            self.base.clone(),
+            self.hub.rollup(),
+            self.hub.register(name),
+            recorder.clone(),
+        ];
+        dpm.set_sink(Arc::new(TeeSink::new(children)));
+        if session.recorder.is_none() {
+            session.recorder = Some(recorder.clone());
+        }
         let names = Arc::new(NameMaps::build(&dpm));
         let engine = SessionEngine::spawn_with(dpm, session);
-        lock(&self.slots).insert(name.to_owned(), SessionSlot { engine, names });
         self.sink.incr(Counter::SessionsActive, 1);
+        SessionSlot {
+            engine,
+            names,
+            recorder,
+        }
+    }
+
+    /// Spawns an engine for `dpm` and registers it under `name`.
+    fn insert(&self, name: &str, dpm: DesignProcessManager, session: SessionOptions) {
+        let slot = self.build_slot(name, dpm, session);
+        lock(&self.slots).insert(name.to_owned(), slot);
     }
 
     /// The session every connection starts in.
@@ -315,14 +370,12 @@ impl Registry {
         };
         // The factory runs while we hold the slots lock: a concurrent
         // create of the same name waits here and then finds the slot.
-        let (mut dpm, session) = factory(name)
+        let (dpm, session) = factory(name)
             .map_err(|e| reject(format!("could not create session `{name}`: {e}")))?;
-        dpm.set_sink(self.sink.clone());
-        let names = Arc::new(NameMaps::build(&dpm));
-        let engine = SessionEngine::spawn_with(dpm, session);
-        let handle = engine.handle();
-        slots.insert(name.to_owned(), SessionSlot { engine, names: names.clone() });
-        self.sink.incr(Counter::SessionsActive, 1);
+        let slot = self.build_slot(name, dpm, session);
+        let handle = slot.engine.handle();
+        let names = slot.names.clone();
+        slots.insert(name.to_owned(), slot);
         self.sink.incr(Counter::SessionsCreated, 1);
         Ok((handle, names, true))
     }
@@ -332,6 +385,72 @@ impl Registry {
         let slots = lock(&self.slots);
         let names: Vec<&str> = slots.keys().map(String::as_str).collect();
         (names.join(","), names.len() as u32)
+    }
+
+    /// The flight recorder of a hosted session, if the session exists.
+    fn recorder(&self, name: &str) -> Option<Arc<FlightRecorder>> {
+        lock(&self.slots).get(name).map(|slot| slot.recorder.clone())
+    }
+
+    /// One `stats_reply` frame for one session snapshot. Submit-latency
+    /// percentiles come from the `session` span the engine times around
+    /// every command.
+    fn stats_reply(name: &str, snapshot: &Snapshot, connections: u32, watch: bool) -> Frame {
+        let span = snapshot.span(SpanKind::Session);
+        Frame::StatsReply {
+            session: name.to_owned(),
+            connections,
+            watch,
+            counters: snapshot.counters,
+            events: snapshot.events,
+            p50_us: span.p50,
+            p90_us: span.p90,
+            p99_us: span.p99,
+        }
+    }
+
+    /// The `stats_reply` frames for one report: the attached session's
+    /// alone, or (with `all`) every hosted session plus the `*` rollup.
+    /// The terminating `end` frame is the caller's to write.
+    fn stats_report(&self, session: &str, all: bool, watch: bool) -> Vec<Frame> {
+        let connections: BTreeMap<String, u32> = {
+            let conns = lock(&self.conn_sessions);
+            let mut counts = BTreeMap::new();
+            for name in conns.values() {
+                *counts.entry(name.clone()).or_insert(0u32) += 1;
+            }
+            counts
+        };
+        let conns_for = |name: &str| connections.get(name).copied().unwrap_or(0);
+        if all {
+            let mut frames: Vec<Frame> = self
+                .hub
+                .snapshot_all()
+                .iter()
+                .map(|(name, snapshot)| {
+                    Registry::stats_reply(name, snapshot, conns_for(name), watch)
+                })
+                .collect();
+            frames.push(Registry::stats_reply(
+                ROLLUP_SESSION,
+                &self.hub.rollup_snapshot(),
+                connections.values().sum(),
+                watch,
+            ));
+            frames
+        } else {
+            match self.hub.snapshot(session) {
+                Some(snapshot) => {
+                    vec![Registry::stats_reply(
+                        session,
+                        &snapshot,
+                        conns_for(session),
+                        watch,
+                    )]
+                }
+                None => Vec::new(),
+            }
+        }
     }
 }
 
@@ -344,8 +463,10 @@ impl Registry {
 /// inspect or persist the end state.
 pub struct CollabServer {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     registry: Arc<Registry>,
     accept_thread: Option<thread::JoinHandle<()>>,
+    metrics_thread: Option<thread::JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
     conn_streams: Arc<Mutex<BTreeMap<u64, TcpStream>>>,
     stop: Arc<AtomicBool>,
@@ -405,12 +526,20 @@ impl CollabServer {
         factory: Option<SessionFactory>,
         precreate: &[String],
     ) -> io::Result<CollabServer> {
-        let sink = dpm.metrics_sink().clone();
+        let base = dpm.metrics_sink().clone();
+        let hub = Arc::new(MetricsHub::new());
+        // Server-level counters also land in the hub rollup, so a scrape
+        // of `*` sees accept errors and wire skips alongside session work.
+        let sink: Arc<dyn MetricsSink> =
+            Arc::new(TeeSink::new(vec![base.clone(), hub.rollup()]));
         let registry = Arc::new(Registry {
             slots: Mutex::new(BTreeMap::new()),
             factory,
             allow_create: options.allow_create,
             sink: sink.clone(),
+            base,
+            hub: hub.clone(),
+            conn_sessions: Mutex::new(BTreeMap::new()),
         });
         registry.insert(DEFAULT_SESSION, dpm, session);
         for name in precreate {
@@ -422,14 +551,28 @@ impl CollabServer {
             let factory = registry.factory.as_ref().ok_or_else(|| {
                 invalid("pre-creating sessions requires a session factory".into())
             })?;
-            let (mut session_dpm, session_options) = factory(name)?;
-            session_dpm.set_sink(sink.clone());
+            let (session_dpm, session_options) = factory(name)?;
             registry.insert(name, session_dpm, session_options);
         }
-        let options = Arc::new(options);
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let (metrics_addr, metrics_thread) = match options.metrics_addr {
+            None => (None, None),
+            Some(scrape_addr) => {
+                let scrape = TcpListener::bind(scrape_addr)?;
+                scrape.set_nonblocking(true)?;
+                let bound = scrape.local_addr()?;
+                let hub = hub.clone();
+                let stop = stop.clone();
+                let worker = thread::Builder::new()
+                    .name("adpm-metrics".into())
+                    .spawn(move || serve_scrapes(&scrape, &hub, &stop))
+                    .expect("spawn metrics thread");
+                (Some(bound), Some(worker))
+            }
+        };
+        let options = Arc::new(options);
         let shutdown_signal = Arc::new((Mutex::new(false), Condvar::new()));
         let conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -500,8 +643,10 @@ impl CollabServer {
         };
         Ok(CollabServer {
             addr,
+            metrics_addr,
             registry,
             accept_thread: Some(accept_thread),
+            metrics_thread,
             conn_threads,
             conn_streams,
             stop,
@@ -512,6 +657,23 @@ impl CollabServer {
     /// The bound address, e.g. `127.0.0.1:41873`.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound address of the plaintext metrics scrape listener, when
+    /// [`ServerOptions::metrics_addr`] asked for one.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The per-session metrics hub the server feeds — for in-process
+    /// reconciliation against what `stats` frames and scrapes report.
+    pub fn metrics_hub(&self) -> Arc<MetricsHub> {
+        self.registry.hub.clone()
+    }
+
+    /// The flight recorder of a hosted session, if the session exists.
+    pub fn flight_recorder(&self, name: &str) -> Option<Arc<FlightRecorder>> {
+        self.registry.recorder(name)
     }
 
     /// A handle onto the hosted *default* session, for in-process
@@ -562,6 +724,10 @@ impl CollabServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // The scrape listener is non-blocking and polls the stop flag.
+        if let Some(t) = self.metrics_thread.take() {
+            let _ = t.join();
+        }
         // Unblock connection readers; their clients are done either way.
         for (_, stream) in std::mem::take(&mut *lock(&self.conn_streams)) {
             let _ = stream.shutdown(NetShutdown::Both);
@@ -585,6 +751,28 @@ impl CollabServer {
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The plaintext scrape loop: accept, write one exposition body covering
+/// every hosted session plus the `*` rollup, close. The listener is
+/// non-blocking so the loop can poll `stop` without a wakeup connection.
+fn serve_scrapes(listener: &TcpListener, hub: &MetricsHub, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let mut body = String::new();
+                for (name, snapshot) in hub.snapshot_all() {
+                    write_exposition(&mut body, &name, &snapshot);
+                }
+                write_exposition(&mut body, ROLLUP_SESSION, &hub.rollup_snapshot());
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                let _ = stream.write_all(body.as_bytes());
+                let _ = stream.shutdown(NetShutdown::Both);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(SCRAPE_POLL),
+            Err(_) => thread::sleep(ACCEPT_ERROR_BACKOFF),
+        }
+    }
 }
 
 /// The write half of one connection: the socket plus the optional fault
@@ -677,6 +865,12 @@ fn serve_connection(
         lock(&streams).remove(&conn_index);
         return;
     };
+    // Which session this connection is bound to — feeds the per-session
+    // connection counts in `stats_reply` and scopes `stats`/`dump`.
+    let mut session_name: String = DEFAULT_SESSION.to_owned();
+    lock(&registry.conn_sessions).insert(conn_index, session_name.clone());
+    // Armed by a `watch` frame: push a stats report every interval.
+    let mut watch_state: Option<(bool, Duration, Instant)> = None;
     let _ = read_half.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_write_timeout(Some(options.write_deadline));
     let injector = options
@@ -742,6 +936,21 @@ fn serve_connection(
                                 break 'conn;
                             }
                             pending_ping = Some(now);
+                        }
+                        // A quiet read poll is also the watch tick: push a
+                        // stats report when the armed interval has elapsed.
+                        if let Some((all, interval, last_push)) = watch_state.as_mut() {
+                            if last_push.elapsed() >= *interval {
+                                *last_push = Instant::now();
+                                let mut frames =
+                                    registry.stats_report(&session_name, *all, true);
+                                frames.push(Frame::End);
+                                for frame in &frames {
+                                    if write_frame(&writer, frame).is_err() {
+                                        break 'conn;
+                                    }
+                                }
+                            }
                         }
                     }
                     Err(_) => break 'conn,
@@ -858,6 +1067,8 @@ fn serve_connection(
                         &mut designer,
                         &mut subscription,
                     );
+                    session_name = name.clone();
+                    lock(&registry.conn_sessions).insert(conn_index, session_name.clone());
                     Frame::SessionAttached { name, created }
                 }
             },
@@ -872,6 +1083,8 @@ fn serve_connection(
                         &mut designer,
                         &mut subscription,
                     );
+                    session_name = name.clone();
+                    lock(&registry.conn_sessions).insert(conn_index, session_name.clone());
                     Frame::SessionAttached { name, created: false }
                 }
             },
@@ -885,6 +1098,8 @@ fn serve_connection(
                     &mut designer,
                     &mut subscription,
                 );
+                session_name = DEFAULT_SESSION.to_owned();
+                lock(&registry.conn_sessions).insert(conn_index, session_name.clone());
                 Frame::SessionAttached {
                     name: DEFAULT_SESSION.into(),
                     created: false,
@@ -894,6 +1109,71 @@ fn serve_connection(
                 let (names, count) = registry.list();
                 Frame::SessionList { names, count }
             }
+            Frame::Stats { all } => {
+                if all && session_name != DEFAULT_SESSION {
+                    Frame::Error {
+                        message: "`stats` across all sessions requires the default (operator) \
+                                  session"
+                            .into(),
+                    }
+                } else {
+                    for frame in registry.stats_report(&session_name, all, false) {
+                        if write_frame(&writer, &frame).is_err() {
+                            break 'conn;
+                        }
+                    }
+                    Frame::End
+                }
+            }
+            Frame::Watch { all, interval_ms } => {
+                if all && session_name != DEFAULT_SESSION {
+                    Frame::Error {
+                        message: "`watch` across all sessions requires the default (operator) \
+                                  session"
+                            .into(),
+                    }
+                } else if interval_ms == 0 {
+                    // Interval zero disarms; `end` acknowledges it.
+                    watch_state = None;
+                    Frame::End
+                } else {
+                    watch_state = Some((
+                        all,
+                        Duration::from_millis(interval_ms),
+                        Instant::now(),
+                    ));
+                    // Push the first report immediately so a watcher does
+                    // not sit blind for a whole interval.
+                    for frame in registry.stats_report(&session_name, all, true) {
+                        if write_frame(&writer, &frame).is_err() {
+                            break 'conn;
+                        }
+                    }
+                    Frame::End
+                }
+            }
+            Frame::Dump => match registry.recorder(&session_name) {
+                None => Frame::Error {
+                    message: format!("session `{session_name}` is gone"),
+                },
+                Some(recorder) => {
+                    let lines = recorder.dump_indexed();
+                    let header = Frame::DumpReply {
+                        session: session_name.clone(),
+                        count: lines.len() as u32,
+                        recorded: recorder.recorded(),
+                    };
+                    if write_frame(&writer, &header).is_err() {
+                        break 'conn;
+                    }
+                    for (idx, line) in lines {
+                        if write_frame(&writer, &Frame::Flight { idx, line }).is_err() {
+                            break 'conn;
+                        }
+                    }
+                    Frame::End
+                }
+            },
             // Response-only frames arriving from a client are protocol
             // misuse, but harmless: name them and carry on.
             other => Frame::Error {
@@ -919,6 +1199,7 @@ fn serve_connection(
     // deregister the clone so churn cannot accumulate dead streams.
     let _ = read_half.shutdown(NetShutdown::Both);
     lock(&streams).remove(&conn_index);
+    lock(&registry.conn_sessions).remove(&conn_index);
 }
 
 fn subscribe(
@@ -1705,5 +1986,191 @@ mod tests {
         assert_eq!(seq2, seq);
         let dpm = server.shutdown();
         assert_eq!(dpm.history().len(), 1, "the operation ran exactly once");
+    }
+
+    /// Sends `frame` and collects every reply frame up to (excluding) the
+    /// terminating `end`.
+    fn read_batch(client: &mut CollabClient, frame: &Frame) -> Vec<Frame> {
+        client.send(frame).expect("send");
+        recv_batch(client)
+    }
+
+    fn recv_batch(client: &mut CollabClient) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            match client.recv(Duration::from_millis(100)).expect("recv") {
+                Some(Frame::End) => return frames,
+                Some(frame) => frames.push(frame),
+                None => {}
+            }
+        }
+        panic!("no `end` frame arrived; got {frames:?}");
+    }
+
+    #[test]
+    fn stats_one_shot_reports_session_counters() {
+        let server = serve_sensing();
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        client.request(&Frame::Hello { designer: 1 }).expect("hello");
+        assert!(matches!(assign_s_area(&mut client, 4.0), Frame::Executed { .. }));
+        assert!(matches!(assign_s_area(&mut client, 5.0), Frame::Executed { .. }));
+        let frames = read_batch(&mut client, &Frame::Stats { all: false });
+        assert_eq!(frames.len(), 1, "one attached session, one reply: {frames:?}");
+        let Frame::StatsReply {
+            session,
+            connections,
+            watch,
+            counters,
+            events,
+            p50_us,
+            p99_us,
+            ..
+        } = &frames[0]
+        else {
+            panic!("expected stats_reply, got {:?}", frames[0]);
+        };
+        assert_eq!(session, DEFAULT_SESSION);
+        assert_eq!(*connections, 1);
+        assert!(!watch);
+        assert_eq!(counters.get(Counter::SessionOps), 2);
+        assert!(counters.get(Counter::Operations) >= 2);
+        assert!(*events > 0, "session commands emit trace events");
+        assert!(p99_us >= p50_us);
+        // The wire-reported counters reconcile with the server's own hub.
+        let hub_snapshot = server.metrics_hub().snapshot(DEFAULT_SESSION).expect("hub entry");
+        assert_eq!(*counters, hub_snapshot.counters);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_all_scope_is_an_operator_privilege() {
+        let server = serve_multi(false, &["s1"]);
+        let addr = server.local_addr();
+
+        // Attached to a named session: own stats fine, `all` rejected.
+        let mut member = CollabClient::connect(addr).expect("connect");
+        let attached = member
+            .request(&Frame::AttachSession { name: "s1".into() })
+            .expect("attach");
+        assert!(matches!(attached, Frame::SessionAttached { .. }));
+        let denied = member.request(&Frame::Stats { all: true }).expect("reply");
+        assert!(
+            matches!(denied, Frame::Error { .. }),
+            "expected a privilege error, got {denied:?}"
+        );
+        let own = read_batch(&mut member, &Frame::Stats { all: false });
+        assert_eq!(own.len(), 1);
+        assert!(
+            matches!(&own[0], Frame::StatsReply { session, connections, .. }
+                if session == "s1" && *connections == 1)
+        );
+
+        // Attached to the default session: `all` covers every session
+        // plus the rollup.
+        let mut operator = CollabClient::connect(addr).expect("connect");
+        let frames = read_batch(&mut operator, &Frame::Stats { all: true });
+        let sessions: Vec<&str> = frames
+            .iter()
+            .map(|f| match f {
+                Frame::StatsReply { session, .. } => session.as_str(),
+                other => panic!("expected stats_reply, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(sessions, vec!["default", "s1", ROLLUP_SESSION]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn watch_pushes_periodic_reports_until_disarmed() {
+        let server = serve_sensing();
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        client.request(&Frame::Hello { designer: 0 }).expect("hello");
+        // Arming pushes an immediate first report...
+        let first = read_batch(&mut client, &Frame::Watch { all: false, interval_ms: 30 });
+        assert_eq!(first.len(), 1);
+        assert!(
+            matches!(&first[0], Frame::StatsReply { watch: true, .. }),
+            "watch reports carry the watch flag: {:?}",
+            first[0]
+        );
+        // ...and further reports keep arriving without another request.
+        let second = recv_batch(&mut client);
+        assert!(
+            matches!(&second[0], Frame::StatsReply { watch: true, .. }),
+            "expected a pushed report, got {second:?}"
+        );
+        // Interval zero disarms; the `end` acknowledges it.
+        client
+            .send(&Frame::Watch { all: false, interval_ms: 0 })
+            .expect("disarm");
+        recv_batch(&mut client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dump_streams_the_flight_recorder() {
+        let server = serve_sensing();
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        client.request(&Frame::Hello { designer: 1 }).expect("hello");
+        assert!(matches!(assign_s_area(&mut client, 4.0), Frame::Executed { .. }));
+        let frames = read_batch(&mut client, &Frame::Dump);
+        let Frame::DumpReply {
+            session,
+            count,
+            recorded,
+        } = &frames[0]
+        else {
+            panic!("expected dump_reply, got {:?}", frames[0]);
+        };
+        assert_eq!(session, DEFAULT_SESSION);
+        assert!(*count > 0, "the submit left trace events in the ring");
+        assert!(*recorded >= u64::from(*count));
+        assert_eq!(frames.len(), 1 + *count as usize);
+        let mut last_idx = 0;
+        for frame in &frames[1..] {
+            let Frame::Flight { idx, line } = frame else {
+                panic!("expected flight, got {frame:?}");
+            };
+            assert!(*idx > last_idx, "flight events arrive oldest-first");
+            last_idx = *idx;
+            assert!(line.contains("\"t\":"), "ring lines are trace JSON: {line}");
+        }
+        // The in-process accessor sees the same ring (which may have
+        // grown since the dump — the session keeps recording).
+        let recorder = server.flight_recorder(DEFAULT_SESSION).expect("recorder");
+        assert!(recorder.len() >= *count as usize);
+        server.shutdown();
+    }
+
+    #[test]
+    fn scrape_listener_serves_a_parseable_exposition() {
+        let options = ServerOptions {
+            metrics_addr: Some("127.0.0.1:0".parse().expect("addr")),
+            ..ServerOptions::default()
+        };
+        let server =
+            CollabServer::bind_with(sensing_dpm(), 0, options, SessionOptions::default())
+                .expect("bind");
+        let scrape_addr = server.metrics_addr().expect("metrics listener");
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        client.request(&Frame::Hello { designer: 1 }).expect("hello");
+        assert!(matches!(assign_s_area(&mut client, 4.0), Frame::Executed { .. }));
+
+        let mut body = String::new();
+        let mut scrape = TcpStream::connect(scrape_addr).expect("connect scrape");
+        scrape.read_to_string(&mut body).expect("read scrape");
+        let parsed = adpm_observe::parse_exposition(&body);
+        assert!(parsed.contains_key(DEFAULT_SESSION), "sessions are labeled");
+        assert!(parsed.contains_key(ROLLUP_SESSION), "the rollup is labeled `*`");
+        assert_eq!(parsed[DEFAULT_SESSION].get(Counter::SessionOps), 1);
+        assert!(
+            parsed[ROLLUP_SESSION].get(Counter::SessionOps)
+                >= parsed[DEFAULT_SESSION].get(Counter::SessionOps)
+        );
+        // The scrape reconciles with the hub the server feeds.
+        let hub_snapshot = server.metrics_hub().snapshot(DEFAULT_SESSION).expect("hub");
+        assert_eq!(parsed[DEFAULT_SESSION], hub_snapshot.counters);
+        server.shutdown();
     }
 }

@@ -21,10 +21,11 @@ use crate::journal::JournalWriter;
 use crate::notify::{Inbox, InboxEntry, InterestSet};
 use adpm_core::{DesignProcessManager, DesignerId, Operation, OperationError, OperationRecord};
 use adpm_constraint::NetworkError;
-use adpm_observe::{Counter, MetricsSink, SpanKind, TraceEvent};
+use adpm_observe::{Counter, FlightRecorder, MetricsSink, SpanKind, TraceEvent};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -323,6 +324,11 @@ pub struct SessionOptions {
     /// Journal every executed operation through this writer (opened by the
     /// caller, possibly resumed after a [`recover`](crate::journal::recover)).
     pub journal: Option<JournalWriter>,
+    /// Flight recorder to dump to stderr if the session thread panics —
+    /// the last events before the incident, even on an untraced server.
+    /// The caller normally also tees the same recorder into the DPM's
+    /// sink so it actually sees the session's events.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// A running collaboration session: the command-loop thread plus a
@@ -346,13 +352,38 @@ impl SessionEngine {
         SessionEngine::spawn_with(dpm, SessionOptions::default())
     }
 
-    /// [`spawn`](SessionEngine::spawn) with extras — currently an
-    /// operation journal for durability.
+    /// [`spawn`](SessionEngine::spawn) with extras — an operation journal
+    /// for durability and/or a flight recorder for post-incident dumps.
     pub fn spawn_with(dpm: DesignProcessManager, options: SessionOptions) -> Self {
         let (tx, rx) = mpsc::channel::<Command>();
+        let recorder = options.recorder.clone();
         let thread = std::thread::Builder::new()
             .name("adpm-session".into())
-            .spawn(move || session_loop(dpm, rx, options))
+            .spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    session_loop(dpm, rx, options)
+                }));
+                match result {
+                    Ok(dpm) => dpm,
+                    Err(payload) => {
+                        // The engine is going down with state we cannot
+                        // save — but the flight recorder still holds the
+                        // last events; dump them while we can.
+                        if let Some(recorder) = &recorder {
+                            eprintln!(
+                                "adpm: session thread panicked; flight recorder \
+                                 ({} of {} events retained):",
+                                recorder.len(),
+                                recorder.recorded()
+                            );
+                            for (idx, line) in recorder.dump_indexed() {
+                                eprintln!("adpm:   [{idx}] {line}");
+                            }
+                        }
+                        std::panic::resume_unwind(payload)
+                    }
+                }
+            })
             .expect("spawn session thread");
         SessionEngine {
             handle: SessionHandle { tx },
@@ -561,6 +592,11 @@ fn execute_submission(
                     // permissions yanked) stops journaling, not the session.
                     eprintln!("adpm: journal append failed, journaling disabled: {error}");
                     *journal = None;
+                    // A dying disk suggests the process may not reach a
+                    // clean shutdown either — make the telemetry recorded
+                    // so far durable now, or a traced server loses its
+                    // final counters line with it.
+                    dpm.metrics_sink().flush();
                 }
             }
             fan_out(dpm, subscriptions, logs, record.sequence as u64);
@@ -876,6 +912,78 @@ mod tests {
         drop(engine);
         // The thread is gone: the handle errors instead of hanging.
         assert!(handle.snapshot().is_err());
+    }
+
+    /// Regression: the journal-degradation path must flush the trace sink,
+    /// or a traced server that hits a journal write failure silently loses
+    /// its final counters line if it later dies uncleanly.
+    #[test]
+    fn journal_degradation_flushes_the_trace_sink() {
+        use crate::journal::{FsyncPolicy, JournalConfig};
+        use adpm_observe::JsonlSink;
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let (mut dpm, pf, _) = session_fixture();
+        let buf = SharedBuf::default();
+        dpm.set_sink(Arc::new(JsonlSink::new(Box::new(buf.clone()))));
+        let d0 = dpm.designers()[0];
+        let fe = frontend_problem(&dpm);
+
+        // A journal wrapped around a read-only handle: the very first
+        // append fails, which is exactly the degradation trigger.
+        let dir = std::env::temp_dir().join(format!(
+            "adpm-session-degrade-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        std::fs::write(&path, b"").unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let writer = JournalWriter::from_file_for_tests(
+            file,
+            JournalConfig {
+                path,
+                fsync: FsyncPolicy::Never,
+                checkpoint_every: 0,
+            },
+        );
+
+        let engine = SessionEngine::spawn_with(
+            dpm,
+            SessionOptions {
+                journal: Some(writer),
+                ..SessionOptions::default()
+            },
+        );
+        let handle = engine.handle();
+        let outcome = handle
+            .submit(Operation::assign(d0, fe, pf, Value::number(150.0)))
+            .expect("session alive");
+        assert!(
+            outcome.record().is_some(),
+            "degradation keeps the session serving"
+        );
+        // The counters line must be durable *now* — before any shutdown
+        // or explicit finish ever runs.
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(
+            text.lines().any(|l| l.contains("\"t\":\"counters\"")),
+            "degradation did not flush the sink; trace so far: {text}"
+        );
+        engine.shutdown();
     }
 
     #[test]

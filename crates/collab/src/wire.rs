@@ -14,7 +14,7 @@
 //! malformed or malicious peer cannot make the reader buffer without
 //! bound.
 
-use adpm_observe::{escape_into, parse_object, JsonValue};
+use adpm_observe::{escape_into, parse_object, CounterSnapshot, JsonValue};
 use std::fmt;
 use std::io::BufRead;
 
@@ -242,6 +242,71 @@ pub enum Frame {
         /// Why it was rejected.
         reason: String,
     },
+    /// Client asks for a one-shot telemetry report: one
+    /// [`Frame::StatsReply`] per covered session, terminated by
+    /// [`Frame::End`].
+    Stats {
+        /// `false` (or absent on the wire) reports the attached session
+        /// only; `true` asks for every hosted session plus the server
+        /// rollup — allowed only for connections attached to the default
+        /// session (the operator scope).
+        all: bool,
+    },
+    /// Client arms (or disarms) periodic telemetry push: the server sends
+    /// a full stats report (as for [`Frame::Stats`]) every `interval_ms`
+    /// until the connection closes or a `watch` with `interval_ms: 0`
+    /// disarms it.
+    Watch {
+        /// Scope, as for [`Frame::Stats`].
+        all: bool,
+        /// Push period in milliseconds; `0` disarms the watch.
+        interval_ms: u64,
+    },
+    /// Client asks for the attached session's flight-recorder contents:
+    /// a [`Frame::DumpReply`] header, one [`Frame::Flight`] per retained
+    /// event (oldest first), and a terminating [`Frame::End`].
+    Dump,
+    /// One session's telemetry snapshot. Every counter crosses the wire
+    /// as a top-level field named exactly as in
+    /// [`Counter::name`](adpm_observe::Counter::name), so the reply
+    /// schema is a subset of the `Counter` enum by construction; absent
+    /// counters parse as 0.
+    StatsReply {
+        /// Session the numbers belong to (`*` = server-wide rollup).
+        session: String,
+        /// Connections currently bound to the session (0 for the rollup).
+        connections: u32,
+        /// Whether this reply was pushed by an armed watch (`false` for
+        /// one-shot `stats` replies).
+        watch: bool,
+        /// Every counter at capture time.
+        counters: CounterSnapshot,
+        /// Trace events recorded at capture time.
+        events: u64,
+        /// Session-command latency median, µs (bucket upper bound).
+        p50_us: u64,
+        /// Session-command latency 90th percentile, µs.
+        p90_us: u64,
+        /// Session-command latency 99th percentile, µs.
+        p99_us: u64,
+    },
+    /// Header of a flight-recorder dump.
+    DumpReply {
+        /// Session the dump belongs to.
+        session: String,
+        /// How many [`Frame::Flight`] frames follow.
+        count: u32,
+        /// Total events ever recorded by this session's recorder; the
+        /// difference against `count` is how much history the ring shed.
+        recorded: u64,
+    },
+    /// One retained flight-recorder event.
+    Flight {
+        /// 1-based sequence number over the recorder's lifetime.
+        idx: u64,
+        /// The recorded trace event, as its original JSON line.
+        line: String,
+    },
 }
 
 /// Coarse classification of a [`WireError`], the ground truth the
@@ -389,6 +454,12 @@ impl Frame {
             Frame::SessionAttached { .. } => "session",
             Frame::SessionList { .. } => "sessions",
             Frame::AttachRejected { .. } => "attach_rejected",
+            Frame::Stats { .. } => "stats",
+            Frame::Watch { .. } => "watch",
+            Frame::Dump => "dump",
+            Frame::StatsReply { .. } => "stats_reply",
+            Frame::DumpReply { .. } => "dump_reply",
+            Frame::Flight { .. } => "flight",
         }
     }
 
@@ -519,6 +590,46 @@ impl Frame {
                 field_str(&mut out, "name", name);
                 field_str(&mut out, "reason", reason);
             }
+            Frame::Stats { all } => field_bool(&mut out, "all", *all),
+            Frame::Watch { all, interval_ms } => {
+                field_bool(&mut out, "all", *all);
+                field_u64(&mut out, "interval_ms", *interval_ms);
+            }
+            Frame::Dump => {}
+            Frame::StatsReply {
+                session,
+                connections,
+                watch,
+                counters,
+                events,
+                p50_us,
+                p90_us,
+                p99_us,
+            } => {
+                field_str(&mut out, "session", session);
+                field_u64(&mut out, "connections", (*connections).into());
+                field_bool(&mut out, "watch", *watch);
+                for (counter, value) in counters.iter() {
+                    field_u64(&mut out, counter.name(), value);
+                }
+                field_u64(&mut out, "events", *events);
+                field_u64(&mut out, "p50_us", *p50_us);
+                field_u64(&mut out, "p90_us", *p90_us);
+                field_u64(&mut out, "p99_us", *p99_us);
+            }
+            Frame::DumpReply {
+                session,
+                count,
+                recorded,
+            } => {
+                field_str(&mut out, "session", session);
+                field_u64(&mut out, "count", (*count).into());
+                field_u64(&mut out, "recorded", *recorded);
+            }
+            Frame::Flight { idx, line } => {
+                field_u64(&mut out, "idx", *idx);
+                field_str(&mut out, "line", line);
+            }
         }
         out.push_str("}\n");
         out
@@ -589,6 +700,16 @@ impl Frame {
             get(key)
                 .and_then(|v| v.as_bool())
                 .ok_or_else(|| WireError::new(format!("`{tag}` frame needs boolean `{key}`")))
+        };
+        // Optional boolean: absent is `false`, present-but-mistyped is an
+        // error.
+        let opt_bool = |key: &str| -> Result<bool, WireError> {
+            match get(key) {
+                None => Ok(false),
+                Some(v) => v.as_bool().ok_or_else(|| {
+                    WireError::new(format!("`{key}` must be a boolean in `{tag}` frame"))
+                }),
+            }
         };
         let need_f64 = |key: &str| -> Result<f64, WireError> {
             match get(key) {
@@ -704,6 +825,38 @@ impl Frame {
             "attach_rejected" => Ok(Frame::AttachRejected {
                 name: need_str("name")?,
                 reason: need_str("reason")?,
+            }),
+            "stats" => Ok(Frame::Stats {
+                all: opt_bool("all")?,
+            }),
+            "watch" => Ok(Frame::Watch {
+                all: opt_bool("all")?,
+                interval_ms: need_u64("interval_ms")?,
+            }),
+            "dump" => Ok(Frame::Dump),
+            "stats_reply" => Ok(Frame::StatsReply {
+                session: need_str("session")?,
+                connections: need_u32("connections")?,
+                watch: opt_bool("watch")?,
+                // Counters cross the wire keyed by `Counter::name`; a
+                // counter a newer server knows and an older client does
+                // not (or vice versa) simply reads as 0.
+                counters: CounterSnapshot::from_fn(|counter| {
+                    get(counter.name()).and_then(|v| v.as_u64()).unwrap_or(0)
+                }),
+                events: opt_u64("events")?.unwrap_or(0),
+                p50_us: opt_u64("p50_us")?.unwrap_or(0),
+                p90_us: opt_u64("p90_us")?.unwrap_or(0),
+                p99_us: opt_u64("p99_us")?.unwrap_or(0),
+            }),
+            "dump_reply" => Ok(Frame::DumpReply {
+                session: need_str("session")?,
+                count: need_u32("count")?,
+                recorded: opt_u64("recorded")?.unwrap_or(0),
+            }),
+            "flight" => Ok(Frame::Flight {
+                idx: need_u64("idx")?,
+                line: need_str("line")?,
             }),
             other => Err(WireError::new(format!("unknown frame tag `{other}`"))),
         }
@@ -1001,6 +1154,43 @@ mod tests {
                 name: "ghost".into(),
                 reason: "unknown session `ghost`".into(),
             },
+            Frame::Stats { all: false },
+            Frame::Stats { all: true },
+            Frame::Watch {
+                all: true,
+                interval_ms: 500,
+            },
+            Frame::Watch {
+                all: false,
+                interval_ms: 0,
+            },
+            Frame::Dump,
+            Frame::StatsReply {
+                session: "team-alpha".into(),
+                connections: 3,
+                watch: true,
+                counters: {
+                    use adpm_observe::Counter;
+                    CounterSnapshot::from_fn(|c| match c {
+                        Counter::SessionOps => 42,
+                        Counter::InboxDropped => 2,
+                        _ => c.index() as u64,
+                    })
+                },
+                events: 97,
+                p50_us: 12,
+                p90_us: 80,
+                p99_us: 1500,
+            },
+            Frame::DumpReply {
+                session: "default".into(),
+                count: 256,
+                recorded: 9000,
+            },
+            Frame::Flight {
+                idx: 8745,
+                line: "{\"t\":\"tick\",\"tick\":3,\"outcome\":\"executed\"}".into(),
+            },
         ];
         for frame in frames {
             let line = frame.to_line();
@@ -1046,6 +1236,12 @@ mod tests {
             ("{\"t\":\"session\",\"name\":\"s1\"}", "needs boolean `created`"),
             ("{\"t\":\"sessions\",\"names\":\"a,b\"}", "needs integer `count`"),
             ("{\"t\":\"attach_rejected\",\"name\":\"x\"}", "needs string `reason`"),
+            ("{\"t\":\"stats\",\"all\":1}", "must be a boolean"),
+            ("{\"t\":\"watch\",\"all\":true}", "needs integer `interval_ms`"),
+            ("{\"t\":\"stats_reply\",\"connections\":1}", "needs string `session`"),
+            ("{\"t\":\"stats_reply\",\"session\":\"s\"}", "needs integer `connections`"),
+            ("{\"t\":\"dump_reply\",\"session\":\"s\"}", "needs integer `count`"),
+            ("{\"t\":\"flight\",\"idx\":1}", "needs string `line`"),
             ("not json", "expected"),
             ("{}", "empty frame"),
         ] {
@@ -1056,6 +1252,36 @@ mod tests {
                 err.message
             );
         }
+    }
+
+    #[test]
+    fn stats_reply_counter_fields_stay_a_subset_of_the_counter_enum() {
+        use adpm_observe::Counter;
+        let line = Frame::StatsReply {
+            session: "s".into(),
+            connections: 1,
+            watch: false,
+            counters: CounterSnapshot::from_fn(|c| c.index() as u64 + 1),
+            events: 5,
+            p50_us: 1,
+            p90_us: 2,
+            p99_us: 3,
+        }
+        .to_line();
+        let metadata = ["t", "session", "connections", "watch", "events", "p50_us", "p90_us", "p99_us"];
+        let fields = parse_object(line.trim_end(), 0).expect("flat JSON");
+        let mut counter_fields = 0;
+        for (key, _) in &fields {
+            if metadata.contains(&key.as_str()) {
+                continue;
+            }
+            assert!(
+                Counter::ALL.iter().any(|c| c.name() == key),
+                "stats_reply field `{key}` is not a Counter name"
+            );
+            counter_fields += 1;
+        }
+        assert_eq!(counter_fields, Counter::COUNT, "every counter crosses the wire");
     }
 
     #[test]

@@ -140,6 +140,18 @@ impl MetricsSink for JsonlSink {
     fn time(&self, kind: SpanKind, dur_us: u64) {
         self.counters.time(kind, dur_us);
     }
+
+    /// Degradation-point durability: run [`finish`](JsonlSink::finish) so
+    /// the counters line and every buffered event reach the writer now,
+    /// while the process still can. Any I/O error stays deferred for
+    /// [`take_error`](JsonlSink::take_error), as the sink contract demands.
+    fn flush(&self) {
+        if let Err(error) = self.finish() {
+            // finish() takes the deferred error out; park it again so a
+            // later take_error/finish caller still sees it.
+            self.store_error(error);
+        }
+    }
 }
 
 /// One parsed line of a JSONL trace: ordered `(key, value)` pairs plus the
@@ -343,6 +355,31 @@ mod tests {
         drop(sink);
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8");
         assert_eq!(text.lines().count(), 1, "{text}");
+    }
+
+    #[test]
+    fn flush_finishes_through_the_sink_trait() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(Box::new(buf.clone()));
+        sink.incr(Counter::Operations, 2);
+        // Producers hold the sink as &dyn MetricsSink at degradation
+        // points; flush must write the counters line through that view.
+        (&sink as &dyn MetricsSink).flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8");
+        let lines = parse_trace(&text).expect("valid trace");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].tag(), "counters");
+        assert_eq!(lines[0].u64_field("operations"), Some(2));
+        // flush keeps the deferred-error contract: none here.
+        assert!(sink.take_error().is_none());
+    }
+
+    #[test]
+    fn flush_keeps_the_deferred_error_for_take_error() {
+        let sink = JsonlSink::new(Box::new(FailingWriter { ok_writes: 0 }));
+        (&sink as &dyn MetricsSink).flush();
+        let err = sink.take_error().expect("flush failure must be parked");
+        assert_eq!(err.to_string(), "disk full");
     }
 
     #[test]

@@ -34,6 +34,13 @@
 //!   traces byte-deterministic.
 //! * [`Histogram`] / [`SpanKind`] — log-bucketed duration capture per span
 //!   kind, aggregated by [`InMemorySink`] via [`MetricsSink::time`].
+//! * [`MetricsHub`] / [`Snapshot`] — live telemetry: a registry of
+//!   per-session sinks plus a server-wide rollup, with cheap point-in-time
+//!   snapshots, deltas, and a plaintext scrape exposition
+//!   ([`write_exposition`] / [`parse_exposition`]).
+//! * [`FlightRecorder`] — an always-on bounded ring of the most recent
+//!   events (fixed memory, no I/O) for post-incident dumps on untraced
+//!   servers.
 //! * [`analyze`] — offline trace analysis: hot-spot attribution, timing
 //!   rollups, λ=T vs λ=F comparison, and trace-to-trace regression diffs.
 //!
@@ -65,14 +72,20 @@
 pub mod analyze;
 mod clock;
 mod histogram;
+mod hub;
 mod json;
 mod jsonl;
+mod recorder;
 mod sink;
 mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use histogram::{Histogram, SpanKind};
+pub use hub::{
+    parse_exposition, write_exposition, MetricsHub, Snapshot, SpanSummary, ROLLUP_SESSION,
+};
 pub use json::{escape_into, parse_object, JsonValue, TraceParseError};
 pub use jsonl::{parse_trace, JsonlSink, TraceLine};
+pub use recorder::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use sink::{CounterSnapshot, InMemorySink, MetricsSink, NoopSink, TeeSink};
 pub use trace::{Counter, TraceEvent};

@@ -41,6 +41,15 @@ pub trait MetricsSink: fmt::Debug + Send + Sync {
     fn time(&self, kind: SpanKind, dur_us: u64) {
         let _ = (kind, dur_us);
     }
+
+    /// Makes everything recorded so far durable, best-effort. Producers
+    /// call this at *degradation points* — moments (like a session's
+    /// journal failing) that suggest the process may not live to a clean
+    /// shutdown — so buffered telemetry is not lost with it. The default
+    /// is a no-op; [`crate::JsonlSink`] runs its
+    /// [`finish`](crate::JsonlSink::finish) (counters line + flush),
+    /// deferring any I/O error as usual.
+    fn flush(&self) {}
 }
 
 /// The default sink: drops everything, reports itself disabled.
@@ -64,6 +73,17 @@ pub struct CounterSnapshot {
 }
 
 impl CounterSnapshot {
+    /// Builds a snapshot by asking `value` for every counter — the
+    /// constructor used when a snapshot is reconstructed from an external
+    /// representation (a parsed scrape exposition, a `stats_reply` frame).
+    pub fn from_fn(mut value: impl FnMut(Counter) -> u64) -> CounterSnapshot {
+        let mut out = CounterSnapshot::default();
+        for c in Counter::ALL {
+            out.values[c.index()] = value(c);
+        }
+        out
+    }
+
     /// The value of one counter.
     pub fn get(&self, counter: Counter) -> u64 {
         self.values[counter.index()]
@@ -213,6 +233,12 @@ impl MetricsSink for TeeSink {
             sink.time(kind, dur_us);
         }
     }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +334,16 @@ mod tests {
         assert_eq!(a.histogram(SpanKind::Operation).count(), 1);
         // The default implementation (e.g. NoopSink) discards timings.
         NoopSink.time(SpanKind::Operation, 7);
+    }
+
+    #[test]
+    fn from_fn_reconstructs_a_snapshot_exactly() {
+        let sink = InMemorySink::new();
+        sink.incr(Counter::Operations, 3);
+        sink.incr(Counter::SessionOps, 9);
+        let original = sink.snapshot();
+        let rebuilt = CounterSnapshot::from_fn(|c| original.get(c));
+        assert_eq!(rebuilt, original);
     }
 
     #[test]

@@ -192,8 +192,51 @@ wait "$SERVE_PID"
 # Both operations landed in named sessions; the default session stayed empty.
 grep -q 'session closed: 0 operations' "$SERVE_LOG" || {
   echo "default session was not isolated"; cat "$SERVE_LOG"; exit 1; }
-rm -f "$SERVE_LOG" "$MS_JOURNAL" "$MS_JOURNAL.s1" "$MS_JOURNAL.s2" \
-      /tmp/verify_rx.dddl /tmp/verify_mini.dddl
+rm -f "$SERVE_LOG" "$MS_JOURNAL" "$MS_JOURNAL.s1" "$MS_JOURNAL.s2"
+
+echo "==> live telemetry smoke (scrape endpoint, adpm top --json, stats_reply schema)"
+SERVE_LOG=$(mktemp)
+"$ADPM_RELEASE" serve /tmp/verify_rx.dddl --port 0 --sessions 2 \
+  --metrics-addr 127.0.0.1:0 > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""; MADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+  MADDR=$(sed -n 's/^metrics on //p' "$SERVE_LOG")
+  [ -n "$ADDR" ] && [ -n "$MADDR" ] && break
+  sleep 0.1
+done
+{ [ -n "$ADDR" ] && [ -n "$MADDR" ]; } || {
+  echo "serve never announced both addresses"; kill "$SERVE_PID"; exit 1; }
+"$ADPM_RELEASE" submit "$ADDR" --designer 1 --problem analog-front-end --session s1 \
+  --assign lna-mixer.lna-gain=20 | grep -q '"t":"executed"'
+# Scrape over bare TCP — the endpoint speaks plaintext, no HTTP required.
+SCRAPE=$(mktemp)
+cat < "/dev/tcp/${MADDR%:*}/${MADDR##*:}" > "$SCRAPE"
+grep -q '^adpm_session_ops{session="s1"} 1$' "$SCRAPE" || {
+  echo "scrape missing s1 session_ops"; cat "$SCRAPE"; exit 1; }
+grep -q '^adpm_session_ops{session="\*"} 1$' "$SCRAPE" || {
+  echo "rollup did not aggregate session_ops"; cat "$SCRAPE"; exit 1; }
+grep -q '^adpm_events{session="\*"}' "$SCRAPE" || {
+  echo "scrape missing rollup events"; cat "$SCRAPE"; exit 1; }
+# One stats batch as JSONL: default + s1 + s2 + the `*` rollup.
+TOP_LOG=$(mktemp)
+"$ADPM_RELEASE" top "$ADDR" --json --count 1 --interval 50 > "$TOP_LOG"
+[ "$(grep -c '"t":"stats_reply"' "$TOP_LOG")" -eq 4 ] || {
+  echo "top: expected 4 stats_reply rows"; cat "$TOP_LOG"; exit 1; }
+grep -q '"session":"s1"' "$TOP_LOG" || { echo "top missing s1"; cat "$TOP_LOG"; exit 1; }
+grep -q '"session":"\*"' "$TOP_LOG" || { echo "top missing rollup"; cat "$TOP_LOG"; exit 1; }
+# Schema lockstep: every non-metadata stats_reply key must name a counter
+# the exposition also exposes (both sides iterate the Counter enum).
+for KEY in $(grep '"t":"stats_reply"' "$TOP_LOG" | head -1 \
+             | grep -o '"[a-z0-9_]*":' | tr -d '":'); do
+  case "$KEY" in t|session|connections|watch|events|p50_us|p90_us|p99_us) continue ;; esac
+  grep -q "^adpm_${KEY}{" "$SCRAPE" || {
+    echo "stats_reply key $KEY is not an exposed counter"; exit 1; }
+done
+"$ADPM_RELEASE" submit "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+rm -f "$SERVE_LOG" "$SCRAPE" "$TOP_LOG" /tmp/verify_rx.dddl /tmp/verify_mini.dddl
 
 echo "==> bench_collab smoke run (multi-session load generator)"
 cargo run --release -q -p adpm-bench --bin bench_collab -- --smoke >/dev/null
