@@ -25,9 +25,9 @@
 #![warn(missing_debug_implementations)]
 
 use adpm_collab::{
-    recover, run_concurrent_dpm, run_concurrent_remote, CollabClient, CollabServer, FaultInjector,
-    FaultPlan, Frame, FsyncPolicy, JournalConfig, JournalWriter, ServerOptions, SessionFactory,
-    SessionOptions, WireError, WireOp,
+    recover, run_concurrent_dpm_with, run_concurrent_remote, CollabClient, CollabServer,
+    FaultInjector, FaultPlan, Frame, FsyncPolicy, JournalConfig, JournalWriter, NegotiationConfig,
+    ServerOptions, SessionFactory, SessionOptions, WireError, WireOp,
 };
 use adpm_constraint::{
     explain_all_violations, propagate, NetworkError, PropagationConfig, PropagationEngine,
@@ -37,7 +37,7 @@ use adpm_core::{state_fingerprint, DesignProcessManager, DpmConfig, ManagementMo
 use adpm_dddl::{compile_source, parse, to_source, CompiledScenario};
 use adpm_observe::analyze::{analyze_trace, diff_traces, render_comparison, DiffThresholds};
 use adpm_observe::{parse_trace, Counter, InMemorySink, JsonlSink, MetricsSink, TeeSink};
-use adpm_teamsim::{run_once, run_once_with_sink, Batch, SimulationConfig};
+use adpm_teamsim::{run_once, run_once_with_sink, Batch, NegotiationPolicy, SimulationConfig};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -155,6 +155,7 @@ COMMANDS:
             [--engine interp|compiled|compiled-parallel]
             [--csv] [--trace FILE] [--metrics]
             [--concurrent] [--turn-barrier] [--remote] [--fault-plan PLAN]
+            [--negotiate]
                                            simulate one TeamSim run
                                            (--propagation picks the DCM path:
                                             full re-propagation after every
@@ -172,7 +173,13 @@ COMMANDS:
                                             designers as real threads against a
                                             collaboration session, and
                                             --turn-barrier makes that run a
-                                            deterministic round-robin)
+                                            deterministic round-robin;
+                                            --negotiate — implies
+                                            --concurrent — resolves each
+                                            new conflict by a bounded
+                                            viewpoint negotiation among
+                                            the affected designers
+                                            instead of backtracking)
     compare <file.dddl> [--seeds N]        both modes over N seeds (default 20)
     analyze <trace.jsonl> [--json] [--vs other.jsonl]
                                            profile a JSONL trace: totals,
@@ -195,8 +202,13 @@ COMMANDS:
             [--fsync always|never|N] [--checkpoint-every N]
             [--fault-plan PLAN] [--heartbeat-ms T] [--idle-timeout-ms T]
             [--sessions N] [--allow-create] [--metrics-addr HOST:PORT]
+            [--negotiate]
                                            host a registry of collaboration
                                            sessions over the JSONL wire
+                                           (--negotiate arms every hosted
+                                            session with the conflict
+                                            negotiation engine and enables
+                                            the client `propose` frame)
                                            protocol; prints
                                            `listening on 127.0.0.1:PORT` up
                                            front (port 0 = ephemeral) and runs
@@ -359,6 +371,13 @@ pub struct RunOptions {
     /// With [`remote`](Self::remote): inject deterministic faults into
     /// every server-side outgoing frame.
     pub fault_plan: Option<FaultPlan>,
+    /// Negotiate conflicts instead of leaving them to backtracking
+    /// (implies [`concurrent`](Self::concurrent)): each new violation
+    /// triggers a bounded viewpoint negotiation among the affected
+    /// designers (policies cycle through the TeamSim roster —
+    /// compromising, argumentative, stubborn) and an accepted relaxation
+    /// is applied as a normal journaled operation.
+    pub negotiate: bool,
 }
 
 impl Default for RunOptions {
@@ -376,6 +395,7 @@ impl Default for RunOptions {
             turn_barrier: false,
             remote: false,
             fault_plan: None,
+            negotiate: false,
         }
     }
 }
@@ -417,12 +437,16 @@ pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
         let outcome = run_concurrent_remote(dpm, &config, options.fault_plan.as_ref());
         digest = Some(state_fingerprint(&outcome.dpm));
         outcome.stats
-    } else if options.concurrent {
+    } else if options.concurrent || options.negotiate {
         let mut dpm = scenario.build_dpm(config.dpm_config());
         if let Some(s) = &sink {
             dpm.set_sink(s.clone());
         }
-        run_concurrent_dpm(dpm, &config, options.turn_barrier).stats
+        let negotiation = options.negotiate.then(|| NegotiationConfig {
+            policies: NegotiationPolicy::default_team(dpm.designers().len()),
+            ..NegotiationConfig::default()
+        });
+        run_concurrent_dpm_with(dpm, &config, options.turn_barrier, negotiation).stats
     } else {
         match &sink {
             None => run_once(&scenario, config),
@@ -444,10 +468,16 @@ pub fn run(source: &str, options: &RunOptions) -> Result<String, CliError> {
             " (remote)"
         }
     } else {
-        match (options.concurrent, options.turn_barrier) {
-            (false, _) => "",
-            (true, false) => " (concurrent)",
-            (true, true) => " (concurrent, turn barrier)",
+        match (
+            options.concurrent || options.negotiate,
+            options.turn_barrier,
+            options.negotiate,
+        ) {
+            (false, _, _) => "",
+            (true, false, false) => " (concurrent)",
+            (true, true, false) => " (concurrent, turn barrier)",
+            (true, false, true) => " (concurrent, negotiation)",
+            (true, true, true) => " (concurrent, turn barrier, negotiation)",
         }
     };
     let _ = writeln!(
@@ -663,6 +693,11 @@ pub struct ServeOptions {
     /// Also serve a plaintext metrics exposition on this address (the
     /// `metrics on HOST:PORT` announce line carries the bound address).
     pub metrics_addr: Option<std::net::SocketAddr>,
+    /// Spawn every hosted session with a negotiation engine: new
+    /// violations trigger bounded viewpoint negotiation (policies cycle
+    /// through the TeamSim roster) and clients may `propose` on a
+    /// violated constraint to trigger one on demand.
+    pub negotiate: bool,
 }
 
 impl Default for ServeOptions {
@@ -680,6 +715,7 @@ impl Default for ServeOptions {
             sessions: 0,
             allow_create: false,
             metrics_addr: None,
+            negotiate: false,
         }
     }
 }
@@ -709,7 +745,13 @@ pub fn serve(
     config.propagation_kind = options.propagation;
     let mut dpm = scenario.build_dpm(config.dpm_config());
     dpm.initialize();
-    let mut session = SessionOptions::default();
+    let mut session = SessionOptions {
+        negotiation: options.negotiate.then(|| NegotiationConfig {
+            policies: NegotiationPolicy::default_team(dpm.designers().len()),
+            ..NegotiationConfig::default()
+        }),
+        ..SessionOptions::default()
+    };
     if let Some(path) = &options.journal {
         let report = if path.exists() {
             let report = recover(path, &mut dpm)?;
@@ -798,7 +840,13 @@ fn named_session_state(
     config.propagation_kind = options.propagation;
     let mut dpm = scenario.build_dpm(config.dpm_config());
     dpm.initialize();
-    let mut session = SessionOptions::default();
+    let mut session = SessionOptions {
+        negotiation: options.negotiate.then(|| NegotiationConfig {
+            policies: NegotiationPolicy::default_team(dpm.designers().len()),
+            ..NegotiationConfig::default()
+        }),
+        ..SessionOptions::default()
+    };
     if let Some(base) = &options.journal {
         let path = PathBuf::from(format!("{}.{name}", base.display()));
         let resumed = if path.exists() {
@@ -1426,6 +1474,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
             "--concurrent" => options.concurrent = true,
             "--turn-barrier" => options.turn_barrier = true,
             "--remote" => options.remote = true,
+            "--negotiate" => options.negotiate = true,
             "--fault-plan" => {
                 options.fault_plan = Some(
                     value(&mut it)?
@@ -1535,6 +1584,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
             }
             "--allow-create" => options.allow_create = true,
             "--metrics-addr" => options.metrics_addr = Some(parse_addr(&value(&mut it)?)?),
+            "--negotiate" => options.negotiate = true,
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -2153,6 +2203,23 @@ mod tests {
     }
 
     #[test]
+    fn run_negotiate_implies_concurrent_and_reports_the_driver() {
+        let out = run(
+            MINI,
+            &RunOptions {
+                seed: 1,
+                max_operations: 500,
+                turn_barrier: true,
+                negotiate: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("valid scenario");
+        assert!(out.contains("(concurrent, turn barrier, negotiation)"), "{out}");
+        assert!(out.contains("completed = true"), "{out}");
+    }
+
+    #[test]
     fn serve_client_submit_end_to_end_over_loopback() {
         let (addr_tx, addr_rx) = std::sync::mpsc::channel::<String>();
         let server = std::thread::spawn(move || {
@@ -2535,12 +2602,12 @@ mod tests {
             session: "default".into(),
             connections: 2,
             watch: true,
-            counters: CounterSnapshot::from_fn(|c| match c {
+            counters: Box::new(CounterSnapshot::from_fn(|c| match c {
                 Counter::SessionOps => 10,
                 Counter::InboxDropped => 3,
                 Counter::JournalBytes => 4096,
                 _ => 0,
-            }),
+            })),
             events: 7,
             p50_us: 10,
             p90_us: 20,

@@ -21,6 +21,7 @@
 //! that invariant is what the linearizability proptest leans on.
 
 use crate::fault::FaultPlan;
+use crate::negotiate::NegotiationConfig;
 use crate::resilient::{ReconnectConfig, ResilientClient};
 use crate::server::{CollabServer, ServerOptions};
 use crate::session::{OpOutcome, SessionEngine, SessionOptions};
@@ -88,15 +89,37 @@ pub fn run_concurrent(
 /// The run ends when the design completes, the operation cap is reached,
 /// or a full stall window passes with no executed operation.
 pub fn run_concurrent_dpm(
+    dpm: DesignProcessManager,
+    config: &SimulationConfig,
+    turn_barrier: bool,
+) -> ConcurrentOutcome {
+    run_concurrent_dpm_with(dpm, config, turn_barrier, None)
+}
+
+/// [`run_concurrent_dpm`] with conflict negotiation: when `negotiation`
+/// is set, the session engine answers every operation that introduces a
+/// violation with a bounded viewpoint negotiation round (see
+/// [`negotiate`](crate::negotiate::negotiate)) and applies an accepted
+/// relaxation as a normal journaled operation, so designers see the
+/// conflict already softened in their next snapshot instead of having
+/// to backtrack out of it.
+pub fn run_concurrent_dpm_with(
     mut dpm: DesignProcessManager,
     config: &SimulationConfig,
     turn_barrier: bool,
+    negotiation: Option<NegotiationConfig>,
 ) -> ConcurrentOutcome {
     let setup_evaluations = dpm.initialize();
     let designer_ids: Vec<_> = dpm.designers().to_vec();
     let team = designer_ids.len().max(1);
     let stall_limit = if turn_barrier { team } else { 4 * team };
-    let engine = SessionEngine::spawn(dpm);
+    let engine = SessionEngine::spawn_with(
+        dpm,
+        SessionOptions {
+            negotiation,
+            ..SessionOptions::default()
+        },
+    );
     let coordinator = Arc::new(Coordinator {
         state: Mutex::new(SharedState {
             turn: 0,
@@ -265,7 +288,10 @@ impl RemoteNames {
                     .collect::<Vec<_>>()
                     .join(","),
             }),
-            Operator::Decompose { .. } => None,
+            // Decompose is not carried by the protocol; Relax is only ever
+            // issued by the server's own negotiation engine, never proposed
+            // as a client submission.
+            Operator::Decompose { .. } | Operator::Relax { .. } => None,
         }
     }
 

@@ -22,7 +22,7 @@
 //! whole-state digests at every checkpoint.
 
 use crate::wire::{field_bool, field_f64, field_str, field_u64};
-use adpm_constraint::{ConstraintId, NetworkError, PropertyId, Value};
+use adpm_constraint::{ConstraintId, NetworkError, PropertyId, Relaxation, Value};
 use adpm_core::{
     state_fingerprint, DesignProcessManager, DesignerId, Operation, OperationRecord, Operator,
     ProblemId,
@@ -148,8 +148,12 @@ pub struct RecoveryReport {
 #[derive(Debug, Clone, PartialEq)]
 enum JournalLine {
     Meta,
-    Op(ParsedOp),
+    Op(Box<ParsedOp>),
     Checkpoint { fingerprint: u64 },
+    /// A `jneg` negotiation summary. Informational: the accepted
+    /// relaxation (if any) is journaled as its own `jop` relax line, so
+    /// recovery validates and then skips these.
+    Negotiation,
 }
 
 /// A `jop` line, entities still by name (resolved against a DPM later).
@@ -163,6 +167,8 @@ struct ParsedOp {
     value: Option<ParsedValue>,
     constraints: Option<String>,
     subproblems: Option<String>,
+    relax_kind: Option<String>,
+    slack: Option<f64>,
     repairs: String,
     evaluations: u64,
     violations_after: u32,
@@ -226,6 +232,21 @@ fn op_line(record: &OperationRecord, dpm: &DesignProcessManager) -> String {
         Operator::Decompose { subproblems } => {
             field_str(&mut out, "op", "decompose");
             field_str(&mut out, "subproblems", &subproblems.join(","));
+        }
+        Operator::Relax {
+            constraint,
+            relaxation,
+        } => {
+            field_str(&mut out, "op", "relax");
+            field_str(
+                &mut out,
+                "constraints",
+                dpm.network().constraint(*constraint).name(),
+            );
+            field_str(&mut out, "rk", relaxation.kind());
+            if let Relaxation::WidenBound { slack } = relaxation {
+                field_f64(&mut out, "slack", *slack);
+            }
         }
     }
     field_str(&mut out, "repairs", &join_constraint_names(dpm, record.operation.repairs()));
@@ -300,7 +321,7 @@ fn parse_journal_line(text: &str) -> Result<JournalLine, String> {
                 Some("bool") => Some(ParsedValue::Bool(need_bool("value")?)),
                 Some(other) => return Err(format!("unknown value kind `{other}`")),
             };
-            Ok(JournalLine::Op(ParsedOp {
+            Ok(JournalLine::Op(Box::new(ParsedOp {
                 seq: need_u64("seq")?,
                 designer: need_u64("designer")?
                     .try_into()
@@ -319,6 +340,11 @@ fn parse_journal_line(text: &str) -> Result<JournalLine, String> {
                 subproblems: get("subproblems")
                     .and_then(|v| v.as_str())
                     .map(str::to_owned),
+                relax_kind: get("rk").and_then(|v| v.as_str()).map(str::to_owned),
+                slack: get("slack").and_then(|v| match v {
+                    JsonValue::Num(x) => Some(*x),
+                    _ => None,
+                }),
                 repairs: need_str("repairs")?,
                 evaluations: need_u64("evaluations")?,
                 violations_after: need_u64("violations_after")?
@@ -326,7 +352,18 @@ fn parse_journal_line(text: &str) -> Result<JournalLine, String> {
                     .map_err(|_| "`violations_after` out of range".to_string())?,
                 new_violations: need_str("new_violations")?,
                 spin: need_bool("spin")?,
-            }))
+            })))
+        }
+        "jneg" => {
+            // Validate the shape so a torn `jneg` still ends the valid
+            // prefix, then discard — replay needs only the `jop` lines.
+            need_u64("seq")?;
+            need_str("constraint")?;
+            need_u64("rounds")?;
+            need_u64("proposals")?;
+            need_u64("participants")?;
+            need_str("outcome")?;
+            Ok(JournalLine::Negotiation)
         }
         other => Err(format!("unknown journal tag `{other}`")),
     }
@@ -400,6 +437,33 @@ fn resolve_op(parsed: &ParsedOp, dpm: &DesignProcessManager) -> Result<Operation
                 .map(str::to_owned)
                 .collect(),
         },
+        "relax" => {
+            let constraints =
+                resolve_constraints(dpm, parsed.constraints.as_deref().unwrap_or(""))?;
+            let [constraint] = constraints[..] else {
+                return Err(JournalError::Mismatch(
+                    "`relax` line needs exactly one constraint".into(),
+                ));
+            };
+            let relaxation = match parsed.relax_kind.as_deref() {
+                Some("widen") => Relaxation::WidenBound {
+                    slack: parsed.slack.ok_or_else(|| {
+                        JournalError::Mismatch("`relax` widen line without a slack".into())
+                    })?,
+                },
+                Some("drop") => Relaxation::Drop,
+                other => {
+                    return Err(JournalError::Mismatch(format!(
+                        "unknown relaxation kind `{}`",
+                        other.unwrap_or("")
+                    )))
+                }
+            };
+            Operator::Relax {
+                constraint,
+                relaxation,
+            }
+        }
         other => {
             return Err(JournalError::Mismatch(format!("unknown operator `{other}`")))
         }
@@ -519,6 +583,32 @@ impl JournalWriter {
         Ok(())
     }
 
+    /// Appends a `jneg` negotiation-summary line. Informational (recovery
+    /// skips it): the accepted relaxation, if any, is journaled separately
+    /// as a normal `jop` relax line.
+    #[allow(clippy::too_many_arguments)]
+    pub fn append_negotiation(
+        &mut self,
+        seq: u64,
+        constraint: &str,
+        rounds: u32,
+        proposals: u32,
+        participants: u32,
+        outcome: &str,
+        sink: &dyn MetricsSink,
+    ) -> Result<(), JournalError> {
+        let mut line = String::from("{\"t\":\"jneg\"");
+        field_u64(&mut line, "seq", seq);
+        field_str(&mut line, "constraint", constraint);
+        field_u64(&mut line, "rounds", rounds.into());
+        field_u64(&mut line, "proposals", proposals.into());
+        field_u64(&mut line, "participants", participants.into());
+        field_str(&mut line, "outcome", outcome);
+        line.push_str("}\n");
+        self.write_line(&line, sink)?;
+        Ok(())
+    }
+
     /// Flushes and syncs whatever is buffered (used at orderly shutdown).
     pub fn sync(&mut self) -> Result<(), JournalError> {
         self.file.flush()?;
@@ -619,6 +709,9 @@ pub fn recover(path: &Path, dpm: &mut DesignProcessManager) -> Result<RecoveryRe
                     faithful = false;
                 }
             }
+            // Negotiation summaries are commentary on the op stream; the
+            // accepted relaxation replays via its own `jop` line.
+            JournalLine::Negotiation => {}
         }
     }
     flush(&mut segment, dpm, &mut faithful)?;

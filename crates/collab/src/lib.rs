@@ -63,6 +63,7 @@ pub mod concurrent;
 pub mod error;
 pub mod fault;
 pub mod journal;
+pub mod negotiate;
 pub mod notify;
 pub mod resilient;
 pub mod server;
@@ -70,19 +71,23 @@ pub mod session;
 pub mod wire;
 
 pub use client::CollabClient;
-pub use concurrent::{run_concurrent, run_concurrent_dpm, run_concurrent_remote, ConcurrentOutcome};
+pub use concurrent::{
+    run_concurrent, run_concurrent_dpm, run_concurrent_dpm_with, run_concurrent_remote,
+    ConcurrentOutcome,
+};
 pub use error::CollabError;
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use journal::{
     recover, valid_prefix_bytes, FsyncPolicy, JournalConfig, JournalError, JournalWriter,
     RecoveryReport,
 };
+pub use negotiate::{negotiate, NegotiationConfig, NegotiationOutcome, DEFAULT_MAX_ROUNDS};
 pub use notify::{Inbox, InboxEntry, InterestSet};
 pub use resilient::{ReconnectConfig, ResilientClient};
 pub use server::{CollabServer, ServerOptions, SessionFactory, DEFAULT_SESSION};
 pub use session::{
-    OpOutcome, RejectReason, SessionClosed, SessionEngine, SessionHandle, SessionOptions,
-    DEFAULT_INBOX_CAPACITY,
+    NegotiationReport, OpOutcome, RejectReason, SessionClosed, SessionEngine, SessionHandle,
+    SessionOptions, DEFAULT_INBOX_CAPACITY,
 };
 pub use wire::{
     read_frame, BufferedLine, Frame, LineBuffer, WireError, WireErrorKind, WireOp, MAX_LINE_BYTES,

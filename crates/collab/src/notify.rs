@@ -123,6 +123,18 @@ impl InterestSet {
                 self.properties.contains(property)
             }
             Event::ProblemSolved { .. } => true,
+            // Negotiation events match through the seed conflict, exactly
+            // like a violation on it would.
+            Event::NegotiationProposed { constraint, .. }
+            | Event::NegotiationAnswered { constraint, .. }
+            | Event::NegotiationClosed { constraint, .. } => {
+                self.constraints.contains(constraint)
+                    || network
+                        .constraint(*constraint)
+                        .argument_slice()
+                        .iter()
+                        .any(|p| self.properties.contains(p))
+            }
         }
     }
 }

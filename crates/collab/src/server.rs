@@ -55,7 +55,9 @@ use crate::session::{
 };
 use crate::wire::{BufferedLine, Frame, LineBuffer, WireOp};
 use adpm_constraint::{ConstraintId, PropertyId};
-use adpm_core::{DesignProcessManager, DesignerId, Event, Operation, Operator, ProblemId};
+use adpm_core::{
+    DesignProcessManager, DesignerId, Event, NegotiationAnswer, Operation, Operator, ProblemId,
+};
 use adpm_observe::{
     write_exposition, Counter, FlightRecorder, MetricsHub, MetricsSink, Snapshot, SpanKind,
     TeeSink, TraceEvent, ROLLUP_SESSION,
@@ -132,6 +134,9 @@ struct NameMaps {
     constraint_ids: BTreeMap<String, ConstraintId>,
     problem_names: Vec<String>,
     problem_ids: BTreeMap<String, ProblemId>,
+    /// Whether the session was spawned with a negotiation engine —
+    /// gates the client-facing negotiation frames.
+    negotiation: bool,
 }
 
 impl NameMaps {
@@ -168,6 +173,7 @@ impl NameMaps {
             constraint_ids,
             problem_names,
             problem_ids,
+            negotiation: false,
         }
     }
 
@@ -229,6 +235,77 @@ impl NameMaps {
                 subject: self.problem_names[problem.index()].clone(),
                 properties: String::new(),
                 relative_size: 0.0,
+                idx: entry.idx,
+            },
+            Event::NegotiationProposed {
+                constraint,
+                round,
+                proposer,
+                proposal,
+            } => Frame::Propose {
+                seq: entry.seq,
+                round: *round,
+                proposer: proposer.index() as u32,
+                kind: proposal.kind().into(),
+                constraint: self.constraint_name(*constraint).to_owned(),
+                property: proposal
+                    .property()
+                    .map(|p| self.property_name(p).to_owned())
+                    .unwrap_or_default(),
+                slack: proposal.slack(),
+                idx: entry.idx,
+            },
+            Event::NegotiationAnswered {
+                round,
+                designer,
+                answer,
+                counter,
+                ..
+            } => match (answer, counter) {
+                (NegotiationAnswer::Counter, Some(alternative)) => Frame::CounterProposal {
+                    seq: entry.seq,
+                    round: *round,
+                    designer: designer.index() as u32,
+                    kind: alternative.kind().into(),
+                    constraint: alternative
+                        .constraint()
+                        .map(|c| self.constraint_name(c).to_owned())
+                        .unwrap_or_default(),
+                    property: alternative
+                        .property()
+                        .map(|p| self.property_name(p).to_owned())
+                        .unwrap_or_default(),
+                    slack: alternative.slack(),
+                    idx: entry.idx,
+                },
+                (NegotiationAnswer::Reject, _) => Frame::Reject {
+                    seq: entry.seq,
+                    round: *round,
+                    designer: designer.index() as u32,
+                    idx: entry.idx,
+                },
+                // `Counter` without an alternative degrades to assent in
+                // the engine; encode it as the accept it effectively is.
+                _ => Frame::Accept {
+                    seq: entry.seq,
+                    round: *round,
+                    designer: designer.index() as u32,
+                    idx: entry.idx,
+                },
+            },
+            Event::NegotiationClosed {
+                constraint,
+                rounds,
+                resolved,
+                ..
+            } => Frame::Resolved {
+                seq: entry.seq,
+                constraint: self.constraint_name(*constraint).to_owned(),
+                rounds: *rounds,
+                // The engine's proposal count equals its round count (one
+                // proposal is tabled per round).
+                proposals: *rounds,
+                outcome: if *resolved { "resolved" } else { "abandoned" }.into(),
                 idx: entry.idx,
             },
         }
@@ -313,7 +390,9 @@ impl Registry {
         if session.recorder.is_none() {
             session.recorder = Some(recorder.clone());
         }
-        let names = Arc::new(NameMaps::build(&dpm));
+        let mut names = NameMaps::build(&dpm);
+        names.negotiation = session.negotiation.is_some();
+        let names = Arc::new(names);
         let engine = SessionEngine::spawn_with(dpm, session);
         self.sink.incr(Counter::SessionsActive, 1);
         SessionSlot {
@@ -401,7 +480,7 @@ impl Registry {
             session: name.to_owned(),
             connections,
             watch,
-            counters: snapshot.counters,
+            counters: Box::new(snapshot.counters),
             events: snapshot.events,
             p50_us: span.p50,
             p90_us: span.p90,
@@ -1174,6 +1253,62 @@ fn serve_connection(
                     Frame::End
                 }
             },
+            // A client-sent `propose` asks the server to negotiate the
+            // named conflict now. The server's engine generates the actual
+            // proposals; the direct reply is the closing `resolved` frame
+            // (outcome `consistent` when the constraint was not violated).
+            Frame::Propose { constraint, .. } => {
+                if !names.negotiation {
+                    Frame::NegotiationRejected {
+                        message: "negotiation is disabled for this session".into(),
+                    }
+                } else if designer.is_none() {
+                    Frame::Error {
+                        message: "propose requires a hello first".into(),
+                    }
+                } else {
+                    match names.constraint_ids.get(&constraint) {
+                        None => Frame::Error {
+                            message: format!("unknown constraint `{constraint}`"),
+                        },
+                        Some(cid) => match handle.negotiate(*cid) {
+                            Err(_) => Frame::Error {
+                                message: "session is shut down".into(),
+                            },
+                            Ok(report) => Frame::Resolved {
+                                seq: 0,
+                                constraint,
+                                rounds: report.rounds,
+                                proposals: report.proposals,
+                                outcome: if !report.seed_violated {
+                                    "consistent"
+                                } else if report.resolved {
+                                    "resolved"
+                                } else {
+                                    "abandoned"
+                                }
+                                .into(),
+                                idx: 0,
+                            },
+                        },
+                    }
+                }
+            }
+            // The remaining negotiation frames are server-generated:
+            // answers come from the session's designer policies, never
+            // from the wire. Reject them as typed data, not a bare error,
+            // so clients can distinguish "disabled" from "malformed".
+            Frame::CounterProposal { .. }
+            | Frame::Accept { .. }
+            | Frame::Reject { .. }
+            | Frame::Resolved { .. } => Frame::NegotiationRejected {
+                message: if names.negotiation {
+                    "negotiation answers are computed by the session's designer policies"
+                        .into()
+                } else {
+                    "negotiation is disabled for this session".into()
+                },
+            },
             // Response-only frames arriving from a client are protocol
             // misuse, but harmless: name them and carry on.
             other => Frame::Error {
@@ -1428,6 +1563,121 @@ mod tests {
                 cid: None,
             })
             .expect("submit")
+    }
+
+    #[test]
+    fn negotiation_frames_rejected_when_disabled() {
+        let server = serve_sensing();
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        client.request(&Frame::Hello { designer: 0 }).expect("hello");
+        // Satellite: a typed `negotiation_rejected`, not a silent drop or
+        // a bare `err`, answers every negotiation frame on a
+        // negotiation-disabled session.
+        for frame in [
+            Frame::Propose {
+                seq: 0,
+                round: 0,
+                proposer: 0,
+                kind: String::new(),
+                constraint: "MeetArea".into(),
+                property: String::new(),
+                slack: 0.0,
+                idx: 0,
+            },
+            Frame::Accept {
+                seq: 1,
+                round: 1,
+                designer: 0,
+                idx: 0,
+            },
+            Frame::Reject {
+                seq: 1,
+                round: 1,
+                designer: 0,
+                idx: 0,
+            },
+        ] {
+            let reply = client.request(&frame).expect("reply");
+            assert!(
+                matches!(
+                    &reply,
+                    Frame::NegotiationRejected { message }
+                        if message.contains("disabled")
+                ),
+                "frame {frame:?} got {reply:?}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn propose_frame_negotiates_on_an_enabled_session() {
+        use crate::negotiate::NegotiationConfig;
+        let server = CollabServer::bind_with(
+            sensing_dpm(),
+            0,
+            ServerOptions::default(),
+            SessionOptions {
+                negotiation: Some(NegotiationConfig::default()),
+                ..SessionOptions::default()
+            },
+        )
+        .expect("bind");
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        client.request(&Frame::Hello { designer: 0 }).expect("hello");
+        // A conflict-free constraint negotiates to `consistent` directly.
+        let reply = client
+            .request(&Frame::Propose {
+                seq: 0,
+                round: 0,
+                proposer: 0,
+                kind: String::new(),
+                constraint: "MeetArea".into(),
+                property: String::new(),
+                slack: 0.0,
+                idx: 0,
+            })
+            .expect("propose");
+        match &reply {
+            Frame::Resolved {
+                constraint,
+                outcome,
+                rounds,
+                ..
+            } => {
+                assert_eq!(constraint, "MeetArea");
+                assert_eq!(outcome, "consistent");
+                assert_eq!(*rounds, 0);
+            }
+            other => panic!("expected resolved, got {other:?}"),
+        }
+        // Unknown names error; answer frames stay server-generated.
+        let reply = client
+            .request(&Frame::Propose {
+                seq: 0,
+                round: 0,
+                proposer: 0,
+                kind: String::new(),
+                constraint: "NoSuchConstraint".into(),
+                property: String::new(),
+                slack: 0.0,
+                idx: 0,
+            })
+            .expect("propose");
+        assert!(matches!(reply, Frame::Error { .. }));
+        let reply = client
+            .request(&Frame::Accept {
+                seq: 1,
+                round: 1,
+                designer: 0,
+                idx: 0,
+            })
+            .expect("accept");
+        assert!(matches!(
+            &reply,
+            Frame::NegotiationRejected { message } if message.contains("policies")
+        ));
+        server.shutdown();
     }
 
     #[test]
@@ -2039,7 +2289,7 @@ mod tests {
         assert!(p99_us >= p50_us);
         // The wire-reported counters reconcile with the server's own hub.
         let hub_snapshot = server.metrics_hub().snapshot(DEFAULT_SESSION).expect("hub entry");
-        assert_eq!(*counters, hub_snapshot.counters);
+        assert_eq!(**counters, hub_snapshot.counters);
         server.shutdown();
     }
 

@@ -18,9 +18,12 @@
 //! thread.
 
 use crate::journal::JournalWriter;
+use crate::negotiate::{negotiate, NegotiationConfig};
 use crate::notify::{Inbox, InboxEntry, InterestSet};
-use adpm_core::{DesignProcessManager, DesignerId, Operation, OperationError, OperationRecord};
-use adpm_constraint::NetworkError;
+use adpm_core::{
+    DesignProcessManager, DesignerId, Event, Operation, OperationError, OperationRecord,
+};
+use adpm_constraint::{ConstraintId, ConstraintNetwork, NetworkError};
 use adpm_observe::{Counter, FlightRecorder, MetricsSink, SpanKind, TraceEvent};
 use std::collections::VecDeque;
 use std::fmt;
@@ -115,6 +118,12 @@ enum Command {
     Snapshot {
         reply: Sender<DesignProcessManager>,
     },
+    /// Negotiate the conflict seeded at `seed` now (the wire `propose`
+    /// frame), regardless of which operation introduced it.
+    Negotiate {
+        seed: ConstraintId,
+        reply: Sender<NegotiationReport>,
+    },
     Shutdown {
         reply: Sender<()>,
     },
@@ -126,6 +135,7 @@ impl Command {
             Command::Submit { .. } => "submit",
             Command::Subscribe { .. } => "subscribe",
             Command::Snapshot { .. } => "snapshot",
+            Command::Negotiate { .. } => "negotiate",
             Command::Shutdown { .. } => "shutdown",
         }
     }
@@ -134,9 +144,27 @@ impl Command {
         match self {
             Command::Submit { operation, .. } => operation.designer().index() as u32,
             Command::Subscribe { designer, .. } => designer.index() as u32,
-            Command::Snapshot { .. } | Command::Shutdown { .. } => u32::MAX,
+            Command::Snapshot { .. } | Command::Negotiate { .. } | Command::Shutdown { .. } => {
+                u32::MAX
+            }
         }
     }
+}
+
+/// What a session-level conflict negotiation came to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NegotiationReport {
+    /// Whether the seed constraint was actually violated when the
+    /// negotiation was requested; `false` means nothing ran.
+    pub seed_violated: bool,
+    /// Whether an accepted relaxation was applied and cleared the seed.
+    pub resolved: bool,
+    /// Rounds run.
+    pub rounds: u32,
+    /// Proposals put to the participants.
+    pub proposals: u32,
+    /// Participating designers.
+    pub participants: u32,
 }
 
 /// A cloneable handle for talking to a running session.
@@ -265,6 +293,22 @@ impl SessionHandle {
             .map_err(|_| SessionClosed)?;
         rx.recv().map_err(|_| SessionClosed)
     }
+
+    /// Runs a conflict negotiation for `seed` now, as if an operation had
+    /// just violated it. Requires the session to have been spawned with
+    /// [`SessionOptions::negotiation`]; without it the report comes back
+    /// all-zero with `seed_violated: false`.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionClosed`] when the session thread has already exited.
+    pub fn negotiate(&self, seed: ConstraintId) -> Result<NegotiationReport, SessionClosed> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Command::Negotiate { seed, reply })
+            .map_err(|_| SessionClosed)?;
+        rx.recv().map_err(|_| SessionClosed)
+    }
 }
 
 struct SubscriptionEntry {
@@ -329,6 +373,12 @@ pub struct SessionOptions {
     /// The caller normally also tees the same recorder into the DPM's
     /// sink so it actually sees the session's events.
     pub recorder: Option<Arc<FlightRecorder>>,
+    /// Negotiate conflicts instead of leaving them to backtracking: after
+    /// every executed operation that introduces violations, the engine
+    /// runs a bounded viewpoint negotiation per new conflict and applies
+    /// an accepted relaxation as a normal journaled operation. `None`
+    /// disables negotiation (and `negotiate` commands report all-zero).
+    pub negotiation: Option<NegotiationConfig>,
 }
 
 /// A running collaboration session: the command-loop thread plus a
@@ -430,6 +480,7 @@ fn session_loop(
     let mut logs: Vec<EventLog> = dpm.designers().iter().map(|_| EventLog::new()).collect();
     let mut dedup: Vec<DedupWindow> = dpm.designers().iter().map(|_| DedupWindow::new()).collect();
     let mut journal = options.journal;
+    let negotiation = options.negotiation;
     let mut seq: u64 = 0;
     while let Ok(command) = rx.recv() {
         seq += 1;
@@ -460,6 +511,7 @@ fn session_loop(
                             &mut logs,
                             &mut journal,
                             operation,
+                            negotiation.as_ref(),
                         );
                         let label = match &outcome {
                             OpOutcome::Executed(_) => "executed",
@@ -509,6 +561,29 @@ fn session_loop(
                 let _ = reply.send(dpm.clone());
                 "ok"
             }
+            Command::Negotiate { seed, reply } => {
+                let report = match negotiation.as_ref() {
+                    Some(config) => negotiate_conflict(
+                        &mut dpm,
+                        &mut subscriptions,
+                        &mut logs,
+                        &mut journal,
+                        seed,
+                        config,
+                        seq,
+                    ),
+                    None => NegotiationReport {
+                        seed_violated: false,
+                        resolved: false,
+                        rounds: 0,
+                        proposals: 0,
+                        participants: 0,
+                    },
+                };
+                let label = if report.resolved { "resolved" } else { "ok" };
+                let _ = reply.send(report);
+                label
+            }
             Command::Shutdown { reply } => {
                 // Deterministic drain: everything still queued behind the
                 // shutdown is rejected, never half-executed.
@@ -520,6 +595,7 @@ fn session_loop(
                         }
                         Command::Subscribe { .. }
                         | Command::Snapshot { .. }
+                        | Command::Negotiate { .. }
                         | Command::Shutdown { .. } => {
                             // Dropping the reply sender signals closure.
                         }
@@ -580,6 +656,7 @@ fn execute_submission(
     logs: &mut [EventLog],
     journal: &mut Option<JournalWriter>,
     operation: Operation,
+    negotiation: Option<&NegotiationConfig>,
 ) -> OpOutcome {
     if let Err(error) = dpm.validate_operation(&operation) {
         return OpOutcome::Rejected(RejectReason::Invalid(error));
@@ -600,9 +677,155 @@ fn execute_submission(
                 }
             }
             fan_out(dpm, subscriptions, logs, record.sequence as u64);
+            // A conflict-introducing operation triggers a negotiation per
+            // new violation. Relax operations never re-negotiate — the
+            // applied relaxation *is* the negotiation's outcome.
+            if let Some(config) = negotiation {
+                if record.operation.operator().kind() != "relax" {
+                    for seed in record.new_violations.clone() {
+                        negotiate_conflict(
+                            dpm,
+                            subscriptions,
+                            logs,
+                            journal,
+                            seed,
+                            config,
+                            record.sequence as u64,
+                        );
+                    }
+                }
+            }
             OpOutcome::Executed(record)
         }
         Err(error) => OpOutcome::Rejected(RejectReason::Network(error)),
+    }
+}
+
+/// Runs one conflict negotiation against the current design state,
+/// delivers its transcript to the subscribed inboxes, applies an accepted
+/// relaxation through the normal journaled submission path, and closes
+/// with a routed [`Event::NegotiationClosed`] reflecting whether the seed
+/// conflict actually cleared.
+#[allow(clippy::too_many_arguments)]
+fn negotiate_conflict(
+    dpm: &mut DesignProcessManager,
+    subscriptions: &mut Vec<SubscriptionEntry>,
+    logs: &mut [EventLog],
+    journal: &mut Option<JournalWriter>,
+    seed: ConstraintId,
+    config: &NegotiationConfig,
+    seq: u64,
+) -> NegotiationReport {
+    // An earlier negotiation in the same submission (shared MCS member) or
+    // a raced repair may already have cleared this seed.
+    if !dpm.network().status(seed).is_violated() {
+        return NegotiationReport {
+            seed_violated: false,
+            resolved: false,
+            rounds: 0,
+            proposals: 0,
+            participants: 0,
+        };
+    }
+    let started = Instant::now();
+    let sink = dpm.metrics_sink().clone();
+    let outcome = negotiate(dpm, seed, config);
+    subscriptions.retain(|s| !s.inbox.is_closed());
+    let mut delivered: u32 = 0;
+    let mut dropped: u32 = 0;
+    for (designer, event) in &outcome.transcript {
+        route_event(
+            dpm.network(),
+            subscriptions,
+            logs,
+            seq,
+            *designer,
+            event,
+            &mut delivered,
+            &mut dropped,
+        );
+    }
+    // Apply the accepted relaxation as a normal journaled operation —
+    // negotiation disabled for the nested submission, so a relaxation can
+    // never recursively negotiate.
+    let applied = match outcome.operation.clone() {
+        Some(operation) => matches!(
+            execute_submission(dpm, subscriptions, logs, journal, operation, None),
+            OpOutcome::Executed(_)
+        ),
+        None => false,
+    };
+    let resolved = applied && !dpm.network().status(seed).is_violated();
+    let closed = Event::NegotiationClosed {
+        constraint: seed,
+        properties: outcome.properties.clone(),
+        rounds: outcome.rounds,
+        resolved,
+    };
+    for designer in &outcome.participants {
+        route_event(
+            dpm.network(),
+            subscriptions,
+            logs,
+            seq,
+            *designer,
+            &closed,
+            &mut delivered,
+            &mut dropped,
+        );
+    }
+    if delivered > 0 {
+        sink.incr(Counter::InboxDelivered, delivered.into());
+    }
+    if dropped > 0 {
+        sink.incr(Counter::InboxDropped, dropped.into());
+    }
+    sink.incr(Counter::NegotiationRounds, outcome.rounds.into());
+    sink.incr(Counter::ProposalsSent, outcome.proposals.into());
+    sink.incr(
+        if resolved {
+            Counter::ConflictsResolved
+        } else {
+            Counter::ConflictsAbandoned
+        },
+        1,
+    );
+    let outcome_label = if resolved { "resolved" } else { "abandoned" };
+    let constraint_name = dpm.network().constraint(seed).name().to_owned();
+    if let Some(writer) = journal.as_mut() {
+        if let Err(error) = writer.append_negotiation(
+            seq,
+            &constraint_name,
+            outcome.rounds,
+            outcome.proposals,
+            outcome.participants.len() as u32,
+            outcome_label,
+            sink.as_ref(),
+        ) {
+            eprintln!("adpm: journal append failed, journaling disabled: {error}");
+            *journal = None;
+            dpm.metrics_sink().flush();
+        }
+    }
+    let dur_us = started.elapsed().as_micros() as u64;
+    sink.time(SpanKind::Negotiate, dur_us);
+    if sink.is_enabled() {
+        sink.record(&TraceEvent::Negotiation {
+            seq,
+            constraint: &constraint_name,
+            rounds: outcome.rounds,
+            proposals: outcome.proposals,
+            participants: outcome.participants.len() as u32,
+            outcome: outcome_label,
+            dur_us,
+        });
+    }
+    NegotiationReport {
+        seed_violated: true,
+        resolved,
+        rounds: outcome.rounds,
+        proposals: outcome.proposals,
+        participants: outcome.participants.len() as u32,
     }
 }
 
@@ -628,40 +851,17 @@ fn fan_out(
     let mut dropped: u32 = 0;
     for designer in dpm.designers().to_vec() {
         let events = dpm.take_notifications(designer);
-        if events.is_empty() {
-            continue;
-        }
         for event in &events {
-            let idx = match logs.get_mut(designer.index()) {
-                Some(log) => {
-                    log.last_idx += 1;
-                    let entry = InboxEntry {
-                        seq,
-                        idx: log.last_idx,
-                        event: event.clone(),
-                    };
-                    if log.retained.len() >= RETAINED_EVENTS {
-                        log.retained.pop_front();
-                    }
-                    log.retained.push_back(entry);
-                    log.last_idx
-                }
-                None => 0,
-            };
-            for sub in subscriptions.iter().filter(|s| s.designer == designer) {
-                if !sub.interests.matches(event, dpm.network()) {
-                    continue;
-                }
-                if sub.inbox.push(InboxEntry {
-                    seq,
-                    idx,
-                    event: event.clone(),
-                }) {
-                    delivered += 1;
-                } else {
-                    dropped += 1;
-                }
-            }
+            route_event(
+                dpm.network(),
+                subscriptions,
+                logs,
+                seq,
+                designer,
+                event,
+                &mut delivered,
+                &mut dropped,
+            );
         }
     }
     if delivered > 0 {
@@ -680,6 +880,52 @@ fn fan_out(
             dropped,
             dur_us,
         });
+    }
+}
+
+/// Routes one event to `designer`: assigns the next delivery index,
+/// retains it (bounded) for reconnect redelivery, and pushes it into
+/// every matching subscription's inbox.
+#[allow(clippy::too_many_arguments)]
+fn route_event(
+    network: &ConstraintNetwork,
+    subscriptions: &[SubscriptionEntry],
+    logs: &mut [EventLog],
+    seq: u64,
+    designer: DesignerId,
+    event: &Event,
+    delivered: &mut u32,
+    dropped: &mut u32,
+) {
+    let idx = match logs.get_mut(designer.index()) {
+        Some(log) => {
+            log.last_idx += 1;
+            let entry = InboxEntry {
+                seq,
+                idx: log.last_idx,
+                event: event.clone(),
+            };
+            if log.retained.len() >= RETAINED_EVENTS {
+                log.retained.pop_front();
+            }
+            log.retained.push_back(entry);
+            log.last_idx
+        }
+        None => 0,
+    };
+    for sub in subscriptions.iter().filter(|s| s.designer == designer) {
+        if !sub.interests.matches(event, network) {
+            continue;
+        }
+        if sub.inbox.push(InboxEntry {
+            seq,
+            idx,
+            event: event.clone(),
+        }) {
+            *delivered += 1;
+        } else {
+            *dropped += 1;
+        }
     }
 }
 
@@ -983,6 +1229,83 @@ mod tests {
             text.lines().any(|l| l.contains("\"t\":\"counters\"")),
             "degradation did not flush the sink; trace so far: {text}"
         );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn conflict_triggers_negotiation_and_applies_the_relaxation() {
+        use adpm_observe::InMemorySink;
+        use std::sync::Arc;
+        let (mut dpm, pf, ps) = session_fixture();
+        let sink = Arc::new(InMemorySink::new());
+        dpm.set_sink(sink.clone());
+        let d0 = dpm.designers()[0];
+        let d1 = dpm.designers()[1];
+        let fe = frontend_problem(&dpm);
+        let top = dpm.problems().root().unwrap();
+        let de = dpm.problems().problem(top).children()[1];
+        let interests = InterestSet::for_designer(&dpm, d1);
+        let engine = SessionEngine::spawn_with(
+            dpm,
+            SessionOptions {
+                negotiation: Some(NegotiationConfig::default()),
+                ..SessionOptions::default()
+            },
+        );
+        let handle = engine.handle();
+        let inbox = handle
+            .subscribe(d1, interests, DEFAULT_INBOX_CAPACITY)
+            .expect("session alive");
+        handle
+            .submit(Operation::assign(d0, fe, pf, Value::number(150.0)))
+            .expect("session alive");
+        // ADPM narrows ps's feasible range to [0, 50]; binding inside E_i
+        // cannot violate, so force the conflict through the other side:
+        // d1's assign of 150 would be rejected (outside E_i), so instead
+        // re-assign pf higher after ps is bound.
+        handle
+            .submit(Operation::assign(d1, de, ps, Value::number(50.0)))
+            .expect("session alive");
+        let outcome = handle
+            .submit(Operation::assign(d0, fe, pf, Value::number(250.0)))
+            .expect("session alive");
+        let record = outcome.record().expect("executed").clone();
+        assert!(!record.new_violations.is_empty(), "conflict introduced");
+        // The negotiation ran, resolved the conflict, and applied the
+        // relaxation as a journaled operation (visible in the history).
+        assert_eq!(sink.get(Counter::ConflictsResolved), 1);
+        assert!(sink.get(Counter::NegotiationRounds) >= 1);
+        assert!(sink.get(Counter::ProposalsSent) >= 1);
+        let snapshot = handle.snapshot().expect("session alive");
+        assert!(
+            snapshot.known_violations().is_empty(),
+            "negotiated relaxation cleared the conflict"
+        );
+        assert!(snapshot
+            .history()
+            .iter()
+            .any(|r| r.operation.operator().kind() == "relax"));
+        // d1 saw the proposal and the close.
+        let entries = inbox.wait_drain(Duration::from_secs(10));
+        assert!(entries
+            .iter()
+            .any(|e| matches!(e.event, Event::NegotiationProposed { .. })));
+        assert!(entries.iter().any(|e| matches!(
+            e.event,
+            Event::NegotiationClosed { resolved: true, .. }
+        )));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn negotiate_command_reports_zero_when_disabled() {
+        let (dpm, _, _) = session_fixture();
+        let budget = dpm.network().constraint_ids().next().unwrap();
+        let engine = SessionEngine::spawn(dpm);
+        let handle = engine.handle();
+        let report = handle.negotiate(budget).expect("session alive");
+        assert!(!report.seed_violated);
+        assert_eq!(report.rounds, 0);
         engine.shutdown();
     }
 

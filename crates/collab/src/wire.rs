@@ -280,7 +280,7 @@ pub enum Frame {
         /// one-shot `stats` replies).
         watch: bool,
         /// Every counter at capture time.
-        counters: CounterSnapshot,
+        counters: Box<CounterSnapshot>,
         /// Trace events recorded at capture time.
         events: u64,
         /// Session-command latency median, µs (bucket upper bound).
@@ -306,6 +306,101 @@ pub enum Frame {
         idx: u64,
         /// The recorded trace event, as its original JSON line.
         line: String,
+    },
+    /// A relaxation proposal in a conflict negotiation. Server → subscribed
+    /// client when routed from the session's negotiation engine; a client
+    /// may also *send* one (on a negotiation-enabled session) to ask the
+    /// server to negotiate the named conflict now.
+    Propose {
+        /// Sequence number of the triggering operation (0 when
+        /// client-sent).
+        seq: u64,
+        /// 1-based negotiation round.
+        round: u32,
+        /// Designer index offering the relaxation (ignored when
+        /// client-sent).
+        proposer: u32,
+        /// Proposal kind: `"widen"`, `"drop"`, or `"unbind"`.
+        kind: String,
+        /// Seed conflict constraint name. For a client-sent `propose`
+        /// this is the conflict to negotiate; `kind`/`property`/`slack`
+        /// may be left empty — the server's engine generates the actual
+        /// proposals.
+        constraint: String,
+        /// Property name (`object.property`; `unbind` proposals only,
+        /// empty otherwise).
+        property: String,
+        /// Widen slack (`widen` proposals only, 0 otherwise).
+        slack: f64,
+        /// Per-designer delivery index (0 when client-sent).
+        idx: u64,
+    },
+    /// A participant's counter-offer answering a proposal.
+    CounterProposal {
+        /// Sequence number of the triggering operation.
+        seq: u64,
+        /// Round the answered proposal belongs to.
+        round: u32,
+        /// Designer index countering.
+        designer: u32,
+        /// Counter-proposal kind: `"widen"`, `"drop"`, or `"unbind"`.
+        kind: String,
+        /// Constraint the counter-offer targets (empty for `unbind`).
+        constraint: String,
+        /// Property the counter-offer unbinds (empty otherwise).
+        property: String,
+        /// Widen slack (0 unless `widen`).
+        slack: f64,
+        /// Per-designer delivery index.
+        idx: u64,
+    },
+    /// A participant accepts the current round's proposal.
+    Accept {
+        /// Sequence number of the triggering operation.
+        seq: u64,
+        /// Round the answered proposal belongs to.
+        round: u32,
+        /// Designer index accepting.
+        designer: u32,
+        /// Per-designer delivery index.
+        idx: u64,
+    },
+    /// A participant rejects the current round's proposal.
+    Reject {
+        /// Sequence number of the triggering operation.
+        seq: u64,
+        /// Round the answered proposal belongs to.
+        round: u32,
+        /// Designer index rejecting.
+        designer: u32,
+        /// Per-designer delivery index.
+        idx: u64,
+    },
+    /// A negotiation closed. `outcome` is `"resolved"` when an accepted
+    /// relaxation was applied and cleared the conflict, `"abandoned"`
+    /// otherwise. Also the server's direct reply to a client-sent
+    /// [`Frame::Propose`].
+    Resolved {
+        /// Sequence number of the closing event's operation (0 on direct
+        /// replies).
+        seq: u64,
+        /// Seed conflict constraint name.
+        constraint: String,
+        /// Rounds the negotiation ran.
+        rounds: u32,
+        /// Proposals put to the participants.
+        proposals: u32,
+        /// `"resolved"` or `"abandoned"`.
+        outcome: String,
+        /// Per-designer delivery index (0 on direct replies).
+        idx: u64,
+    },
+    /// Typed rejection of a negotiation frame: the session has negotiation
+    /// disabled, or the frame kind is server-generated only. The
+    /// connection stays open.
+    NegotiationRejected {
+        /// Why the frame was rejected.
+        message: String,
     },
 }
 
@@ -460,6 +555,12 @@ impl Frame {
             Frame::StatsReply { .. } => "stats_reply",
             Frame::DumpReply { .. } => "dump_reply",
             Frame::Flight { .. } => "flight",
+            Frame::Propose { .. } => "propose",
+            Frame::CounterProposal { .. } => "counter",
+            Frame::Accept { .. } => "accept",
+            Frame::Reject { .. } => "reject",
+            Frame::Resolved { .. } => "resolved",
+            Frame::NegotiationRejected { .. } => "negotiation_rejected",
         }
     }
 
@@ -630,6 +731,79 @@ impl Frame {
                 field_u64(&mut out, "idx", *idx);
                 field_str(&mut out, "line", line);
             }
+            Frame::Propose {
+                seq,
+                round,
+                proposer,
+                kind,
+                constraint,
+                property,
+                slack,
+                idx,
+            } => {
+                field_u64(&mut out, "seq", *seq);
+                field_u64(&mut out, "round", (*round).into());
+                field_u64(&mut out, "proposer", (*proposer).into());
+                field_str(&mut out, "kind", kind);
+                field_str(&mut out, "constraint", constraint);
+                field_str(&mut out, "property", property);
+                field_f64(&mut out, "slack", *slack);
+                field_u64(&mut out, "idx", *idx);
+            }
+            Frame::CounterProposal {
+                seq,
+                round,
+                designer,
+                kind,
+                constraint,
+                property,
+                slack,
+                idx,
+            } => {
+                field_u64(&mut out, "seq", *seq);
+                field_u64(&mut out, "round", (*round).into());
+                field_u64(&mut out, "designer", (*designer).into());
+                field_str(&mut out, "kind", kind);
+                field_str(&mut out, "constraint", constraint);
+                field_str(&mut out, "property", property);
+                field_f64(&mut out, "slack", *slack);
+                field_u64(&mut out, "idx", *idx);
+            }
+            Frame::Accept {
+                seq,
+                round,
+                designer,
+                idx,
+            }
+            | Frame::Reject {
+                seq,
+                round,
+                designer,
+                idx,
+            } => {
+                field_u64(&mut out, "seq", *seq);
+                field_u64(&mut out, "round", (*round).into());
+                field_u64(&mut out, "designer", (*designer).into());
+                field_u64(&mut out, "idx", *idx);
+            }
+            Frame::Resolved {
+                seq,
+                constraint,
+                rounds,
+                proposals,
+                outcome,
+                idx,
+            } => {
+                field_u64(&mut out, "seq", *seq);
+                field_str(&mut out, "constraint", constraint);
+                field_u64(&mut out, "rounds", (*rounds).into());
+                field_u64(&mut out, "proposals", (*proposals).into());
+                field_str(&mut out, "outcome", outcome);
+                field_u64(&mut out, "idx", *idx);
+            }
+            Frame::NegotiationRejected { message } => {
+                field_str(&mut out, "message", message)
+            }
         }
         out.push_str("}\n");
         out
@@ -716,6 +890,25 @@ impl Frame {
                 Some(JsonValue::Num(n)) => Ok(*n),
                 _ => Err(WireError::new(format!(
                     "`{tag}` frame needs number `{key}`"
+                ))),
+            }
+        };
+        // Optional string/number: absent is the zero value,
+        // present-but-mistyped is an error.
+        let opt_str = |key: &str| -> Result<String, WireError> {
+            match get(key) {
+                None => Ok(String::new()),
+                Some(v) => v.as_str().map(str::to_owned).ok_or_else(|| {
+                    WireError::new(format!("`{key}` must be a string in `{tag}` frame"))
+                }),
+            }
+        };
+        let opt_f64 = |key: &str| -> Result<f64, WireError> {
+            match get(key) {
+                None => Ok(0.0),
+                Some(JsonValue::Num(n)) => Ok(*n),
+                Some(_) => Err(WireError::new(format!(
+                    "`{key}` must be a number in `{tag}` frame"
                 ))),
             }
         };
@@ -841,9 +1034,9 @@ impl Frame {
                 // Counters cross the wire keyed by `Counter::name`; a
                 // counter a newer server knows and an older client does
                 // not (or vice versa) simply reads as 0.
-                counters: CounterSnapshot::from_fn(|counter| {
+                counters: Box::new(CounterSnapshot::from_fn(|counter| {
                     get(counter.name()).and_then(|v| v.as_u64()).unwrap_or(0)
-                }),
+                })),
                 events: opt_u64("events")?.unwrap_or(0),
                 p50_us: opt_u64("p50_us")?.unwrap_or(0),
                 p90_us: opt_u64("p90_us")?.unwrap_or(0),
@@ -857,6 +1050,52 @@ impl Frame {
             "flight" => Ok(Frame::Flight {
                 idx: need_u64("idx")?,
                 line: need_str("line")?,
+            }),
+            // Negotiation frames: only `constraint` (the seed conflict) is
+            // mandatory on a `propose` — client-sent proposes carry just
+            // that, server-routed ones fill in every field.
+            "propose" => Ok(Frame::Propose {
+                seq: opt_u64("seq")?.unwrap_or(0),
+                round: opt_u64("round")?.unwrap_or(0) as u32,
+                proposer: opt_u64("proposer")?.unwrap_or(0) as u32,
+                kind: opt_str("kind")?,
+                constraint: need_str("constraint")?,
+                property: opt_str("property")?,
+                slack: opt_f64("slack")?,
+                idx: opt_u64("idx")?.unwrap_or(0),
+            }),
+            "counter" => Ok(Frame::CounterProposal {
+                seq: need_u64("seq")?,
+                round: need_u32("round")?,
+                designer: need_u32("designer")?,
+                kind: need_str("kind")?,
+                constraint: opt_str("constraint")?,
+                property: opt_str("property")?,
+                slack: opt_f64("slack")?,
+                idx: opt_u64("idx")?.unwrap_or(0),
+            }),
+            "accept" => Ok(Frame::Accept {
+                seq: need_u64("seq")?,
+                round: need_u32("round")?,
+                designer: need_u32("designer")?,
+                idx: opt_u64("idx")?.unwrap_or(0),
+            }),
+            "reject" => Ok(Frame::Reject {
+                seq: need_u64("seq")?,
+                round: need_u32("round")?,
+                designer: need_u32("designer")?,
+                idx: opt_u64("idx")?.unwrap_or(0),
+            }),
+            "resolved" => Ok(Frame::Resolved {
+                seq: opt_u64("seq")?.unwrap_or(0),
+                constraint: need_str("constraint")?,
+                rounds: need_u32("rounds")?,
+                proposals: need_u32("proposals")?,
+                outcome: need_str("outcome")?,
+                idx: opt_u64("idx")?.unwrap_or(0),
+            }),
+            "negotiation_rejected" => Ok(Frame::NegotiationRejected {
+                message: need_str("message")?,
             }),
             other => Err(WireError::new(format!("unknown frame tag `{other}`"))),
         }
@@ -1171,11 +1410,11 @@ mod tests {
                 watch: true,
                 counters: {
                     use adpm_observe::Counter;
-                    CounterSnapshot::from_fn(|c| match c {
+                    Box::new(CounterSnapshot::from_fn(|c| match c {
                         Counter::SessionOps => 42,
                         Counter::InboxDropped => 2,
                         _ => c.index() as u64,
-                    })
+                    }))
                 },
                 events: 97,
                 p50_us: 12,
@@ -1190,6 +1429,59 @@ mod tests {
             Frame::Flight {
                 idx: 8745,
                 line: "{\"t\":\"tick\",\"tick\":3,\"outcome\":\"executed\"}".into(),
+            },
+            Frame::Propose {
+                seq: 12,
+                round: 1,
+                proposer: 0,
+                kind: "widen".into(),
+                constraint: "MeetArea".into(),
+                property: String::new(),
+                slack: 0.75,
+                idx: 4,
+            },
+            Frame::Propose {
+                seq: 0,
+                round: 0,
+                proposer: 0,
+                kind: String::new(),
+                constraint: "MeetArea".into(),
+                property: String::new(),
+                slack: 0.0,
+                idx: 0,
+            },
+            Frame::CounterProposal {
+                seq: 12,
+                round: 1,
+                designer: 2,
+                kind: "unbind".into(),
+                constraint: String::new(),
+                property: "sensor.s-area".into(),
+                slack: 0.0,
+                idx: 5,
+            },
+            Frame::Accept {
+                seq: 12,
+                round: 2,
+                designer: 1,
+                idx: 6,
+            },
+            Frame::Reject {
+                seq: 12,
+                round: 2,
+                designer: 2,
+                idx: 7,
+            },
+            Frame::Resolved {
+                seq: 13,
+                constraint: "MeetArea".into(),
+                rounds: 2,
+                proposals: 2,
+                outcome: "resolved".into(),
+                idx: 8,
+            },
+            Frame::NegotiationRejected {
+                message: "negotiation is disabled for this session".into(),
             },
         ];
         for frame in frames {
@@ -1242,6 +1534,18 @@ mod tests {
             ("{\"t\":\"stats_reply\",\"session\":\"s\"}", "needs integer `connections`"),
             ("{\"t\":\"dump_reply\",\"session\":\"s\"}", "needs integer `count`"),
             ("{\"t\":\"flight\",\"idx\":1}", "needs string `line`"),
+            ("{\"t\":\"propose\"}", "needs string `constraint`"),
+            ("{\"t\":\"propose\",\"constraint\":\"C\",\"slack\":\"big\"}",
+             "must be a number"),
+            ("{\"t\":\"propose\",\"constraint\":\"C\",\"kind\":7}",
+             "must be a string"),
+            ("{\"t\":\"counter\",\"seq\":1,\"round\":1,\"designer\":0}",
+             "needs string `kind`"),
+            ("{\"t\":\"accept\",\"seq\":1,\"round\":1}", "needs integer `designer`"),
+            ("{\"t\":\"reject\",\"seq\":1,\"designer\":0}", "needs integer `round`"),
+            ("{\"t\":\"resolved\",\"constraint\":\"C\",\"rounds\":1,\"proposals\":1}",
+             "needs string `outcome`"),
+            ("{\"t\":\"negotiation_rejected\"}", "needs string `message`"),
             ("not json", "expected"),
             ("{}", "empty frame"),
         ] {
@@ -1261,7 +1565,7 @@ mod tests {
             session: "s".into(),
             connections: 1,
             watch: false,
-            counters: CounterSnapshot::from_fn(|c| c.index() as u64 + 1),
+            counters: Box::new(CounterSnapshot::from_fn(|c| c.index() as u64 + 1)),
             events: 5,
             p50_us: 1,
             p90_us: 2,

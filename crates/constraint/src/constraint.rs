@@ -6,7 +6,7 @@
 //! otherwise. With interval-shaped argument ranges those three cases fall
 //! out of one interval evaluation of the gap expression `lhs - rhs`.
 
-use crate::expr::Expr;
+use crate::expr::{cst, Expr};
 use crate::ids::{ConstraintId, PropertyId};
 use crate::interval::Interval;
 use std::fmt;
@@ -89,6 +89,71 @@ impl fmt::Display for ConstraintStatus {
     }
 }
 
+/// A relaxation a negotiation round may apply to a constraint: the lawful
+/// rewrites that trade requirement strength for consistency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Relaxation {
+    /// Move the bound `slack` in the permissive direction: `lhs <= rhs`
+    /// becomes `lhs <= rhs + slack`, `lhs >= rhs` becomes
+    /// `lhs >= rhs - slack`. Not applicable to equality constraints.
+    WidenBound {
+        /// How far to move the bound (finite, strictly positive).
+        slack: f64,
+    },
+    /// Retire the constraint entirely by rewriting it to the trivially
+    /// satisfied `0 <= 1`. Only *soft* constraints may be dropped.
+    Drop,
+}
+
+impl Relaxation {
+    /// Short kind name for wire frames, journals, and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Relaxation::WidenBound { .. } => "widen",
+            Relaxation::Drop => "drop",
+        }
+    }
+}
+
+impl fmt::Display for Relaxation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relaxation::WidenBound { slack } => write!(f, "widen bound by {slack}"),
+            Relaxation::Drop => f.write_str("drop (soft)"),
+        }
+    }
+}
+
+/// Why a [`Relaxation`] could not be applied to a constraint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RelaxError {
+    /// Bound widening was requested on an equality constraint.
+    EqualityWiden,
+    /// The slack was non-finite or non-positive.
+    BadSlack {
+        /// The offending slack value.
+        slack: f64,
+    },
+    /// Dropping was requested on a constraint that is not soft.
+    HardDrop,
+}
+
+impl fmt::Display for RelaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelaxError::EqualityWiden => {
+                f.write_str("equality constraints have no bound to widen")
+            }
+            RelaxError::BadSlack { slack } => {
+                write!(f, "slack must be finite and positive, got {slack}")
+            }
+            RelaxError::HardDrop => f.write_str("only soft constraints may be dropped"),
+        }
+    }
+}
+
+impl std::error::Error for RelaxError {}
+
 /// A design constraint: a named relation between two expressions.
 ///
 /// # Examples
@@ -116,6 +181,7 @@ pub struct Constraint {
     rel: Relation,
     rhs: Expr,
     arguments: Vec<PropertyId>,
+    soft: bool,
 }
 
 impl Constraint {
@@ -138,6 +204,71 @@ impl Constraint {
             rel,
             rhs,
             arguments,
+            soft: false,
+        }
+    }
+
+    /// Marks the constraint *soft*: a preference rather than a hard
+    /// requirement, which negotiation may drop entirely. Defaults to
+    /// `false` (hard).
+    pub fn with_soft(mut self, soft: bool) -> Self {
+        self.soft = soft;
+        self
+    }
+
+    /// Whether the constraint is soft (droppable during negotiation).
+    pub fn is_soft(&self) -> bool {
+        self.soft
+    }
+
+    /// In-place softness setter for network-level declaration plumbing.
+    pub(crate) fn set_soft(&mut self, soft: bool) {
+        self.soft = soft;
+    }
+
+    /// The constraint rewritten by `relaxation`, keeping its id, name, and
+    /// softness so every index into the network stays valid.
+    ///
+    /// # Errors
+    ///
+    /// [`RelaxError::EqualityWiden`] for a bound widening on an equality
+    /// constraint (there is no bound to move), [`RelaxError::BadSlack`] for
+    /// a non-finite or non-positive slack, and [`RelaxError::HardDrop`]
+    /// when asked to drop a constraint that is not soft.
+    pub fn relaxed(&self, relaxation: Relaxation) -> Result<Constraint, RelaxError> {
+        match relaxation {
+            Relaxation::WidenBound { slack } => {
+                if !slack.is_finite() || slack <= 0.0 {
+                    return Err(RelaxError::BadSlack { slack });
+                }
+                let rhs = match self.rel {
+                    Relation::Le | Relation::Lt => self.rhs.clone() + cst(slack),
+                    Relation::Ge | Relation::Gt => self.rhs.clone() - cst(slack),
+                    Relation::Eq => return Err(RelaxError::EqualityWiden),
+                };
+                let mut relaxed =
+                    Constraint::new(self.id, self.name.clone(), self.lhs.clone(), self.rel, rhs);
+                relaxed.soft = self.soft;
+                Ok(relaxed)
+            }
+            Relaxation::Drop => {
+                if !self.soft {
+                    return Err(RelaxError::HardDrop);
+                }
+                // A dropped constraint becomes the trivially satisfied
+                // `0 <= 1`: ids, indices, and journaled histories stay
+                // valid, and every propagation engine handles it as an
+                // ordinary (argument-free) constraint.
+                let mut relaxed = Constraint::new(
+                    self.id,
+                    self.name.clone(),
+                    cst(0.0),
+                    Relation::Le,
+                    cst(1.0),
+                );
+                relaxed.soft = self.soft;
+                Ok(relaxed)
+            }
         }
     }
 

@@ -44,6 +44,13 @@ pub enum NetworkError {
         /// The non-numeric property.
         property: PropertyId,
     },
+    /// A relaxation rewrite was unlawful for the targeted constraint.
+    Relax {
+        /// The constraint the relaxation targeted.
+        constraint: String,
+        /// Why the rewrite was rejected.
+        source: crate::constraint::RelaxError,
+    },
 }
 
 impl fmt::Display for NetworkError {
@@ -78,6 +85,9 @@ impl fmt::Display for NetworkError {
                 f,
                 "constraint `{constraint}` uses non-numeric property {property} arithmetically"
             ),
+            NetworkError::Relax { constraint, source } => {
+                write!(f, "cannot relax constraint `{constraint}`: {source}")
+            }
         }
     }
 }

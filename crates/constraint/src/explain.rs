@@ -146,9 +146,15 @@ pub fn explain_violation(
     })
 }
 
-/// Explains every currently violated constraint, in id order.
+/// Explains every currently violated constraint, in ascending constraint-id
+/// order. The order is sorted explicitly — negotiation proposal ranking and
+/// golden traces consume this list, so it must stay deterministic even if
+/// [`ConstraintNetwork::violated_constraints`] ever changes its iteration
+/// order.
 pub fn explain_all_violations(net: &ConstraintNetwork) -> Vec<ViolationExplanation> {
-    net.violated_constraints()
+    let mut violated = net.violated_constraints();
+    violated.sort_unstable();
+    violated
         .into_iter()
         .filter_map(|cid| explain_violation(net, cid))
         .collect()

@@ -73,6 +73,7 @@ pub mod expr;
 mod heuristics;
 mod ids;
 mod interval;
+mod mcs;
 mod monotone;
 mod network;
 mod propagate;
@@ -80,7 +81,7 @@ mod value;
 
 pub use arena::IntervalArena;
 pub use compile::{CompiledConstraint, CompiledNetwork, Op, ReviseScratch};
-pub use constraint::{Constraint, ConstraintStatus, Relation, EQ_TOL};
+pub use constraint::{Constraint, ConstraintStatus, Relation, RelaxError, Relaxation, EQ_TOL};
 pub use domain::Domain;
 pub use error::NetworkError;
 pub use explain::{explain_all_violations, explain_violation, ArgumentDiagnosis, ViolationExplanation};
@@ -88,6 +89,7 @@ pub use expr::Expr;
 pub use heuristics::{HeuristicReport, PropertyInsight};
 pub use ids::{ConstraintId, PropertyId};
 pub use interval::Interval;
+pub use mcs::{minimal_conflict_set, subset_conflicts, MinimalConflictSet};
 pub use monotone::{helps_direction, local_helps_direction};
 pub use network::{ConstraintNetwork, HelpsDirection, Property};
 pub use propagate::{

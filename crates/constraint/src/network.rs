@@ -6,7 +6,7 @@
 //! constraint. It is the data structure the paper's Design Constraint
 //! Manager evaluates and the Design Process Manager labels states with.
 
-use crate::constraint::{Constraint, ConstraintStatus, Relation};
+use crate::constraint::{Constraint, ConstraintStatus, Relation, Relaxation};
 use crate::domain::Domain;
 use crate::error::NetworkError;
 use crate::expr::Expr;
@@ -635,6 +635,59 @@ impl ConstraintNetwork {
         if clean {
             self.dirty_props.clear();
         }
+    }
+
+    /// Marks constraint `cid` soft (droppable during negotiation) or hard.
+    /// Mirrors the DDDL `soft constraint` modifier.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownConstraint`] for a foreign id.
+    pub fn set_constraint_soft(
+        &mut self,
+        cid: ConstraintId,
+        soft: bool,
+    ) -> Result<(), NetworkError> {
+        self.constraints
+            .get_mut(cid.index())
+            .ok_or(NetworkError::UnknownConstraint(cid))?
+            .set_soft(soft);
+        Ok(())
+    }
+
+    /// Rewrites constraint `cid` in place with the given relaxation (see
+    /// [`Constraint::relaxed`]). The property→constraint adjacency is
+    /// updated for arguments the rewrite removed (a drop empties them), the
+    /// constraint's status is re-evaluated immediately, and the network's
+    /// fixed point is invalidated — relaxing *widens* the admissible space,
+    /// so the next propagation must restart from scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownConstraint`] for a foreign id, or
+    /// [`NetworkError::Relax`] when the rewrite itself is unlawful.
+    pub fn relax_constraint(
+        &mut self,
+        cid: ConstraintId,
+        relaxation: Relaxation,
+    ) -> Result<(), NetworkError> {
+        let old = self
+            .constraints
+            .get(cid.index())
+            .ok_or(NetworkError::UnknownConstraint(cid))?;
+        let new = old.relaxed(relaxation).map_err(|source| NetworkError::Relax {
+            constraint: old.name().to_owned(),
+            source,
+        })?;
+        for arg in old.arguments() {
+            if !new.involves(arg) {
+                self.prop_constraints[arg.index()].retain(|c| *c != cid);
+            }
+        }
+        self.constraints[cid.index()] = new;
+        self.fixpoint_clean = false;
+        self.evaluate_constraint(cid);
+        Ok(())
     }
 
     /// Ids of all constraints currently recorded as violated.

@@ -4,10 +4,11 @@
 
 use adpm_constraint::expr::{cst, var};
 use adpm_constraint::{
-    hc4_revise, propagate, Constraint, ConstraintId, ConstraintNetwork, Domain, Interval,
-    Property, PropertyId, PropagationConfig, Relation,
+    hc4_revise, minimal_conflict_set, propagate, subset_conflicts, Constraint, ConstraintId,
+    ConstraintNetwork, Domain, Interval, Property, PropertyId, PropagationConfig, Relation, Value,
 };
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 /// A small, well-behaved interval strategy: finite bounds in [-50, 50].
 fn interval() -> impl Strategy<Value = (Interval, f64)> {
@@ -232,6 +233,64 @@ proptest! {
             let init = net.property(*pid).initial_domain().enclosing_interval().unwrap();
             let feas = net.feasible(*pid).enclosing_interval().unwrap();
             prop_assert!(init.contains_interval(&feas) || feas.is_empty());
+        }
+    }
+
+    /// Deletion-based MCS reduction (the unit negotiation argues about):
+    /// the reduced set still conflicts under the first-principles subset
+    /// test, and removing any single member makes it consistent — i.e.
+    /// the result really is *minimal*, not just *small*.
+    #[test]
+    fn minimal_conflict_sets_conflict_and_are_minimal(
+        bounds in proptest::collection::vec((0.0f64..10.0, 10.0f64..30.0), 2..8),
+        caps in proptest::collection::vec(5.0f64..40.0, 1..8),
+        binds in proptest::collection::vec(-0.5f64..1.0, 8..9)
+    ) {
+        let mut net = ConstraintNetwork::new();
+        let ids: Vec<PropertyId> = bounds
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, hi))| {
+                net.add_property(Property::new(format!("x{i}"), "o", Domain::interval(*lo, *hi)))
+                    .unwrap()
+            })
+            .collect();
+        // The same chain + caps shape as above, plus bindings: a random
+        // subset of properties committed somewhere in their declared
+        // range, which routinely violates the low caps and orderings.
+        for w in ids.windows(2) {
+            net.add_constraint("ord", var(w[0]), Relation::Le, var(w[1])).unwrap();
+        }
+        for (i, cap) in caps.iter().enumerate() {
+            let pid = ids[i % ids.len()];
+            net.add_constraint(format!("cap{i}"), var(pid), Relation::Le, cst(*cap)).unwrap();
+        }
+        // A negative draw leaves the property unbound, so every run mixes
+        // committed and open decisions.
+        for (i, pid) in ids.iter().enumerate() {
+            let frac = binds[i];
+            if frac >= 0.0 {
+                let (lo, hi) = bounds[i];
+                net.bind(*pid, Value::number(lo + frac * (hi - lo))).unwrap();
+            }
+        }
+        net.evaluate_statuses();
+        for seed in net.violated_constraints() {
+            let Some(mcs) = minimal_conflict_set(&net, seed) else { continue };
+            let members: BTreeSet<ConstraintId> = mcs.members.iter().copied().collect();
+            prop_assert!(!members.is_empty(), "an MCS cannot be empty");
+            prop_assert!(
+                subset_conflicts(&net, &members),
+                "the reduced set must still conflict on its own"
+            );
+            for cid in &mcs.members {
+                let mut without = members.clone();
+                without.remove(cid);
+                prop_assert!(
+                    !subset_conflicts(&net, &without),
+                    "removing any single member must make the set consistent"
+                );
+            }
         }
     }
 }

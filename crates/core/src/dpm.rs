@@ -377,6 +377,11 @@ impl DesignProcessManager {
                 }
             }
             Operator::Decompose { .. } => {}
+            Operator::Relax { constraint, .. } => {
+                if constraint.index() >= self.network.constraint_count() {
+                    return Err(OperationError::UnknownConstraint(*constraint));
+                }
+            }
         }
         for cid in operation.repairs() {
             if cid.index() >= self.network.constraint_count() {
@@ -423,6 +428,26 @@ impl DesignProcessManager {
             Operator::Decompose { subproblems } => {
                 for name in subproblems {
                     self.problems.decompose(operation.problem(), name.clone());
+                }
+            }
+            Operator::Relax {
+                constraint,
+                relaxation,
+            } => {
+                // relax_constraint re-evaluates the rewritten constraint's
+                // status immediately, so both flows see the conflict clear
+                // even before the next propagation.
+                self.network.relax_constraint(*constraint, *relaxation)?;
+                evaluations += 1;
+                // Keep the conflict ledger in step with the re-evaluated
+                // status: ADPM refreshes it wholesale after propagation
+                // below, but the conventional flow only updates it at
+                // verifications, which would leave a relax-cleared
+                // conflict on the books forever.
+                if self.network.status(*constraint).is_violated() {
+                    self.known_violations.insert(*constraint);
+                } else {
+                    self.known_violations.remove(constraint);
                 }
             }
         }

@@ -12,6 +12,114 @@ use adpm_constraint::{ConstraintId, ConstraintNetwork, PropertyId};
 use std::collections::BTreeSet;
 use std::fmt;
 
+/// A concrete conflict-resolution offer put to the participants of a
+/// negotiation round: relax a constraint (widen its bound or drop a soft
+/// one) or back a bound property out of the conflict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Proposal {
+    /// Widen the constraint's bound by `slack` (the paper's "negotiate the
+    /// requirement" move).
+    Widen {
+        /// The constraint whose bound would move.
+        constraint: ConstraintId,
+        /// How far the bound would move, in the constraint's units.
+        slack: f64,
+    },
+    /// Drop a soft constraint entirely.
+    DropSoft {
+        /// The soft constraint that would be dropped.
+        constraint: ConstraintId,
+    },
+    /// Unbind a property involved in the conflict (localized backtracking).
+    Unbind {
+        /// The bound property that would be freed.
+        property: PropertyId,
+    },
+}
+
+impl Proposal {
+    /// Short kind name for wire frames and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Proposal::Widen { .. } => "widen",
+            Proposal::DropSoft { .. } => "drop",
+            Proposal::Unbind { .. } => "unbind",
+        }
+    }
+
+    /// The constraint the proposal rewrites, if any.
+    pub fn constraint(&self) -> Option<ConstraintId> {
+        match self {
+            Proposal::Widen { constraint, .. } | Proposal::DropSoft { constraint } => {
+                Some(*constraint)
+            }
+            Proposal::Unbind { .. } => None,
+        }
+    }
+
+    /// The property the proposal unbinds, if any.
+    pub fn property(&self) -> Option<PropertyId> {
+        match self {
+            Proposal::Unbind { property } => Some(*property),
+            _ => None,
+        }
+    }
+
+    /// The widen slack (0 for non-widen proposals).
+    pub fn slack(&self) -> f64 {
+        match self {
+            Proposal::Widen { slack, .. } => *slack,
+            _ => 0.0,
+        }
+    }
+
+    /// The properties the proposal touches (the rewritten constraint's
+    /// arguments, or the unbound property) — what "this proposal affects
+    /// your viewpoint" means for a negotiation policy.
+    pub fn touched_properties(&self, network: &ConstraintNetwork) -> Vec<PropertyId> {
+        match self {
+            Proposal::Widen { constraint, .. } | Proposal::DropSoft { constraint } => {
+                network.constraint(*constraint).argument_slice().to_vec()
+            }
+            Proposal::Unbind { property } => vec![*property],
+        }
+    }
+}
+
+impl fmt::Display for Proposal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proposal::Widen { constraint, slack } => {
+                write!(f, "widen {constraint} by {slack}")
+            }
+            Proposal::DropSoft { constraint } => write!(f, "drop soft {constraint}"),
+            Proposal::Unbind { property } => write!(f, "unbind {property}"),
+        }
+    }
+}
+
+/// A participant's verdict on a proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegotiationAnswer {
+    /// The participant accepts the proposal as-is.
+    Accept,
+    /// The participant rejects the proposal without an alternative.
+    Reject,
+    /// The participant rejects the proposal and offers an alternative.
+    Counter,
+}
+
+impl NegotiationAnswer {
+    /// Short name for wire frames and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            NegotiationAnswer::Accept => "accept",
+            NegotiationAnswer::Reject => "reject",
+            NegotiationAnswer::Counter => "counter",
+        }
+    }
+}
+
 /// A constraint-related event worth telling a designer about.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -45,6 +153,43 @@ pub enum Event {
         /// The solved problem.
         problem: ProblemId,
     },
+    /// A negotiation round put a relaxation proposal to the conflict's
+    /// participants.
+    NegotiationProposed {
+        /// The seed conflict being negotiated.
+        constraint: ConstraintId,
+        /// 1-based round number.
+        round: u32,
+        /// The designer the proposal is attributed to.
+        proposer: DesignerId,
+        /// The offered relaxation.
+        proposal: Proposal,
+    },
+    /// A participant answered the current round's proposal.
+    NegotiationAnswered {
+        /// The seed conflict being negotiated.
+        constraint: ConstraintId,
+        /// 1-based round number.
+        round: u32,
+        /// The answering designer.
+        designer: DesignerId,
+        /// The verdict.
+        answer: NegotiationAnswer,
+        /// The alternative offered with a [`NegotiationAnswer::Counter`].
+        counter: Option<Proposal>,
+    },
+    /// A negotiation finished — either an accepted relaxation was applied
+    /// or the round budget ran out.
+    NegotiationClosed {
+        /// The seed conflict that was negotiated.
+        constraint: ConstraintId,
+        /// The minimal conflicting set's properties (for routing).
+        properties: Vec<PropertyId>,
+        /// Rounds run.
+        rounds: u32,
+        /// Whether an accepted relaxation resolved the conflict.
+        resolved: bool,
+    },
 }
 
 impl Event {
@@ -56,6 +201,11 @@ impl Event {
             Event::FeasibleReduced { property, .. } | Event::FeasibleEmptied { property } => {
                 vec![*property]
             }
+            Event::NegotiationProposed { proposal, .. } => {
+                proposal.property().into_iter().collect()
+            }
+            Event::NegotiationAnswered { .. } => Vec::new(),
+            Event::NegotiationClosed { properties, .. } => properties.clone(),
         }
     }
 }
@@ -81,6 +231,36 @@ impl fmt::Display for Event {
                 write!(f, "feasible subspace of {property} is empty")
             }
             Event::ProblemSolved { problem } => write!(f, "{problem} solved"),
+            Event::NegotiationProposed {
+                constraint,
+                round,
+                proposer,
+                proposal,
+            } => write!(
+                f,
+                "negotiation on {constraint} round {round}: {proposer} proposes {proposal}"
+            ),
+            Event::NegotiationAnswered {
+                constraint,
+                round,
+                designer,
+                answer,
+                ..
+            } => write!(
+                f,
+                "negotiation on {constraint} round {round}: {designer} answers {}",
+                answer.name()
+            ),
+            Event::NegotiationClosed {
+                constraint,
+                rounds,
+                resolved,
+                ..
+            } => write!(
+                f,
+                "negotiation on {constraint} {} after {rounds} round(s)",
+                if *resolved { "resolved" } else { "abandoned" }
+            ),
         }
     }
 }
@@ -182,6 +362,33 @@ impl NotificationManager {
                 my_problems.contains(problem)
                     || problems.problem(*problem).parent().map(|pp| my_problems.contains(&pp))
                         == Some(true)
+            }
+            // Negotiation events follow the seed conflict's relevance rule:
+            // a negotiated conflict concerns whoever the violation itself
+            // would concern (and, like cross-object violations, the whole
+            // team when the seed spans objects).
+            Event::NegotiationProposed { constraint, .. }
+            | Event::NegotiationAnswered { constraint, .. } => {
+                network
+                    .constraint(*constraint)
+                    .argument_slice()
+                    .iter()
+                    .any(|p| my_properties.contains(p))
+                    || my_problems
+                        .iter()
+                        .any(|pid| problems.problem(*pid).constraints().contains(constraint))
+                    || network.is_cross_object(*constraint)
+            }
+            Event::NegotiationClosed {
+                constraint,
+                properties,
+                ..
+            } => {
+                properties.iter().any(|p| my_properties.contains(p))
+                    || my_problems
+                        .iter()
+                        .any(|pid| problems.problem(*pid).constraints().contains(constraint))
+                    || network.is_cross_object(*constraint)
             }
         }
     }

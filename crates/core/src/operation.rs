@@ -8,7 +8,7 @@
 //! (used for spin accounting).
 
 use crate::ids::{DesignerId, ProblemId};
-use adpm_constraint::{ConstraintId, PropertyId, Value};
+use adpm_constraint::{ConstraintId, PropertyId, Relaxation, Value};
 use std::fmt;
 
 /// The operator applied by a design operation.
@@ -41,6 +41,15 @@ pub enum Operator {
         /// Names of the subproblems to create, in order.
         subproblems: Vec<String>,
     },
+    /// Negotiated relaxation: rewrite a constraint (widen its bound or drop
+    /// a soft one) as agreed by a negotiation round. Journaled and replayed
+    /// like any other operation.
+    Relax {
+        /// The constraint being relaxed.
+        constraint: ConstraintId,
+        /// The agreed rewrite.
+        relaxation: Relaxation,
+    },
 }
 
 impl Operator {
@@ -51,6 +60,7 @@ impl Operator {
             Operator::Unbind { .. } => "unbind",
             Operator::Verify { .. } => "verify",
             Operator::Decompose { .. } => "decompose",
+            Operator::Relax { .. } => "relax",
         }
     }
 
@@ -122,6 +132,23 @@ impl Operation {
             problem,
             Operator::Verify {
                 constraints: Vec::new(),
+            },
+        )
+    }
+
+    /// Convenience constructor for a negotiated constraint relaxation.
+    pub fn relax(
+        designer: DesignerId,
+        problem: ProblemId,
+        constraint: ConstraintId,
+        relaxation: Relaxation,
+    ) -> Self {
+        Operation::new(
+            designer,
+            problem,
+            Operator::Relax {
+                constraint,
+                relaxation,
             },
         )
     }
@@ -200,6 +227,14 @@ impl fmt::Display for Operation {
                 self.designer,
                 self.problem,
                 subproblems.len()
+            ),
+            Operator::Relax {
+                constraint,
+                relaxation,
+            } => write!(
+                f,
+                "{}: relax {constraint} ({relaxation}) on {}",
+                self.designer, self.problem
             ),
         }
     }

@@ -79,11 +79,14 @@ pub enum RelOp {
     Eq,
 }
 
-/// `constraint <name>: <expr> <rel> <expr> [monotonic ...];`
+/// `[soft] constraint <name>: <expr> <rel> <expr> [monotonic ...];`
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConstraintDecl {
     /// Constraint name (referenced from problem declarations).
     pub name: String,
+    /// Whether the constraint was declared `soft` — a preference a
+    /// negotiation round may drop, not a hard requirement.
+    pub soft: bool,
     /// Left-hand expression.
     pub lhs: ExprAst,
     /// Comparison operator.

@@ -118,6 +118,9 @@ pub fn compile(ast: ScenarioAst) -> Result<CompiledScenario, DddlError> {
             RelOp::Eq => Relation::Eq,
         };
         let cid = network.add_constraint(&decl.name, lhs, rel, rhs)?;
+        if decl.soft {
+            network.set_constraint_soft(cid, true)?;
+        }
         for mono in &decl.monotonic {
             let pid = lookup(&mono.property)?;
             let dir = if mono.increasing {
@@ -355,6 +358,23 @@ mod tests {
         assert!(s.constraint("power").is_some());
         assert_eq!(s.designer_count(), 2);
         assert_eq!(s.initial_bindings().len(), 1);
+    }
+
+    #[test]
+    fn soft_modifier_is_transferred_to_the_network() {
+        let s = compile_source(
+            r#"
+            object o { property x : interval(0, 10); }
+            soft constraint pref: o.x <= 5;
+            constraint hard: o.x >= 0;
+            problem top { constraints: pref, hard; outputs: o.x; designer 0; }
+            "#,
+        )
+        .unwrap();
+        let pref = s.constraint("pref").unwrap();
+        let hard = s.constraint("hard").unwrap();
+        assert!(s.network().constraint(pref).is_soft());
+        assert!(!s.network().constraint(hard).is_soft());
     }
 
     #[test]

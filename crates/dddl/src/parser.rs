@@ -12,7 +12,7 @@
 //!               | "bool"
 //! opt          := "units" string | "levels" "[" name ("," name)* "]"
 //!               | "init" num
-//! constraint   := "constraint" name ":" expr rel expr [mono] ";"
+//! constraint   := ["soft"] "constraint" name ":" expr rel expr [mono] ";"
 //! rel          := "<=" | "<" | ">=" | ">" | "=="
 //! mono         := "monotonic" monoitem ("," monoitem)*
 //! monoitem     := ("increasing" | "decreasing") "in" propref
@@ -74,11 +74,18 @@ impl Parser {
         while let Some(t) = self.peek() {
             match t {
                 Token::Ident(kw) if kw == "object" => ast.objects.push(self.object()?),
-                Token::Ident(kw) if kw == "constraint" => ast.constraints.push(self.constraint()?),
+                Token::Ident(kw) if kw == "constraint" => {
+                    ast.constraints.push(self.constraint(false)?);
+                }
+                Token::Ident(kw) if kw == "soft" => {
+                    self.advance();
+                    ast.constraints.push(self.constraint(true)?);
+                }
                 Token::Ident(kw) if kw == "problem" => ast.problems.push(self.problem()?),
                 other => {
                     return Err(self.error(format!(
-                        "expected `object`, `constraint`, or `problem`, found `{other}`"
+                        "expected `object`, `constraint`, `soft constraint`, or `problem`, \
+                         found `{other}`"
                     )))
                 }
             }
@@ -175,7 +182,7 @@ impl Parser {
         }
     }
 
-    fn constraint(&mut self) -> Result<ConstraintDecl, DddlError> {
+    fn constraint(&mut self, soft: bool) -> Result<ConstraintDecl, DddlError> {
         self.expect_keyword("constraint")?;
         let name = self.name()?;
         self.expect(&Token::Colon)?;
@@ -210,6 +217,7 @@ impl Parser {
         self.expect(&Token::Semicolon)?;
         Ok(ConstraintDecl {
             name,
+            soft,
             lhs,
             rel,
             rhs,
@@ -552,6 +560,22 @@ mod tests {
         );
         assert_eq!(obj.properties[3].domain, DomainDecl::Bool);
         assert_eq!(obj.properties[4].init, Some(200.0));
+    }
+
+    #[test]
+    fn parses_soft_constraint_modifier() {
+        let ast = parse(
+            r#"
+            object o { property x : interval(0, 1); }
+            soft constraint pref: o.x <= 0.5;
+            constraint hard: o.x >= 0;
+            "#,
+        )
+        .unwrap();
+        assert!(ast.constraints[0].soft);
+        assert!(!ast.constraints[1].soft);
+        // `soft` must be followed by `constraint`.
+        assert!(parse("soft object o { }").is_err());
     }
 
     #[test]

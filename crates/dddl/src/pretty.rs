@@ -32,7 +32,8 @@ pub fn to_source(ast: &ScenarioAst) -> String {
     for c in &ast.constraints {
         let _ = write!(
             out,
-            "constraint {}: {} {} {}",
+            "{}constraint {}: {} {} {}",
+            if c.soft { "soft " } else { "" },
             name(&c.name),
             expr(&c.lhs),
             rel(c.rel),

@@ -154,10 +154,11 @@ impl AnalysisReport {
 }
 
 /// Span tags in nesting order for the timing rollup.
-const SPAN_TAGS: [&str; 9] = [
+const SPAN_TAGS: [&str; 10] = [
     "tick",
     "session",
     "op",
+    "negotiate",
     "propagation",
     "compile",
     "par_wave",
@@ -298,6 +299,15 @@ pub fn analyze_trace(lines: &[TraceLine]) -> AnalysisReport {
                     }
                 }
                 add(&mut derived, "notifications", events);
+            }
+            "negotiate" => {
+                add(&mut derived, "negotiation_rounds", line.u64_field("rounds").unwrap_or(0));
+                add(&mut derived, "proposals_sent", line.u64_field("proposals").unwrap_or(0));
+                match line.str_field("outcome") {
+                    Some("resolved") => add(&mut derived, "conflicts_resolved", 1),
+                    Some("abandoned") => add(&mut derived, "conflicts_abandoned", 1),
+                    _ => {}
+                }
             }
             "summary" => {
                 report.completed = line.bool_field("completed");

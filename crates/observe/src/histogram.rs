@@ -40,11 +40,14 @@ pub enum SpanKind {
     Compile,
     /// One connected-component worker inside a parallel propagation run.
     ParWave,
+    /// One complete conflict negotiation (MCS reduction through the final
+    /// accepted/abandoned verdict).
+    Negotiate,
 }
 
 impl SpanKind {
     /// Every span kind, in index order.
-    pub const ALL: [SpanKind; 11] = [
+    pub const ALL: [SpanKind; 12] = [
         SpanKind::Tick,
         SpanKind::Operation,
         SpanKind::Propagation,
@@ -56,6 +59,7 @@ impl SpanKind {
         SpanKind::Reconnect,
         SpanKind::Compile,
         SpanKind::ParWave,
+        SpanKind::Negotiate,
     ];
 
     /// Number of span kinds (the size of a dense histogram array).
@@ -81,6 +85,7 @@ impl SpanKind {
             SpanKind::Reconnect => "reconnect",
             SpanKind::Compile => "compile",
             SpanKind::ParWave => "par_wave",
+            SpanKind::Negotiate => "negotiate",
         }
     }
 }

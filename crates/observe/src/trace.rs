@@ -35,6 +35,10 @@ use crate::json::escape_into;
 /// | `SessionsCreated` | a client's `create` frame dynamically creates a new named session |
 /// | `AttachRejected` | a session `create`/`attach` request is rejected (unknown name, creation disabled...) |
 /// | `AcceptErrors` | the server's accept loop hits an `accept(2)` error and backs off |
+/// | `NegotiationRounds` | the negotiation engine completes one propose/answer round |
+/// | `ProposalsSent` | a relaxation proposal is put to the conflict's participants |
+/// | `ConflictsResolved` | a negotiation ends with an accepted, applied relaxation |
+/// | `ConflictsAbandoned` | a negotiation exhausts its round budget without agreement |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Counter {
     /// Executed design operations.
@@ -100,11 +104,21 @@ pub enum Counter {
     /// `accept(2)` errors hit by the server's accept loop (each one also
     /// triggers a short backoff sleep so persistent errors cannot busy-spin).
     AcceptErrors,
+    /// Completed negotiation rounds (one ranked proposal put to the
+    /// conflict's participants and answered by each of them).
+    NegotiationRounds,
+    /// Relaxation proposals sent to participants by the negotiation engine.
+    ProposalsSent,
+    /// Conflicts closed by an accepted relaxation (no backtracking needed).
+    ConflictsResolved,
+    /// Conflicts the negotiation engine gave up on (round budget exhausted
+    /// or no viable proposal), leaving resolution to ordinary backtracking.
+    ConflictsAbandoned,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 31] = [
         Counter::Operations,
         Counter::Evaluations,
         Counter::Propagations,
@@ -132,6 +146,10 @@ impl Counter {
         Counter::SessionsCreated,
         Counter::AttachRejected,
         Counter::AcceptErrors,
+        Counter::NegotiationRounds,
+        Counter::ProposalsSent,
+        Counter::ConflictsResolved,
+        Counter::ConflictsAbandoned,
     ];
 
     /// Number of counters (the size of a dense counter array).
@@ -172,6 +190,10 @@ impl Counter {
             Counter::SessionsCreated => "sessions_created",
             Counter::AttachRejected => "attach_rejected",
             Counter::AcceptErrors => "accept_errors",
+            Counter::NegotiationRounds => "negotiation_rounds",
+            Counter::ProposalsSent => "proposals_sent",
+            Counter::ConflictsResolved => "conflicts_resolved",
+            Counter::ConflictsAbandoned => "conflicts_abandoned",
         }
     }
 }
@@ -403,6 +425,25 @@ pub enum TraceEvent<'a> {
         /// Wall-clock duration of the worker, µs.
         dur_us: u64,
     },
+    /// One conflict negotiation finished (resolved or abandoned). The
+    /// line doubles as the `negotiate` span carrier (its `dur_us`).
+    Negotiation {
+        /// Sequence number of the operation whose violation triggered it.
+        seq: u64,
+        /// Name of the constraint the negotiation settled on (the applied
+        /// relaxation's target, or the seed conflict when abandoned).
+        constraint: &'a str,
+        /// Propose/answer rounds run.
+        rounds: u32,
+        /// Relaxation proposals sent to participants across all rounds.
+        proposals: u32,
+        /// Designers whose viewpoints the minimal conflict set touched.
+        participants: u32,
+        /// `"resolved"` or `"abandoned"`.
+        outcome: &'a str,
+        /// Duration from MCS reduction to the final verdict, µs.
+        dur_us: u64,
+    },
     /// Final line of a simulation run.
     RunSummary {
         /// Executed operations.
@@ -438,6 +479,7 @@ impl TraceEvent<'_> {
             TraceEvent::WireSkip { .. } => "wire_skip",
             TraceEvent::CompileDone { .. } => "compile",
             TraceEvent::ParallelComponent { .. } => "par_wave",
+            TraceEvent::Negotiation { .. } => "negotiate",
             TraceEvent::RunSummary { .. } => "summary",
         }
     }
@@ -635,6 +677,23 @@ impl TraceEvent<'_> {
                 field_u64(out, "constraints", constraints.into());
                 field_u64(out, "evaluations", evaluations);
                 field_u64(out, "waves", waves.into());
+                field_u64(out, "dur_us", dur_us);
+            }
+            TraceEvent::Negotiation {
+                seq,
+                constraint,
+                rounds,
+                proposals,
+                participants,
+                outcome,
+                dur_us,
+            } => {
+                field_u64(out, "seq", seq);
+                field_str(out, "constraint", constraint);
+                field_u64(out, "rounds", rounds.into());
+                field_u64(out, "proposals", proposals.into());
+                field_u64(out, "participants", participants.into());
+                field_str(out, "outcome", outcome);
                 field_u64(out, "dur_us", dur_us);
             }
             TraceEvent::RunSummary {

@@ -28,10 +28,12 @@
 mod config;
 mod designer;
 mod engine;
+mod negotiation;
 pub mod report;
 pub mod stats;
 
 pub use config::{ForwardOrdering, HeuristicToggles, SimulationConfig};
 pub use designer::SimulatedDesigner;
+pub use negotiation::NegotiationPolicy;
 pub use engine::{run_once, run_once_instrumented, run_once_with_sink, Simulation, StepOutcome};
 pub use stats::{percentile, Batch, OperationStat, RunStats, Summary};

@@ -85,6 +85,34 @@ cargo run --release -q -p adpm-cli --bin adpm -- run /tmp/verify_mini.dddl \
   --concurrent --turn-barrier --seed 7 | grep -q 'concurrent, turn barrier'
 cargo run --release -q -p adpm-cli --bin adpm -- builtin receiver > /tmp/verify_rx.dddl
 
+echo "==> negotiation smoke run (3 designers share a budget, conflicts resolve in-session)"
+cat > /tmp/verify_neg.dddl <<'EOF'
+object rx {
+    property P-a : interval(0, 300);
+    property P-b : interval(0, 300);
+    property P-c : interval(0, 300);
+}
+constraint power: rx.P-a + rx.P-b + rx.P-c <= 200;
+problem top { constraints: power; designer 0; }
+problem pa under top { outputs: rx.P-a; designer 0; }
+problem pb under top { outputs: rx.P-b; designer 1; }
+problem pc under top { outputs: rx.P-c; designer 2; }
+EOF
+NEG_OUT=$(cargo run --release -q -p adpm-cli --bin adpm -- run /tmp/verify_neg.dddl \
+  --negotiate --turn-barrier --seed 2 --mode conventional --metrics)
+echo "$NEG_OUT" | grep -q 'concurrent, turn barrier, negotiation' \
+  || { echo "negotiation driver label missing"; exit 1; }
+echo "$NEG_OUT" | grep -q 'completed = true' || { echo "negotiated run did not complete"; exit 1; }
+echo "$NEG_OUT" | awk '
+/^conflicts_resolved/  { resolved = $2 + 0 }
+/^conflicts_abandoned/ { abandoned = $2 + 0 }
+END {
+  if (resolved < 1) { printf "conflicts_resolved %d < 1 — negotiation never fired\n", resolved; exit 1 }
+  if (abandoned != 0) { printf "conflicts_abandoned %d != 0\n", abandoned; exit 1 }
+  printf "negotiation resolved %d conflicts, 0 abandoned ok\n", resolved
+}'
+rm -f /tmp/verify_neg.dddl
+
 echo "==> collaboration loopback smoke (serve / client / submit)"
 ADPM_RELEASE=target/release/adpm
 SERVE_LOG=$(mktemp)
@@ -257,6 +285,27 @@ awk '
   printf "clients %d, sessions %d, p99_us present ok\n", clients, sessions
 }
 END { if (!seen) { print "no parseable bench_summary"; exit 1 } }' "$COLLAB_JSON"
+
+echo "==> bench_negotiation smoke run (negotiation vs backtracking)"
+cargo run --release -q -p adpm-bench --bin bench_negotiation -- --smoke >/dev/null
+
+echo "==> results/BENCH_negotiation.json schema + resolution gate"
+NEG_JSON=results/BENCH_negotiation.json
+[ -f "$NEG_JSON" ] || { echo "$NEG_JSON missing — run bench_negotiation"; exit 1; }
+grep -q '"t":"bench_case"' "$NEG_JSON" || { echo "$NEG_JSON has no bench_case rows"; exit 1; }
+grep -q '"t":"bench_summary"' "$NEG_JSON" || { echo "$NEG_JSON has no bench_summary row"; exit 1; }
+awk '
+/"t":"bench_summary"/ {
+  seen = 1
+  if (match($0, /"resolution_rate":[0-9.]+/)) rate = substr($0, RSTART + 18, RLENGTH - 18) + 0
+  if (match($0, /"negotiation_ops":[0-9]+/)) nops = substr($0, RSTART + 18, RLENGTH - 18) + 0
+  if (match($0, /"baseline_ops":[0-9]+/)) bops = substr($0, RSTART + 15, RLENGTH - 15) + 0
+  if (rate < 0.8) { printf "resolution_rate %.2f < 0.8\n", rate; exit 1 }
+  if (nops <= 0 || bops <= 0) { print "missing ops totals in summary"; exit 1 }
+  if (nops >= bops) { printf "negotiation_ops %d >= baseline_ops %d\n", nops, bops; exit 1 }
+  printf "resolution_rate %.2f >= 0.8, ops %d < %d ok\n", rate, nops, bops
+}
+END { if (!seen) { print "no parseable bench_summary"; exit 1 } }' "$NEG_JSON"
 
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
