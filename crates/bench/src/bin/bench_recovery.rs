@@ -1,0 +1,247 @@
+//! Measures what snapshot compaction buys at restart time: recovery
+//! duration as a function of journal age. Three journals are produced
+//! from the same seeded operation stream — a young compacted journal
+//! (`base` ops), an aged compacted journal (10× the ops, same
+//! `--compact-every` cadence), and an aged *uncompacted* control — and
+//! each is recovered into a fresh DPM with [`recover`], timed
+//! best-of-`TRIALS`.
+//!
+//! The durability claim under test: with compaction on, recovery replays
+//! only the post-snapshot tail (bounded by the cadence), so the aged
+//! compacted journal must recover within `FLAT_RATIO` of the young one
+//! even though it absorbed ten times the operations. The uncompacted
+//! control shows the alternative — replay cost growing with the full
+//! history. The machine-readable twin `results/BENCH_recovery.json`
+//! carries one `bench_case` row per journal plus one `bench_summary`
+//! row; `scripts/verify.sh` gates on its schema and on the flat-recovery
+//! ratio.
+//!
+//! Usage: `bench_recovery [base_ops] [compact_every] [seed]` (defaults
+//! 600 ops, cadence 32, seed 11), or `bench_recovery --smoke` for a
+//! small CI run that skips writing the results twin (the checked-in
+//! file stays a full-scale capture).
+
+use adpm_bench::{write_results_json, JsonRow};
+use adpm_collab::{recover, FsyncPolicy, JournalConfig, JournalWriter, RecoveryReport};
+use adpm_core::{state_fingerprint, DesignProcessManager, Operation, Operator};
+use adpm_scenarios::lna_walkthrough;
+use adpm_teamsim::{Simulation, SimulationConfig, StepOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Aged journals carry this many times the young journal's operations.
+const AGE_FACTOR: usize = 10;
+/// Recovery of the aged compacted journal must land within this factor
+/// of the young journal's recovery time — the "flat" in flat recovery.
+const FLAT_RATIO: f64 = 1.5;
+/// Timing trials per journal; the minimum is reported (steady-state
+/// cost, least scheduler noise).
+const TRIALS: usize = 7;
+
+struct Params {
+    base_ops: usize,
+    compact_every: u64,
+    seed: u64,
+    smoke: bool,
+}
+
+fn parse_args() -> Params {
+    let mut positional = Vec::new();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            positional.push(
+                arg.parse::<u64>()
+                    .unwrap_or_else(|_| panic!("expected a number, got `{arg}`")),
+            );
+        }
+    }
+    let get = |i: usize, default: u64| positional.get(i).copied().unwrap_or(default);
+    Params {
+        base_ops: get(0, if smoke { 60 } else { 600 }) as usize,
+        compact_every: get(1, 32),
+        seed: get(2, 11),
+        smoke,
+    }
+}
+
+fn fresh_dpm() -> DesignProcessManager {
+    let scenario = lna_walkthrough();
+    let mut dpm = scenario.build_dpm(SimulationConfig::adpm(5).dpm_config());
+    dpm.initialize();
+    dpm
+}
+
+/// Every assign the §2.4 walkthrough performed, values included — the
+/// bench re-executes a seeded shuffle of these so each operation stays
+/// inside its property's domain while the snapshot's state program
+/// covers several properties, not one.
+fn assign_pool() -> Vec<Operation> {
+    let scenario = lna_walkthrough();
+    let mut sim = Simulation::new(&scenario, SimulationConfig::adpm(5));
+    while matches!(sim.step(), StepOutcome::Executed(_)) {}
+    let pool: Vec<Operation> = sim
+        .dpm()
+        .history()
+        .iter()
+        .filter(|r| matches!(r.operation.operator(), Operator::Assign { .. }))
+        .map(|r| r.operation.clone())
+        .collect();
+    assert!(!pool.is_empty(), "walkthrough has no assigns to reuse");
+    pool
+}
+
+/// Executes `ops` seeded re-assignments against a fresh DPM, journaling
+/// each one, and returns the final state fingerprint for cross-checking
+/// recovery.
+fn build_journal(
+    path: &Path,
+    ops: usize,
+    compact_every: u64,
+    seed: u64,
+    pool: &[Operation],
+) -> u64 {
+    let mut dpm = fresh_dpm();
+    let mut writer = JournalWriter::open(
+        JournalConfig {
+            path: path.to_path_buf(),
+            fsync: FsyncPolicy::Never,
+            checkpoint_every: 32,
+            compact_every,
+        },
+        &dpm,
+        None,
+    )
+    .expect("open journal");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..ops {
+        let op = pool[rng.gen_range(0..pool.len())].clone();
+        let record = dpm.execute(op).expect("execute");
+        writer.append(&record, &dpm).expect("append");
+    }
+    writer.sync().expect("sync");
+    state_fingerprint(&dpm)
+}
+
+/// Best-of-[`TRIALS`] recovery time plus the report from the final trial
+/// (identical across trials — recovery is read-only on the journal).
+fn time_recovery(path: &Path, expected_fingerprint: u64) -> (f64, RecoveryReport) {
+    let mut best_us = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..TRIALS {
+        let mut dpm = fresh_dpm();
+        let t0 = Instant::now();
+        let report = recover(path, &mut dpm).expect("recover");
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(
+            state_fingerprint(&dpm),
+            expected_fingerprint,
+            "recovered state must match the writer's final state"
+        );
+        assert!(report.faithful, "recovery must be faithful: {report:?}");
+        best_us = best_us.min(us);
+        last = Some(report);
+    }
+    (best_us, last.expect("at least one trial"))
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adpm-bench-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn main() {
+    let Params {
+        base_ops,
+        compact_every,
+        seed,
+        smoke,
+    } = parse_args();
+    assert!(base_ops > 0 && compact_every > 0);
+    let aged_ops = base_ops * AGE_FACTOR;
+    let pool = assign_pool();
+    let dir = scratch_dir();
+
+    println!(
+        "=== recovery vs journal age: {base_ops} vs {aged_ops} ops, compact every {compact_every} (seed {seed}) ==="
+    );
+    println!("(time = best of {TRIALS} full recover() calls into a fresh DPM)\n");
+
+    let cases: [(&str, usize, u64); 3] = [
+        ("base", base_ops, compact_every),
+        ("aged_10x", aged_ops, compact_every),
+        ("aged_10x_uncompacted", aged_ops, 0),
+    ];
+    println!(
+        "{:<22} {:>8} {:>12} {:>10} {:>10} {:>12}",
+        "case", "ops", "journal_b", "snap_ops", "tail_ops", "recovery"
+    );
+    let mut json = Vec::new();
+    let mut recovery_us = Vec::new();
+    for (name, ops, cadence) in cases {
+        let path = dir.join(format!("{name}.journal"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("journal.prev"));
+        let fingerprint = build_journal(&path, ops, cadence, seed, &pool);
+        let journal_bytes = std::fs::metadata(&path).expect("stat journal").len();
+        let (us, report) = time_recovery(&path, fingerprint);
+        assert_eq!(report.ops, ops as u64, "journal must carry every op");
+        if cadence > 0 {
+            assert!(
+                report.replayed_ops < cadence,
+                "compacted tail must stay under the cadence: {report:?}"
+            );
+        }
+        println!(
+            "{:<22} {:>8} {:>12} {:>10} {:>10} {:>10.0}us",
+            name, ops, journal_bytes, report.snapshot_ops, report.replayed_ops, us
+        );
+        json.push(
+            JsonRow::new("bench_case", "bench_recovery")
+                .str("case", name)
+                .u64("ops", ops as u64)
+                .u64("compact_every", cadence)
+                .u64("journal_bytes", journal_bytes)
+                .u64("snapshot_ops", report.snapshot_ops)
+                .u64("replayed_ops", report.replayed_ops)
+                .f64("recovery_us", us)
+                .finish(),
+        );
+        recovery_us.push(us);
+    }
+
+    let ratio = recovery_us[1] / recovery_us[0];
+    let control_ratio = recovery_us[2] / recovery_us[0];
+    println!(
+        "\naged/base recovery ratio: {ratio:.2} (bound {FLAT_RATIO}); uncompacted control: {control_ratio:.2}"
+    );
+    json.push(
+        JsonRow::new("bench_summary", "bench_recovery")
+            .u64("base_ops", base_ops as u64)
+            .u64("aged_ops", aged_ops as u64)
+            .u64("age_factor", AGE_FACTOR as u64)
+            .u64("compact_every", compact_every)
+            .f64("base_recovery_us", recovery_us[0])
+            .f64("aged_recovery_us", recovery_us[1])
+            .f64("uncompacted_recovery_us", recovery_us[2])
+            .f64("recovery_ratio", ratio)
+            .f64("flat_ratio_bound", FLAT_RATIO)
+            .finish(),
+    );
+
+    if smoke {
+        println!("\n--smoke: results twin not written (checked-in file is a full-scale capture)");
+    } else {
+        write_results_json("BENCH_recovery", &json);
+    }
+
+    assert!(
+        ratio <= FLAT_RATIO,
+        "recovery time must stay flat as the journal ages: {ratio:.2} > {FLAT_RATIO}"
+    );
+}

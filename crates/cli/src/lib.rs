@@ -26,8 +26,8 @@
 
 use adpm_collab::{
     recover, run_concurrent_dpm_with, run_concurrent_remote, CollabClient, CollabServer,
-    FaultInjector, FaultPlan, Frame, FsyncPolicy, JournalConfig, JournalWriter, NegotiationConfig,
-    ServerOptions, SessionFactory, SessionOptions, WireError, WireOp,
+    DiskFaultInjector, FaultInjector, FaultPlan, Frame, FsyncPolicy, JournalConfig, JournalWriter,
+    NegotiationConfig, ServerOptions, SessionFactory, SessionOptions, WireError, WireOp,
 };
 use adpm_constraint::{
     explain_all_violations, propagate, NetworkError, PropagationConfig, PropagationEngine,
@@ -200,6 +200,7 @@ COMMANDS:
     serve   <file.dddl> [--port N] [--mode adpm|conventional]
             [--propagation full|incremental] [--journal FILE]
             [--fsync always|never|N] [--checkpoint-every N]
+            [--compact-every N]
             [--fault-plan PLAN] [--heartbeat-ms T] [--idle-timeout-ms T]
             [--sessions N] [--allow-create] [--metrics-addr HOST:PORT]
             [--negotiate]
@@ -218,7 +219,12 @@ COMMANDS:
                                            replays it first (prints
                                            `recovered N operations`); --fsync
                                            and --checkpoint-every tune its
-                                           durability cadence. --fault-plan
+                                           durability cadence; --compact-every N
+                                           rewrites the journal as a state
+                                           snapshot every N ops so recovery
+                                           time stays flat as the session ages
+                                           (0 = never, the default).
+                                           --fault-plan
                                            (e.g. `seed=7,drop=0.1,delay=0.1:5ms,
                                            dup=0.1,corrupt=0.05,truncate=0.05,
                                            kill=20`) injects deterministic
@@ -678,6 +684,9 @@ pub struct ServeOptions {
     pub fsync: FsyncPolicy,
     /// Ops between journal checkpoints (`jck` lines); 0 disables them.
     pub checkpoint_every: u64,
+    /// Ops between journal compactions (snapshot + rotate); 0 disables
+    /// compaction and the journal grows without bound.
+    pub compact_every: u64,
     /// Deterministic faults injected into every outgoing frame.
     pub fault_plan: Option<FaultPlan>,
     /// Silence before the server pings a quiet connection (milliseconds).
@@ -709,6 +718,7 @@ impl Default for ServeOptions {
             journal: None,
             fsync: FsyncPolicy::EveryN(8),
             checkpoint_every: 32,
+            compact_every: 0,
             fault_plan: None,
             heartbeat_ms: 10_000,
             idle_timeout_ms: 30_000,
@@ -765,19 +775,26 @@ pub fn serve(
                     ""
                 }
             ));
+            for warning in &report.warnings {
+                announce(&format!("recovery warning: {warning}"));
+            }
             Some(report)
         } else {
             None
         };
-        let writer = JournalWriter::open(
+        let mut writer = JournalWriter::open(
             JournalConfig {
                 path: path.clone(),
                 fsync: options.fsync,
                 checkpoint_every: options.checkpoint_every,
+                compact_every: options.compact_every,
             },
             &dpm,
             report.map(|r| r.journal_bytes),
         )?;
+        if let Some(plan) = options.fault_plan.as_ref().filter(|p| p.has_disk_faults()) {
+            writer = writer.with_disk_faults(DiskFaultInjector::new(plan, 0));
+        }
         session.journal = Some(writer);
     }
     let server_options = ServerOptions {
@@ -819,7 +836,7 @@ pub fn serve(
     let _ = writeln!(
         out,
         "session closed: {} operations, {} bound properties, {} violations",
-        dpm.history().len(),
+        dpm.operations_total(),
         bound,
         network.violated_constraints().len()
     );
@@ -854,15 +871,24 @@ fn named_session_state(
         } else {
             None
         };
-        let writer = JournalWriter::open(
+        let mut writer = JournalWriter::open(
             JournalConfig {
                 path,
                 fsync: options.fsync,
                 checkpoint_every: options.checkpoint_every,
+                compact_every: options.compact_every,
             },
             &dpm,
             resumed,
         )?;
+        if let Some(plan) = options.fault_plan.as_ref().filter(|p| p.has_disk_faults()) {
+            // Per-session stream: fold the name so each journal draws its
+            // own deterministic disk-fault schedule.
+            let stream = name.bytes().fold(0u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+            });
+            writer = writer.with_disk_faults(DiskFaultInjector::new(plan, stream));
+        }
         session.journal = Some(writer);
     }
     Ok((dpm, session))
@@ -1201,8 +1227,8 @@ fn render_top_table(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<16} {:>5} {:>8} {:>9} {:>7} {:>7} {:>11} {:>8}",
-        "SESSION", "CONN", "OPS/S", "P99(US)", "DROPS", "RECONN", "JOURNAL(B)", "EVENTS"
+        "{:<16} {:>5} {:>8} {:>9} {:>7} {:>7} {:>11} {:>7} {:>8}",
+        "SESSION", "CONN", "OPS/S", "P99(US)", "DROPS", "RECONN", "JOURNAL(B)", "SHED", "EVENTS"
     );
     let now = std::time::Instant::now();
     for frame in batch {
@@ -1229,9 +1255,13 @@ fn render_top_table(
                 }
             }
         };
+        // SHED folds both overload paths into one operator signal: work
+        // refused at the limits plus appends parked by a degraded journal.
+        let shed = counters.get(Counter::OverloadSheds)
+            + counters.get(Counter::JournalDegradations);
         let _ = writeln!(
             out,
-            "{session:<16} {connections:>5} {rate:>8.1} {p99_us:>9} {:>7} {:>7} {:>11} {events:>8}",
+            "{session:<16} {connections:>5} {rate:>8.1} {p99_us:>9} {:>7} {:>7} {:>11} {shed:>7} {events:>8}",
             counters.get(Counter::InboxDropped),
             counters.get(Counter::Reconnects),
             counters.get(Counter::JournalBytes),
@@ -1555,6 +1585,12 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
                 let v = value(&mut it)?;
                 options.checkpoint_every = v.parse().map_err(|_| {
                     CliError::Usage(format!("--checkpoint-every expects a number, got `{v}`"))
+                })?;
+            }
+            "--compact-every" => {
+                let v = value(&mut it)?;
+                options.compact_every = v.parse().map_err(|_| {
+                    CliError::Usage(format!("--compact-every expects a number, got `{v}`"))
                 })?;
             }
             "--fault-plan" => {
@@ -2606,6 +2642,8 @@ mod tests {
                 Counter::SessionOps => 10,
                 Counter::InboxDropped => 3,
                 Counter::JournalBytes => 4096,
+                Counter::OverloadSheds => 5,
+                Counter::JournalDegradations => 6,
                 _ => 0,
             })),
             events: 7,
@@ -2616,11 +2654,12 @@ mod tests {
         let mut previous = std::collections::BTreeMap::new();
         let table = render_top_table(std::slice::from_ref(&reply), &mut previous);
         let header = table.lines().next().expect("header");
-        for column in ["SESSION", "CONN", "OPS/S", "P99(US)", "DROPS", "JOURNAL(B)"] {
+        for column in ["SESSION", "CONN", "OPS/S", "P99(US)", "DROPS", "JOURNAL(B)", "SHED"] {
             assert!(header.contains(column), "{header}");
         }
         let row = table.lines().nth(1).expect("row");
-        for cell in ["default", "2", "30", "3", "4096", "7"] {
+        // SHED = overload_sheds (5) + journal_degradations (6).
+        for cell in ["default", "2", "30", "3", "4096", "11", "7"] {
             assert!(row.contains(cell), "{row}");
         }
         // The first sample has no predecessor: rate renders as 0.0.
@@ -2773,6 +2812,8 @@ mod tests {
             "always".into(),
             "--checkpoint-every".into(),
             "5".into(),
+            "--compact-every".into(),
+            "64".into(),
             "--heartbeat-ms".into(),
             "250".into(),
             "--idle-timeout-ms".into(),
@@ -2787,6 +2828,7 @@ mod tests {
         );
         assert!(matches!(options.fsync, FsyncPolicy::Always));
         assert_eq!(options.checkpoint_every, 5);
+        assert_eq!(options.compact_every, 64);
         assert_eq!(options.heartbeat_ms, 250);
         assert_eq!(options.idle_timeout_ms, 900);
         assert!(options.fault_plan.is_some());

@@ -20,6 +20,15 @@
 //! Faults apply to *outgoing* frames at the write path — the receiving
 //! peer sees real torn, duplicated, and corrupted bytes, exercising the
 //! actual reader resynchronization and retry logic rather than a mock.
+//!
+//! The same grammar also scripts *disk* faults, injected at the journal
+//! writer rather than the socket: `enospc` (the append fails with no
+//! bytes written), `short_write` (only a prefix of the line lands before
+//! the failure), `fsync_fail` (the data is written but durability is
+//! refused), and `torn_snapshot` (a compaction attempt dies mid-snapshot,
+//! leaving a partial temp file). Disk faults get their own
+//! [`DiskFaultInjector`] stream, decorrelated from the wire streams, so
+//! adding journal chaos never perturbs an existing wire fault schedule.
 
 use adpm_observe::{Counter, MetricsSink};
 use rand::rngs::StdRng;
@@ -54,6 +63,28 @@ pub struct FaultPlan {
     pub truncate: f64,
     /// Kill the connection at this (1-based) outgoing frame count.
     pub kill: Option<u64>,
+    /// Probability a journal append fails as if the disk were full
+    /// (no bytes written).
+    pub enospc: f64,
+    /// Probability a journal append writes only a prefix of the line
+    /// before failing.
+    pub short_write: f64,
+    /// Probability an explicit journal fsync reports failure.
+    pub fsync_fail: f64,
+    /// Probability a snapshot compaction dies mid-write, leaving a torn
+    /// temp file behind (the live journal is untouched).
+    pub torn_snapshot: f64,
+}
+
+impl FaultPlan {
+    /// Whether any disk-fault probability is non-zero — i.e. whether the
+    /// journal writer needs a [`DiskFaultInjector`] at all.
+    pub fn has_disk_faults(&self) -> bool {
+        self.enospc > 0.0
+            || self.short_write > 0.0
+            || self.fsync_fail > 0.0
+            || self.torn_snapshot > 0.0
+    }
 }
 
 impl Default for FaultPlan {
@@ -67,6 +98,10 @@ impl Default for FaultPlan {
             corrupt: 0.0,
             truncate: 0.0,
             kill: None,
+            enospc: 0.0,
+            short_write: 0.0,
+            fsync_fail: 0.0,
+            torn_snapshot: 0.0,
         }
     }
 }
@@ -101,6 +136,10 @@ impl FromStr for FaultPlan {
                 "dup" => plan.dup = parse_probability(key, value)?,
                 "corrupt" => plan.corrupt = parse_probability(key, value)?,
                 "truncate" => plan.truncate = parse_probability(key, value)?,
+                "enospc" => plan.enospc = parse_probability(key, value)?,
+                "short_write" => plan.short_write = parse_probability(key, value)?,
+                "fsync_fail" => plan.fsync_fail = parse_probability(key, value)?,
+                "torn_snapshot" => plan.torn_snapshot = parse_probability(key, value)?,
                 "delay" => {
                     let (p, dur) = value.split_once(':').ok_or_else(|| {
                         format!("`delay` needs probability:duration (e.g. 0.1:5ms), got `{value}`")
@@ -236,6 +275,109 @@ impl FaultInjector {
     }
 }
 
+/// XOR'd into the plan seed for disk-fault streams so journal chaos and
+/// wire chaos under the same plan draw from unrelated schedules.
+const DISK_STREAM_SALT: u64 = 0xD15C_FAD7_0000_0001;
+
+/// What the injector decided to do with one journal write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskWriteFault {
+    /// Write normally.
+    None,
+    /// Fail without writing anything (disk full).
+    Enospc,
+    /// Write only this many bytes, then fail (torn line on disk).
+    Short(usize),
+}
+
+/// Seeded disk-fault stream over a [`FaultPlan`]'s `enospc` /
+/// `short_write` / `fsync_fail` / `torn_snapshot` probabilities, consumed
+/// by the journal writer at its write/sync/compact seams.
+pub struct DiskFaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    injected: u64,
+    sink: Option<Arc<dyn MetricsSink>>,
+}
+
+impl std::fmt::Debug for DiskFaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskFaultInjector")
+            .field("plan", &self.plan)
+            .field("injected", &self.injected)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DiskFaultInjector {
+    /// A disk-fault stream for the `stream`-th journal under `plan`.
+    pub fn new(plan: &FaultPlan, stream: u64) -> Self {
+        DiskFaultInjector {
+            plan: plan.clone(),
+            rng: StdRng::seed_from_u64(
+                plan.seed
+                    ^ DISK_STREAM_SALT
+                    ^ (stream.wrapping_add(1)).wrapping_mul(SEED_STRIDE),
+            ),
+            injected: 0,
+            sink: None,
+        }
+    }
+
+    /// Counts injected faults into `sink`'s `faults_injected` counter.
+    pub fn with_sink(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    fn fault(&mut self) {
+        self.injected += 1;
+        if let Some(sink) = &self.sink {
+            sink.incr(Counter::FaultsInjected, 1);
+        }
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen_range(0.0..1.0) < p
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Decides the fate of one `len`-byte journal write.
+    pub fn on_write(&mut self, len: usize) -> DiskWriteFault {
+        if self.roll(self.plan.enospc) {
+            self.fault();
+            return DiskWriteFault::Enospc;
+        }
+        if self.roll(self.plan.short_write) && len > 1 {
+            self.fault();
+            return DiskWriteFault::Short(self.rng.gen_range(1..len));
+        }
+        DiskWriteFault::None
+    }
+
+    /// Whether the next explicit fsync should report failure.
+    pub fn on_sync(&mut self) -> bool {
+        if self.roll(self.plan.fsync_fail) {
+            self.fault();
+            return true;
+        }
+        false
+    }
+
+    /// Whether the next snapshot compaction should die mid-write.
+    pub fn on_snapshot(&mut self) -> bool {
+        if self.roll(self.plan.torn_snapshot) {
+            self.fault();
+            return true;
+        }
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +443,42 @@ mod tests {
         assert!(matches!(injector.transform(line), FaultAction::Write(_)));
         assert_eq!(injector.transform(line), FaultAction::Kill);
         assert_eq!(injector.injected(), 1);
+    }
+
+    #[test]
+    fn disk_fault_grammar_parses() {
+        let plan: FaultPlan =
+            "seed=3,enospc=0.25,short_write=0.1,fsync_fail=0.05,torn_snapshot=0.5"
+                .parse()
+                .expect("valid plan");
+        assert_eq!(plan.enospc, 0.25);
+        assert_eq!(plan.short_write, 0.1);
+        assert_eq!(plan.fsync_fail, 0.05);
+        assert_eq!(plan.torn_snapshot, 0.5);
+        assert!(plan.has_disk_faults());
+        assert!(!FaultPlan::default().has_disk_faults());
+        assert!("enospc=1.5".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn disk_fault_stream_is_deterministic_and_decorrelated() {
+        let plan: FaultPlan = "seed=9,enospc=0.4,short_write=0.3"
+            .parse()
+            .expect("valid");
+        let run = |stream| {
+            let mut injector = DiskFaultInjector::new(&plan, stream);
+            (0..64).map(|_| injector.on_write(100)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(0));
+        assert_ne!(run(0), run(1), "journals must get distinct streams");
+        // A clean plan never injects.
+        let mut clean = DiskFaultInjector::new(&FaultPlan::default(), 0);
+        for _ in 0..32 {
+            assert_eq!(clean.on_write(100), DiskWriteFault::None);
+            assert!(!clean.on_sync());
+            assert!(!clean.on_snapshot());
+        }
+        assert_eq!(clean.injected(), 0);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! | `jmeta` | once, at file creation | format version, management mode, network shape |
 //! | `jop`   | per executed operation | the full [`OperationRecord`]: operator, arguments (by name), repairs, and the recorded outcome (evaluations, violations, spin) |
 //! | `jck`   | every `checkpoint_every` operations | the sequence number and the [`state_fingerprint`] of the design state at that point |
+//! | `jsnap` | at each compaction, once, right after `jmeta` | the logical operation count, the length of the state program that follows, and the [`state_fingerprint`] the program must reproduce |
+//! | `jsop`  | at each compaction, once per state-program operation | one operation of the snapshot's minimal state program (same field schema as `jop`) |
 //!
 //! Durability is tunable via [`FsyncPolicy`]; recovery is
 //! **longest-valid-prefix**: [`recover`] replays every *newline-terminated,
@@ -20,14 +22,48 @@
 //! recorded per-operation outcomes double as an integrity check
 //! ([`RecoveryReport::faithful`]), with `jck` fingerprints cross-checking
 //! whole-state digests at every checkpoint.
+//!
+//! `jck` checkpoints are **verification-only**: recovery never uses them
+//! to skip replay (snapshots are what bound replay), it only compares
+//! each recorded fingerprint against the replayed state. A mismatch is
+//! surfaced as a typed [`RecoveryWarning::CheckpointMismatch`] on the
+//! report, not just a silent counter.
+//!
+//! # Snapshot compaction
+//!
+//! With [`JournalConfig::compact_every`] > 0 the writer periodically
+//! rewrites the journal as *snapshot + tail*: the DPM's
+//! [minimal state program](DesignProcessManager::state_program) — the
+//! latest assign per property, the surviving verifications, and every
+//! decompose/relax — is serialized as a `jsnap` header plus `jsop` lines
+//! into a fresh `<path>.compact.tmp`, fsynced, and atomically renamed
+//! over the journal after the old generation is preserved as
+//! `<path>.prev` (a hard link, so disk usage is bounded at two
+//! generations). Recovery then replays the short program and only the
+//! post-snapshot tail, making recovery time O(tail), not O(history).
+//! A crash at any point of the protocol leaves either the old journal or
+//! a complete new one at `path`; a snapshot torn by byte-level damage is
+//! tolerated by falling back to `<path>.prev`
+//! ([`RecoveryWarning::TornSnapshotFallback`]).
+//!
+//! # Disk-fault degradation
+//!
+//! The writer accepts a seeded [`DiskFaultInjector`]
+//! (ENOSPC, short writes, fsync failures, torn snapshots). A failed
+//! append never panics and never tears the journal mid-line: the partial
+//! bytes are rolled back and the serialized lines are parked in an
+//! in-memory backlog that is flushed, in order, ahead of the next
+//! successful append — so once the disk recovers, the journal converges
+//! to exactly what a fault-free run would have written.
 
+use crate::fault::{DiskFaultInjector, DiskWriteFault};
 use crate::wire::{field_bool, field_f64, field_str, field_u64};
 use adpm_constraint::{ConstraintId, NetworkError, PropertyId, Relaxation, Value};
 use adpm_core::{
     state_fingerprint, DesignProcessManager, DesignerId, Operation, OperationRecord, Operator,
     ProblemId,
 };
-use adpm_observe::{parse_object, Counter, JsonValue, MetricsSink, TraceEvent};
+use adpm_observe::{parse_object, Counter, JsonValue, MetricsSink, NoopSink, TraceEvent};
 use adpm_observe::{Clock, MonotonicClock, SpanKind};
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -81,18 +117,36 @@ pub struct JournalConfig {
     pub fsync: FsyncPolicy,
     /// Write a `jck` checkpoint every this many operations (0 = never).
     pub checkpoint_every: u64,
+    /// Compact (snapshot + rotate) every this many appends (0 = never).
+    pub compact_every: u64,
 }
 
 impl JournalConfig {
     /// A journal at `path` with the default policy: fsync every 8
-    /// operations, checkpoint every 32.
+    /// operations, checkpoint every 32, never compact.
     pub fn new(path: impl Into<PathBuf>) -> Self {
         JournalConfig {
             path: path.into(),
             fsync: FsyncPolicy::EveryN(8),
             checkpoint_every: 32,
+            compact_every: 0,
         }
     }
+}
+
+/// The previous journal generation preserved by compaction: `<path>.prev`.
+fn prev_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".prev");
+    PathBuf::from(os)
+}
+
+/// The temp file a compaction builds before its atomic rename:
+/// `<path>.compact.tmp`.
+fn compact_tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".compact.tmp");
+    PathBuf::from(os)
 }
 
 /// Why journal recovery failed.
@@ -125,11 +179,67 @@ impl From<std::io::Error> for JournalError {
     }
 }
 
+/// A typed, non-fatal anomaly [`recover`] noticed and worked around.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryWarning {
+    /// One or more `jck` checkpoint fingerprints did not match the
+    /// replayed state (`verified < checkpoints`). Checkpoints are
+    /// verification-only, so recovery proceeds — but the journaled run
+    /// and the replay disagree somewhere.
+    CheckpointMismatch {
+        /// Checkpoints in the valid prefix.
+        checkpoints: u64,
+        /// Checkpoints whose fingerprint matched the replayed state.
+        verified: u64,
+    },
+    /// The snapshot's state program replayed, but did not reproduce the
+    /// fingerprint the `jsnap` header recorded.
+    SnapshotFingerprintMismatch {
+        /// The fingerprint the `jsnap` header recorded.
+        expected: u64,
+        /// The fingerprint the replayed program produced.
+        actual: u64,
+    },
+    /// The journal's snapshot section was torn or incomplete; recovery
+    /// fell back to the previous generation (`<path>.prev`) and then
+    /// replayed this journal's tail.
+    TornSnapshotFallback,
+}
+
+impl fmt::Display for RecoveryWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryWarning::CheckpointMismatch {
+                checkpoints,
+                verified,
+            } => write!(
+                f,
+                "only {verified} of {checkpoints} checkpoint fingerprints matched the replayed state"
+            ),
+            RecoveryWarning::SnapshotFingerprintMismatch { expected, actual } => write!(
+                f,
+                "snapshot fingerprint mismatch: recorded {expected:016x}, replayed {actual:016x}"
+            ),
+            RecoveryWarning::TornSnapshotFallback => {
+                write!(f, "torn snapshot; recovered from the previous journal generation")
+            }
+        }
+    }
+}
+
 /// What [`recover`] reconstructed.
 #[derive(Debug)]
 pub struct RecoveryReport {
-    /// Operations re-executed from the journal.
+    /// Logical operations recovered: the snapshot's operation count plus
+    /// the replayed tail (equals the tail alone for an uncompacted
+    /// journal).
     pub ops: u64,
+    /// Operations restored by executing the snapshot's state program
+    /// (0 for an uncompacted journal).
+    pub snapshot_ops: u64,
+    /// Post-snapshot tail operations actually replayed — the part
+    /// compaction keeps bounded.
+    pub replayed_ops: u64,
     /// `jck` checkpoints encountered in the valid prefix.
     pub checkpoints: u64,
     /// Checkpoints whose recorded fingerprint matched the replayed state.
@@ -137,6 +247,8 @@ pub struct RecoveryReport {
     /// Whether every replayed operation reproduced its recorded outcome
     /// *and* every checkpoint fingerprint matched.
     pub faithful: bool,
+    /// Typed anomalies recovery noticed and worked around.
+    pub warnings: Vec<RecoveryWarning>,
     /// Length of the valid prefix, in bytes — the offset to truncate to
     /// before appending new operations.
     pub journal_bytes: u64,
@@ -154,6 +266,10 @@ enum JournalLine {
     /// relaxation (if any) is journaled as its own `jop` relax line, so
     /// recovery validates and then skips these.
     Negotiation,
+    /// A `jsnap` snapshot header: the next `ops` lines must be `jsop`.
+    SnapshotHeader { seq: u64, ops: u64, fingerprint: u64 },
+    /// One `jsop` state-program operation of a snapshot section.
+    SnapshotOp(Box<ParsedOp>),
 }
 
 /// A `jop` line, entities still by name (resolved against a DPM later).
@@ -197,8 +313,16 @@ fn join_constraint_names(dpm: &DesignProcessManager, ids: &[ConstraintId]) -> St
 
 /// Serializes one executed operation as a `jop` line.
 fn op_line(record: &OperationRecord, dpm: &DesignProcessManager) -> String {
+    op_line_tagged("jop", record, dpm)
+}
+
+/// Serializes one operation under a journal line tag (`jop` for history
+/// entries, `jsop` for snapshot state-program entries — same field schema).
+fn op_line_tagged(tag: &str, record: &OperationRecord, dpm: &DesignProcessManager) -> String {
     let mut out = String::with_capacity(160);
-    out.push_str("{\"t\":\"jop\"");
+    out.push_str("{\"t\":\"");
+    out.push_str(tag);
+    out.push('"');
     field_u64(&mut out, "seq", record.sequence as u64);
     field_u64(&mut out, "designer", record.operation.designer().index() as u64);
     field_u64(&mut out, "problem", record.operation.problem().index() as u64);
@@ -309,19 +433,36 @@ fn parse_journal_line(text: &str) -> Result<JournalLine, String> {
             need_u64("seq")?;
             Ok(JournalLine::Checkpoint { fingerprint })
         }
-        "jop" => {
+        "jsnap" => {
+            let hex = need_str("fingerprint")?;
+            let fingerprint = u64::from_str_radix(&hex, 16)
+                .map_err(|_| format!("`jsnap` fingerprint `{hex}` is not hex"))?;
+            Ok(JournalLine::SnapshotHeader {
+                seq: need_u64("seq")?,
+                ops: need_u64("ops")?,
+                fingerprint,
+            })
+        }
+        "jop" | "jsop" => {
             let op = need_str("op")?;
             let value = match get("vk").and_then(|v| v.as_str()) {
                 None => None,
                 Some("num") => Some(ParsedValue::Number(match get("value") {
                     Some(JsonValue::Num(x)) => *x,
-                    _ => return Err("`jop` numeric value missing".into()),
+                    _ => return Err(format!("`{tag}` numeric value missing")),
                 })),
                 Some("text") => Some(ParsedValue::Text(need_str("value")?)),
                 Some("bool") => Some(ParsedValue::Bool(need_bool("value")?)),
                 Some(other) => return Err(format!("unknown value kind `{other}`")),
             };
-            Ok(JournalLine::Op(Box::new(ParsedOp {
+            let boxed = |parsed: ParsedOp| {
+                if tag == "jop" {
+                    JournalLine::Op(Box::new(parsed))
+                } else {
+                    JournalLine::SnapshotOp(Box::new(parsed))
+                }
+            };
+            Ok(boxed(ParsedOp {
                 seq: need_u64("seq")?,
                 designer: need_u64("designer")?
                     .try_into()
@@ -352,7 +493,7 @@ fn parse_journal_line(text: &str) -> Result<JournalLine, String> {
                     .map_err(|_| "`violations_after` out of range".to_string())?,
                 new_violations: need_str("new_violations")?,
                 spin: need_bool("spin")?,
-            })))
+            }))
         }
         "jneg" => {
             // Validate the shape so a torn `jneg` still ends the valid
@@ -480,16 +621,40 @@ fn resolve_op(parsed: &ParsedOp, dpm: &DesignProcessManager) -> Result<Operation
     })
 }
 
+/// Serializes the one-time `jmeta` header for `dpm`'s scenario.
+fn meta_line(dpm: &DesignProcessManager) -> String {
+    let mut line = String::from("{\"t\":\"jmeta\"");
+    field_u64(&mut line, "version", JOURNAL_VERSION);
+    field_str(&mut line, "mode", dpm.mode().as_str());
+    field_u64(&mut line, "properties", dpm.network().property_count() as u64);
+    field_u64(&mut line, "constraints", dpm.network().constraint_count() as u64);
+    field_u64(&mut line, "problems", dpm.problems().len() as u64);
+    line.push_str("}\n");
+    line
+}
+
 /// The append half: owned by the session loop, one `append` per executed
 /// operation.
 #[derive(Debug)]
 pub struct JournalWriter {
     file: File,
     config: JournalConfig,
-    /// Operations appended by *this* writer (drives fsync/checkpoint cadence).
+    /// Operations serialized by *this* writer (drives fsync/checkpoint/
+    /// compaction cadence), whether or not their bytes have landed yet.
     appended: u64,
-    /// Appends since the last fsync.
+    /// Durable-file appends since the last fsync.
     unsynced: u32,
+    /// File length after the last fully-written line — the rollback point
+    /// a failed write truncates back to, so the journal never keeps a
+    /// torn line mid-file.
+    committed: u64,
+    /// Appends since the last compaction.
+    since_compact: u64,
+    /// Serialized line groups (op + optional checkpoint) a disk fault kept
+    /// off the file, flushed in order ahead of the next append.
+    backlog: Vec<String>,
+    /// Seeded disk-fault stream, if the run scripts journal chaos.
+    faults: Option<DiskFaultInjector>,
 }
 
 impl JournalWriter {
@@ -510,24 +675,45 @@ impl JournalWriter {
         if let Some(valid) = resume_at {
             file.set_len(valid)?;
         }
+        let committed = file.metadata()?.len();
         let mut writer = JournalWriter {
             file,
             config,
             appended: 0,
             unsynced: 0,
+            committed,
+            since_compact: 0,
+            backlog: Vec::new(),
+            faults: None,
         };
-        if writer.file.metadata()?.len() == 0 {
-            let mut line = String::from("{\"t\":\"jmeta\"");
-            field_u64(&mut line, "version", JOURNAL_VERSION);
-            field_str(&mut line, "mode", dpm.mode().as_str());
-            field_u64(&mut line, "properties", dpm.network().property_count() as u64);
-            field_u64(&mut line, "constraints", dpm.network().constraint_count() as u64);
-            field_u64(&mut line, "problems", dpm.problems().len() as u64);
-            line.push_str("}\n");
-            writer.write_line(&line, dpm.metrics_sink().as_ref())?;
+        if writer.committed == 0 {
+            writer.write_line(&meta_line(dpm), dpm.metrics_sink().as_ref())?;
             writer.file.sync_data()?;
         }
         Ok(writer)
+    }
+
+    /// Attaches a seeded disk-fault stream; every subsequent write, sync,
+    /// and compaction consults it.
+    pub fn with_disk_faults(mut self, faults: DiskFaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Detaches the disk-fault stream — the chaos harness's "the disk
+    /// recovered / space was restored" switch.
+    pub fn clear_disk_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Line groups a disk fault has kept off the file so far.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Whether the writer is currently degraded (has a non-empty backlog).
+    pub fn is_degraded(&self) -> bool {
+        !self.backlog.is_empty()
     }
 
     /// Test seam: wraps an already-open file handle without writing the
@@ -535,32 +721,84 @@ impl JournalWriter {
     /// fail deterministically — how the degradation path is exercised.
     #[cfg(test)]
     pub(crate) fn from_file_for_tests(file: File, config: JournalConfig) -> JournalWriter {
+        let committed = file.metadata().map(|m| m.len()).unwrap_or(0);
         JournalWriter {
             file,
             config,
             appended: 0,
             unsynced: 0,
+            committed,
+            since_compact: 0,
+            backlog: Vec::new(),
+            faults: None,
         }
     }
 
+    /// Writes one full line, consulting the fault stream. On any failure
+    /// the file is truncated back to the last committed line, so a short
+    /// write never leaves torn bytes for the *next* append to fuse with.
     fn write_line(&mut self, line: &str, sink: &dyn MetricsSink) -> std::io::Result<()> {
-        self.file.write_all(line.as_bytes())?;
-        sink.incr(Counter::JournalBytes, line.len() as u64);
+        let outcome = match self.faults.as_mut().map(|f| f.on_write(line.len())) {
+            Some(DiskWriteFault::Enospc) => {
+                Err(std::io::Error::other("injected ENOSPC (disk full)"))
+            }
+            Some(DiskWriteFault::Short(n)) => {
+                let _ = self.file.write_all(&line.as_bytes()[..n]);
+                Err(std::io::Error::other("injected short write"))
+            }
+            Some(DiskWriteFault::None) | None => self.file.write_all(line.as_bytes()),
+        };
+        match outcome {
+            Ok(()) => {
+                sink.incr(Counter::JournalBytes, line.len() as u64);
+                self.committed += line.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.file.set_len(self.committed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Syncs the file, consulting the fault stream.
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        if self.faults.as_mut().is_some_and(|f| f.on_sync()) {
+            return Err(std::io::Error::other("injected fsync failure"));
+        }
+        self.file.sync_data()
+    }
+
+    /// Flushes backlogged line groups, in order. Stops at the first
+    /// failure (the rest stay queued for the next attempt).
+    fn flush_backlog(&mut self, sink: &dyn MetricsSink) -> std::io::Result<()> {
+        while let Some(chunk) = self.backlog.first().cloned() {
+            self.write_line(&chunk, sink)?;
+            self.backlog.remove(0);
+            self.unsynced += 1;
+        }
         Ok(())
     }
 
     /// Appends one executed operation (and, on cadence, a checkpoint),
-    /// then applies the fsync policy. `dpm` must be the state *after* the
-    /// operation — its fingerprint is what checkpoints record.
+    /// then applies the fsync policy and, on cadence, compacts. `dpm` must
+    /// be the state *after* the operation — its fingerprint is what
+    /// checkpoints and snapshots record.
+    ///
+    /// # Errors
+    ///
+    /// An `Err` is a *degradation*, not data loss: the serialized lines
+    /// are parked in the writer's backlog and flushed ahead of the next
+    /// successful append, so the journal converges once the disk recovers.
     pub fn append(
         &mut self,
         record: &OperationRecord,
         dpm: &DesignProcessManager,
     ) -> Result<(), JournalError> {
         let sink = dpm.metrics_sink().clone();
-        let line = op_line(record, dpm);
-        self.write_line(&line, sink.as_ref())?;
+        let mut chunk = op_line(record, dpm);
         self.appended += 1;
+        self.since_compact += 1;
         if self.config.checkpoint_every > 0
             && self.appended.is_multiple_of(self.config.checkpoint_every)
         {
@@ -568,18 +806,90 @@ impl JournalWriter {
             field_u64(&mut ck, "seq", record.sequence as u64);
             field_str(&mut ck, "fingerprint", &format!("{:016x}", state_fingerprint(dpm)));
             ck.push_str("}\n");
-            self.write_line(&ck, sink.as_ref())?;
+            chunk.push_str(&ck);
         }
-        self.unsynced += 1;
+        self.backlog.push(chunk);
+        self.flush_backlog(sink.as_ref())?;
         let sync_now = match self.config.fsync {
             FsyncPolicy::Always => true,
             FsyncPolicy::EveryN(n) => self.unsynced >= n,
             FsyncPolicy::Never => false,
         };
         if sync_now {
-            self.file.sync_data()?;
+            self.sync_data()?;
             self.unsynced = 0;
         }
+        if self.config.compact_every > 0
+            && self.since_compact >= self.config.compact_every
+            && self.backlog.is_empty()
+        {
+            // Compaction failure is not a journaling failure: the live
+            // journal is intact either way, so swallow and retry on the
+            // next cadence hit.
+            let _ = self.compact(dpm, sink.as_ref());
+        }
+        Ok(())
+    }
+
+    /// Atomically replaces the journal with a snapshot of `dpm`'s current
+    /// state: write `jmeta` + `jsnap` + the state program as `jsop` lines
+    /// into `<path>.compact.tmp`, fsync, preserve the old generation as a
+    /// `<path>.prev` hard link, and rename the temp file over the journal.
+    fn compact(
+        &mut self,
+        dpm: &DesignProcessManager,
+        sink: &dyn MetricsSink,
+    ) -> Result<(), JournalError> {
+        let tmp_path = compact_tmp_path(&self.config.path);
+        let mut content = meta_line(dpm);
+        let snap_start = content.len();
+        let mut header = String::from("{\"t\":\"jsnap\"");
+        field_u64(&mut header, "seq", dpm.operations_total() as u64);
+        field_u64(&mut header, "ops", dpm.state_program().len() as u64);
+        field_str(&mut header, "fingerprint", &format!("{:016x}", state_fingerprint(dpm)));
+        header.push_str("}\n");
+        content.push_str(&header);
+        for (index, op) in dpm.state_program().iter().enumerate() {
+            let entry = OperationRecord {
+                sequence: index + 1,
+                operation: op.clone(),
+                evaluations: 0,
+                violations_after: 0,
+                new_violations: Vec::new(),
+                spin: false,
+            };
+            content.push_str(&op_line_tagged("jsop", &entry, dpm));
+        }
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        if self.faults.as_mut().is_some_and(|f| f.on_snapshot()) {
+            // Injected mid-compaction death: a torn temp file stays on
+            // disk, the live journal is untouched.
+            let _ = tmp.write_all(&content.as_bytes()[..content.len() / 2]);
+            return Err(JournalError::Io(std::io::Error::other(
+                "injected torn snapshot",
+            )));
+        }
+        tmp.write_all(content.as_bytes())?;
+        tmp.sync_data()?;
+        drop(tmp);
+        let prev = prev_path(&self.config.path);
+        let _ = std::fs::remove_file(&prev);
+        std::fs::hard_link(&self.config.path, &prev)?;
+        std::fs::rename(&tmp_path, &self.config.path)?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&self.config.path)?;
+        self.committed = content.len() as u64;
+        self.unsynced = 0;
+        self.since_compact = 0;
+        sink.incr(Counter::JournalCompactions, 1);
+        sink.incr(Counter::SnapshotBytes, (content.len() - snap_start) as u64);
         Ok(())
     }
 
@@ -605,14 +915,20 @@ impl JournalWriter {
         field_u64(&mut line, "participants", participants.into());
         field_str(&mut line, "outcome", outcome);
         line.push_str("}\n");
-        self.write_line(&line, sink)?;
+        // Through the backlog, so a degraded writer keeps `jneg` lines in
+        // order behind the operation lines they follow.
+        self.backlog.push(line);
+        self.flush_backlog(sink)?;
         Ok(())
     }
 
-    /// Flushes and syncs whatever is buffered (used at orderly shutdown).
+    /// Flushes the backlog and whatever else is buffered, then syncs
+    /// (used at orderly shutdown). Shutdown has no sink, so bytes a
+    /// degraded run flushes here are not counted into `journal_bytes`.
     pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.flush_backlog(&NoopSink)?;
         self.file.flush()?;
-        self.file.sync_data()?;
+        self.sync_data()?;
         self.unsynced = 0;
         Ok(())
     }
@@ -656,27 +972,125 @@ fn scan(path: &Path) -> Result<(Vec<JournalLine>, u64, u64), JournalError> {
     Ok((lines, valid, truncated))
 }
 
-/// Recovers a crashed session: replays the journal's longest valid prefix
-/// onto `dpm` (which must be freshly built for the same scenario and
-/// [`initialize`](DesignProcessManager::initialize)d), verifying recorded
-/// outcomes and checkpoint fingerprints along the way.
-///
-/// Emits a `recover` span and [`TraceEvent::Recovery`] through the DPM's
-/// sink and counts replayed operations into `recovery_ops`.
-///
-/// # Errors
-///
-/// [`JournalError`] when the file is unreadable, a valid-prefix line names
-/// entities the scenario lacks, or replay fails outright. A torn/corrupt
-/// *suffix* is not an error — that is the crash the journal exists for.
-pub fn recover(path: &Path, dpm: &mut DesignProcessManager) -> Result<RecoveryReport, JournalError> {
-    let clock = MonotonicClock::new();
-    let start = clock.now_us();
+/// [`recover_impl`]'s working result, before trace emission.
+struct RecoveredState {
+    ops: u64,
+    snapshot_ops: u64,
+    replayed_ops: u64,
+    checkpoints: u64,
+    checkpoints_verified: u64,
+    faithful: bool,
+    warnings: Vec<RecoveryWarning>,
+    journal_bytes: u64,
+    truncated_bytes: u64,
+    /// Operations actually executed on `dpm` (snapshot programs included,
+    /// fallback generations included) — what `recovery_ops` counts.
+    executed: u64,
+}
+
+/// The recursive recovery core. `allow_fallback` permits one hop to
+/// `<path>.prev` on a torn snapshot; the fallback generation itself must
+/// be sound.
+fn recover_impl(
+    path: &Path,
+    dpm: &mut DesignProcessManager,
+    allow_fallback: bool,
+) -> Result<RecoveredState, JournalError> {
     let (lines, journal_bytes, truncated_bytes) = scan(path)?;
-    let mut ops: u64 = 0;
+    let mut idx = 0;
+    while matches!(lines.get(idx), Some(JournalLine::Meta)) {
+        idx += 1;
+    }
+    let mut snapshot_ops: u64 = 0;
+    let mut base_ops: u64 = 0;
+    let mut executed: u64 = 0;
     let mut checkpoints: u64 = 0;
     let mut checkpoints_verified: u64 = 0;
     let mut faithful = true;
+    let mut warnings = Vec::new();
+    let mut tail_start = idx;
+    let mut torn_snapshot = false;
+    let snapshot_header = match lines.get(idx) {
+        Some(JournalLine::SnapshotHeader {
+            seq,
+            ops,
+            fingerprint,
+        }) => Some((*seq, *ops, *fingerprint)),
+        _ => None,
+    };
+    if let Some((seq, declared, fingerprint)) = snapshot_header {
+        let mut program: Vec<&ParsedOp> = Vec::new();
+        let mut next = idx + 1;
+        while (program.len() as u64) < declared {
+            match lines.get(next) {
+                Some(JournalLine::SnapshotOp(op)) => {
+                    program.push(op);
+                    next += 1;
+                }
+                _ => break,
+            }
+        }
+        if (program.len() as u64) < declared {
+            torn_snapshot = true;
+        } else {
+            for parsed in &program {
+                let record = resolve_op(parsed, dpm)?;
+                dpm.execute(record.operation).map_err(JournalError::Replay)?;
+                executed += 1;
+            }
+            dpm.begin_restored_history(seq as usize);
+            let actual = state_fingerprint(dpm);
+            if actual != fingerprint {
+                warnings.push(RecoveryWarning::SnapshotFingerprintMismatch {
+                    expected: fingerprint,
+                    actual,
+                });
+                faithful = false;
+            }
+            snapshot_ops = declared;
+            base_ops = seq;
+            tail_start = next;
+        }
+    } else if matches!(lines.get(idx), Some(JournalLine::SnapshotOp(_))) {
+        // Program lines with no surviving header: a damaged head.
+        torn_snapshot = true;
+    } else if snapshot_header.is_none()
+        && idx >= lines.len()
+        && truncated_bytes > 0
+        && prev_path(path).exists()
+    {
+        // Nothing valid past the meta header, a torn remainder, and a
+        // previous generation on disk: the snapshot header itself was
+        // torn mid-line.
+        torn_snapshot = true;
+    }
+    if torn_snapshot {
+        let prev = prev_path(path);
+        if !allow_fallback || !prev.exists() {
+            return Err(JournalError::Mismatch(
+                "torn snapshot section and no previous journal generation".into(),
+            ));
+        }
+        let prior = recover_impl(&prev, dpm, false)?;
+        warnings.push(RecoveryWarning::TornSnapshotFallback);
+        warnings.extend(prior.warnings);
+        faithful = faithful && prior.faithful;
+        executed += prior.executed;
+        checkpoints += prior.checkpoints;
+        checkpoints_verified += prior.checkpoints_verified;
+        snapshot_ops = prior.ops;
+        base_ops = prior.ops;
+        // Skip whatever survives of the torn snapshot section; the tail
+        // continues from the previous generation's end state.
+        tail_start = idx;
+        while matches!(
+            lines.get(tail_start),
+            Some(JournalLine::SnapshotHeader { .. }) | Some(JournalLine::SnapshotOp(_))
+        ) {
+            tail_start += 1;
+        }
+    }
+    let mut replayed_ops: u64 = 0;
     // Replay segment-wise so each checkpoint fingerprint is compared
     // against the state at exactly its point in the history.
     let mut segment: Vec<OperationRecord> = Vec::new();
@@ -692,13 +1106,13 @@ pub fn recover(path: &Path, dpm: &mut DesignProcessManager) -> Result<RecoveryRe
         segment.clear();
         Ok(())
     };
-    for line in &lines {
+    for line in &lines[tail_start..] {
         match line {
             JournalLine::Meta => {}
             JournalLine::Op(parsed) => {
                 let record = resolve_op(parsed, dpm)?;
                 segment.push(record);
-                ops += 1;
+                replayed_ops += 1;
             }
             JournalLine::Checkpoint { fingerprint } => {
                 flush(&mut segment, dpm, &mut faithful)?;
@@ -712,30 +1126,84 @@ pub fn recover(path: &Path, dpm: &mut DesignProcessManager) -> Result<RecoveryRe
             // Negotiation summaries are commentary on the op stream; the
             // accepted relaxation replays via its own `jop` line.
             JournalLine::Negotiation => {}
+            JournalLine::SnapshotHeader { .. } | JournalLine::SnapshotOp(_) => {
+                return Err(JournalError::Mismatch(
+                    "snapshot section not at the journal head".into(),
+                ));
+            }
         }
     }
     flush(&mut segment, dpm, &mut faithful)?;
+    executed += replayed_ops;
+    Ok(RecoveredState {
+        ops: base_ops + replayed_ops,
+        snapshot_ops,
+        replayed_ops,
+        checkpoints,
+        checkpoints_verified,
+        faithful,
+        warnings,
+        journal_bytes,
+        truncated_bytes,
+        executed,
+    })
+}
+
+/// Recovers a crashed session: replays the journal's longest valid prefix
+/// onto `dpm` (which must be freshly built for the same scenario and
+/// [`initialize`](DesignProcessManager::initialize)d), verifying recorded
+/// outcomes and checkpoint fingerprints along the way.
+///
+/// A compacted journal restores its snapshot first (executing the short
+/// state program and continuing sequence numbers from the recorded
+/// operation count), then replays only the post-snapshot tail; a torn
+/// snapshot falls back to `<path>.prev`. Non-fatal anomalies surface as
+/// typed [`RecoveryWarning`]s.
+///
+/// Emits a `recover` span and [`TraceEvent::Recovery`] through the DPM's
+/// sink, counts every re-executed operation into `recovery_ops`, and the
+/// post-snapshot tail alone into `recovery_replayed_ops`.
+///
+/// # Errors
+///
+/// [`JournalError`] when the file is unreadable, a valid-prefix line names
+/// entities the scenario lacks, or replay fails outright. A torn/corrupt
+/// *suffix* is not an error — that is the crash the journal exists for.
+pub fn recover(path: &Path, dpm: &mut DesignProcessManager) -> Result<RecoveryReport, JournalError> {
+    let clock = MonotonicClock::new();
+    let start = clock.now_us();
+    let mut state = recover_impl(path, dpm, true)?;
+    if state.checkpoints_verified < state.checkpoints {
+        state.warnings.push(RecoveryWarning::CheckpointMismatch {
+            checkpoints: state.checkpoints,
+            verified: state.checkpoints_verified,
+        });
+    }
     let dur_us = clock.now_us().saturating_sub(start);
     let sink = dpm.metrics_sink().clone();
-    sink.incr(Counter::RecoveryOps, ops);
+    sink.incr(Counter::RecoveryOps, state.executed);
+    sink.incr(Counter::RecoveryReplayedOps, state.replayed_ops);
     sink.time(SpanKind::Recover, dur_us);
     if sink.is_enabled() {
         sink.record(&TraceEvent::Recovery {
-            ops,
-            checkpoints,
-            journal_bytes,
-            truncated_bytes,
-            faithful,
+            ops: state.ops,
+            checkpoints: state.checkpoints,
+            journal_bytes: state.journal_bytes,
+            truncated_bytes: state.truncated_bytes,
+            faithful: state.faithful,
             dur_us,
         });
     }
     Ok(RecoveryReport {
-        ops,
-        checkpoints,
-        checkpoints_verified,
-        faithful,
-        journal_bytes,
-        truncated_bytes,
+        ops: state.ops,
+        snapshot_ops: state.snapshot_ops,
+        replayed_ops: state.replayed_ops,
+        checkpoints: state.checkpoints,
+        checkpoints_verified: state.checkpoints_verified,
+        faithful: state.faithful,
+        warnings: state.warnings,
+        journal_bytes: state.journal_bytes,
+        truncated_bytes: state.truncated_bytes,
     })
 }
 
@@ -755,6 +1223,14 @@ mod tests {
     /// re-executes it on a fresh DPM while journaling each step (so every
     /// checkpoint fingerprints the state at its own point in time).
     fn journaled_run(dir: &Path, checkpoint_every: u64) -> (DesignProcessManager, PathBuf) {
+        journaled_run_compacting(dir, checkpoint_every, 0)
+    }
+
+    fn journaled_run_compacting(
+        dir: &Path,
+        checkpoint_every: u64,
+        compact_every: u64,
+    ) -> (DesignProcessManager, PathBuf) {
         let scenario = lna_walkthrough();
         let config = SimulationConfig::adpm(5);
         let mut sim = Simulation::new(&scenario, config);
@@ -773,6 +1249,7 @@ mod tests {
                 path: path.clone(),
                 fsync: FsyncPolicy::Never,
                 checkpoint_every,
+                compact_every,
             },
             &dpm,
             None,
@@ -871,6 +1348,166 @@ mod tests {
             valid_prefix_bytes(&path).expect("scan"),
             report.journal_bytes
         );
+    }
+
+    #[test]
+    fn compacted_journal_recovers_to_the_same_fingerprint() {
+        let dir = tempdir();
+        let (original, path) = journaled_run_compacting(&dir, 4, 3);
+        // Compaction actually happened: the journal starts with a snapshot
+        // and the previous generation survives as a hard link.
+        let head = std::fs::read_to_string(&path).expect("read");
+        assert!(
+            head.lines().nth(1).unwrap_or("").starts_with("{\"t\":\"jsnap\""),
+            "no snapshot at the journal head:\n{head}"
+        );
+        assert!(prev_path(&path).exists(), "no .prev generation");
+        let mut recovered = fresh_dpm();
+        let report = recover(&path, &mut recovered).expect("recover");
+        assert!(report.faithful, "report: {report:?}");
+        assert!(report.warnings.is_empty(), "report: {report:?}");
+        assert!(report.snapshot_ops > 0);
+        assert_eq!(report.ops as usize, original.operations_total());
+        assert!(
+            report.replayed_ops < report.ops,
+            "tail replay not bounded: {report:?}"
+        );
+        assert_eq!(state_fingerprint(&recovered), state_fingerprint(&original));
+        assert_eq!(recovered.operations_total(), original.operations_total());
+    }
+
+    /// Tears the snapshot program out of a compacted journal: the `jmeta`
+    /// and `jsnap` header lines survive, every `jsop` (and anything after)
+    /// is lost — the structurally-torn shape recovery must detect.
+    fn tear_snapshot_program(path: &Path) {
+        let text = std::fs::read_to_string(path).expect("read");
+        let mut lines = text.lines();
+        let meta = lines.next().expect("meta line");
+        let snap = lines.next().expect("snap line");
+        assert!(snap.starts_with("{\"t\":\"jsnap\""), "not compacted: {snap}");
+        std::fs::write(path, format!("{meta}\n{snap}\n")).expect("tear snapshot");
+    }
+
+    #[test]
+    fn torn_snapshot_falls_back_to_the_previous_generation() {
+        let dir = tempdir();
+        // compact_every=1: the last append compacts, so the previous
+        // generation (its own snapshot + a one-op tail) carries the full
+        // final state.
+        let (original, path) = journaled_run_compacting(&dir, 0, 1);
+        tear_snapshot_program(&path);
+        let mut recovered = fresh_dpm();
+        let report = recover(&path, &mut recovered).expect("recover");
+        assert!(
+            report
+                .warnings
+                .contains(&RecoveryWarning::TornSnapshotFallback),
+            "report: {report:?}"
+        );
+        assert_eq!(report.ops as usize, original.operations_total());
+        assert_eq!(state_fingerprint(&recovered), state_fingerprint(&original));
+    }
+
+    #[test]
+    fn torn_snapshot_without_a_previous_generation_is_an_error() {
+        let dir = tempdir();
+        let (_, path) = journaled_run_compacting(&dir, 0, 1);
+        tear_snapshot_program(&path);
+        std::fs::remove_file(prev_path(&path)).expect("drop .prev");
+        let mut recovered = fresh_dpm();
+        let err = recover(&path, &mut recovered).expect_err("must fail");
+        assert!(
+            err.to_string().contains("previous journal generation"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_mismatch_surfaces_as_a_typed_warning() {
+        let dir = tempdir();
+        let (_, path) = journaled_run(&dir, 4);
+        // Corrupt every checkpoint fingerprint (keeping the lines valid):
+        // flip the first hex digit to a different one.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let marker = "\"fingerprint\":\"";
+        let mangled: String = text
+            .lines()
+            .map(|line| {
+                if let Some(at) = line
+                    .starts_with("{\"t\":\"jck\"")
+                    .then(|| line.find(marker))
+                    .flatten()
+                {
+                    let mut chars: Vec<char> = line.chars().collect();
+                    let digit = at + marker.len();
+                    chars[digit] = if chars[digit] == 'f' { '0' } else { 'f' };
+                    chars.into_iter().collect::<String>() + "\n"
+                } else {
+                    format!("{line}\n")
+                }
+            })
+            .collect();
+        std::fs::write(&path, mangled).expect("write");
+        let mut recovered = fresh_dpm();
+        let report = recover(&path, &mut recovered).expect("recover");
+        assert!(!report.faithful);
+        assert!(report.checkpoints_verified < report.checkpoints);
+        assert!(
+            report.warnings.iter().any(|w| matches!(
+                w,
+                RecoveryWarning::CheckpointMismatch { checkpoints, verified }
+                    if *verified < *checkpoints
+            )),
+            "report: {report:?}"
+        );
+    }
+
+    #[test]
+    fn enospc_faults_degrade_then_converge() {
+        use crate::fault::FaultPlan;
+        let dir = tempdir();
+        let scenario = lna_walkthrough();
+        let config = SimulationConfig::adpm(5);
+        let mut sim = Simulation::new(&scenario, config);
+        while matches!(sim.step(), StepOutcome::Executed(_)) {}
+        let history: Vec<Operation> = sim
+            .dpm()
+            .history()
+            .iter()
+            .map(|r| r.operation.clone())
+            .collect();
+        let mut dpm = fresh_dpm();
+        let path = dir.join("faulty.journal");
+        let plan: FaultPlan = "seed=5,enospc=0.4,short_write=0.2".parse().expect("plan");
+        let mut writer = JournalWriter::open(
+            JournalConfig {
+                path: path.clone(),
+                fsync: FsyncPolicy::Never,
+                checkpoint_every: 4,
+                compact_every: 0,
+            },
+            &dpm,
+            None,
+        )
+        .expect("open")
+        .with_disk_faults(DiskFaultInjector::new(&plan, 0));
+        let mut degradations = 0u32;
+        for op in history {
+            let record = dpm.execute(op).expect("execute");
+            if writer.append(&record, &dpm).is_err() {
+                degradations += 1;
+            }
+        }
+        assert!(degradations > 0, "fault plan injected nothing");
+        // Space restored: the backlog drains and the journal converges.
+        writer.clear_disk_faults();
+        writer.sync().expect("final sync");
+        assert!(!writer.is_degraded());
+        let mut recovered = fresh_dpm();
+        let report = recover(&path, &mut recovered).expect("recover");
+        assert!(report.faithful, "report: {report:?}");
+        assert_eq!(report.ops as usize, dpm.operations_total());
+        assert_eq!(state_fingerprint(&recovered), state_fingerprint(&dpm));
     }
 
     #[test]

@@ -76,10 +76,10 @@ pub use concurrent::{
     ConcurrentOutcome,
 };
 pub use error::CollabError;
-pub use fault::{FaultAction, FaultInjector, FaultPlan};
+pub use fault::{DiskFaultInjector, DiskWriteFault, FaultAction, FaultInjector, FaultPlan};
 pub use journal::{
     recover, valid_prefix_bytes, FsyncPolicy, JournalConfig, JournalError, JournalWriter,
-    RecoveryReport,
+    RecoveryReport, RecoveryWarning,
 };
 pub use negotiate::{negotiate, NegotiationConfig, NegotiationOutcome, DEFAULT_MAX_ROUNDS};
 pub use notify::{Inbox, InboxEntry, InterestSet};

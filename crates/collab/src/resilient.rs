@@ -237,6 +237,7 @@ impl ResilientClient {
         let cid = self.next_cid;
         self.next_cid += 1;
         let request_timeout = self.config.request_timeout;
+        let max_attempts = self.config.max_attempts;
         let mut exchange = move |client: &mut CollabClient, cid: u64, _last: u64| {
             client.send(&Frame::Submit {
                 op: op.clone(),
@@ -247,7 +248,8 @@ impl ResilientClient {
             // abandoned submissions (a duplicate delivered by the network,
             // a response lost mid-read) carry a different cid and are
             // discarded instead of being mistaken for ours.
-            let deadline = Instant::now() + request_timeout;
+            let mut deadline = Instant::now() + request_timeout;
+            let mut overload_resubmits: u32 = 0;
             loop {
                 match client.recv(deadline.saturating_duration_since(Instant::now()))? {
                     None => return Err(WireError::timeout("timed out waiting for the verdict")),
@@ -260,6 +262,30 @@ impl ResilientClient {
                             return Ok(frame);
                         }
                         // A stale verdict from a superseded exchange.
+                    }
+                    Some(Frame::Overloaded {
+                        retry_after_ms,
+                        cid: frame_cid,
+                    }) if frame_cid.is_none() || frame_cid == Some(cid) => {
+                        // The server shed this submission before executing
+                        // it. Honor the backoff hint and resubmit with the
+                        // SAME cid: the server's dedup window makes the
+                        // retry at-most-once even if the shed raced an
+                        // execution.
+                        overload_resubmits += 1;
+                        if overload_resubmits >= max_attempts {
+                            return Err(WireError::timeout(
+                                "server stayed overloaded across every resubmission",
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(retry_after_ms));
+                        client
+                            .send(&Frame::Submit {
+                                op: op.clone(),
+                                cid: Some(cid),
+                            })
+                            .map_err(|e| WireError::io(format!("send failed: {e}")))?;
+                        deadline = Instant::now() + request_timeout;
                     }
                     Some(Frame::Error { message }) => return Err(WireError::protocol(message)),
                     Some(_other) => {
@@ -726,6 +752,85 @@ mod tests {
             .expect_err("attach must fail");
         assert!(!err.is_retryable(), "{err:?}");
         server.shutdown();
+    }
+
+    /// Regression for the overload path: a server answering a submit with
+    /// `overloaded` + `retry_after_ms` gets exactly one resubmission,
+    /// carrying the SAME cid, no earlier than the hinted delay — so the
+    /// server's dedup window can guarantee at-most-once execution. A
+    /// scripted server makes the single-shed sequence deterministic (a
+    /// real server sheds on a live gauge, which races).
+    #[test]
+    fn overloaded_reply_is_resubmitted_once_after_the_delay() {
+        use std::io::{BufRead, BufReader, Write};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let script = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut write = stream;
+            let mut reply = |frame: &Frame| {
+                write.write_all(frame.to_line().as_bytes()).expect("write");
+            };
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("hello");
+            assert!(line.contains("\"t\":\"hello\""), "expected hello, got {line}");
+            reply(&Frame::Welcome {
+                mode: "adpm".into(),
+                designers: 7,
+                properties: 1,
+                constraints: 1,
+            });
+            line.clear();
+            reader.read_line(&mut line).expect("submit");
+            let Ok(Frame::Submit { cid: Some(cid), .. }) = Frame::parse_line(&line) else {
+                panic!("expected a cid-carrying submit, got {line}");
+            };
+            let shed_at = Instant::now();
+            reply(&Frame::Overloaded {
+                retry_after_ms: 40,
+                cid: Some(cid),
+            });
+            line.clear();
+            reader.read_line(&mut line).expect("resubmit");
+            let Ok(Frame::Submit { cid: Some(second), .. }) = Frame::parse_line(&line) else {
+                panic!("expected the resubmission, got {line}");
+            };
+            assert_eq!(second, cid, "the retry must reuse the shed submission's cid");
+            let waited = shed_at.elapsed();
+            assert!(
+                waited >= Duration::from_millis(40),
+                "client resubmitted after {waited:?}, inside the 40ms hint"
+            );
+            reply(&Frame::Executed {
+                seq: 1,
+                evaluations: 0,
+                violations_after: 0,
+                new_violations: String::new(),
+                spin: false,
+                cid: Some(cid),
+            });
+            // Exactly once: after the verdict, nothing but a goodbye (or
+            // EOF at client drop) may arrive — a third submit would be a
+            // duplicate execution.
+            line.clear();
+            let n = reader.read_line(&mut line).unwrap_or(0);
+            assert!(
+                n == 0 || line.contains("\"t\":\"bye\""),
+                "unexpected frame after the verdict: {line}"
+            );
+        });
+        let mut client = ResilientClient::connect(addr, 1, fast_config()).expect("connect");
+        let verdict = client
+            .submit(WireOp::Assign {
+                problem: "pressure-sensor".into(),
+                property: "sensor.s-area".into(),
+                value: 4.0,
+            })
+            .expect("submit");
+        assert!(matches!(verdict, Frame::Executed { seq: 1, .. }), "{verdict:?}");
+        drop(client);
+        script.join().expect("scripted server");
     }
 
     #[test]

@@ -66,7 +66,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -108,6 +108,25 @@ pub struct ServerOptions {
     /// each accepted connection gets the full per-session scrape body (see
     /// [`write_exposition`]) and is closed. `None` disables the listener.
     pub metrics_addr: Option<SocketAddr>,
+    /// Most sessions the registry will host; a `create` past the cap is
+    /// answered with a typed `attach_rejected`.
+    pub max_sessions: usize,
+    /// Most connections one session accepts; both fresh connections to
+    /// the default session and `create`/`attach` frames past the cap are
+    /// shed.
+    pub max_clients_per_session: usize,
+    /// Most submissions the server executes concurrently across all
+    /// connections; excess submits are answered with a typed
+    /// [`Frame::Overloaded`] instead of queueing without bound.
+    pub max_inflight: usize,
+    /// Longest a subscriber's outbound event queue may stay continuously
+    /// non-empty before the connection is evicted as a slow client —
+    /// an age bound, so a client that keeps the bounded inbox pinned
+    /// near-full (depth never triggers) still gets cut loose.
+    pub max_queue_age: Duration,
+    /// Backoff hint carried on every [`Frame::Overloaded`] the server
+    /// sends.
+    pub retry_after_ms: u64,
 }
 
 impl Default for ServerOptions {
@@ -119,6 +138,11 @@ impl Default for ServerOptions {
             fault_plan: None,
             allow_create: false,
             metrics_addr: None,
+            max_sessions: 1024,
+            max_clients_per_session: 1024,
+            max_inflight: 4096,
+            max_queue_age: Duration::from_secs(10),
+            retry_after_ms: 250,
         }
     }
 }
@@ -343,8 +367,16 @@ struct Registry {
     /// path by the per-session sink tees.
     hub: Arc<MetricsHub>,
     /// Which session each live connection is currently bound to, by
-    /// connection index — the source of `stats_reply.connections`.
+    /// connection index — the source of `stats_reply.connections` and of
+    /// the per-session client-count admission checks.
     conn_sessions: Mutex<BTreeMap<u64, String>>,
+    /// See [`ServerOptions::max_sessions`].
+    max_sessions: usize,
+    /// See [`ServerOptions::max_clients_per_session`].
+    max_clients_per_session: usize,
+    /// Submissions currently executing across every connection thread —
+    /// the gauge behind [`ServerOptions::max_inflight`].
+    inflight: AtomicUsize,
 }
 
 /// Session names double as journal-path suffixes, so keep them to a
@@ -432,10 +464,25 @@ impl Registry {
         validate_session_name(name).map_err(reject)?;
         let mut slots = lock(&self.slots);
         if let Some(slot) = slots.get(name) {
+            let bound = lock(&self.conn_sessions)
+                .values()
+                .filter(|s| s.as_str() == name)
+                .count();
+            if bound >= self.max_clients_per_session {
+                self.sink.incr(Counter::OverloadSheds, 1);
+                return Err(reject(format!("session `{name}` is full ({bound} clients)")));
+            }
             return Ok((slot.engine.handle(), slot.names.clone(), false));
         }
         if !create {
             return Err(reject(format!("unknown session `{name}`")));
+        }
+        if slots.len() >= self.max_sessions {
+            self.sink.incr(Counter::OverloadSheds, 1);
+            return Err(reject(format!(
+                "session limit reached ({} sessions hosted)",
+                slots.len()
+            )));
         }
         if !self.allow_create {
             return Err(reject(format!(
@@ -619,6 +666,9 @@ impl CollabServer {
             base,
             hub: hub.clone(),
             conn_sessions: Mutex::new(BTreeMap::new()),
+            max_sessions: options.max_sessions,
+            max_clients_per_session: options.max_clients_per_session,
+            inflight: AtomicUsize::new(0),
         });
         registry.insert(DEFAULT_SESSION, dpm, session);
         for name in precreate {
@@ -957,6 +1007,27 @@ fn serve_connection(
         .as_ref()
         .map(|plan| FaultInjector::new(plan, conn_index).with_sink(sink.clone()));
     let writer = Arc::new(Mutex::new(ConnWriter { stream, injector }));
+    // Admission: a default session already at its client cap sheds the
+    // fresh connection with a typed frame (the count includes this
+    // connection, registered above).
+    let default_conns = lock(&registry.conn_sessions)
+        .values()
+        .filter(|s| s.as_str() == DEFAULT_SESSION)
+        .count();
+    if default_conns > options.max_clients_per_session {
+        sink.incr(Counter::OverloadSheds, 1);
+        let _ = write_frame(
+            &writer,
+            &Frame::Overloaded {
+                retry_after_ms: options.retry_after_ms,
+                cid: None,
+            },
+        );
+        let _ = read_half.shutdown(NetShutdown::Both);
+        lock(&streams).remove(&conn_index);
+        lock(&registry.conn_sessions).remove(&conn_index);
+        return;
+    }
     let mut buffer = LineBuffer::new();
     let mut chunk = [0u8; 4096];
     let mut last_activity = Instant::now();
@@ -1090,9 +1161,13 @@ fn serve_connection(
                         let writer = writer.clone();
                         let names = names.clone();
                         let done = conn_done.clone();
+                        let sink = sink.clone();
+                        let max_queue_age = options.max_queue_age;
                         let worker = thread::Builder::new()
                             .name("adpm-push".into())
-                            .spawn(move || push_events(inbox, writer, names, done));
+                            .spawn(move || {
+                                push_events(inbox, writer, names, done, sink, max_queue_age)
+                            });
                         if let Ok(worker) = worker {
                             pushers.push(worker);
                         }
@@ -1107,7 +1182,25 @@ fn serve_connection(
                 None => Frame::Error {
                     message: "submit requires a hello first".into(),
                 },
-                Some(d) => submit(&handle, &names, d, op, cid),
+                Some(d) => {
+                    // Bounded in-flight work: over the cap the submit is
+                    // shed with a typed frame instead of queueing on the
+                    // session channel without bound. The client retries
+                    // with the same cid, so a shed costs one round trip,
+                    // never a duplicate execution.
+                    let inflight = registry.inflight.fetch_add(1, Ordering::SeqCst);
+                    let reply = if inflight >= options.max_inflight {
+                        sink.incr(Counter::OverloadSheds, 1);
+                        Frame::Overloaded {
+                            retry_after_ms: options.retry_after_ms,
+                            cid,
+                        }
+                    } else {
+                        submit(&handle, &names, d, op, cid)
+                    };
+                    registry.inflight.fetch_sub(1, Ordering::SeqCst);
+                    reply
+                }
             },
             Frame::Snapshot => match handle.snapshot() {
                 Err(_) => Frame::Error {
@@ -1357,11 +1450,27 @@ fn push_events(
     writer: Arc<Mutex<ConnWriter>>,
     names: Arc<NameMaps>,
     done: Arc<AtomicBool>,
+    sink: Arc<dyn MetricsSink>,
+    max_queue_age: Duration,
 ) {
+    // Slow-client eviction is by queue AGE, not depth: the bounded inbox
+    // caps depth on its own, so a client that keeps it pinned near-full
+    // is losing events forever without ever tripping a depth check.
+    let mut backlogged_since: Option<Instant> = None;
     loop {
         let entries = inbox.wait_drain(PUSH_POLL);
         for entry in &entries {
             if write_frame(&writer, &names.event_frame(entry)).is_err() {
+                return;
+            }
+        }
+        if inbox.is_empty() {
+            backlogged_since = None;
+        } else {
+            let since = *backlogged_since.get_or_insert_with(Instant::now);
+            if since.elapsed() > max_queue_age {
+                sink.incr(Counter::OverloadSheds, 1);
+                inbox.close();
                 return;
             }
         }
@@ -1486,7 +1595,7 @@ fn stream_snapshot(
     write_frame(
         writer,
         &Frame::State {
-            operations: dpm.history().len() as u64,
+            operations: dpm.operations_total() as u64,
             bound: bound as u32,
             violations: network.violated_constraints().len() as u32,
         },
@@ -2421,6 +2530,111 @@ mod tests {
         // The scrape reconciles with the hub the server feeds.
         let hub_snapshot = server.metrics_hub().snapshot(DEFAULT_SESSION).expect("hub");
         assert_eq!(parsed[DEFAULT_SESSION], hub_snapshot.counters);
+        server.shutdown();
+    }
+
+    #[test]
+    fn submits_over_the_inflight_cap_get_a_typed_overloaded_frame() {
+        // Cap zero makes every submit "over the cap" deterministically —
+        // no need to race enough concurrent clients to fill a real limit.
+        let options = ServerOptions {
+            max_inflight: 0,
+            retry_after_ms: 17,
+            ..ServerOptions::default()
+        };
+        let server =
+            CollabServer::bind_with(sensing_dpm(), 0, options, SessionOptions::default())
+                .expect("bind");
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        client.request(&Frame::Hello { designer: 0 }).expect("hello");
+        let reply = client
+            .request(&Frame::Submit {
+                op: WireOp::Assign {
+                    problem: "pressure-sensor".into(),
+                    property: "sensor.s-area".into(),
+                    value: 4.0,
+                },
+                cid: Some(9),
+            })
+            .expect("submit");
+        assert_eq!(
+            reply,
+            Frame::Overloaded {
+                retry_after_ms: 17,
+                cid: Some(9),
+            },
+            "a shed submit echoes the cid and the configured backoff"
+        );
+        // The design state is untouched: a snapshot still reports zero
+        // operations, so a retry later cannot double-execute.
+        client.send(&Frame::Snapshot).expect("send snapshot");
+        let (state, _) = client.read_snapshot().expect("snapshot");
+        assert!(matches!(state, Frame::State { operations: 0, .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn session_create_past_the_session_cap_is_rejected() {
+        let options = ServerOptions {
+            allow_create: true,
+            max_sessions: 1, // the default session fills the registry
+            ..ServerOptions::default()
+        };
+        let factory: SessionFactory =
+            Box::new(|_name| Ok((sensing_dpm(), SessionOptions::default())));
+        let server = CollabServer::bind_registry(
+            sensing_dpm(),
+            0,
+            options,
+            SessionOptions::default(),
+            Some(factory),
+            &[],
+        )
+        .expect("bind registry");
+        let mut client = CollabClient::connect(server.local_addr()).expect("connect");
+        let reply = client
+            .request(&Frame::CreateSession { name: "extra".into() })
+            .expect("create");
+        let Frame::AttachRejected { name, reason } = reply else {
+            panic!("expected attach_rejected, got {reply:?}");
+        };
+        assert_eq!(name, "extra");
+        assert!(reason.contains("session limit"), "reason: {reason}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn attach_to_a_full_session_is_rejected() {
+        let options = ServerOptions {
+            max_clients_per_session: 1,
+            ..ServerOptions::default()
+        };
+        let factory: SessionFactory =
+            Box::new(|_name| Ok((sensing_dpm(), SessionOptions::default())));
+        let server = CollabServer::bind_registry(
+            sensing_dpm(),
+            0,
+            options,
+            SessionOptions::default(),
+            Some(factory),
+            &["s1".to_owned()],
+        )
+        .expect("bind registry");
+        let mut first = CollabClient::connect(server.local_addr()).expect("connect");
+        assert!(matches!(
+            first
+                .request(&Frame::AttachSession { name: "s1".into() })
+                .expect("attach"),
+            Frame::SessionAttached { .. }
+        ));
+        let mut second = CollabClient::connect(server.local_addr()).expect("connect");
+        let reply = second
+            .request(&Frame::AttachSession { name: "s1".into() })
+            .expect("attach");
+        let Frame::AttachRejected { reason, .. } = reply else {
+            panic!("expected attach_rejected, got {reply:?}");
+        };
+        assert!(reason.contains("full"), "reason: {reason}");
         server.shutdown();
     }
 }

@@ -73,6 +73,11 @@ pub enum RejectReason {
     Network(NetworkError),
     /// The session was already shutting down when the command was queued.
     ShuttingDown,
+    /// The journal writer is degraded (disk faults) and its unwritten
+    /// backlog exceeded [`SessionOptions::max_journal_backlog`]: the write
+    /// was shed rather than accepted without durability. The design state
+    /// is unchanged; retrying later (same `cid`) is safe.
+    Degraded,
 }
 
 impl fmt::Display for RejectReason {
@@ -81,6 +86,9 @@ impl fmt::Display for RejectReason {
             RejectReason::Invalid(e) => write!(f, "invalid operation: {e}"),
             RejectReason::Network(e) => write!(f, "operation failed: {e}"),
             RejectReason::ShuttingDown => write!(f, "session is shutting down"),
+            RejectReason::Degraded => {
+                write!(f, "journal degraded: write backlog full, retry later")
+            }
         }
     }
 }
@@ -361,9 +369,13 @@ impl DedupWindow {
     }
 }
 
+/// Ops a degraded journal writer may hold unwritten before the session
+/// starts shedding writes ([`RejectReason::Degraded`]).
+pub const DEFAULT_MAX_JOURNAL_BACKLOG: usize = 256;
+
 /// Extras a session can be spawned with; [`Default`] is a plain in-memory
 /// session, exactly what [`SessionEngine::spawn`] gives.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SessionOptions {
     /// Journal every executed operation through this writer (opened by the
     /// caller, possibly resumed after a [`recover`](crate::journal::recover)).
@@ -379,6 +391,22 @@ pub struct SessionOptions {
     /// an accepted relaxation as a normal journaled operation. `None`
     /// disables negotiation (and `negotiate` commands report all-zero).
     pub negotiation: Option<NegotiationConfig>,
+    /// Once the journal writer's unwritten backlog (disk faults park
+    /// lines in memory) exceeds this many chunks, submissions are shed
+    /// with [`RejectReason::Degraded`] instead of executed — bounding how
+    /// much accepted-but-not-durable state the session can accumulate.
+    pub max_journal_backlog: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            journal: None,
+            recorder: None,
+            negotiation: None,
+            max_journal_backlog: DEFAULT_MAX_JOURNAL_BACKLOG,
+        }
+    }
 }
 
 /// A running collaboration session: the command-loop thread plus a
@@ -481,6 +509,7 @@ fn session_loop(
     let mut dedup: Vec<DedupWindow> = dpm.designers().iter().map(|_| DedupWindow::new()).collect();
     let mut journal = options.journal;
     let negotiation = options.negotiation;
+    let max_journal_backlog = options.max_journal_backlog;
     let mut seq: u64 = 0;
     while let Ok(command) = rx.recv() {
         seq += 1;
@@ -504,6 +533,19 @@ fn session_loop(
                     // Exactly-once: a resubmission after a lost response
                     // gets the remembered answer, not a second execution.
                     Some(outcome) => (outcome, "deduplicated"),
+                    // Shed instead of executing while the degraded
+                    // journal's parked backlog is over the bound: the gap
+                    // between accepted state and durable state stays
+                    // bounded. Not remembered in the dedup window — a
+                    // retry with the same cid executes once the disk
+                    // recovers.
+                    None if journal
+                        .as_ref()
+                        .is_some_and(|w| w.backlog_len() > max_journal_backlog) =>
+                    {
+                        sink.incr(Counter::OverloadSheds, 1);
+                        (OpOutcome::Rejected(RejectReason::Degraded), "shed")
+                    }
                     None => {
                         let outcome = execute_submission(
                             &mut dpm,
@@ -605,6 +647,10 @@ fn session_loop(
                     sub.inbox.close();
                 }
                 if let Some(journal) = journal.as_mut() {
+                    // Orderly shutdown models the operator fixing the disk
+                    // (space freed, mount restored): stop injecting faults
+                    // and drain whatever the degraded writer parked.
+                    journal.clear_disk_faults();
                     if let Err(error) = journal.sync() {
                         eprintln!("adpm: journal sync at shutdown failed: {error}");
                     }
@@ -622,6 +668,7 @@ fn session_loop(
         sub.inbox.close();
     }
     if let Some(journal) = journal.as_mut() {
+        journal.clear_disk_faults();
         if let Err(error) = journal.sync() {
             eprintln!("adpm: journal sync at shutdown failed: {error}");
         }
@@ -664,16 +711,23 @@ fn execute_submission(
     match dpm.execute(operation) {
         Ok(record) => {
             if let Some(writer) = journal.as_mut() {
+                let was_degraded = writer.is_degraded();
                 if let Err(error) = writer.append(&record, dpm) {
                     // Graceful degradation: a failing journal (disk full,
-                    // permissions yanked) stops journaling, not the session.
-                    eprintln!("adpm: journal append failed, journaling disabled: {error}");
-                    *journal = None;
-                    // A dying disk suggests the process may not reach a
-                    // clean shutdown either — make the telemetry recorded
-                    // so far durable now, or a traced server loses its
-                    // final counters line with it.
-                    dpm.metrics_sink().flush();
+                    // fsync errors) parks the line in the writer's
+                    // backlog; the session keeps serving and a later
+                    // successful append — or an orderly shutdown after
+                    // the fault clears — writes the parked lines in
+                    // order.
+                    dpm.metrics_sink().incr(Counter::JournalDegradations, 1);
+                    if !was_degraded {
+                        eprintln!("adpm: journal append failed, parking writes: {error}");
+                        // A dying disk suggests the process may not reach
+                        // a clean shutdown either — make the telemetry
+                        // recorded so far durable now, or a traced server
+                        // loses its final counters line with it.
+                        dpm.metrics_sink().flush();
+                    }
                 }
             }
             fan_out(dpm, subscriptions, logs, record.sequence as u64);
@@ -793,6 +847,7 @@ fn negotiate_conflict(
     let outcome_label = if resolved { "resolved" } else { "abandoned" };
     let constraint_name = dpm.network().constraint(seed).name().to_owned();
     if let Some(writer) = journal.as_mut() {
+        let was_degraded = writer.is_degraded();
         if let Err(error) = writer.append_negotiation(
             seq,
             &constraint_name,
@@ -802,9 +857,11 @@ fn negotiate_conflict(
             outcome_label,
             sink.as_ref(),
         ) {
-            eprintln!("adpm: journal append failed, journaling disabled: {error}");
-            *journal = None;
-            dpm.metrics_sink().flush();
+            dpm.metrics_sink().incr(Counter::JournalDegradations, 1);
+            if !was_degraded {
+                eprintln!("adpm: journal append failed, parking writes: {error}");
+                dpm.metrics_sink().flush();
+            }
         }
     }
     let dur_us = started.elapsed().as_micros() as u64;
@@ -1204,6 +1261,7 @@ mod tests {
                 path,
                 fsync: FsyncPolicy::Never,
                 checkpoint_every: 0,
+                compact_every: 0,
             },
         );
 

@@ -402,6 +402,17 @@ pub enum Frame {
         /// Why the frame was rejected.
         message: String,
     },
+    /// The server shed a request because a resource limit was hit (too
+    /// many in-flight operations, the journal writer is degraded, ...).
+    /// Design state is unchanged. The client should wait `retry_after_ms`
+    /// and resubmit with the *same* `cid` — the server's dedup window
+    /// guarantees the retry executes at most once.
+    Overloaded {
+        /// Suggested backoff before resubmitting, in milliseconds.
+        retry_after_ms: u64,
+        /// Echo of the shed submission's client operation id, if any.
+        cid: Option<u64>,
+    },
 }
 
 /// Coarse classification of a [`WireError`], the ground truth the
@@ -561,6 +572,7 @@ impl Frame {
             Frame::Reject { .. } => "reject",
             Frame::Resolved { .. } => "resolved",
             Frame::NegotiationRejected { .. } => "negotiation_rejected",
+            Frame::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -803,6 +815,10 @@ impl Frame {
             }
             Frame::NegotiationRejected { message } => {
                 field_str(&mut out, "message", message)
+            }
+            Frame::Overloaded { retry_after_ms, cid } => {
+                field_u64(&mut out, "retry_after_ms", *retry_after_ms);
+                field_opt_u64(&mut out, "cid", *cid);
             }
         }
         out.push_str("}\n");
@@ -1096,6 +1112,10 @@ impl Frame {
             }),
             "negotiation_rejected" => Ok(Frame::NegotiationRejected {
                 message: need_str("message")?,
+            }),
+            "overloaded" => Ok(Frame::Overloaded {
+                retry_after_ms: need_u64("retry_after_ms")?,
+                cid: opt_u64("cid")?,
             }),
             other => Err(WireError::new(format!("unknown frame tag `{other}`"))),
         }
@@ -1483,6 +1503,14 @@ mod tests {
             Frame::NegotiationRejected {
                 message: "negotiation is disabled for this session".into(),
             },
+            Frame::Overloaded {
+                retry_after_ms: 250,
+                cid: Some(42),
+            },
+            Frame::Overloaded {
+                retry_after_ms: 0,
+                cid: None,
+            },
         ];
         for frame in frames {
             let line = frame.to_line();
@@ -1546,6 +1574,9 @@ mod tests {
             ("{\"t\":\"resolved\",\"constraint\":\"C\",\"rounds\":1,\"proposals\":1}",
              "needs string `outcome`"),
             ("{\"t\":\"negotiation_rejected\"}", "needs string `message`"),
+            ("{\"t\":\"overloaded\"}", "needs integer `retry_after_ms`"),
+            ("{\"t\":\"overloaded\",\"retry_after_ms\":5,\"cid\":\"x\"}",
+             "non-negative integer"),
             ("not json", "expected"),
             ("{}", "empty frame"),
         ] {

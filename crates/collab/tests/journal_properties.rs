@@ -45,6 +45,7 @@ fn fixture() -> &'static (Vec<Operation>, Vec<u8>) {
                 path: path.clone(),
                 fsync: FsyncPolicy::Never,
                 checkpoint_every: 3,
+                compact_every: 0,
             },
             &dpm,
             None,
@@ -151,6 +152,7 @@ proptest! {
                 path: path.clone(),
                 fsync: FsyncPolicy::EveryN(fsync_every),
                 checkpoint_every,
+                compact_every: 0,
             },
             &original,
             None,
@@ -174,5 +176,127 @@ proptest! {
             format!("{:?}", recovered.history()),
             format!("{:?}", original.history())
         );
+    }
+
+    /// Snapshot+tail recovery is state-fingerprint-identical to full
+    /// history execution for arbitrary history prefixes and compaction /
+    /// checkpoint cadences, and the replayed tail stays bounded by the
+    /// cadence.
+    #[test]
+    fn compacted_recovery_matches_full_replay(
+        take_frac in 0.0f64..1.25,
+        compact_every in 1u64..6,
+        checkpoint_every in 0u64..5,
+    ) {
+        let (history, _) = fixture();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let take = ((history.len() as f64) * take_frac).round() as usize;
+        let take = take.min(history.len());
+        let dir = scratch_dir();
+        let path = dir.join("compacted.journal");
+
+        let mut original = fresh_dpm();
+        let mut writer = JournalWriter::open(
+            JournalConfig {
+                path: path.clone(),
+                fsync: FsyncPolicy::Never,
+                checkpoint_every,
+                compact_every,
+            },
+            &original,
+            None,
+        )
+        .expect("open journal");
+        for op in &history[..take] {
+            let record = original.execute(op.clone()).expect("execute");
+            writer.append(&record, &original).expect("append");
+        }
+        writer.sync().expect("sync");
+        drop(writer);
+
+        let mut recovered = fresh_dpm();
+        let report = recover(&path, &mut recovered).expect("recover");
+        prop_assert_eq!(report.ops, take as u64);
+        prop_assert!(report.faithful, "report: {:?}", report);
+        prop_assert!(report.warnings.is_empty(), "report: {:?}", report);
+        if report.snapshot_ops > 0 {
+            prop_assert!(
+                report.replayed_ops < compact_every,
+                "tail not bounded by cadence: {:?}",
+                report
+            );
+        } else {
+            prop_assert_eq!(report.replayed_ops, take as u64);
+        }
+        prop_assert_eq!(state_fingerprint(&recovered), state_fingerprint(&original));
+        prop_assert_eq!(recovered.operations_total(), original.operations_total());
+    }
+
+    /// A kill -9 at any stage of the compaction protocol (torn temp file;
+    /// complete temp file not yet renamed; previous-generation hard link
+    /// already made) leaves a journal that still recovers the full state —
+    /// the atomic rename is the commit point.
+    #[test]
+    fn kill9_mid_compaction_staged_states_recover(
+        take_frac in 0.3f64..1.0,
+        compact_every in 1u64..5,
+        stage in 0usize..3,
+    ) {
+        let (history, _) = fixture();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let take = ((history.len() as f64) * take_frac).round() as usize;
+        let take = take.min(history.len()).max(1);
+        let dir = scratch_dir();
+        let path = dir.join("killed.journal");
+
+        let mut original = fresh_dpm();
+        let mut writer = JournalWriter::open(
+            JournalConfig {
+                path: path.clone(),
+                fsync: FsyncPolicy::Never,
+                checkpoint_every: 0,
+                compact_every,
+            },
+            &original,
+            None,
+        )
+        .expect("open journal");
+        for op in &history[..take] {
+            let record = original.execute(op.clone()).expect("execute");
+            writer.append(&record, &original).expect("append");
+        }
+        writer.sync().expect("sync");
+        drop(writer);
+
+        // Stage the kill -9 leftovers around the intact journal.
+        let journal = std::fs::read(&path).expect("read journal");
+        let tmp = {
+            let mut os = path.as_os_str().to_owned();
+            os.push(".compact.tmp");
+            PathBuf::from(os)
+        };
+        let prev = {
+            let mut os = path.as_os_str().to_owned();
+            os.push(".prev");
+            PathBuf::from(os)
+        };
+        match stage {
+            // Died mid-way through writing the temp snapshot.
+            0 => std::fs::write(&tmp, &journal[..journal.len() / 2]).expect("torn tmp"),
+            // Temp snapshot complete, rename never happened.
+            1 => std::fs::write(&tmp, &journal).expect("whole tmp"),
+            // Hard link to the previous generation made, rename not yet:
+            // path and prev are the same (old) content.
+            _ => {
+                let _ = std::fs::remove_file(&prev);
+                std::fs::hard_link(&path, &prev).expect("stage hard link");
+            }
+        }
+
+        let mut recovered = fresh_dpm();
+        let report = recover(&path, &mut recovered).expect("recover");
+        prop_assert_eq!(report.ops, take as u64);
+        prop_assert!(report.faithful, "report: {:?}", report);
+        prop_assert_eq!(state_fingerprint(&recovered), state_fingerprint(&original));
     }
 }

@@ -174,6 +174,14 @@ pub struct DesignProcessManager {
     nm: NotificationManager,
     designers: Vec<DesignerId>,
     history: Vec<OperationRecord>,
+    /// Operations executed before `history` began (non-zero only after a
+    /// snapshot restore): `op_base + history.len()` is the logical
+    /// operation count the sequence numbers continue from.
+    op_base: usize,
+    /// Minimal replayable program reproducing the current design state:
+    /// the latest assign per bound property, the surviving verification
+    /// per target, and every decompose/relax, in chronological order.
+    state_program: Vec<Operation>,
     heuristics: Option<HeuristicReport>,
     pending: HashMap<DesignerId, Vec<Event>>,
     known_violations: BTreeSet<ConstraintId>,
@@ -195,6 +203,8 @@ impl DesignProcessManager {
             nm: NotificationManager::new(),
             designers: Vec::new(),
             history: Vec::new(),
+            op_base: 0,
+            state_program: Vec::new(),
             heuristics: None,
             pending: HashMap::new(),
             known_violations: BTreeSet::new(),
@@ -271,6 +281,46 @@ impl DesignProcessManager {
     /// The design history so far (one record per executed operation).
     pub fn history(&self) -> &[OperationRecord] {
         &self.history
+    }
+
+    /// Total operations executed over the design's lifetime, snapshot
+    /// restores included: `op_base + history.len()`. Equals
+    /// `history().len()` unless the DPM was restored from a journal
+    /// snapshot.
+    pub fn operations_total(&self) -> usize {
+        self.op_base + self.history.len()
+    }
+
+    /// Operations executed before the in-memory history began (non-zero
+    /// only after a snapshot restore).
+    pub fn op_base(&self) -> usize {
+        self.op_base
+    }
+
+    /// The minimal replayable state program: executing these operations,
+    /// in order, on a freshly initialized twin of this DPM reproduces the
+    /// current bindings, feasible subspaces, problem tree, and conflict
+    /// ledger. Assigns are deduplicated to the latest per property,
+    /// unbinds cancel their assigns outright, and verifications keep only
+    /// the most recent run per (problem, constraint-list) target — so the
+    /// program length is bounded by the live state, not the history.
+    pub fn state_program(&self) -> &[Operation] {
+        &self.state_program
+    }
+
+    /// Rebases the history after a snapshot restore: the `base` operations
+    /// summarized by the snapshot's state program stop counting as
+    /// in-memory history and become the logical prefix, so sequence
+    /// numbers (and the state fingerprint) continue where the snapshot
+    /// left off. Pending notifications and buffered events are cleared —
+    /// a restore is silent — while the state program survives, having
+    /// just been rebuilt by the restore replay itself.
+    pub fn begin_restored_history(&mut self, base: usize) {
+        self.op_base = base;
+        self.history.clear();
+        self.pending.clear();
+        self.event_buffer.clear();
+        self.prev_snapshot = self.known_violations.clone();
     }
 
     /// Total constraint evaluations across the whole history.
@@ -452,6 +502,10 @@ impl DesignProcessManager {
             }
         }
 
+        // Every fallible step is behind us: fold the operation into the
+        // minimal state program before state observation begins.
+        self.absorb_into_state_program(&operation);
+
         // ADPM: the DCM propagates after every operation and the results are
         // mined into heuristic support data.
         if self.config.mode == ManagementMode::Adpm {
@@ -502,7 +556,7 @@ impl DesignProcessManager {
             self.spins += 1;
         }
         let record = OperationRecord {
-            sequence: self.history.len() + 1,
+            sequence: self.op_base + self.history.len() + 1,
             operation,
             evaluations,
             violations_after: self.known_violations.len(),
@@ -580,6 +634,45 @@ impl DesignProcessManager {
         self.known_violations
             .iter()
             .any(|cid| self.network.is_cross_object(*cid) && self.network.constraint(*cid).involves(target))
+    }
+
+    /// Folds one executed operation into the minimal state program (see
+    /// [`state_program`](Self::state_program)). Replacement keeps the
+    /// chronological position of the *latest* occurrence, which is what
+    /// makes conventional-mode verification invalidation replay exactly:
+    /// a verification left stale by a later re-assign replays before that
+    /// assign with its arguments unbound, so it is skipped — the same
+    /// `Consistent` outcome the invalidation produced live.
+    fn absorb_into_state_program(&mut self, operation: &Operation) {
+        match operation.operator() {
+            Operator::Assign { property, .. } => {
+                let target = *property;
+                self.state_program.retain(|op| {
+                    !matches!(op.operator(),
+                              Operator::Assign { property, .. } if *property == target)
+                });
+                self.state_program.push(operation.clone());
+            }
+            Operator::Unbind { property } => {
+                let target = *property;
+                self.state_program.retain(|op| {
+                    !matches!(op.operator(),
+                              Operator::Assign { property, .. } if *property == target)
+                });
+            }
+            Operator::Verify { constraints } => {
+                let problem = operation.problem();
+                self.state_program.retain(|op| {
+                    op.problem() != problem
+                        || !matches!(op.operator(),
+                                     Operator::Verify { constraints: c } if c == constraints)
+                });
+                self.state_program.push(operation.clone());
+            }
+            Operator::Decompose { .. } | Operator::Relax { .. } => {
+                self.state_program.push(operation.clone());
+            }
+        }
     }
 
     /// Conventional flow: re-binding a property invalidates earlier

@@ -108,7 +108,10 @@ pub fn state_fingerprint(dpm: &DesignProcessManager) -> u64 {
         }
     };
     let network = dpm.network();
-    eat(&(dpm.history().len() as u64).to_le_bytes());
+    // The logical operation count, not the in-memory history length: a DPM
+    // restored from a journal snapshot fingerprints identically to the
+    // original that executed the full history.
+    eat(&(dpm.operations_total() as u64).to_le_bytes());
     for pid in network.property_ids() {
         match network.assignment(pid) {
             None => eat(&[0]),

@@ -67,9 +67,18 @@ impl MetricsSink for NoopSink {
 }
 
 /// A point-in-time copy of every counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterSnapshot {
     values: [u64; Counter::COUNT],
+}
+
+// Manual impls: derived `Default` stops at 32-element arrays.
+impl Default for CounterSnapshot {
+    fn default() -> Self {
+        CounterSnapshot {
+            values: [0; Counter::COUNT],
+        }
+    }
 }
 
 impl CounterSnapshot {
@@ -131,11 +140,21 @@ impl fmt::Display for CounterSnapshot {
 /// Lock-free in-memory aggregation: one atomic per [`Counter`], one
 /// [`Histogram`] per [`SpanKind`], events counted but not retained. The
 /// right sink for benches and concurrency tests.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InMemorySink {
     counters: [AtomicU64; Counter::COUNT],
     timings: [Histogram; SpanKind::COUNT],
     events: AtomicU64,
+}
+
+impl Default for InMemorySink {
+    fn default() -> Self {
+        InMemorySink {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            timings: std::array::from_fn(|_| Histogram::default()),
+            events: AtomicU64::new(0),
+        }
+    }
 }
 
 impl InMemorySink {

@@ -39,6 +39,11 @@ use crate::json::escape_into;
 /// | `ProposalsSent` | a relaxation proposal is put to the conflict's participants |
 /// | `ConflictsResolved` | a negotiation ends with an accepted, applied relaxation |
 /// | `ConflictsAbandoned` | a negotiation exhausts its round budget without agreement |
+/// | `JournalCompactions` | the journal writer replaces the journal with a snapshot + empty tail |
+/// | `SnapshotBytes` | bytes written into `jsnap`/`jsop` snapshot sections during compaction |
+/// | `RecoveryReplayedOps` | a post-snapshot tail operation is replayed during recovery (the bounded part) |
+/// | `JournalDegradations` | a journal append or fsync fails and the lines are parked in the in-memory backlog |
+/// | `OverloadSheds` | the server sheds work at a resource limit (admission reject, in-flight bound, slow-client eviction, degraded-journal shed) |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Counter {
     /// Executed design operations.
@@ -114,11 +119,27 @@ pub enum Counter {
     /// Conflicts the negotiation engine gave up on (round budget exhausted
     /// or no viable proposal), leaving resolution to ordinary backtracking.
     ConflictsAbandoned,
+    /// Journal compactions: the journal was atomically replaced by a
+    /// snapshot (state program) plus an empty tail.
+    JournalCompactions,
+    /// Bytes written into snapshot (`jsnap` + `jsop`) sections.
+    SnapshotBytes,
+    /// Post-snapshot tail operations replayed during recovery — the part
+    /// compaction bounds (`RecoveryOps` counts everything re-executed,
+    /// snapshot program included).
+    RecoveryReplayedOps,
+    /// Journal degradation events: an append or fsync failed and the
+    /// serialized lines were parked in the writer's in-memory backlog.
+    JournalDegradations,
+    /// Work shed at a resource limit: admission rejects, in-flight-bounded
+    /// submits answered `overloaded`, slow-client evictions, and writes
+    /// shed while the journal backlog is over its limit.
+    OverloadSheds,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 36] = [
         Counter::Operations,
         Counter::Evaluations,
         Counter::Propagations,
@@ -150,6 +171,11 @@ impl Counter {
         Counter::ProposalsSent,
         Counter::ConflictsResolved,
         Counter::ConflictsAbandoned,
+        Counter::JournalCompactions,
+        Counter::SnapshotBytes,
+        Counter::RecoveryReplayedOps,
+        Counter::JournalDegradations,
+        Counter::OverloadSheds,
     ];
 
     /// Number of counters (the size of a dense counter array).
@@ -194,6 +220,11 @@ impl Counter {
             Counter::ProposalsSent => "proposals_sent",
             Counter::ConflictsResolved => "conflicts_resolved",
             Counter::ConflictsAbandoned => "conflicts_abandoned",
+            Counter::JournalCompactions => "journal_compactions",
+            Counter::SnapshotBytes => "snapshot_bytes",
+            Counter::RecoveryReplayedOps => "recovery_replayed_ops",
+            Counter::JournalDegradations => "journal_degradations",
+            Counter::OverloadSheds => "overload_sheds",
         }
     }
 }

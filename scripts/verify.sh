@@ -186,6 +186,90 @@ grep -q 'session closed: 2 operations' "$SERVE_LOG" || {
   echo "recovered history does not match"; cat "$SERVE_LOG"; exit 1; }
 rm -f "$SERVE_LOG" "$JOURNAL"
 
+echo "==> compaction smoke (snapshot + rotate, kill -9, recover from snapshot + tail)"
+CJOURNAL=/tmp/verify_compact_journal.jsonl
+rm -f "$CJOURNAL" "$CJOURNAL.prev"
+SERVE_LOG=$(mktemp)
+"$ADPM_RELEASE" serve /tmp/verify_rx.dddl --port 0 \
+  --journal "$CJOURNAL" --fsync always --compact-every 2 > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "compacting serve never announced"; kill "$SERVE_PID"; exit 1; }
+for GAIN in 18 19 20 21; do
+  "$ADPM_RELEASE" submit "$ADDR" --designer 1 --problem analog-front-end \
+    --assign lna-mixer.lna-gain=$GAIN | grep -q '"t":"executed"'
+done
+# Compaction fired: the live journal starts from a snapshot, and the
+# pre-compaction generation was preserved for torn-snapshot fallback.
+grep -q '"t":"jsnap"' "$CJOURNAL" || { echo "no jsnap in compacted journal"; exit 1; }
+[ -f "$CJOURNAL.prev" ] || { echo "compaction left no .prev generation"; exit 1; }
+kill -9 "$SERVE_PID"     # crash after compaction: recovery = snapshot + tail
+wait "$SERVE_PID" 2>/dev/null || true
+"$ADPM_RELEASE" serve /tmp/verify_rx.dddl --port 0 --journal "$CJOURNAL" > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted compacting serve never announced"; kill "$SERVE_PID"; exit 1; }
+grep -q '^recovered 4 operations from' "$SERVE_LOG" || {
+  echo "snapshot+tail recovery lost operations"; cat "$SERVE_LOG"; kill "$SERVE_PID"; exit 1; }
+"$ADPM_RELEASE" submit "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+grep -q 'session closed: 4 operations' "$SERVE_LOG" || {
+  echo "recovered compacted history does not match"; cat "$SERVE_LOG"; exit 1; }
+rm -f "$SERVE_LOG" "$CJOURNAL" "$CJOURNAL.prev"
+
+echo "==> disk-fault chaos smoke (every append hits ENOSPC; server serves on, journal converges)"
+DJOURNAL=/tmp/verify_enospc_journal.jsonl
+rm -f "$DJOURNAL"
+SERVE_LOG=$(mktemp)
+"$ADPM_RELEASE" serve /tmp/verify_rx.dddl --port 0 \
+  --journal "$DJOURNAL" --fault-plan 'seed=3,enospc=1.0' > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "enospc serve never announced"; kill "$SERVE_PID"; exit 1; }
+# Every journal append fails, yet submits still execute: degradation
+# parks the lines in the write backlog instead of dropping the journal.
+"$ADPM_RELEASE" submit "$ADDR" --designer 1 --problem analog-front-end \
+  --assign lna-mixer.lna-gain=20 | grep -q '"t":"executed"'
+"$ADPM_RELEASE" submit "$ADDR" --designer 1 --problem analog-front-end \
+  --assign lna-mixer.lna-gain=22 | grep -q '"t":"executed"'
+# Orderly shutdown models the disk recovering (space freed): the backlog
+# drains, so the journal ends complete and replayable.
+"$ADPM_RELEASE" submit "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+grep -q 'session closed: 2 operations' "$SERVE_LOG" || {
+  echo "degraded server lost operations"; cat "$SERVE_LOG"; exit 1; }
+[ "$(grep -c '"t":"jop"' "$DJOURNAL")" -eq 2 ] || {
+  echo "backlog did not converge: journal incomplete"; cat "$DJOURNAL"; exit 1; }
+"$ADPM_RELEASE" serve /tmp/verify_rx.dddl --port 0 --journal "$DJOURNAL" > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "post-enospc serve never announced"; kill "$SERVE_PID"; exit 1; }
+grep -q '^recovered 2 operations from' "$SERVE_LOG" || {
+  echo "journal written under disk faults did not recover"; cat "$SERVE_LOG"; kill "$SERVE_PID"; exit 1; }
+"$ADPM_RELEASE" submit "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+rm -f "$SERVE_LOG" "$DJOURNAL"
+
 echo "==> multi-session smoke (2 named sessions, isolated state + per-session journals)"
 MS_JOURNAL=/tmp/verify_ms_journal.jsonl
 rm -f "$MS_JOURNAL" "$MS_JOURNAL.s1" "$MS_JOURNAL.s2"
@@ -285,6 +369,27 @@ awk '
   printf "clients %d, sessions %d, p99_us present ok\n", clients, sessions
 }
 END { if (!seen) { print "no parseable bench_summary"; exit 1 } }' "$COLLAB_JSON"
+
+echo "==> bench_recovery smoke run (recovery time vs journal age)"
+cargo run --release -q -p adpm-bench --bin bench_recovery -- --smoke >/dev/null
+
+echo "==> results/BENCH_recovery.json schema + flat-recovery gate"
+REC_JSON=results/BENCH_recovery.json
+[ -f "$REC_JSON" ] || { echo "$REC_JSON missing — run bench_recovery"; exit 1; }
+grep -q '"t":"bench_case"' "$REC_JSON" || { echo "$REC_JSON has no bench_case rows"; exit 1; }
+grep -q '"t":"bench_summary"' "$REC_JSON" || { echo "$REC_JSON has no bench_summary row"; exit 1; }
+awk '
+/"t":"bench_summary"/ {
+  seen = 1
+  if (match($0, /"recovery_ratio":[0-9.]+/)) ratio = substr($0, RSTART + 17, RLENGTH - 17) + 0
+  if (match($0, /"flat_ratio_bound":[0-9.]+/)) bound = substr($0, RSTART + 19, RLENGTH - 19) + 0
+  if (match($0, /"age_factor":[0-9]+/)) age = substr($0, RSTART + 13, RLENGTH - 13) + 0
+  if (age < 10) { printf "age_factor %d < 10\n", age; exit 1 }
+  if (bound <= 0) { print "no flat_ratio_bound in summary"; exit 1 }
+  if (ratio <= 0 || ratio > bound) { printf "recovery_ratio %.2f outside (0, %.2f]\n", ratio, bound; exit 1 }
+  printf "recovery at %dx age within %.2fx of base (bound %.1f) ok\n", age, ratio, bound
+}
+END { if (!seen) { print "no parseable bench_summary"; exit 1 } }' "$REC_JSON"
 
 echo "==> bench_negotiation smoke run (negotiation vs backtracking)"
 cargo run --release -q -p adpm-bench --bin bench_negotiation -- --smoke >/dev/null
